@@ -1,0 +1,185 @@
+//! One-dimensional k-means clustering.
+//!
+//! §V-A2: "We used k-means clustering over the achieved frequencies to
+//! partition the nodes into three groups", selecting the medium-frequency
+//! cluster (n = 918 of 2000) for the experiments. This is a deterministic
+//! 1-D implementation: centroids initialize on quantiles, Lloyd iterations
+//! run to convergence, and ties break toward the lower cluster.
+
+use crate::stats::percentile;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids, ascending.
+    pub centroids: Vec<f64>,
+    /// Cluster index (into `centroids`) of each input sample.
+    pub assignment: Vec<usize>,
+    /// Samples per cluster.
+    pub sizes: Vec<usize>,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Indices of the samples in cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The index of the largest cluster (the paper keeps the medium/
+    /// largest frequency group for its experiments).
+    pub fn largest_cluster(&self) -> usize {
+        self.sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &s)| s)
+            .map(|(i, _)| i)
+            .expect("at least one cluster")
+    }
+}
+
+/// Cluster `samples` into `k` groups. Deterministic: quantile
+/// initialization, Lloyd iterations until assignments stabilize (or 200
+/// rounds). Panics on `k == 0` or fewer samples than clusters.
+pub fn kmeans_1d(samples: &[f64], k: usize) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(samples.len() >= k, "need at least k samples");
+    assert!(
+        samples.iter().all(|x| x.is_finite()),
+        "samples must be finite"
+    );
+
+    // Quantile-spread initialization keeps the result deterministic and
+    // well-separated for multi-modal data.
+    let mut centroids: Vec<f64> = (0..k)
+        .map(|i| percentile(samples, 100.0 * (i as f64 + 0.5) / k as f64))
+        .collect();
+    let mut assignment = vec![0usize; samples.len()];
+    let mut iterations = 0;
+
+    for _ in 0..200 {
+        iterations += 1;
+        let mut changed = false;
+        for (i, &x) in samples.iter().enumerate() {
+            let nearest = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    (x - *a)
+                        .abs()
+                        .partial_cmp(&(x - *b).abs())
+                        .expect("finite distances")
+                })
+                .map(|(c, _)| c)
+                .expect("k >= 1");
+            if assignment[i] != nearest {
+                assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        // Recompute centroids; an emptied cluster keeps its old centroid.
+        let mut sums = vec![0.0; k];
+        let mut counts = vec![0usize; k];
+        for (i, &x) in samples.iter().enumerate() {
+            sums[assignment[i]] += x;
+            counts[assignment[i]] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                centroids[c] = sums[c] / counts[c] as f64;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+
+    // Order clusters by centroid ascending and relabel.
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| {
+        centroids[a]
+            .partial_cmp(&centroids[b])
+            .expect("finite centroids")
+    });
+    let relabel: Vec<usize> = {
+        let mut inv = vec![0; k];
+        for (new, &old) in order.iter().enumerate() {
+            inv[old] = new;
+        }
+        inv
+    };
+    let centroids_sorted: Vec<f64> = order.iter().map(|&c| centroids[c]).collect();
+    let assignment: Vec<usize> = assignment.iter().map(|&a| relabel[a]).collect();
+    let mut sizes = vec![0usize; k];
+    for &a in &assignment {
+        sizes[a] += 1;
+    }
+    KMeansResult {
+        centroids: centroids_sorted,
+        assignment,
+        sizes,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_three_obvious_modes() {
+        let mut samples = Vec::new();
+        samples.extend(std::iter::repeat(1.6).take(50));
+        samples.extend(std::iter::repeat(1.8).take(90));
+        samples.extend(std::iter::repeat(2.0).take(60));
+        let r = kmeans_1d(&samples, 3);
+        assert_eq!(r.sizes, vec![50, 90, 60]);
+        assert!((r.centroids[0] - 1.6).abs() < 1e-9);
+        assert!((r.centroids[1] - 1.8).abs() < 1e-9);
+        assert!((r.centroids[2] - 2.0).abs() < 1e-9);
+        assert_eq!(r.largest_cluster(), 1);
+    }
+
+    #[test]
+    fn centroids_are_sorted_ascending() {
+        let samples: Vec<f64> = (0..100).map(|i| f64::from(i % 10)).collect();
+        let r = kmeans_1d(&samples, 4);
+        for w in r.centroids.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn members_partition_the_input() {
+        let samples = [1.0, 1.1, 5.0, 5.1, 9.0];
+        let r = kmeans_1d(&samples, 3);
+        let total: usize = (0..3).map(|c| r.members(c).len()).sum();
+        assert_eq!(total, samples.len());
+        assert_eq!(r.sizes.iter().sum::<usize>(), samples.len());
+    }
+
+    #[test]
+    fn k_equals_n_gives_singletons() {
+        let samples = [1.0, 2.0, 3.0];
+        let r = kmeans_1d(&samples, 3);
+        assert_eq!(r.sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let samples: Vec<f64> = (0..500).map(|i| ((i * 7919) % 100) as f64 / 10.0).collect();
+        assert_eq!(kmeans_1d(&samples, 3), kmeans_1d(&samples, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least k samples")]
+    fn too_few_samples_panics() {
+        kmeans_1d(&[1.0], 2);
+    }
+}

@@ -1,0 +1,28 @@
+//! # pmstack-analysis — analysis toolkit for the reproduction
+//!
+//! Workload- and hardware-agnostic analysis utilities:
+//!
+//! * [`kmeans`] — one-dimensional k-means with deterministic seeding, used
+//!   to partition nodes into frequency clusters (paper Fig. 6, §V-A2).
+//! * [`roofline`] — the roofline model of Williams et al. used to validate
+//!   the synthetic kernel's coverage (paper Fig. 3, §IV-A).
+//! * [`stats`] — means, confidence intervals (the paper's 95% CIs over 100
+//!   iterations), and percentile helpers.
+//! * [`metrics`] — derived efficiency metrics (EDP, FLOPS/W, savings
+//!   percentages relative to a baseline).
+//! * [`render`] — plain-text tables and heat maps for the `repro` binary's
+//!   figure output.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod kmeans;
+pub mod metrics;
+pub mod render;
+pub mod roofline;
+pub mod stats;
+
+pub use kmeans::{kmeans_1d, KMeansResult};
+pub use metrics::{savings_pct, SavingsRow};
+pub use roofline::{Roofline, RooflinePoint};
+pub use stats::{bootstrap_ci_mean, ci95_half_width, mean, std_dev, Summary};

@@ -1,0 +1,93 @@
+//! Derived efficiency metrics and baseline-relative savings.
+//!
+//! Fig. 8 reports every metric as a *percent improvement from the
+//! StaticCaps policy*: time savings, energy savings, EDP savings, and
+//! FLOPS/W increase. These helpers keep the sign conventions in one place.
+
+use serde::{Deserialize, Serialize};
+
+/// Percent saved going from `baseline` to `value` for a lower-is-better
+/// metric: positive when `value < baseline`.
+pub fn savings_pct(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    100.0 * (1.0 - value / baseline)
+}
+
+/// Percent increase going from `baseline` to `value` for a
+/// higher-is-better metric: positive when `value > baseline`.
+pub fn increase_pct(baseline: f64, value: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    100.0 * (value / baseline - 1.0)
+}
+
+/// The Fig. 8 row set for one (policy, mix, budget) cell.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SavingsRow {
+    /// Mean time savings vs the baseline, percent.
+    pub time_pct: f64,
+    /// 95% CI half-width of the time savings.
+    pub time_ci: f64,
+    /// Energy savings, percent.
+    pub energy_pct: f64,
+    /// EDP savings, percent.
+    pub edp_pct: f64,
+    /// FLOPS-per-watt increase, percent.
+    pub flops_per_watt_pct: f64,
+}
+
+impl SavingsRow {
+    /// Build from baseline and policy absolute metrics.
+    pub fn from_absolute(
+        baseline_time: f64,
+        policy_time: f64,
+        time_ci_frac: f64,
+        baseline_energy: f64,
+        policy_energy: f64,
+        baseline_flops_per_watt: f64,
+        policy_flops_per_watt: f64,
+    ) -> Self {
+        let baseline_edp = baseline_energy * baseline_time;
+        let policy_edp = policy_energy * policy_time;
+        Self {
+            time_pct: savings_pct(baseline_time, policy_time),
+            time_ci: 100.0 * time_ci_frac,
+            energy_pct: savings_pct(baseline_energy, policy_energy),
+            edp_pct: savings_pct(baseline_edp, policy_edp),
+            flops_per_watt_pct: increase_pct(baseline_flops_per_watt, policy_flops_per_watt),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn savings_sign_conventions() {
+        assert!((savings_pct(100.0, 93.0) - 7.0).abs() < 1e-12);
+        assert!(savings_pct(100.0, 110.0) < 0.0);
+        assert!((increase_pct(100.0, 111.0) - 11.0).abs() < 1e-12);
+        assert!(increase_pct(100.0, 90.0) < 0.0);
+    }
+
+    #[test]
+    fn zero_baselines_are_safe() {
+        assert_eq!(savings_pct(0.0, 5.0), 0.0);
+        assert_eq!(increase_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn row_from_absolute_is_internally_consistent() {
+        let row = SavingsRow::from_absolute(100.0, 93.0, 0.005, 200.0, 178.0, 1.0, 1.11);
+        assert!((row.time_pct - 7.0).abs() < 1e-9);
+        assert!((row.energy_pct - 11.0).abs() < 1e-9);
+        assert!((row.flops_per_watt_pct - 11.0).abs() < 1e-9);
+        // EDP savings compounds time and energy.
+        assert!((row.edp_pct - (100.0 * (1.0 - (178.0 * 93.0) / (200.0 * 100.0)))).abs() < 1e-9);
+        assert!((row.time_ci - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Plain-text rendering of tables, heat maps, and histograms.
+//!
+//! The `repro` binary prints each paper table/figure as text; these helpers
+//! keep the formatting consistent and testable.
+
+/// Render a table with a header row; columns are sized to content and
+/// right-aligned except the first.
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate() {
+            if c == 0 {
+                line.push_str(&format!("{:<w$}", cell, w = widths[c]));
+            } else {
+                line.push_str(&format!("  {:>w$}", cell, w = widths[c]));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Render a heat map of `values[row][col]` with row and column labels,
+/// one decimal place (the Figs. 4/5 format).
+pub fn heatmap(
+    corner: &str,
+    col_labels: &[String],
+    row_labels: &[String],
+    values: &[Vec<f64>],
+) -> String {
+    assert_eq!(row_labels.len(), values.len(), "row label arity");
+    let header: Vec<&str> = std::iter::once(corner)
+        .chain(col_labels.iter().map(String::as_str))
+        .collect();
+    let rows: Vec<Vec<String>> = row_labels
+        .iter()
+        .zip(values)
+        .map(|(label, row)| {
+            assert_eq!(row.len(), col_labels.len(), "column arity");
+            std::iter::once(label.clone())
+                .chain(row.iter().map(|v| format!("{v:.0}")))
+                .collect()
+        })
+        .collect();
+    table(&header, &rows)
+}
+
+/// Render a horizontal-bar histogram of `samples` over `bins` equal-width
+/// bins; each `#` is one `per_hash` count.
+pub fn histogram(samples: &[f64], bins: usize, per_hash: usize) -> String {
+    assert!(bins > 0 && per_hash > 0);
+    if samples.is_empty() {
+        return String::from("(no samples)\n");
+    }
+    let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let width = ((max - min) / bins as f64).max(f64::MIN_POSITIVE);
+    let mut counts = vec![0usize; bins];
+    for &x in samples {
+        let b = (((x - min) / width) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let mut out = String::new();
+    for (b, &count) in counts.iter().enumerate() {
+        let lo = min + b as f64 * width;
+        out.push_str(&format!(
+            "{:8.3} | {:5} | {}\n",
+            lo,
+            count,
+            "#".repeat(count / per_hash)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["name", "watts"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "123.4".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Right-aligned numeric column.
+        assert!(lines[2].ends_with("1.0"));
+        assert!(lines[3].ends_with("123.4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn table_rejects_ragged_rows() {
+        table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn heatmap_renders_grid() {
+        let out = heatmap(
+            "I (F/B)",
+            &["0%".into(), "25%".into()],
+            &["8".into(), "16".into()],
+            &[vec![232.0, 228.0], vec![222.0, 221.0]],
+        );
+        assert!(out.contains("232"));
+        assert!(out.contains("I (F/B)"));
+        assert_eq!(out.lines().count(), 4);
+    }
+
+    #[test]
+    fn histogram_counts_all_samples() {
+        let samples = [1.0, 1.1, 1.2, 2.0, 2.1, 3.0];
+        let out = histogram(&samples, 3, 1);
+        let total: usize = out
+            .lines()
+            .map(|l| l.split('|').nth(1).unwrap().trim().parse::<usize>().unwrap())
+            .sum();
+        assert_eq!(total, samples.len());
+    }
+
+    #[test]
+    fn histogram_of_empty_sample() {
+        assert_eq!(histogram(&[], 3, 1), "(no samples)\n");
+    }
+}

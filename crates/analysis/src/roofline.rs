@@ -1,0 +1,166 @@
+//! The roofline model (Williams et al., CACM 2009).
+//!
+//! Fig. 3 of the paper overlays the synthetic kernel's achieved throughput
+//! on the machine's roofline to verify the kernel covers the full spectrum
+//! of achievable throughput. This module provides the model: a set of
+//! compute ceilings (GFLOP/s) and bandwidth diagonals (GB/s); attainable
+//! performance at intensity `I` is `min(peak_flops, I · peak_bw)`.
+
+use serde::{Deserialize, Serialize};
+
+/// A named compute ceiling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ceiling {
+    /// Label, e.g. "DP vector FMA peak".
+    pub name: String,
+    /// GFLOP/s.
+    pub gflops: f64,
+}
+
+/// A named bandwidth diagonal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bandwidth {
+    /// Label, e.g. "DRAM".
+    pub name: String,
+    /// GB/s.
+    pub gb_per_s: f64,
+}
+
+/// A machine roofline: ceilings and bandwidths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Roofline {
+    /// Compute ceilings, any order.
+    pub ceilings: Vec<Ceiling>,
+    /// Bandwidth diagonals, any order.
+    pub bandwidths: Vec<Bandwidth>,
+}
+
+/// A measured point to overlay on the roofline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RooflinePoint {
+    /// Label of the kernel configuration.
+    pub label: String,
+    /// Arithmetic intensity in FLOPs/byte.
+    pub intensity: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+}
+
+impl Roofline {
+    /// The highest compute ceiling.
+    pub fn peak_gflops(&self) -> f64 {
+        self.ceilings.iter().map(|c| c.gflops).fold(0.0, f64::max)
+    }
+
+    /// The highest bandwidth diagonal.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.bandwidths
+            .iter()
+            .map(|b| b.gb_per_s)
+            .fold(0.0, f64::max)
+    }
+
+    /// Attainable GFLOP/s at intensity `I` against the outermost roofline.
+    pub fn attainable(&self, intensity: f64) -> f64 {
+        (intensity * self.peak_bandwidth()).min(self.peak_gflops())
+    }
+
+    /// The ridge point: the intensity at which the outermost bandwidth
+    /// diagonal meets the outermost ceiling.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gflops() / self.peak_bandwidth()
+    }
+
+    /// Fraction of the attainable performance a point achieves, in `[0, ∞)`
+    /// (can exceed 1 only through model error).
+    pub fn efficiency(&self, point: &RooflinePoint) -> f64 {
+        let roof = self.attainable(point.intensity);
+        if roof <= 0.0 {
+            0.0
+        } else {
+            point.gflops / roof
+        }
+    }
+
+    /// True when a set of points "covers" the roofline: at least one point
+    /// within `tol` of the bandwidth diagonal (memory-bound side) and one
+    /// within `tol` of a compute ceiling (compute-bound side) — the Fig. 3
+    /// verification criterion.
+    pub fn covered_by(&self, points: &[RooflinePoint], tol: f64) -> bool {
+        let below_ridge = points
+            .iter()
+            .any(|p| p.intensity < self.ridge_intensity() && self.efficiency(p) >= 1.0 - tol);
+        let above_ridge = points
+            .iter()
+            .any(|p| p.intensity >= self.ridge_intensity() && self.efficiency(p) >= 1.0 - tol);
+        below_ridge && above_ridge
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roofline() -> Roofline {
+        Roofline {
+            ceilings: vec![
+                Ceiling {
+                    name: "DP vector FMA".into(),
+                    gflops: 1414.0,
+                },
+                Ceiling {
+                    name: "DP scalar add".into(),
+                    gflops: 176.0,
+                },
+            ],
+            bandwidths: vec![Bandwidth {
+                name: "DRAM".into(),
+                gb_per_s: 150.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn attainable_follows_min_rule() {
+        let r = roofline();
+        // Memory bound at I=1: 150 GFLOP/s.
+        assert!((r.attainable(1.0) - 150.0).abs() < 1e-9);
+        // Compute bound at I=100.
+        assert!((r.attainable(100.0) - 1414.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_point() {
+        let r = roofline();
+        assert!((r.ridge_intensity() - 1414.0 / 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_of_perfect_point_is_one() {
+        let r = roofline();
+        let p = RooflinePoint {
+            label: "perfect".into(),
+            intensity: 2.0,
+            gflops: 300.0,
+        };
+        assert!((r.efficiency(&p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_requires_both_regimes() {
+        let r = roofline();
+        let mem = RooflinePoint {
+            label: "mem".into(),
+            intensity: 0.5,
+            gflops: 75.0,
+        };
+        let cpu = RooflinePoint {
+            label: "cpu".into(),
+            intensity: 32.0,
+            gflops: 1400.0,
+        };
+        assert!(!r.covered_by(&[mem.clone()], 0.05));
+        assert!(!r.covered_by(&[cpu.clone()], 0.05));
+        assert!(r.covered_by(&[mem, cpu], 0.05));
+    }
+}

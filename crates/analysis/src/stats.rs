@@ -1,0 +1,191 @@
+//! Statistics used by the evaluation (means, 95% confidence intervals).
+//!
+//! The paper reports means over 100 iterations per configuration with 95%
+//! confidence intervals (Fig. 8 error bars). Samples here are plain `f64`
+//! slices; the caller owns units.
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1 denominator); 0 for fewer than 2 samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Half-width of the 95% confidence interval of the mean, using the normal
+/// approximation (the paper's n = 100 makes the t-correction negligible).
+pub fn ci95_half_width(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    1.96 * std_dev(xs) / (xs.len() as f64).sqrt()
+}
+
+/// Percentile by linear interpolation, `p` in `[0, 100]`.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let rank = (p.clamp(0.0, 100.0) / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Bootstrap confidence interval of the mean: resample `xs` with
+/// replacement `resamples` times using a seeded generator and return the
+/// `(lo, hi)` bounds at the given confidence (e.g. `0.95`). Used to
+/// cross-check the normal-approximation CI on skewed iteration-time
+/// distributions.
+pub fn bootstrap_ci_mean(
+    xs: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+) -> (f64, f64) {
+    if xs.len() < 2 || resamples == 0 {
+        let m = mean(xs);
+        return (m, m);
+    }
+    // A small, fast xorshift keeps this dependency-free and deterministic.
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut means: Vec<f64> = (0..resamples)
+        .map(|_| {
+            let sum: f64 = (0..xs.len())
+                .map(|_| xs[(next() % xs.len() as u64) as usize])
+                .sum();
+            sum / xs.len() as f64
+        })
+        .collect();
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - confidence.clamp(0.0, 1.0)) / 2.0;
+    let lo = percentile(&means, 100.0 * alpha);
+    let hi = percentile(&means, 100.0 * (1.0 - alpha));
+    (lo, hi)
+}
+
+/// A one-pass summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// 95% CI half-width of the mean.
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample.
+    pub fn of(xs: &[f64]) -> Self {
+        Self {
+            n: xs.len(),
+            mean: mean(xs),
+            std_dev: std_dev(xs),
+            ci95: ci95_half_width(xs),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_sample() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        // Sample std dev of this classic sample is ~2.138.
+        assert!((std_dev(&xs) - 2.13809).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small: Vec<f64> = (0..10).map(|i| f64::from(i % 3)).collect();
+        let large: Vec<f64> = (0..1000).map(|i| f64::from(i % 3)).collect();
+        assert!(ci95_half_width(&large) < ci95_half_width(&small));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+        assert_eq!(ci95_half_width(&[1.0]), 0.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 0.0) - 1.0).abs() < 1e-12);
+        assert!((percentile(&xs, 100.0) - 4.0).abs() < 1e-12);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bootstrap_brackets_the_mean_and_shrinks_with_n() {
+        let small: Vec<f64> = (0..20).map(|i| f64::from(i % 5)).collect();
+        let large: Vec<f64> = (0..2000).map(|i| f64::from(i % 5)).collect();
+        let m = mean(&small);
+        let (lo, hi) = bootstrap_ci_mean(&small, 500, 0.95, 42);
+        assert!(lo <= m && m <= hi, "[{lo}, {hi}] must bracket {m}");
+        let (lo2, hi2) = bootstrap_ci_mean(&large, 500, 0.95, 42);
+        assert!(hi2 - lo2 < hi - lo, "more samples → tighter interval");
+    }
+
+    #[test]
+    fn bootstrap_agrees_with_normal_ci_on_well_behaved_data() {
+        let xs: Vec<f64> = (0..500).map(|i| 10.0 + ((i * 31) % 7) as f64 * 0.1).collect();
+        let (lo, hi) = bootstrap_ci_mean(&xs, 800, 0.95, 7);
+        let half = ci95_half_width(&xs);
+        let m = mean(&xs);
+        assert!(((hi - lo) / 2.0 - half).abs() < half * 0.5);
+        assert!((((hi + lo) / 2.0) - m).abs() < half);
+    }
+
+    #[test]
+    fn bootstrap_degenerate_inputs() {
+        assert_eq!(bootstrap_ci_mean(&[], 100, 0.95, 1), (0.0, 0.0));
+        assert_eq!(bootstrap_ci_mean(&[3.0], 100, 0.95, 1), (3.0, 3.0));
+        let (lo, hi) = bootstrap_ci_mean(&[1.0, 2.0], 0, 0.95, 1);
+        assert_eq!((lo, hi), (1.5, 1.5));
+    }
+
+    #[test]
+    fn summary_is_consistent() {
+        let xs = [1.0, 3.0, 5.0];
+        let s = Summary::of(&xs);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!(s.ci95 > 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the analysis toolkit.
+
+use pmstack_analysis::kmeans::kmeans_1d;
+use pmstack_analysis::metrics::{increase_pct, savings_pct};
+use pmstack_analysis::roofline::{Bandwidth, Ceiling, Roofline};
+use pmstack_analysis::stats::{ci95_half_width, mean, percentile, std_dev};
+use proptest::prelude::*;
+
+proptest! {
+    /// k-means always partitions the input: sizes sum to n, every sample is
+    /// assigned to its nearest centroid, centroids ascend.
+    #[test]
+    fn kmeans_partition_validity(
+        samples in prop::collection::vec(0.0f64..10.0, 3..200),
+        k in 1usize..4,
+    ) {
+        prop_assume!(samples.len() >= k);
+        let r = kmeans_1d(&samples, k);
+        prop_assert_eq!(r.sizes.iter().sum::<usize>(), samples.len());
+        prop_assert_eq!(r.assignment.len(), samples.len());
+        for w in r.centroids.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        for (i, &x) in samples.iter().enumerate() {
+            let assigned = r.assignment[i];
+            let d_assigned = (x - r.centroids[assigned]).abs();
+            for (c, &centroid) in r.centroids.iter().enumerate() {
+                prop_assert!(
+                    d_assigned <= (x - centroid).abs() + 1e-9,
+                    "sample {x} assigned to {assigned} but {c} is closer"
+                );
+            }
+        }
+    }
+
+    /// Mean lies within [min, max]; std-dev and CI are non-negative; CI of
+    /// a constant sample is zero.
+    #[test]
+    fn stats_sanity(samples in prop::collection::vec(-1e6f64..1e6, 2..100)) {
+        let m = mean(&samples);
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        prop_assert!(std_dev(&samples) >= 0.0);
+        prop_assert!(ci95_half_width(&samples) >= 0.0);
+        let constant = vec![samples[0]; samples.len()];
+        prop_assert!(ci95_half_width(&constant).abs() < 1e-9);
+    }
+
+    /// Percentiles are monotone in p and bounded by the extremes.
+    #[test]
+    fn percentile_monotone(samples in prop::collection::vec(-100.0f64..100.0, 1..50)) {
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile(&samples, p);
+            prop_assert!(v >= last - 1e-9);
+            last = v;
+        }
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((percentile(&samples, 0.0) - lo).abs() < 1e-9);
+        prop_assert!((percentile(&samples, 100.0) - hi).abs() < 1e-9);
+    }
+
+    /// savings/increase are inverse views: saving x% of time is the same
+    /// magnitude as the ratio implies, and both are zero at equality.
+    #[test]
+    fn savings_identities(baseline in 0.1f64..1e6, ratio in 0.1f64..2.0) {
+        let value = baseline * ratio;
+        let s = savings_pct(baseline, value);
+        let i = increase_pct(baseline, value);
+        prop_assert!((s + 100.0 * (ratio - 1.0)).abs() < 1e-6);
+        prop_assert!((i - 100.0 * (ratio - 1.0)).abs() < 1e-6);
+        prop_assert!((savings_pct(baseline, baseline)).abs() < 1e-9);
+    }
+
+    /// Roofline attainable performance is monotone in intensity and
+    /// saturates exactly at the peak.
+    #[test]
+    fn roofline_monotone(peak in 100.0f64..2000.0, bw in 10.0f64..500.0) {
+        let roof = Roofline {
+            ceilings: vec![Ceiling { name: "peak".into(), gflops: peak }],
+            bandwidths: vec![Bandwidth { name: "dram".into(), gb_per_s: bw }],
+        };
+        let mut last = 0.0;
+        for i in [0.01, 0.1, 1.0, 10.0, 100.0, 1000.0] {
+            let a = roof.attainable(i);
+            prop_assert!(a >= last - 1e-9);
+            prop_assert!(a <= peak + 1e-9);
+            last = a;
+        }
+        prop_assert!((roof.attainable(1e9) - peak).abs() < 1e-6);
+        prop_assert!((roof.ridge_intensity() - peak / bw).abs() < 1e-9);
+    }
+}

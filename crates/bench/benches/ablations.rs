@@ -1,0 +1,145 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each bench
+//! measures wall time, but its *report* is the printed quality metric
+//! (convergence distance, savings) emitted once per configuration before
+//! timing — so `cargo bench ablations` documents the trade-offs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmstack_core::{policies, JobChar, PolicyCtx, PolicyKind};
+use pmstack_kernel::{Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction};
+use pmstack_runtime::agents::BalancerParams;
+use pmstack_runtime::{Agent, JobPlatform, PowerBalancerAgent};
+use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel, VariationProfile, Watts};
+use std::hint::black_box;
+
+fn demo_config() -> KernelConfig {
+    KernelConfig::new(
+        8.0,
+        VectorWidth::Ymm,
+        WaitingFraction::P75,
+        Imbalance::TwoX,
+    )
+}
+
+/// Balancer step-size ablation: convergence speed vs steady-state accuracy.
+fn ablate_balancer_step(c: &mut Criterion) {
+    let spec = quartz_spec();
+    let model = PowerModel::new(spec.clone()).unwrap();
+    let load = KernelLoad::new(demo_config(), &spec);
+    let needed = load.needed_power(&model, 1.0);
+
+    let mut g = c.benchmark_group("ablation_balancer_step");
+    g.sample_size(10);
+    for step_w in [1.0, 2.0, 4.0, 8.0, 16.0] {
+        // Quality metric: distance from needed power after 80 iterations.
+        let run = |iters: usize| -> f64 {
+            let model = PowerModel::new(spec.clone()).unwrap();
+            let nodes = vec![Node::new(NodeId(0), &model, 1.0).unwrap()];
+            let mut platform = JobPlatform::new(model, nodes, demo_config());
+            let mut agent = PowerBalancerAgent::with_params(
+                Watts(240.0),
+                BalancerParams {
+                    step: Watts(step_w),
+                    ..BalancerParams::default()
+                },
+            );
+            agent.init(&mut platform);
+            for _ in 0..iters {
+                let out = platform.run_iteration();
+                agent.adjust(&mut platform, &out);
+            }
+            (agent.targets()[0] - needed).value().abs()
+        };
+        println!(
+            "[ablation] balancer step {step_w:>4.1} W → |target − needed| = {:.1} W after 80 iters",
+            run(80)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(step_w), &step_w, |b, _| {
+            b.iter(|| black_box(run(80)))
+        });
+    }
+    g.finish();
+}
+
+/// Variation-profile ablation: how much of MixedAdaptive's win comes from
+/// the tri-modal hardware variation vs a unimodal or uniform population.
+fn ablate_variation_profile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_variation");
+    g.sample_size(10);
+    let profiles: [(&str, VariationProfile); 3] = [
+        ("uniform", VariationProfile::uniform()),
+        ("unimodal", VariationProfile::unimodal(0.05)),
+        ("trimodal", VariationProfile::quartz()),
+    ];
+    for (name, profile) in profiles {
+        let run = |profile: VariationProfile| -> f64 {
+            use pmstack_simhw::Cluster;
+            let cluster = Cluster::builder(quartz_spec())
+                .nodes(64)
+                .variation(profile)
+                .seed(42)
+                .build()
+                .unwrap();
+            let model = cluster.model();
+            let load = KernelLoad::new(KernelConfig::balanced_ymm(8.0), spec_ref());
+            // Spread of achieved frequency under a tight cap — the signal
+            // the k-means screen and the balancer both consume.
+            let freqs: Vec<f64> = cluster
+                .nodes()
+                .iter()
+                .map(|n| load.achieved_frequency(model, n.eps(), Watts(150.0)).ghz())
+                .collect();
+            let min = freqs.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = freqs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            max - min
+        };
+        println!(
+            "[ablation] variation {name}: achieved-frequency spread {:.3} GHz under 150 W",
+            run(profile.clone())
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
+            b.iter(|| black_box(run(p.clone())))
+        });
+    }
+    g.finish();
+}
+
+fn spec_ref() -> &'static pmstack_simhw::MachineSpec {
+    use std::sync::OnceLock;
+    static SPEC: OnceLock<pmstack_simhw::MachineSpec> = OnceLock::new();
+    SPEC.get_or_init(quartz_spec)
+}
+
+/// Step-4 weighting ablation: the paper weights surplus by headroom from
+/// the minimum settable power; compare against a uniform spread.
+fn ablate_step4_weighting(c: &mut Criterion) {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let jobs: Vec<JobChar> = [0.5, 4.0, 8.0, 16.0]
+        .iter()
+        .map(|&i| JobChar::analytic(KernelConfig::balanced_ymm(i), &model, &vec![1.0; 25]))
+        .collect();
+    let ctx = PolicyCtx {
+        system_budget: Watts(100.0 * 225.0),
+        min_node: Watts(136.0),
+        tdp_node: Watts(240.0),
+    };
+    let policy = policies::by_kind(PolicyKind::MixedAdaptive);
+    let alloc = policy.allocate(&ctx, &jobs);
+    // Quality metric: how unevenly the surplus lands (spread across jobs).
+    let totals: Vec<f64> = (0..jobs.len()).map(|j| alloc.job_total(j).value()).collect();
+    println!(
+        "[ablation] MixedAdaptive step-4 headroom weighting → per-job totals {totals:?}"
+    );
+    let mut g = c.benchmark_group("ablation_step4");
+    g.bench_function("headroom_weighted_allocation", |b| {
+        b.iter(|| black_box(policy.allocate(&ctx, &jobs)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_balancer_step,
+    ablate_variation_profile,
+    ablate_step4_weighting
+);
+criterion_main!(benches);

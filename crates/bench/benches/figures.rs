@@ -1,0 +1,55 @@
+//! Benches that regenerate Tables I–III and Figs. 1–6 (the non-grid
+//! artifacts). Each iteration produces the full artifact text, so timing
+//! here is the cost of reproducing the figure from scratch.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmstack_bench::bench_testbed;
+use pmstack_experiments::{figures, tables};
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let tb = bench_testbed();
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_system_properties", |b| {
+        b.iter(|| black_box(tables::table1()))
+    });
+    g.bench_function("table2_workload_mixes", |b| {
+        b.iter(|| black_box(tables::table2()))
+    });
+    g.bench_function("table3_power_budgets", |b| {
+        b.iter(|| black_box(tables::table3(&tb, 10)))
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let tb = bench_testbed();
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("fig1_year_power_trace", |b| {
+        b.iter(|| black_box(figures::fig1(42)))
+    });
+    g.bench_function("fig2_kernel_design", |b| b.iter(|| black_box(figures::fig2())));
+    g.bench_function("fig3_roofline", |b| b.iter(|| black_box(figures::fig3())));
+    g.bench_function("fig4_monitor_heatmap", |b| {
+        b.iter(|| black_box(figures::fig4()))
+    });
+    g.bench_function("fig5_balancer_heatmap", |b| {
+        b.iter(|| black_box(figures::fig5()))
+    });
+    g.bench_function("fig6_variation_clusters", |b| {
+        b.iter(|| black_box(figures::fig6(&tb)))
+    });
+    g.finish();
+}
+
+fn bench_testbed_screen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("screen");
+    g.sample_size(10);
+    g.bench_function("fig6_screen_400_nodes", |b| {
+        b.iter(|| black_box(pmstack_experiments::Testbed::new(400, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables, bench_figures, bench_testbed_screen);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Benches that regenerate the Fig. 7 / Fig. 8 evaluation grid: the whole
+//! 5-policy × 6-mix × 3-budget cross product, and each mix individually.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pmstack_bench::{bench_grid_params, bench_testbed};
+use pmstack_experiments::grid::{run_mix, EvaluationGrid};
+use pmstack_experiments::{figures, MixKind};
+use std::hint::black_box;
+
+fn bench_full_grid(c: &mut Criterion) {
+    let tb = bench_testbed();
+    let params = bench_grid_params();
+    let mut g = c.benchmark_group("grid");
+    g.sample_size(10);
+    g.bench_function("fig7_fig8_full_grid", |b| {
+        b.iter(|| black_box(EvaluationGrid::run(&tb, params)))
+    });
+    g.finish();
+}
+
+fn bench_per_mix(c: &mut Criterion) {
+    let tb = bench_testbed();
+    let params = bench_grid_params();
+    let mut g = c.benchmark_group("grid_per_mix");
+    g.sample_size(10);
+    for kind in MixKind::all() {
+        g.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, &kind| {
+            b.iter(|| black_box(run_mix(&tb, kind, params)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    let tb = bench_testbed();
+    let grid = EvaluationGrid::run(&tb, bench_grid_params());
+    let mut g = c.benchmark_group("grid_render");
+    g.bench_function("fig7_render", |b| b.iter(|| black_box(figures::fig7(&grid))));
+    g.bench_function("fig8_render", |b| b.iter(|| black_box(figures::fig8(&grid))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_grid, bench_per_mix, bench_rendering);
+criterion_main!(benches);

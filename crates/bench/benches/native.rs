@@ -1,0 +1,51 @@
+//! Bench the *native* executable arithmetic-intensity kernel (Fig. 2's
+//! design running real FMA/load instructions) across the intensity knob —
+//! the calibration companion to the analytic roofline of Fig. 3.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pmstack_kernel::native::{run, NativeConfig};
+use std::hint::black_box;
+
+fn bench_intensity_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_kernel");
+    g.sample_size(10);
+    for fma in [1usize, 4, 16, 64] {
+        let config = NativeConfig {
+            ranks: 2,
+            elements_per_rank: 1 << 16,
+            fma_per_element: fma,
+            iterations: 2,
+            critical_multiplier: 1,
+        };
+        g.throughput(Throughput::Elements(config.total_flops() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("intensity_sweep", format!("{}FB", config.intensity())),
+            &config,
+            |b, cfg| b.iter(|| black_box(run(cfg))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_imbalance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_kernel_imbalance");
+    g.sample_size(10);
+    for mult in [1usize, 2, 3] {
+        let config = NativeConfig {
+            ranks: 2,
+            elements_per_rank: 1 << 16,
+            fma_per_element: 8,
+            iterations: 2,
+            critical_multiplier: mult,
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{mult}x")),
+            &config,
+            |b, cfg| b.iter(|| black_box(run(cfg))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_intensity_sweep, bench_imbalance);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Microbenchmarks of the stack's hot paths: the PCU operating-point solve,
+//! RAPL stepping, characterization, a balancer control step, policy
+//! allocation, and k-means clustering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmstack_analysis::kmeans::kmeans_1d;
+use pmstack_core::{policies, JobChar, PolicyCtx, PolicyKind};
+use pmstack_kernel::{Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction};
+use pmstack_runtime::{Agent, Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
+use pmstack_simhw::{quartz_spec, LoadModel, Node, NodeId, PowerModel, Seconds, Watts};
+use std::hint::black_box;
+
+fn demo_config() -> KernelConfig {
+    KernelConfig::new(
+        8.0,
+        VectorWidth::Ymm,
+        WaitingFraction::P50,
+        Imbalance::TwoX,
+    )
+}
+
+fn bench_pcu_solve(c: &mut Criterion) {
+    let spec = quartz_spec();
+    let model = PowerModel::new(spec.clone()).unwrap();
+    let load = KernelLoad::new(demo_config(), &spec);
+    let mut g = c.benchmark_group("pcu");
+    g.bench_function("operating_point_solve", |b| {
+        b.iter(|| black_box(load.operating_point(&model, 1.02, Watts(185.0))))
+    });
+    g.bench_function("achieved_frequency_bisect", |b| {
+        b.iter(|| black_box(load.achieved_frequency(&model, 1.02, Watts(140.0))))
+    });
+    g.finish();
+}
+
+fn bench_node_step(c: &mut Criterion) {
+    let spec = quartz_spec();
+    let model = PowerModel::new(spec.clone()).unwrap();
+    let load = KernelLoad::new(demo_config(), &spec);
+    let mut node = Node::new(NodeId(0), &model, 1.0).unwrap();
+    node.set_power_limit(Watts(190.0)).unwrap();
+    let mut g = c.benchmark_group("node");
+    g.bench_function("rapl_step", |b| {
+        b.iter(|| black_box(node.step(&model, &load, Seconds(0.5))))
+    });
+    g.finish();
+}
+
+fn bench_characterization(c: &mut Criterion) {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let eps: Vec<f64> = (0..100).map(|i| 0.95 + 0.001 * i as f64).collect();
+    let mut g = c.benchmark_group("characterization");
+    g.bench_function("analytic_100_hosts", |b| {
+        b.iter(|| black_box(JobChar::analytic(demo_config(), &model, &eps)))
+    });
+    g.sample_size(10);
+    g.bench_function("measured_2_hosts_60_iters", |b| {
+        b.iter(|| black_box(JobChar::measured(demo_config(), &model, &[0.97, 1.03], 60)))
+    });
+    g.finish();
+}
+
+fn bench_balancer_step(c: &mut Criterion) {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes: Vec<Node> = (0..16)
+        .map(|i| Node::new(NodeId(i), &model, 1.0 + 0.002 * i as f64).unwrap())
+        .collect();
+    let mut platform = JobPlatform::new(model, nodes, demo_config());
+    let mut agent = PowerBalancerAgent::new(Watts(16.0 * 200.0));
+    agent.init(&mut platform);
+    let mut g = c.benchmark_group("runtime");
+    g.bench_function("balancer_control_step_16_hosts", |b| {
+        b.iter(|| {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        })
+    });
+    g.sample_size(10);
+    g.bench_function("monitor_run_4_hosts_50_iters", |b| {
+        b.iter(|| {
+            let model = PowerModel::new(quartz_spec()).unwrap();
+            let nodes: Vec<Node> = (0..4)
+                .map(|i| Node::new(NodeId(i), &model, 1.0).unwrap())
+                .collect();
+            let platform = JobPlatform::new(model, nodes, demo_config());
+            black_box(Controller::new(platform, MonitorAgent).run(50))
+        })
+    });
+    g.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let eps = vec![1.0; 100];
+    let jobs: Vec<JobChar> = (0..9)
+        .map(|i| {
+            JobChar::analytic(
+                KernelConfig::balanced_ymm(f64::from(1 << (i % 6))),
+                &model,
+                &eps,
+            )
+        })
+        .collect();
+    let ctx = PolicyCtx {
+        system_budget: Watts(900.0 * 180.0),
+        min_node: Watts(136.0),
+        tdp_node: Watts(240.0),
+    };
+    let mut g = c.benchmark_group("policy_allocation_900_hosts");
+    for kind in PolicyKind::all() {
+        let policy = policies::by_kind(kind);
+        g.bench_function(kind.to_string(), |b| {
+            b.iter(|| black_box(policy.allocate(&ctx, &jobs)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let samples: Vec<f64> = (0..2000)
+        .map(|i| 1.8 + 0.1 * ((i * 7919) % 3) as f64 + 0.001 * ((i * 104729) % 13) as f64)
+        .collect();
+    let mut g = c.benchmark_group("analysis");
+    g.bench_function("kmeans_2000_nodes_k3", |b| {
+        b.iter(|| black_box(kmeans_1d(&samples, 3)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pcu_solve,
+    bench_node_step,
+    bench_characterization,
+    bench_balancer_step,
+    bench_policies,
+    bench_kmeans
+);
+criterion_main!(benches);

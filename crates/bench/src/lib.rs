@@ -1,0 +1,34 @@
+//! # pmstack-bench — the benchmark harness
+//!
+//! One Criterion bench per paper table/figure (each bench *regenerates* the
+//! artifact, so `cargo bench` doubles as a reproduction run), plus ablation
+//! benches for the design choices DESIGN.md calls out:
+//!
+//! | bench target | artifacts |
+//! |---|---|
+//! | `figures` | Table I/II/III, Fig 1–6 generators |
+//! | `grid` | Fig 7 & Fig 8 evaluation grid, per mix |
+//! | `substrate` | hot paths: PCU solve, RAPL stepping, balancer control, characterization, k-means |
+//! | `ablations` | balancer step size, variation profile, policy allocation costs |
+//! | `native` | the real executable arithmetic-intensity kernel |
+//!
+//! Shared helpers live here so the benches stay declarative.
+
+#![warn(missing_docs)]
+
+use pmstack_experiments::Testbed;
+
+/// A small screened testbed shared by benches (seeded, so identical across
+/// runs).
+pub fn bench_testbed() -> Testbed {
+    Testbed::new(400, 42)
+}
+
+/// Grid parameters sized for benching (small but representative).
+pub fn bench_grid_params() -> pmstack_experiments::grid::GridParams {
+    pmstack_experiments::grid::GridParams {
+        nodes_per_job: 10,
+        iterations: 30,
+        jitter_sigma: 0.01,
+    }
+}

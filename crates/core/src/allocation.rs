@@ -1,0 +1,301 @@
+//! Allocation containers and the redistribution arithmetic the policies
+//! share.
+
+use pmstack_simhw::Watts;
+use serde::{Deserialize, Serialize};
+
+/// A per-host power allocation, grouped by job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    /// `jobs[j][h]` is the node power cap of host `h` of job `j`.
+    pub jobs: Vec<Vec<Watts>>,
+}
+
+impl Allocation {
+    /// Total allocated power.
+    pub fn total(&self) -> Watts {
+        self.jobs.iter().flatten().copied().sum()
+    }
+
+    /// Total allocated to one job.
+    pub fn job_total(&self, j: usize) -> Watts {
+        self.jobs[j].iter().copied().sum()
+    }
+
+    /// Number of hosts across all jobs.
+    pub fn num_hosts(&self) -> usize {
+        self.jobs.iter().map(Vec::len).sum()
+    }
+
+    /// True when every cap lies within `[min, max]` (with float slack).
+    pub fn within(&self, min: Watts, max: Watts) -> bool {
+        self.jobs
+            .iter()
+            .flatten()
+            .all(|&c| c >= min - Watts(1e-9) && c <= max + Watts(1e-9))
+    }
+}
+
+/// Uniformly fill `caps` toward per-host `targets` from a `pool`,
+/// repeating until the pool is exhausted or every host reached its target
+/// (step 3 of the §III-A MixedAdaptive procedure). Returns the unspent pool.
+pub fn uniform_fill_to_targets(caps: &mut [Watts], targets: &[Watts], mut pool: Watts) -> Watts {
+    assert_eq!(caps.len(), targets.len());
+    loop {
+        let hungry: Vec<usize> = (0..caps.len())
+            .filter(|&h| caps[h] < targets[h] - Watts(1e-9))
+            .collect();
+        if hungry.is_empty() || pool <= Watts(1e-9) {
+            return pool;
+        }
+        let share = pool / hungry.len() as f64;
+        let mut spent = Watts::ZERO;
+        for &h in &hungry {
+            let grant = share.min(targets[h] - caps[h]);
+            caps[h] += grant;
+            spent += grant;
+        }
+        pool -= spent;
+        if spent <= Watts(1e-12) {
+            return pool;
+        }
+    }
+}
+
+/// Scale per-host `targets` proportionally so their sum fits `budget`,
+/// respecting the hardware floor: hosts whose scaled share would fall below
+/// `floor` are pinned there and the remaining budget is re-scaled over the
+/// rest (iteratively, since pinning changes the split). Targets above
+/// `ceil` are clamped first. When the budget cannot cover `n·floor`, every
+/// host sits at the floor — the hardware minimum wins, as on real parts.
+pub fn proportional_fit(targets: &[Watts], budget: Watts, floor: Watts, ceil: Watts) -> Vec<Watts> {
+    let targets: Vec<Watts> = targets.iter().map(|&t| t.clamp(floor, ceil)).collect();
+    let total: Watts = targets.iter().copied().sum();
+    if total <= budget + Watts(1e-9) {
+        return targets;
+    }
+    let mut pinned = vec![false; targets.len()];
+    loop {
+        let pinned_total: Watts = targets
+            .iter()
+            .zip(&pinned)
+            .filter(|(_, &p)| p)
+            .map(|_| floor)
+            .sum();
+        let free_total: Watts = targets
+            .iter()
+            .zip(&pinned)
+            .filter(|(_, &p)| !p)
+            .map(|(&t, _)| t)
+            .sum();
+        if free_total.value() <= 0.0 {
+            return vec![floor; targets.len()];
+        }
+        let scale = ((budget - pinned_total) / free_total).max(0.0);
+        let mut newly_pinned = false;
+        let caps: Vec<Watts> = targets
+            .iter()
+            .zip(pinned.iter_mut())
+            .map(|(&t, p)| {
+                if *p {
+                    floor
+                } else {
+                    let c = t * scale;
+                    if c < floor {
+                        *p = true;
+                        newly_pinned = true;
+                        floor
+                    } else {
+                        c
+                    }
+                }
+            })
+            .collect();
+        if !newly_pinned {
+            return caps;
+        }
+    }
+}
+
+/// Distribute `pool` across hosts weighted by each host's distance from
+/// `floor` to its current cap (step 4 of §III-A: "the weight of each host is
+/// determined by the distance from the host's minimum settable power limit
+/// to the host's allocated power"), never exceeding `ceil`. Iterates so
+/// watts bouncing off the ceiling flow to hosts with headroom. Returns the
+/// unspent pool (non-zero only when every host hit the ceiling).
+pub fn weighted_headroom_distribute(
+    caps: &mut [Watts],
+    floor: Watts,
+    ceil: Watts,
+    mut pool: Watts,
+) -> Watts {
+    for _ in 0..64 {
+        if pool <= Watts(1e-9) {
+            return pool;
+        }
+        let weights: Vec<f64> = caps
+            .iter()
+            .map(|&c| {
+                if c < ceil - Watts(1e-9) {
+                    (c - floor).value().max(0.0)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        if total_w <= 0.0 {
+            // All weights zero with headroom remaining (every open host sits
+            // at the floor): fall back to a uniform spread over open hosts.
+            let open: Vec<usize> = (0..caps.len())
+                .filter(|&h| caps[h] < ceil - Watts(1e-9))
+                .collect();
+            if open.is_empty() {
+                return pool;
+            }
+            let share = pool / open.len() as f64;
+            let mut spent = Watts::ZERO;
+            for &h in &open {
+                let grant = share.min(ceil - caps[h]);
+                caps[h] += grant;
+                spent += grant;
+            }
+            pool -= spent;
+            continue;
+        }
+        let mut spent = Watts::ZERO;
+        for (h, w) in weights.iter().enumerate() {
+            if *w <= 0.0 {
+                continue;
+            }
+            let grant = (pool * (w / total_w)).min(ceil - caps[h]);
+            caps[h] += grant;
+            spent += grant;
+        }
+        pool -= spent;
+        if spent <= Watts(1e-12) {
+            return pool;
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_totals() {
+        let a = Allocation {
+            jobs: vec![vec![Watts(100.0), Watts(120.0)], vec![Watts(80.0)]],
+        };
+        assert_eq!(a.total(), Watts(300.0));
+        assert_eq!(a.job_total(0), Watts(220.0));
+        assert_eq!(a.num_hosts(), 3);
+        assert!(a.within(Watts(80.0), Watts(120.0)));
+        assert!(!a.within(Watts(90.0), Watts(120.0)));
+    }
+
+    #[test]
+    fn uniform_fill_reaches_targets_when_pool_suffices() {
+        let mut caps = vec![Watts(100.0), Watts(150.0), Watts(180.0)];
+        let targets = vec![Watts(180.0), Watts(160.0), Watts(180.0)];
+        let left = uniform_fill_to_targets(&mut caps, &targets, Watts(200.0));
+        assert_eq!(caps, targets);
+        assert!((left.value() - 110.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_fill_splits_scarce_pool_evenly() {
+        let mut caps = vec![Watts(100.0), Watts(100.0)];
+        let targets = vec![Watts(200.0), Watts(200.0)];
+        let left = uniform_fill_to_targets(&mut caps, &targets, Watts(60.0));
+        assert!((caps[0].value() - 130.0).abs() < 1e-9);
+        assert!((caps[1].value() - 130.0).abs() < 1e-9);
+        assert!(left.value() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_fill_cascades_past_small_targets() {
+        // Host 0 needs only 10 W; its unused share must cascade to host 1.
+        let mut caps = vec![Watts(100.0), Watts(100.0)];
+        let targets = vec![Watts(110.0), Watts(300.0)];
+        let left = uniform_fill_to_targets(&mut caps, &targets, Watts(100.0));
+        assert!((caps[0].value() - 110.0).abs() < 1e-9);
+        assert!((caps[1].value() - 190.0).abs() < 1e-9);
+        assert!(left.value() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_distribute_follows_headroom_weights() {
+        let mut caps = vec![Watts(136.0), Watts(186.0)];
+        // Weights 0 and 50: everything goes to host 1.
+        let left =
+            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(40.0));
+        assert!((caps[0].value() - 136.0).abs() < 1e-9);
+        assert!((caps[1].value() - 226.0).abs() < 1e-9);
+        assert!(left.value() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_distribute_respects_ceiling_and_reflows() {
+        let mut caps = vec![Watts(230.0), Watts(160.0)];
+        let left =
+            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(60.0));
+        // Host 0 can absorb only 10 W; the rest flows to host 1.
+        assert!((caps[0].value() - 240.0).abs() < 1e-6);
+        assert!((caps[1].value() - 210.0).abs() < 1e-6);
+        assert!(left.value() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_distribute_all_at_floor_falls_back_to_uniform() {
+        let mut caps = vec![Watts(136.0), Watts(136.0)];
+        let left =
+            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(50.0));
+        assert!((caps[0].value() - 161.0).abs() < 1e-6);
+        assert!((caps[1].value() - 161.0).abs() < 1e-6);
+        assert!(left.value() < 1e-6);
+    }
+
+    #[test]
+    fn proportional_fit_passthrough_when_budget_suffices() {
+        let targets = vec![Watts(150.0), Watts(200.0)];
+        let caps = proportional_fit(&targets, Watts(400.0), Watts(136.0), Watts(240.0));
+        assert_eq!(caps, targets);
+    }
+
+    #[test]
+    fn proportional_fit_scales_down_proportionally() {
+        let targets = vec![Watts(200.0), Watts(200.0)];
+        let caps = proportional_fit(&targets, Watts(300.0), Watts(100.0), Watts(240.0));
+        assert!((caps[0].value() - 150.0).abs() < 1e-9);
+        assert!((caps[1].value() - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_fit_pins_floor_and_rescales() {
+        // Naive 0.75 scaling would put host 0 at 120 < 136; it pins and the
+        // other host absorbs the difference.
+        let targets = vec![Watts(160.0), Watts(240.0)];
+        let caps = proportional_fit(&targets, Watts(300.0), Watts(136.0), Watts(240.0));
+        assert!((caps[0].value() - 136.0).abs() < 1e-9);
+        assert!((caps[1].value() - 164.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_fit_infeasible_budget_sits_at_floor() {
+        let targets = vec![Watts(200.0), Watts(200.0)];
+        let caps = proportional_fit(&targets, Watts(100.0), Watts(136.0), Watts(240.0));
+        assert_eq!(caps, vec![Watts(136.0), Watts(136.0)]);
+    }
+
+    #[test]
+    fn weighted_distribute_returns_surplus_when_saturated() {
+        let mut caps = vec![Watts(239.0)];
+        let left =
+            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(50.0));
+        assert!((caps[0].value() - 240.0).abs() < 1e-6);
+        assert!((left.value() - 49.0).abs() < 1e-6);
+    }
+}

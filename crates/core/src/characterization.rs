@@ -1,0 +1,225 @@
+//! Workload characterization data (§IV-B).
+//!
+//! The paper's policies consume two numbers per host of each job:
+//!
+//! * **used power** — average power under no constraint, from a run under
+//!   the GEOPM *monitor* agent (metric (a), Fig. 4), and
+//! * **needed power** — the steady-state power the *power balancer* agent
+//!   settles on under a TDP-scale budget (metric (b), Fig. 5).
+//!
+//! Both can be produced two ways here, and the tests assert they agree:
+//! analytically from the kernel/power models (fast; the evaluation grid
+//! path), or empirically by actually running the runtime agents
+//! (the paper's methodology, end to end).
+
+use pmstack_kernel::{KernelConfig, KernelLoad};
+use pmstack_runtime::{Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
+use pmstack_simhw::{Node, NodeId, PowerModel, Watts};
+use serde::{Deserialize, Serialize};
+
+/// How characterization numbers were produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CharacterizationSource {
+    /// Closed-form from the models.
+    Analytic,
+    /// Measured by running the runtime agents.
+    Measured,
+}
+
+/// Characterization of one host of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostChar {
+    /// Unconstrained average power (monitor agent).
+    pub used: Watts,
+    /// Minimum power preserving performance (power balancer steady state).
+    pub needed: Watts,
+}
+
+/// Characterization of one job across its hosts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobChar {
+    /// Per-host data, index-aligned with the job's host list.
+    pub hosts: Vec<HostChar>,
+    /// Provenance of the data.
+    pub source: CharacterizationSource,
+}
+
+impl JobChar {
+    /// Analytic characterization for `config` on hosts with the given
+    /// efficiency factors.
+    ///
+    /// The monitor run executes at the power-on default limit (TDP), so an
+    /// inefficient node's *used* power is capped by what it can draw there;
+    /// *needed* can never exceed *used*.
+    pub fn analytic(config: KernelConfig, model: &PowerModel, host_eps: &[f64]) -> Self {
+        use pmstack_simhw::LoadModel;
+        let load = KernelLoad::new(config, model.spec());
+        let tdp = model.spec().tdp_per_node();
+        let hosts = host_eps
+            .iter()
+            .map(|&eps| {
+                let used = load.operating_point(model, eps, tdp).power;
+                HostChar {
+                    used,
+                    needed: load.needed_power(model, eps).min(used),
+                }
+            })
+            .collect();
+        Self {
+            hosts,
+            source: CharacterizationSource::Analytic,
+        }
+    }
+
+    /// Measured characterization: run the monitor agent uncapped for the
+    /// used power, then the power balancer under a per-node TDP budget for
+    /// the needed power — exactly the paper's §IV-B procedure.
+    pub fn measured(
+        config: KernelConfig,
+        model: &PowerModel,
+        host_eps: &[f64],
+        iterations: usize,
+    ) -> Self {
+        let spec = model.spec();
+        let mk_nodes = || -> Vec<Node> {
+            host_eps
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| Node::new(NodeId(i), model, e).expect("valid eps"))
+                .collect()
+        };
+
+        let monitor_report = Controller::new(
+            JobPlatform::new(model.clone(), mk_nodes(), config),
+            MonitorAgent,
+        )
+        .run(iterations);
+
+        let budget = spec.tdp_per_node() * host_eps.len() as f64;
+        let balancer_report = Controller::new(
+            JobPlatform::new(model.clone(), mk_nodes(), config),
+            PowerBalancerAgent::new(budget),
+        )
+        .run(iterations);
+
+        let hosts = monitor_report
+            .hosts
+            .iter()
+            .zip(&balancer_report.hosts)
+            .map(|(m, b)| HostChar {
+                used: m.avg_power,
+                // The balancer's converged limit is the needed power.
+                needed: b.final_limit.min(m.avg_power),
+            })
+            .collect();
+        Self {
+            hosts,
+            source: CharacterizationSource::Measured,
+        }
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// The job's highest per-host used power (what `Precharacterized`
+    /// submits as a cap).
+    pub fn max_used(&self) -> Watts {
+        self.hosts.iter().map(|h| h.used).fold(Watts::ZERO, Watts::max)
+    }
+
+    /// Sum of per-host used power.
+    pub fn total_used(&self) -> Watts {
+        self.hosts.iter().map(|h| h.used).sum()
+    }
+
+    /// Sum of per-host needed power.
+    pub fn total_needed(&self) -> Watts {
+        self.hosts.iter().map(|h| h.needed).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_kernel::{Imbalance, VectorWidth, WaitingFraction};
+    use pmstack_simhw::quartz_spec;
+
+    fn model() -> PowerModel {
+        PowerModel::new(quartz_spec()).unwrap()
+    }
+
+    #[test]
+    fn analytic_needed_never_exceeds_used() {
+        let m = model();
+        for &i in &KernelConfig::heatmap_intensities() {
+            for (w, k) in KernelConfig::heatmap_columns() {
+                let c = JobChar::analytic(
+                    KernelConfig::new(i, VectorWidth::Ymm, w, k),
+                    &m,
+                    &[0.94, 1.0, 1.07],
+                );
+                for h in &c.hosts {
+                    assert!(h.needed <= h.used + Watts(1e-9), "I={i} {w} {k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn measured_matches_analytic_within_balancer_step() {
+        let m = model();
+        let config = KernelConfig::new(
+            8.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P50,
+            Imbalance::TwoX,
+        );
+        let analytic = JobChar::analytic(config, &m, &[1.0]);
+        let measured = JobChar::measured(config, &m, &[1.0], 120);
+        let a = &analytic.hosts[0];
+        let me = &measured.hosts[0];
+        assert!(
+            (a.used.value() - me.used.value()).abs() < 5.0,
+            "used: analytic {} vs measured {}",
+            a.used,
+            me.used
+        );
+        assert!(
+            (a.needed.value() - me.needed.value()).abs() < 10.0,
+            "needed: analytic {} vs measured {}",
+            a.needed,
+            me.needed
+        );
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = JobChar {
+            hosts: vec![
+                HostChar {
+                    used: Watts(200.0),
+                    needed: Watts(180.0),
+                },
+                HostChar {
+                    used: Watts(220.0),
+                    needed: Watts(190.0),
+                },
+            ],
+            source: CharacterizationSource::Analytic,
+        };
+        assert_eq!(c.max_used(), Watts(220.0));
+        assert_eq!(c.total_used(), Watts(420.0));
+        assert_eq!(c.total_needed(), Watts(370.0));
+        assert_eq!(c.num_hosts(), 2);
+    }
+
+    #[test]
+    fn inefficient_hosts_characterize_hotter() {
+        let m = model();
+        let c = JobChar::analytic(KernelConfig::balanced_ymm(16.0), &m, &[0.94, 1.07]);
+        assert!(c.hosts[1].used > c.hosts[0].used);
+        assert!(c.hosts[1].needed > c.hosts[0].needed);
+    }
+}

@@ -1,0 +1,418 @@
+//! The end-to-end unified stack: resource manager + job runtimes.
+//!
+//! This is the integration the paper argues for: the RM owns the system
+//! budget and node leases; per-job runtimes execute the workloads under the
+//! caps a [`crate::policy::PowerPolicy`] computed from runtime-provided
+//! characterization data.
+//!
+//! Two modes:
+//!
+//! * [`CoordinatorMode::Emulated`] — the paper's methodology: policies run
+//!   once at job start on pre-characterization data and allocations are
+//!   static ("we emulated this execution time behavior by
+//!   pre-characterizing our workloads… ahead of time", §VIII).
+//! * [`CoordinatorMode::Online`] — the future-work protocol implemented:
+//!   mid-run, the RM re-characterizes from *measured* powers and
+//!   re-allocates, exercising the execution-time feedback loop end to end.
+//!
+//! Jobs run in parallel on OS threads (crossbeam scoped), one runtime
+//! controller per job, mirroring the real deployment topology.
+
+use crate::allocation::Allocation;
+use crate::characterization::{CharacterizationSource, HostChar, JobChar};
+use crate::evaluate::JobSetup;
+use crate::policy::{PolicyCtx, PowerPolicy};
+use pmstack_kernel::KernelConfig;
+use pmstack_rm::{FifoScheduler, JobSpec, NodePool, PowerLedger, SchedulerEvent};
+use pmstack_runtime::{Agent, Controller, JobPlatform, JobReport};
+use pmstack_simhw::{Cluster, Node, PowerModel, Watts};
+
+/// Whether the feedback loop runs once (emulated) or live (online).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordinatorMode {
+    /// Allocate once from pre-characterization data.
+    Emulated,
+    /// Re-characterize from measured power and re-allocate mid-run.
+    Online,
+}
+
+/// An agent that programs exact per-host caps decided by the RM-side policy
+/// and holds them (the emulated-feedback-loop runtime behaviour).
+#[derive(Debug, Clone)]
+pub struct FixedAllocationAgent {
+    caps: Vec<Watts>,
+}
+
+impl FixedAllocationAgent {
+    /// Hold the given per-host caps.
+    pub fn new(caps: Vec<Watts>) -> Self {
+        Self { caps }
+    }
+}
+
+impl Agent for FixedAllocationAgent {
+    fn name(&self) -> &'static str {
+        "fixed_allocation"
+    }
+
+    fn init(&mut self, platform: &mut JobPlatform) {
+        assert_eq!(self.caps.len(), platform.num_hosts(), "cap/host mismatch");
+        for (h, &cap) in self.caps.iter().enumerate() {
+            platform
+                .set_host_limit(h, cap)
+                .expect("nodes clamp limits into range");
+        }
+    }
+
+    fn budget(&self) -> Option<Watts> {
+        Some(self.caps.iter().copied().sum())
+    }
+}
+
+/// The result of running a mix through the full stack.
+#[derive(Debug, Clone)]
+pub struct MixRun {
+    /// The allocation the policy produced (final allocation in online mode).
+    pub allocation: Allocation,
+    /// Per-job runtime reports, mix order.
+    pub reports: Vec<JobReport>,
+}
+
+impl MixRun {
+    /// Mean job elapsed time.
+    pub fn mean_elapsed(&self) -> f64 {
+        self.reports.iter().map(|r| r.elapsed.value()).sum::<f64>() / self.reports.len() as f64
+    }
+
+    /// Total energy across jobs, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.reports.iter().map(|r| r.energy.value()).sum()
+    }
+}
+
+/// The unified coordinator.
+pub struct Coordinator {
+    model: PowerModel,
+    node_eps: Vec<f64>,
+    jitter_sigma: f64,
+    seed: u64,
+}
+
+impl Coordinator {
+    /// Build over an existing cluster's nodes.
+    pub fn new(cluster: &Cluster) -> Self {
+        Self {
+            model: cluster.model().clone(),
+            node_eps: cluster.efficiency_factors(),
+            jitter_sigma: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Enable per-iteration jitter in the job platforms.
+    pub fn with_jitter(mut self, sigma: f64, seed: u64) -> Self {
+        self.jitter_sigma = sigma;
+        self.seed = seed;
+        self
+    }
+
+    /// Run a mix of `(name, config, node_count)` jobs under `policy` and a
+    /// system `budget` for `iterations` bulk-synchronous iterations each.
+    pub fn run_mix(
+        &self,
+        mix: &[(String, KernelConfig, usize)],
+        policy: &dyn PowerPolicy,
+        budget: Watts,
+        iterations: usize,
+        mode: CoordinatorMode,
+    ) -> MixRun {
+        assert!(!mix.is_empty(), "cannot run an empty mix");
+        let spec = self.model.spec();
+        let ctx = PolicyCtx {
+            system_budget: budget,
+            min_node: spec.min_rapl_per_node(),
+            tdp_node: spec.tdp_per_node(),
+        };
+
+        // RM: admit all jobs of the mix (they run concurrently, as in the
+        // paper's experiments).
+        let mut scheduler = FifoScheduler::new(
+            NodePool::new(self.node_eps.len()),
+            PowerLedger::new(budget),
+            budget / self.node_eps.len() as f64,
+        );
+        let ids: Vec<_> = mix
+            .iter()
+            .map(|(name, _, nodes)| scheduler.submit(JobSpec::new(name.clone(), *nodes)))
+            .collect();
+        let events = scheduler.tick();
+        assert_eq!(
+            events.len(),
+            mix.len(),
+            "the mix must fit the cluster and budget"
+        );
+
+        // Collect each job's granted hosts and their efficiency factors.
+        let mut setups: Vec<JobSetup> = Vec::with_capacity(mix.len());
+        let mut grants: Vec<Vec<usize>> = Vec::with_capacity(mix.len());
+        for (event, (_, config, _)) in events.iter().zip(mix) {
+            let SchedulerEvent::Started { nodes, .. } = event else {
+                unreachable!("tick only emits Started events");
+            };
+            let host_ids: Vec<usize> = nodes.iter().map(|n| n.0).collect();
+            let host_eps: Vec<f64> = host_ids.iter().map(|&i| self.node_eps[i]).collect();
+            setups.push(JobSetup {
+                config: *config,
+                host_eps,
+            });
+            grants.push(host_ids);
+        }
+
+        // Characterize (pre-characterization data, §IV-B) and allocate.
+        let chars: Vec<JobChar> = setups
+            .iter()
+            .map(|s| JobChar::analytic(s.config, &self.model, &s.host_eps))
+            .collect();
+        let allocation = policy.allocate(&ctx, &chars);
+        for (j, id) in ids.iter().enumerate() {
+            // Budget-blind policies may overcommit; the ledger records it
+            // faithfully so the violation is observable (Fig. 7 bars >100%).
+            let _ = scheduler.ledger_mut().reserve(*id, allocation.job_total(j));
+        }
+
+        match mode {
+            CoordinatorMode::Emulated => {
+                let reports =
+                    self.execute_phase(&setups, &grants, &allocation, iterations);
+                MixRun {
+                    allocation,
+                    reports,
+                }
+            }
+            CoordinatorMode::Online => {
+                let first = iterations / 2;
+                let second = iterations - first;
+                let reports1 = self.execute_phase(&setups, &grants, &allocation, first.max(1));
+
+                // Execution-time feedback: measured average power becomes
+                // the new "used"; needed cannot exceed what was measured.
+                let measured: Vec<JobChar> = chars
+                    .iter()
+                    .zip(&reports1)
+                    .map(|(c, r)| JobChar {
+                        hosts: c
+                            .hosts
+                            .iter()
+                            .zip(&r.hosts)
+                            .map(|(hc, hr)| HostChar {
+                                used: hr.avg_power,
+                                needed: hc.needed.min(hr.avg_power),
+                            })
+                            .collect(),
+                        source: CharacterizationSource::Measured,
+                    })
+                    .collect();
+                let allocation2 = policy.allocate(&ctx, &measured);
+                let reports2 =
+                    self.execute_phase(&setups, &grants, &allocation2, second.max(1));
+                let reports = reports1
+                    .into_iter()
+                    .zip(reports2)
+                    .map(|(a, b)| merge_reports(a, b))
+                    .collect();
+                MixRun {
+                    allocation: allocation2,
+                    reports,
+                }
+            }
+        }
+    }
+
+    /// Run every job of the mix for `iterations`, in parallel, under the
+    /// given allocation.
+    fn execute_phase(
+        &self,
+        setups: &[JobSetup],
+        grants: &[Vec<usize>],
+        allocation: &Allocation,
+        iterations: usize,
+    ) -> Vec<JobReport> {
+        let mut slots: Vec<Option<JobReport>> = (0..setups.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (j, slot) in slots.iter_mut().enumerate() {
+                let setup = &setups[j];
+                let host_ids = &grants[j];
+                let caps = allocation.jobs[j].clone();
+                let model = &self.model;
+                let jitter = self.jitter_sigma;
+                let seed = self.seed.wrapping_add(j as u64);
+                scope.spawn(move |_| {
+                    let nodes: Vec<Node> = host_ids
+                        .iter()
+                        .zip(&setup.host_eps)
+                        .map(|(&id, &eps)| {
+                            Node::new(pmstack_simhw::NodeId(id), model, eps)
+                                .expect("eps sampled from a valid profile")
+                        })
+                        .collect();
+                    let mut platform = JobPlatform::new(model.clone(), nodes, setup.config);
+                    if jitter > 0.0 {
+                        platform = platform.with_jitter(jitter, seed);
+                    }
+                    let mut controller =
+                        Controller::new(platform, FixedAllocationAgent::new(caps));
+                    *slot = Some(controller.run(iterations));
+                });
+            }
+        })
+        .expect("job thread panicked");
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job produced a report"))
+            .collect()
+    }
+}
+
+/// Combine two phase reports of the same job.
+fn merge_reports(mut a: JobReport, b: JobReport) -> JobReport {
+    assert_eq!(a.hosts.len(), b.hosts.len());
+    a.iterations += b.iterations;
+    a.elapsed += b.elapsed;
+    a.iteration_times.extend(b.iteration_times);
+    a.energy += b.energy;
+    a.flops += b.flops;
+    for (ha, hb) in a.hosts.iter_mut().zip(b.hosts) {
+        let total = ha.energy + hb.energy;
+        ha.avg_power = total / a.elapsed;
+        ha.energy = total;
+        ha.final_limit = hb.final_limit;
+        ha.mean_epoch = (ha.mean_epoch + hb.mean_epoch) / 2.0;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate_mix;
+    use crate::policies::{MixedAdaptive, StaticCaps};
+    use pmstack_kernel::{Imbalance, VectorWidth, WaitingFraction};
+    use pmstack_simhw::{quartz_spec, VariationProfile};
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::builder(quartz_spec())
+            .nodes(n)
+            .variation(VariationProfile::quartz())
+            .seed(42)
+            .build()
+            .unwrap()
+    }
+
+    fn small_mix() -> Vec<(String, KernelConfig, usize)> {
+        vec![
+            (
+                "wasteful".into(),
+                KernelConfig::new(
+                    8.0,
+                    VectorWidth::Ymm,
+                    WaitingFraction::P75,
+                    Imbalance::ThreeX,
+                ),
+                3,
+            ),
+            ("hungry".into(), KernelConfig::balanced_ymm(8.0), 3),
+        ]
+    }
+
+    #[test]
+    fn emulated_run_produces_reports_for_every_job() {
+        let c = cluster(6);
+        let coord = Coordinator::new(&c);
+        let run = coord.run_mix(
+            &small_mix(),
+            &MixedAdaptive,
+            Watts(6.0 * 190.0),
+            30,
+            CoordinatorMode::Emulated,
+        );
+        assert_eq!(run.reports.len(), 2);
+        assert!(run.reports.iter().all(|r| r.iterations == 30));
+        assert!(run.total_energy() > 0.0);
+    }
+
+    #[test]
+    fn full_stack_agrees_with_analytic_evaluator() {
+        // The RAPL-filter simulation should land close to the steady-state
+        // evaluator (the settle transient is a small fraction of the run).
+        let c = cluster(6);
+        let coord = Coordinator::new(&c);
+        let mix = small_mix();
+        let budget = Watts(6.0 * 190.0);
+        let run = coord.run_mix(&mix, &StaticCaps, budget, 60, CoordinatorMode::Emulated);
+
+        let spec = c.model().spec();
+        let ctx = PolicyCtx {
+            system_budget: budget,
+            min_node: spec.min_rapl_per_node(),
+            tdp_node: spec.tdp_per_node(),
+        };
+        let eps = c.efficiency_factors();
+        let setups = vec![
+            JobSetup {
+                config: mix[0].1,
+                host_eps: eps[0..3].to_vec(),
+            },
+            JobSetup {
+                config: mix[1].1,
+                host_eps: eps[3..6].to_vec(),
+            },
+        ];
+        let chars: Vec<JobChar> = setups
+            .iter()
+            .map(|s| JobChar::analytic(s.config, c.model(), &s.host_eps))
+            .collect();
+        let alloc = StaticCaps.allocate(&ctx, &chars);
+        let eval = evaluate_mix(c.model(), &setups, &alloc, 60, 0.0, 0);
+
+        let full_t = run.mean_elapsed();
+        let fast_t = eval.mean_elapsed().value();
+        assert!(
+            (full_t - fast_t).abs() / fast_t < 0.05,
+            "full {full_t} vs analytic {fast_t}"
+        );
+        let full_e = run.total_energy();
+        let fast_e = eval.total_energy().value();
+        assert!(
+            (full_e - fast_e).abs() / fast_e < 0.05,
+            "full {full_e} vs analytic {fast_e}"
+        );
+    }
+
+    #[test]
+    fn online_mode_tightens_allocation_from_measurements() {
+        let c = cluster(6);
+        let coord = Coordinator::new(&c);
+        let mix = small_mix();
+        let budget = Watts(6.0 * 230.0);
+        let emulated = coord.run_mix(&mix, &MixedAdaptive, budget, 40, CoordinatorMode::Emulated);
+        let online = coord.run_mix(&mix, &MixedAdaptive, budget, 40, CoordinatorMode::Online);
+        // Online re-characterization can only shrink "needed" (measured
+        // power bounds it), so it must not waste more energy.
+        assert!(online.total_energy() <= emulated.total_energy() * 1.02);
+        assert_eq!(online.reports[0].iterations, 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit the cluster")]
+    fn oversubscribed_mix_is_rejected() {
+        let c = cluster(4);
+        let coord = Coordinator::new(&c);
+        coord.run_mix(
+            &small_mix(),
+            &StaticCaps,
+            Watts(4.0 * 200.0),
+            5,
+            CoordinatorMode::Emulated,
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! The `JobAdaptive` policy (§III-B).
+//!
+//! "For the JobAdaptive policy, system power is dynamically shared within
+//! jobs to maximize performance, but power cannot be shared across different
+//! jobs. In other words, the policy is not full-system-aware. The system
+//! power cap is initially distributed uniformly across jobs. Power is
+//! further distributed among hosts within each job, based on the
+//! performance-aware characterization data. If any of the nodes are assigned
+//! a power limit that exceeds an evenly-distributed power cap, then all
+//! nodes in the job have their power caps reduced by the percentage of their
+//! current power consumption that corrects that violation."
+//!
+//! Within a job it is exactly what the GEOPM power balancer converges to;
+//! across jobs it is blind — the siloed application-aware baseline.
+
+use crate::allocation::{proportional_fit, weighted_headroom_distribute, Allocation};
+use crate::characterization::JobChar;
+use crate::policies::minimize_waste::split_by_jobs;
+use crate::policy::{PolicyCtx, PolicyKind, PowerPolicy};
+use pmstack_simhw::Watts;
+
+/// Performance-aware within jobs; no cross-job power sharing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobAdaptive;
+
+impl PowerPolicy for JobAdaptive {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::JobAdaptive
+    }
+
+    fn system_aware(&self) -> bool {
+        false
+    }
+
+    fn application_aware(&self) -> bool {
+        true
+    }
+
+    fn allocate(&self, ctx: &PolicyCtx, jobs: &[JobChar]) -> Allocation {
+        assert!(!jobs.is_empty(), "allocation over an empty mix");
+        let n: usize = jobs.iter().map(JobChar::num_hosts).sum();
+        let share = ctx.clamp(ctx.system_budget / n as f64);
+
+        let mut flat: Vec<Watts> = Vec::with_capacity(n);
+        for job in jobs {
+            // The job's budget is its hosts' uniform shares; no watt of it
+            // may come from, or leak to, another job.
+            let job_budget = share * job.num_hosts() as f64;
+            let needed: Vec<Watts> = job.hosts.iter().map(|h| ctx.clamp(h.needed)).collect();
+            let total_needed: Watts = needed.iter().copied().sum();
+
+            let mut caps: Vec<Watts> = if total_needed > job_budget {
+                // Violation: scale every host down proportionally to its
+                // needed power so the job fits its silo, pinning hosts at
+                // the hardware floor as necessary.
+                proportional_fit(&needed, job_budget, ctx.min_node, ctx.tdp_node)
+            } else {
+                needed.clone()
+            };
+
+            // Leftover budget stays inside the job, flowing to the hosts
+            // that need the most power (headroom-weighted).
+            let leftover = job_budget - caps.iter().copied().sum::<Watts>();
+            if leftover > Watts(1e-9) {
+                weighted_headroom_distribute(&mut caps, ctx.min_node, ctx.tdp_node, leftover);
+            }
+            flat.extend(caps);
+        }
+        split_by_jobs(jobs, flat)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::characterization::{CharacterizationSource, HostChar, JobChar};
+    use crate::policies::testutil::{ctx, job};
+
+    #[test]
+    fn within_job_distribution_follows_needed_power() {
+        let j = JobChar {
+            hosts: vec![
+                HostChar {
+                    used: Watts(220.0),
+                    needed: Watts(160.0),
+                },
+                HostChar {
+                    used: Watts(220.0),
+                    needed: Watts(200.0),
+                },
+            ],
+            source: CharacterizationSource::Analytic,
+        };
+        // Budget 2×180 = 360 = total needed: exact fit.
+        let alloc = JobAdaptive.allocate(&ctx(2.0 * 180.0), &[j]);
+        assert!((alloc.jobs[0][0].value() - 160.0).abs() < 1e-6);
+        assert!((alloc.jobs[0][1].value() - 200.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn no_power_crosses_job_boundaries() {
+        // Job 0 needs little, job 1 is starving: a system-aware policy
+        // would transfer; JobAdaptive must not.
+        let jobs = vec![job(2, 160.0, 140.0), job(2, 235.0, 235.0)];
+        let c = ctx(4.0 * 180.0);
+        let alloc = JobAdaptive.allocate(&c, &jobs);
+        let job_budget = Watts(2.0 * 180.0);
+        assert!(alloc.job_total(0) <= job_budget + Watts(1e-6));
+        assert!(alloc.job_total(1) <= job_budget + Watts(1e-6));
+        // Job 1 is pinned at its silo even though job 0 cannot use its
+        // full share…
+        assert!((alloc.job_total(1) - job_budget).abs() < Watts(1e-6));
+        assert!(alloc.jobs[1][0] < Watts(235.0), "job 1 stays power-starved");
+        // …so the power the mix actually *draws* underutilizes the budget
+        // (the Fig. 7 marker-(b) behaviour): job 0's hosts are capped above
+        // their 160 W draw.
+        let drawn: Watts = alloc
+            .jobs
+            .iter()
+            .zip(&jobs)
+            .flat_map(|(caps, j)| {
+                caps.iter().zip(&j.hosts).map(|(&c, h)| c.min(h.used))
+            })
+            .sum();
+        assert!(drawn < c.system_budget - Watts(30.0));
+    }
+
+    #[test]
+    fn violation_scales_proportionally() {
+        let j = JobChar {
+            hosts: vec![
+                HostChar {
+                    used: Watts(240.0),
+                    needed: Watts(160.0),
+                },
+                HostChar {
+                    used: Watts(240.0),
+                    needed: Watts(240.0),
+                },
+            ],
+            source: CharacterizationSource::Analytic,
+        };
+        // Budget 2×150 = 300 < needed 400: the naive 0.75 scale would put
+        // host 0 below the 136 W floor, so it pins there and host 1 takes
+        // the rest of the silo.
+        let alloc = JobAdaptive.allocate(&ctx(2.0 * 150.0), &[j]);
+        assert!((alloc.jobs[0][0].value() - 136.0).abs() < 1e-6);
+        assert!((alloc.jobs[0][1].value() - 164.0).abs() < 1e-6);
+        assert!((alloc.job_total(0).value() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn surplus_stays_in_job_weighted_by_headroom() {
+        let jobs = vec![job(2, 230.0, 170.0)];
+        // Budget 2×200: needed 340, leftover 60 distributed inside the job.
+        let alloc = JobAdaptive.allocate(&ctx(2.0 * 200.0), &jobs);
+        assert!((alloc.job_total(0).value() - 400.0).abs() < 1e-6);
+        // Equal needed ⇒ equal grants.
+        assert!((alloc.jobs[0][0].value() - 200.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! The `MinimizeWaste` policy (§III-B).
+//!
+//! "MinimizeWaste shares system power across hosts, to minimize unused
+//! power budget. This policy is intended to statically emulate the dynamic
+//! approach documented in SLURM's real-time power management feature, which
+//! is full-system-aware. Our policy first distributes power caps across
+//! jobs. It then reduces the budget for low-power jobs to minimize unused
+//! (wasted) power budgets, and evenly redistributes power to high-power
+//! jobs. The power is removed from and added to jobs based on the observed
+//! performance-agnostic power usage (obtained from GEOPM reports) for each
+//! workload. Surplus power is redistributed, weighted by the difference
+//! between minimum settable power and currently assigned power."
+//!
+//! Structurally this is the MixedAdaptive procedure driven by *observed*
+//! (monitor) power instead of *needed* (balancer) power — system awareness
+//! without application awareness.
+
+use crate::allocation::{uniform_fill_to_targets, weighted_headroom_distribute, Allocation};
+use crate::characterization::JobChar;
+use crate::policy::{PolicyCtx, PolicyKind, PowerPolicy};
+use pmstack_simhw::Watts;
+
+/// System-aware, performance-agnostic power sharing (≈ SLURM).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinimizeWaste;
+
+impl PowerPolicy for MinimizeWaste {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::MinimizeWaste
+    }
+
+    fn system_aware(&self) -> bool {
+        true
+    }
+
+    fn application_aware(&self) -> bool {
+        false
+    }
+
+    fn allocate(&self, ctx: &PolicyCtx, jobs: &[JobChar]) -> Allocation {
+        let n: usize = jobs.iter().map(JobChar::num_hosts).sum();
+        assert!(n > 0, "allocation over an empty mix");
+        let share = ctx.clamp(ctx.system_budget / n as f64);
+
+        // Targets are the observed (performance-agnostic) per-host powers.
+        let targets: Vec<Watts> = jobs
+            .iter()
+            .flat_map(|j| j.hosts.iter().map(|h| ctx.clamp(h.used)))
+            .collect();
+
+        // Step 1+2: uniform shares, trimmed to observed usage; the trimmed
+        // watts form the shared surplus.
+        let mut caps: Vec<Watts> = targets.iter().map(|&t| share.min(t)).collect();
+        let mut pool = share * n as f64 - caps.iter().copied().sum::<Watts>();
+
+        // Step 3: evenly redistribute to hosts observed to draw more than
+        // their current cap.
+        pool = uniform_fill_to_targets(&mut caps, &targets, pool);
+
+        // Step 4: any remainder spreads by headroom weight.
+        let _unspent = weighted_headroom_distribute(&mut caps, ctx.min_node, ctx.tdp_node, pool);
+
+        split_by_jobs(jobs, caps)
+    }
+}
+
+/// Regroup a flat host vector by job.
+pub(crate) fn split_by_jobs(jobs: &[JobChar], caps: Vec<Watts>) -> Allocation {
+    let mut iter = caps.into_iter();
+    let jobs = jobs
+        .iter()
+        .map(|j| (&mut iter).take(j.num_hosts()).collect())
+        .collect();
+    Allocation { jobs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{ctx, job};
+
+    #[test]
+    fn trims_low_power_jobs_and_feeds_hungry_ones() {
+        // Job 0 uses little; job 1 is hungry. Budget = 170 W/host uniform.
+        let jobs = vec![job(2, 150.0, 150.0), job(2, 230.0, 230.0)];
+        let alloc = MinimizeWaste.allocate(&ctx(4.0 * 170.0), &jobs);
+        // Low-power hosts trimmed to observed usage.
+        assert!((alloc.jobs[0][0].value() - 150.0).abs() < 1e-6);
+        // Hungry hosts get the freed 2×20 W.
+        assert!((alloc.jobs[1][0].value() - 190.0).abs() < 1e-6);
+        assert!((alloc.total().value() - 4.0 * 170.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn surplus_beyond_usage_spreads_by_headroom() {
+        // Everyone's usage met with budget to spare.
+        let jobs = vec![job(1, 150.0, 150.0), job(1, 200.0, 200.0)];
+        let alloc = MinimizeWaste.allocate(&ctx(2.0 * 220.0), &jobs);
+        // Pool after meeting usage: 440 - 350 = 90. Headroom weighting
+        // favours the hotter host until it saturates at TDP; the reflow
+        // then tops up the cooler one.
+        let a = alloc.jobs[0][0].value();
+        let b = alloc.jobs[1][0].value();
+        assert!((a + b - 440.0).abs() < 1e-6);
+        assert!((b - 240.0).abs() < 1e-6, "hot host saturates at TDP");
+        assert!((a - 200.0).abs() < 1e-6, "cool host absorbs the reflow");
+    }
+
+    #[test]
+    fn ignores_needed_power_entirely() {
+        // Same used, wildly different needed: identical allocations.
+        let a = MinimizeWaste.allocate(&ctx(2.0 * 170.0), &[job(2, 210.0, 140.0)]);
+        let b = MinimizeWaste.allocate(&ctx(2.0 * 170.0), &[job(2, 210.0, 209.0)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scarce_budget_stays_uniform() {
+        // Budget below anyone's usage: everyone keeps the uniform share.
+        let jobs = vec![job(2, 230.0, 200.0), job(2, 220.0, 210.0)];
+        let alloc = MinimizeWaste.allocate(&ctx(4.0 * 150.0), &jobs);
+        for cap in alloc.jobs.iter().flatten() {
+            assert!((cap.value() - 150.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The `MixedAdaptive` policy — the paper's contribution (§III-A).
+//!
+//! "The proposed MixedAdaptive policy enables a resource manager to share
+//! power across jobs in a power-aware manner. This policy's power awareness
+//! is made available to the resource manager by a job runtime…"
+//!
+//! The four distribution steps, verbatim from the paper:
+//!
+//! 1. Uniformly distribute the system power limit among hosts across all
+//!    jobs.
+//! 2. Decrease the allocated power of each host down to the amount of power
+//!    needed on that host, as determined by the power balancer
+//!    pre-characterization runs. The total decreased power is now
+//!    considered deallocated.
+//! 3. Uniformly distribute the deallocated power among hosts that need more
+//!    power to meet their characterized performance, at most up to the
+//!    characterized power. Repeat until no deallocated power remains, or
+//!    all hosts have been assigned their needed power.
+//! 4. If there is a power surplus, allocate the remainder across all hosts
+//!    with a weighted distribution. The weight of each host is determined
+//!    by the distance from the host's minimum settable power limit to the
+//!    host's allocated power from previous steps.
+
+use crate::allocation::{uniform_fill_to_targets, weighted_headroom_distribute, Allocation};
+use crate::characterization::JobChar;
+use crate::policies::minimize_waste::split_by_jobs;
+use crate::policy::{PolicyCtx, PolicyKind, PowerPolicy};
+use pmstack_simhw::Watts;
+
+/// System-aware *and* application-aware power sharing across and within
+/// jobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MixedAdaptive;
+
+impl PowerPolicy for MixedAdaptive {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::MixedAdaptive
+    }
+
+    fn system_aware(&self) -> bool {
+        true
+    }
+
+    fn application_aware(&self) -> bool {
+        true
+    }
+
+    fn allocate(&self, ctx: &PolicyCtx, jobs: &[JobChar]) -> Allocation {
+        let n: usize = jobs.iter().map(JobChar::num_hosts).sum();
+        assert!(n > 0, "allocation over an empty mix");
+
+        // Step 1: uniform across all hosts of all jobs.
+        let share = ctx.clamp(ctx.system_budget / n as f64);
+
+        // Step 2: trim to balancer-characterized needed power; pool the
+        // deallocated watts.
+        let targets: Vec<Watts> = jobs
+            .iter()
+            .flat_map(|j| j.hosts.iter().map(|h| ctx.clamp(h.needed)))
+            .collect();
+        let mut caps: Vec<Watts> = targets.iter().map(|&t| share.min(t)).collect();
+        let mut pool = share * n as f64 - caps.iter().copied().sum::<Watts>();
+
+        // Step 3: uniform fill of still-hungry hosts up to needed power.
+        pool = uniform_fill_to_targets(&mut caps, &targets, pool);
+
+        // Step 4: surplus spreads over all hosts, weighted by distance from
+        // the minimum settable limit.
+        let _unspent = weighted_headroom_distribute(&mut caps, ctx.min_node, ctx.tdp_node, pool);
+
+        split_by_jobs(jobs, caps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{ctx, job};
+
+    #[test]
+    fn shares_power_across_job_boundaries() {
+        // Job 0 needs little; job 1 is starving. Unlike JobAdaptive, the
+        // freed watts cross the job boundary.
+        let jobs = vec![job(2, 160.0, 140.0), job(2, 235.0, 235.0)];
+        let alloc = MixedAdaptive.allocate(&ctx(4.0 * 180.0), &jobs);
+        assert!((alloc.jobs[0][0].value() - 140.0).abs() < 1e-6);
+        // Job 1 hosts: 180 + 40 shared from job 0 = 220 each, still below
+        // needed 235.
+        assert!((alloc.jobs[1][0].value() - 220.0).abs() < 1e-6);
+        assert!((alloc.total().value() - 4.0 * 180.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trims_to_needed_not_used() {
+        // Wasteful job: uses 230 but needs 170. MixedAdaptive reclaims down
+        // to 170 where MinimizeWaste would stop at 230.
+        let jobs = vec![job(1, 230.0, 170.0), job(1, 240.0, 240.0)];
+        let alloc = MixedAdaptive.allocate(&ctx(2.0 * 200.0), &jobs);
+        assert!((alloc.jobs[0][0].value() - 170.0).abs() < 1e-6);
+        assert!((alloc.jobs[1][0].value() - 230.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step3_respects_needed_ceiling_then_step4_spreads_surplus() {
+        // Abundant budget: everyone reaches needed; surplus spreads by
+        // headroom weight over all hosts.
+        let jobs = vec![job(1, 200.0, 150.0), job(1, 220.0, 200.0)];
+        let alloc = MixedAdaptive.allocate(&ctx(2.0 * 220.0), &jobs);
+        let a = alloc.jobs[0][0].value();
+        let b = alloc.jobs[1][0].value();
+        // Needed met plus weighted surplus of 90 W: the hot host's weighted
+        // share bounces off TDP and reflows to the cool one.
+        assert!((b - 240.0).abs() < 1e-6);
+        assert!((a - 200.0).abs() < 1e-6);
+        assert!((a + b - 440.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_budget_collapses_to_uniform_like_static() {
+        // Budget below everyone's needed power: step 2 trims nothing and
+        // the result is the uniform StaticCaps state (the paper notes min-
+        // budget cases leave the adaptive policies in their initial state).
+        let jobs = vec![job(2, 230.0, 210.0), job(2, 235.0, 220.0)];
+        let alloc = MixedAdaptive.allocate(&ctx(4.0 * 160.0), &jobs);
+        for cap in alloc.jobs.iter().flatten() {
+            assert!((cap.value() - 160.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_hosts_within_a_job_get_differentiated_caps() {
+        use crate::characterization::{CharacterizationSource, HostChar, JobChar};
+        let j = JobChar {
+            hosts: vec![
+                HostChar {
+                    used: Watts(215.0),
+                    needed: Watts(185.0),
+                },
+                HostChar {
+                    used: Watts(232.0),
+                    needed: Watts(205.0),
+                },
+            ],
+            source: CharacterizationSource::Analytic,
+        };
+        let alloc = MixedAdaptive.allocate(&ctx(2.0 * 195.0), &[j]);
+        assert!((alloc.jobs[0][0].value() - 185.0).abs() < 1e-6);
+        assert!((alloc.jobs[0][1].value() - 205.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,105 @@
+//! The five §III power-management policies.
+
+mod job_adaptive;
+mod minimize_waste;
+mod mixed_adaptive;
+mod precharacterized;
+mod static_caps;
+
+pub use job_adaptive::JobAdaptive;
+pub use minimize_waste::MinimizeWaste;
+pub use mixed_adaptive::MixedAdaptive;
+pub use precharacterized::Precharacterized;
+pub use static_caps::StaticCaps;
+
+use crate::policy::{PolicyKind, PowerPolicy};
+
+/// Instantiate a policy by kind.
+pub fn by_kind(kind: PolicyKind) -> Box<dyn PowerPolicy + Send + Sync> {
+    match kind {
+        PolicyKind::Precharacterized => Box::new(Precharacterized),
+        PolicyKind::StaticCaps => Box::new(StaticCaps),
+        PolicyKind::MinimizeWaste => Box::new(MinimizeWaste),
+        PolicyKind::JobAdaptive => Box::new(JobAdaptive),
+        PolicyKind::MixedAdaptive => Box::new(MixedAdaptive),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::characterization::{CharacterizationSource, HostChar, JobChar};
+    use crate::policy::PolicyCtx;
+    use pmstack_simhw::Watts;
+
+    /// The Quartz policy context with a given budget.
+    pub fn ctx(budget_w: f64) -> PolicyCtx {
+        PolicyCtx {
+            system_budget: Watts(budget_w),
+            min_node: Watts(136.0),
+            tdp_node: Watts(240.0),
+        }
+    }
+
+    /// A job whose hosts all share the same used/needed powers.
+    pub fn job(hosts: usize, used_w: f64, needed_w: f64) -> JobChar {
+        JobChar {
+            hosts: (0..hosts)
+                .map(|_| HostChar {
+                    used: Watts(used_w),
+                    needed: Watts(needed_w),
+                })
+                .collect(),
+            source: CharacterizationSource::Analytic,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::{ctx, job};
+    use super::*;
+    use pmstack_simhw::Watts;
+
+    #[test]
+    fn factory_covers_all_kinds() {
+        for kind in PolicyKind::all() {
+            let p = by_kind(kind);
+            assert_eq!(p.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn awareness_matrix_matches_paper_table() {
+        assert!(!by_kind(PolicyKind::Precharacterized).system_aware());
+        assert!(!by_kind(PolicyKind::Precharacterized).application_aware());
+        assert!(by_kind(PolicyKind::StaticCaps).system_aware());
+        assert!(!by_kind(PolicyKind::StaticCaps).application_aware());
+        assert!(by_kind(PolicyKind::MinimizeWaste).system_aware());
+        assert!(!by_kind(PolicyKind::MinimizeWaste).application_aware());
+        assert!(!by_kind(PolicyKind::JobAdaptive).system_aware());
+        assert!(by_kind(PolicyKind::JobAdaptive).application_aware());
+        assert!(by_kind(PolicyKind::MixedAdaptive).system_aware());
+        assert!(by_kind(PolicyKind::MixedAdaptive).application_aware());
+    }
+
+    #[test]
+    fn every_budget_respecting_policy_stays_within_budget() {
+        let jobs = vec![job(3, 230.0, 180.0), job(3, 200.0, 150.0), job(3, 210.0, 210.0)];
+        for kind in [
+            PolicyKind::StaticCaps,
+            PolicyKind::MinimizeWaste,
+            PolicyKind::JobAdaptive,
+            PolicyKind::MixedAdaptive,
+        ] {
+            let c = ctx(9.0 * 170.0);
+            let alloc = by_kind(kind).allocate(&c, &jobs);
+            assert!(
+                alloc.total() <= c.system_budget + Watts(1e-6),
+                "{kind} total {} exceeds budget {}",
+                alloc.total(),
+                c.system_budget
+            );
+            assert!(alloc.within(c.min_node, c.tdp_node), "{kind} out of range");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The `Precharacterized` policy (§III-B).
+//!
+//! "A user pre-characterizes a workload, and submits the job with a power
+//! cap equal to the average power consumption at the most power-hungry
+//! node. This policy does not consider system-wide power limits."
+//!
+//! It is the pure application-side siloed baseline: each job asks for what
+//! it observed itself using, and nobody reconciles the total against the
+//! site budget — which is why Fig. 7 shows it blowing through the budget at
+//! every level except `max`.
+
+use crate::allocation::Allocation;
+use crate::characterization::JobChar;
+use crate::policy::{PolicyCtx, PolicyKind, PowerPolicy};
+
+/// Per-job static caps from user pre-characterization; budget-blind.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Precharacterized;
+
+impl PowerPolicy for Precharacterized {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::Precharacterized
+    }
+
+    fn system_aware(&self) -> bool {
+        false
+    }
+
+    fn application_aware(&self) -> bool {
+        false
+    }
+
+    fn allocate(&self, ctx: &PolicyCtx, jobs: &[JobChar]) -> Allocation {
+        let jobs = jobs
+            .iter()
+            .map(|job| {
+                let cap = ctx.clamp(job.max_used());
+                vec![cap; job.num_hosts()]
+            })
+            .collect();
+        Allocation { jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{ctx, job};
+    use pmstack_simhw::Watts;
+
+    #[test]
+    fn caps_equal_max_used_per_job() {
+        let jobs = vec![job(2, 230.0, 180.0), job(2, 190.0, 150.0)];
+        let alloc = Precharacterized.allocate(&ctx(100.0), &jobs);
+        assert_eq!(alloc.jobs[0], vec![Watts(230.0), Watts(230.0)]);
+        assert_eq!(alloc.jobs[1], vec![Watts(190.0), Watts(190.0)]);
+    }
+
+    #[test]
+    fn ignores_the_budget_entirely() {
+        let jobs = vec![job(4, 230.0, 180.0)];
+        let tight = Precharacterized.allocate(&ctx(10.0), &jobs);
+        let loose = Precharacterized.allocate(&ctx(1e9), &jobs);
+        assert_eq!(tight, loose);
+        assert!(tight.total() > Watts(10.0), "exceeds a tight budget");
+    }
+
+    #[test]
+    fn caps_are_clamped_into_settable_range() {
+        let jobs = vec![job(1, 300.0, 300.0), job(1, 50.0, 40.0)];
+        let alloc = Precharacterized.allocate(&ctx(1e9), &jobs);
+        assert_eq!(alloc.jobs[0][0], Watts(240.0));
+        assert_eq!(alloc.jobs[1][0], Watts(136.0));
+    }
+}

@@ -1,0 +1,89 @@
+//! The `StaticCaps` policy (§III-B) — the Fig. 8 baseline.
+//!
+//! "System power is uniformly distributed to all nodes in the cluster. A
+//! static cap is applied for each job, using the max of average powers from
+//! all nodes in the job's monitor characterization run. Note that this
+//! policy's final state is the same as the initial state of the
+//! MinimizeWaste and MixedAdaptive power-sharing policies."
+//!
+//! The cap is the smaller of the uniform system share and the job's own
+//! peak observed power; since a cap above a node's draw is non-binding, the
+//! second term never changes behaviour — it just avoids programming
+//! meaninglessly high limits.
+
+use crate::allocation::Allocation;
+use crate::characterization::JobChar;
+use crate::policy::{PolicyCtx, PolicyKind, PowerPolicy};
+
+/// Uniform system share per host, budget-aware but performance-agnostic.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticCaps;
+
+impl PowerPolicy for StaticCaps {
+    fn kind(&self) -> PolicyKind {
+        PolicyKind::StaticCaps
+    }
+
+    fn system_aware(&self) -> bool {
+        true
+    }
+
+    fn application_aware(&self) -> bool {
+        false
+    }
+
+    fn allocate(&self, ctx: &PolicyCtx, jobs: &[JobChar]) -> Allocation {
+        let n: usize = jobs.iter().map(JobChar::num_hosts).sum();
+        assert!(n > 0, "allocation over an empty mix");
+        let share = ctx.system_budget / n as f64;
+        let jobs = jobs
+            .iter()
+            .map(|job| {
+                let cap = ctx.clamp(share.min(ctx.clamp(job.max_used())));
+                vec![cap; job.num_hosts()]
+            })
+            .collect();
+        Allocation { jobs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::testutil::{ctx, job};
+    use pmstack_simhw::Watts;
+
+    #[test]
+    fn uniform_share_binds_under_tight_budget() {
+        let jobs = vec![job(2, 230.0, 180.0), job(2, 220.0, 150.0)];
+        let alloc = StaticCaps.allocate(&ctx(4.0 * 150.0), &jobs);
+        for cap in alloc.jobs.iter().flatten() {
+            assert_eq!(*cap, Watts(150.0));
+        }
+    }
+
+    #[test]
+    fn job_peak_bounds_the_cap_under_loose_budget() {
+        let jobs = vec![job(2, 230.0, 180.0), job(2, 190.0, 150.0)];
+        let alloc = StaticCaps.allocate(&ctx(4.0 * 240.0), &jobs);
+        assert_eq!(alloc.jobs[0][0], Watts(230.0));
+        assert_eq!(alloc.jobs[1][0], Watts(190.0));
+    }
+
+    #[test]
+    fn share_is_clamped_to_hardware_floor() {
+        let jobs = vec![job(3, 230.0, 180.0)];
+        let alloc = StaticCaps.allocate(&ctx(3.0 * 100.0), &jobs);
+        for cap in alloc.jobs.iter().flatten() {
+            assert_eq!(*cap, Watts(136.0));
+        }
+    }
+
+    #[test]
+    fn never_exceeds_budget_when_budget_is_feasible() {
+        let jobs = vec![job(5, 230.0, 200.0), job(4, 210.0, 160.0)];
+        let c = ctx(9.0 * 165.0);
+        let alloc = StaticCaps.allocate(&c, &jobs);
+        assert!(alloc.total() <= c.system_budget + Watts(1e-6));
+    }
+}

@@ -1,0 +1,110 @@
+//! The policy interface.
+
+use crate::allocation::Allocation;
+use crate::characterization::JobChar;
+use pmstack_simhw::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Cluster-level context a policy allocates within.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCtx {
+    /// The system-wide power budget (§V-C).
+    pub system_budget: Watts,
+    /// Minimum settable node power limit.
+    pub min_node: Watts,
+    /// Node TDP (maximum cap the policies program).
+    pub tdp_node: Watts,
+}
+
+impl PolicyCtx {
+    /// Clamp one cap into the settable range.
+    pub fn clamp(&self, cap: Watts) -> Watts {
+        cap.clamp(self.min_node, self.tdp_node)
+    }
+}
+
+/// Enumeration of the five §III policies (handy for grids and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// User-submitted static cap from a pre-characterization run.
+    Precharacterized,
+    /// Uniform system share, performance-agnostic.
+    StaticCaps,
+    /// System-aware, performance-agnostic reallocation (≈ SLURM).
+    MinimizeWaste,
+    /// Performance-aware within jobs, no cross-job sharing.
+    JobAdaptive,
+    /// The paper's contribution: system-aware and performance-aware.
+    MixedAdaptive,
+}
+
+impl PolicyKind {
+    /// All five, in the paper's presentation order.
+    pub fn all() -> [Self; 5] {
+        [
+            Self::Precharacterized,
+            Self::StaticCaps,
+            Self::MinimizeWaste,
+            Self::JobAdaptive,
+            Self::MixedAdaptive,
+        ]
+    }
+
+    /// The four dynamic policies compared against `StaticCaps` in Fig. 8.
+    pub fn dynamic() -> [Self; 3] {
+        [Self::MinimizeWaste, Self::JobAdaptive, Self::MixedAdaptive]
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Precharacterized => "Precharacterized",
+            Self::StaticCaps => "StaticCaps",
+            Self::MinimizeWaste => "MinimizeWaste",
+            Self::JobAdaptive => "JobAdaptive",
+            Self::MixedAdaptive => "MixedAdaptive",
+        })
+    }
+}
+
+/// A system power-management policy: given per-job characterization data and
+/// a system budget, produce per-host node power caps.
+pub trait PowerPolicy {
+    /// The policy's identity.
+    fn kind(&self) -> PolicyKind;
+
+    /// Whether the policy sees (and respects) the system-wide budget.
+    fn system_aware(&self) -> bool;
+
+    /// Whether the policy uses performance-aware (balancer) data.
+    fn application_aware(&self) -> bool;
+
+    /// Compute the allocation.
+    fn allocate(&self, ctx: &PolicyCtx, jobs: &[JobChar]) -> Allocation;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_clamps_into_range() {
+        let ctx = PolicyCtx {
+            system_budget: Watts(1000.0),
+            min_node: Watts(136.0),
+            tdp_node: Watts(240.0),
+        };
+        assert_eq!(ctx.clamp(Watts(50.0)), Watts(136.0));
+        assert_eq!(ctx.clamp(Watts(500.0)), Watts(240.0));
+        assert_eq!(ctx.clamp(Watts(200.0)), Watts(200.0));
+    }
+
+    #[test]
+    fn kind_display_names_match_paper() {
+        assert_eq!(PolicyKind::MixedAdaptive.to_string(), "MixedAdaptive");
+        assert_eq!(PolicyKind::all().len(), 5);
+        assert_eq!(PolicyKind::dynamic().len(), 3);
+    }
+}

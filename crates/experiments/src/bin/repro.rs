@@ -1,0 +1,114 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro all              # everything, paper scale
+//! repro fig7 --fast      # one artifact at reduced scale
+//! repro all --out results/   # also write per-artifact text + grid CSV
+//! repro table3
+//! ```
+
+use pmstack_experiments::grid::{EvaluationGrid, GridParams};
+use pmstack_experiments::{export, figures, tables, Testbed};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro <artifact> [--fast] [--out DIR]\n\
+         artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let out_dir: Option<std::path::PathBuf> = args
+        .iter()
+        .position(|a| a == "--out")
+        .map(|i| args.get(i + 1).unwrap_or_else(|| usage()).into());
+    let artifacts: Vec<&str> = args
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !a.starts_with("--")
+                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--out")
+        })
+        .map(|(_, a)| a.as_str())
+        .collect();
+    let artifact = match artifacts.as_slice() {
+        [] => "all",
+        [one] => one,
+        _ => usage(),
+    };
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).expect("create --out directory");
+    }
+
+    let (screen_nodes, params) = if fast {
+        (400, GridParams::fast())
+    } else {
+        (2000, GridParams::default())
+    };
+
+    // Cheap artifacts need no testbed; build it lazily.
+    let needs_testbed =
+        matches!(artifact, "all" | "table3" | "fig6" | "fig7" | "fig8" | "sweep");
+    let testbed = needs_testbed.then(|| {
+        eprintln!("[repro] screening {screen_nodes} nodes for hardware variation…");
+        Testbed::new(screen_nodes, 42)
+    });
+    let needs_grid = matches!(artifact, "all" | "fig7" | "fig8");
+    let grid = needs_grid.then(|| {
+        eprintln!(
+            "[repro] evaluating 5 policies x 6 mixes x 3 budgets ({} nodes/job, {} iterations)…",
+            params.nodes_per_job, params.iterations
+        );
+        EvaluationGrid::run(testbed.as_ref().expect("grid implies testbed"), params)
+    });
+
+    let emit = |name: &str, body: String| {
+        if artifact == "all" || artifact == name {
+            println!("{body}");
+            println!("{}", "=".repeat(72));
+            if let Some(dir) = &out_dir {
+                std::fs::write(dir.join(format!("{name}.txt")), &body)
+                    .expect("write artifact file");
+            }
+        }
+    };
+
+    match artifact {
+        "all" | "table1" | "table2" | "table3" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5"
+        | "fig6" | "fig7" | "fig8" | "sweep" => {}
+        _ => usage(),
+    }
+
+    emit("table1", tables::table1());
+    emit("table2", tables::table2());
+    if let Some(tb) = &testbed {
+        emit("table3", tables::table3(tb, params.nodes_per_job));
+    }
+    emit("fig1", figures::fig1(42));
+    emit("fig2", figures::fig2());
+    emit("fig3", figures::fig3());
+    emit("fig4", figures::fig4());
+    emit("fig5", figures::fig5());
+    if let Some(tb) = &testbed {
+        emit("fig6", figures::fig6(tb));
+        if artifact == "all" || artifact == "sweep" {
+            let (npj, steps) = if fast { (6, 10) } else { (25, 20) };
+            emit(
+                "sweep",
+                figures::fig_sweep(tb, pmstack_experiments::MixKind::WastefulPower, npj, steps),
+            );
+        }
+    }
+    if let Some(g) = &grid {
+        emit("fig7", figures::fig7(g));
+        emit("fig8", figures::fig8(g));
+        if let Some(dir) = &out_dir {
+            std::fs::write(dir.join("grid.csv"), export::grid_to_csv(g))
+                .expect("write grid CSV");
+            eprintln!("[repro] wrote {}", dir.join("grid.csv").display());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The min/ideal/max system power budgets of Table III (§V-C).
+//!
+//! * **min** — "aggressively over-provisioned… selected by determining
+//!   which workload in the mix has the least power consumed by a single
+//!   node under the performance-aware characterization; the system is
+//!   allocated enough power to provide that amount to each node."
+//! * **ideal** — "selected by summing the power used by each node for all
+//!   workloads in the mix, as determined by the performance-aware
+//!   characterization."
+//! * **max** — "conservatively over-provisioned… determining which workload
+//!   in the mix has the most power consumed by a single node under the
+//!   uncapped characterization; the system is allocated enough power to
+//!   provide that much to each node."
+
+use pmstack_core::JobChar;
+use pmstack_simhw::Watts;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three over-provisioning levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BudgetLevel {
+    /// Aggressive over-provisioning (least headroom).
+    Min,
+    /// Balanced supply and demand.
+    Ideal,
+    /// Conservative over-provisioning (most headroom).
+    Max,
+}
+
+impl BudgetLevel {
+    /// All three, ascending.
+    pub fn all() -> [Self; 3] {
+        [Self::Min, Self::Ideal, Self::Max]
+    }
+}
+
+impl fmt::Display for BudgetLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Min => "min",
+            Self::Ideal => "ideal",
+            Self::Max => "max",
+        })
+    }
+}
+
+/// The three budgets computed for one mix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MixBudgets {
+    /// The min budget.
+    pub min: Watts,
+    /// The ideal budget.
+    pub ideal: Watts,
+    /// The max budget.
+    pub max: Watts,
+}
+
+impl MixBudgets {
+    /// Compute the Table III budgets from the mix's characterization.
+    pub fn from_characterization(chars: &[JobChar]) -> Self {
+        assert!(!chars.is_empty(), "budgets need at least one job");
+        let total_nodes: usize = chars.iter().map(JobChar::num_hosts).sum();
+
+        // min: least single-node needed power of any workload, to each node.
+        let least_needed = chars
+            .iter()
+            .flat_map(|c| c.hosts.iter().map(|h| h.needed))
+            .fold(Watts(f64::INFINITY), Watts::min);
+        // ideal: the sum of per-node needed power across the whole mix.
+        let ideal = chars.iter().map(JobChar::total_needed).sum();
+        // max: most single-node uncapped power of any workload, to each node.
+        let most_used = chars
+            .iter()
+            .flat_map(|c| c.hosts.iter().map(|h| h.used))
+            .fold(Watts::ZERO, Watts::max);
+
+        Self {
+            min: least_needed * total_nodes as f64,
+            ideal,
+            max: most_used * total_nodes as f64,
+        }
+    }
+
+    /// Budget for a level.
+    pub fn get(&self, level: BudgetLevel) -> Watts {
+        match level {
+            BudgetLevel::Min => self.min,
+            BudgetLevel::Ideal => self.ideal,
+            BudgetLevel::Max => self.max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::{build_scaled, MixKind};
+    use crate::testbed::Testbed;
+    use pmstack_simhw::quartz_spec;
+
+    fn budgets_for(kind: MixKind) -> (MixBudgets, usize) {
+        let tb = Testbed::new(400, 7);
+        let mix = build_scaled(kind, 10);
+        let setups = tb.place(&mix);
+        let chars: Vec<JobChar> = setups
+            .iter()
+            .map(|s| JobChar::analytic(s.config, tb.model(), &s.host_eps))
+            .collect();
+        (
+            MixBudgets::from_characterization(&chars),
+            mix.total_nodes(),
+        )
+    }
+
+    #[test]
+    fn ordering_min_ideal_max_holds_for_every_mix() {
+        for kind in MixKind::all() {
+            let (b, _) = budgets_for(kind);
+            assert!(b.min <= b.ideal, "{kind}: min {} ideal {}", b.min, b.ideal);
+            assert!(b.ideal <= b.max, "{kind}: ideal {} max {}", b.ideal, b.max);
+        }
+    }
+
+    #[test]
+    fn budgets_stay_below_mix_tdp() {
+        // Table III footnote: all budgets are below the 240 W/node TDP sum.
+        let spec = quartz_spec();
+        for kind in MixKind::all() {
+            let (b, nodes) = budgets_for(kind);
+            let tdp_total = spec.tdp_per_node() * nodes as f64;
+            assert!(b.max <= tdp_total, "{kind}: max {} vs TDP {}", b.max, tdp_total);
+            assert!(b.min >= spec.min_rapl_per_node() * nodes as f64 * 0.95);
+        }
+    }
+
+    #[test]
+    fn per_node_budget_ranges_match_table_iii_scale() {
+        // Table III: budgets span roughly 150-233 W/node across mixes.
+        for kind in MixKind::all() {
+            let (b, nodes) = budgets_for(kind);
+            let per_node_min = b.min.value() / nodes as f64;
+            let per_node_max = b.max.value() / nodes as f64;
+            assert!(
+                (130.0..235.0).contains(&per_node_min),
+                "{kind}: min/node {per_node_min}"
+            );
+            assert!(
+                (190.0..240.0).contains(&per_node_max),
+                "{kind}: max/node {per_node_max}"
+            );
+        }
+    }
+
+    #[test]
+    fn level_accessor_matches_fields() {
+        let b = MixBudgets {
+            min: Watts(1.0),
+            ideal: Watts(2.0),
+            max: Watts(3.0),
+        };
+        assert_eq!(b.get(BudgetLevel::Min), b.min);
+        assert_eq!(b.get(BudgetLevel::Ideal), b.ideal);
+        assert_eq!(b.get(BudgetLevel::Max), b.max);
+    }
+}

@@ -1,0 +1,99 @@
+//! Machine-readable export of the evaluation results.
+//!
+//! `repro --out <dir>` writes each artifact as both text and, for the grid,
+//! CSV — the formats downstream plotting scripts consume. CSV writing is
+//! hand-rolled (RFC 4180 quoting) to keep the dependency set minimal.
+
+use crate::grid::EvaluationGrid;
+use std::fmt::Write as _;
+
+/// Quote a CSV field per RFC 4180 when needed.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Render one CSV row.
+pub fn csv_row(fields: &[String]) -> String {
+    fields
+        .iter()
+        .map(|f| csv_field(f))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// The full evaluation grid as CSV: one row per (mix, budget, policy) cell
+/// with every Fig. 7 / Fig. 8 metric.
+pub fn grid_to_csv(grid: &EvaluationGrid) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "mix,budget_level,policy,budget_w,total_power_w,pct_of_budget,\
+         mean_elapsed_s,energy_j,flops_per_watt,edp,time_ci_frac,\
+         time_savings_pct,energy_savings_pct,edp_savings_pct,flops_per_watt_increase_pct\n",
+    );
+    for c in &grid.cells {
+        let (t, e, d, f) = match c.savings {
+            Some(s) => (
+                format!("{:.4}", s.time_pct),
+                format!("{:.4}", s.energy_pct),
+                format!("{:.4}", s.edp_pct),
+                format!("{:.4}", s.flops_per_watt_pct),
+            ),
+            None => (String::new(), String::new(), String::new(), String::new()),
+        };
+        let row = csv_row(&[
+            c.mix.to_string(),
+            c.level.to_string(),
+            c.policy.to_string(),
+            format!("{:.1}", c.budget.value()),
+            format!("{:.1}", c.total_power.value()),
+            format!("{:.3}", c.pct_of_budget),
+            format!("{:.4}", c.mean_elapsed.value()),
+            format!("{:.1}", c.energy.value()),
+            format!("{:.4e}", c.flops_per_watt),
+            format!("{:.4e}", c.edp),
+            format!("{:.6}", c.time_ci_frac),
+            t,
+            e,
+            d,
+            f,
+        ]);
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{EvaluationGrid, GridParams};
+    use crate::testbed::Testbed;
+
+    #[test]
+    fn quoting_follows_rfc4180() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_row(&["a,b".into(), "c".into()]), "\"a,b\",c");
+    }
+
+    #[test]
+    fn grid_csv_is_rectangular_and_complete() {
+        let tb = Testbed::new(400, 7);
+        let grid = EvaluationGrid::run(&tb, GridParams::fast());
+        let csv = grid_to_csv(&grid);
+        let lines: Vec<&str> = csv.lines().collect();
+        // Header + 6 mixes × 3 budgets × 5 policies.
+        assert_eq!(lines.len(), 1 + 90);
+        let cols = lines[0].split(',').count();
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
+        }
+        // Baseline rows carry empty savings fields; dynamic rows are full.
+        assert!(lines.iter().any(|l| l.contains("StaticCaps") && l.ends_with(",,,")));
+        assert!(lines.iter().any(|l| l.contains("MixedAdaptive") && !l.ends_with(",,,")));
+    }
+}

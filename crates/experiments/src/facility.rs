@@ -1,0 +1,301 @@
+//! Facility-scale simulation behind Fig. 1.
+//!
+//! The paper motivates the whole problem with a year of operational data
+//! from Quartz: a 1.35 MW-rated system whose average draw is ~0.83 MW. We
+//! cannot replay LLNL's job logs, so this module simulates the year with
+//! the stack's own components: a seeded job-arrival process feeds the
+//! `pmstack-rm` FIFO scheduler over the full cluster; running jobs draw the
+//! *uncapped characterized power* of a randomly drawn kernel configuration;
+//! idle nodes draw idle power. Facility power adds a fixed non-CPU share
+//! per node. The reproduced property is the paper's motivating gap between
+//! procured and consumed power.
+
+use pmstack_kernel::{Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction};
+use pmstack_rm::{FifoScheduler, JobId, JobSpec, NodePool, PowerLedger, SchedulerEvent};
+use pmstack_simhw::{quartz_spec, PowerModel};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the facility simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FacilityParams {
+    /// Cluster size (Quartz: ~2688 nodes).
+    pub nodes: usize,
+    /// Simulated days.
+    pub days: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Non-CPU power per node (DRAM, fans, NIC, PSU losses).
+    pub non_cpu_w: f64,
+    /// CPU power of an idle node.
+    pub idle_cpu_w: f64,
+    /// Mean job arrivals per hour at the baseline season.
+    pub arrivals_per_hour: f64,
+}
+
+impl Default for FacilityParams {
+    fn default() -> Self {
+        Self {
+            nodes: 2688,
+            days: 365,
+            seed: 42,
+            non_cpu_w: 140.0,
+            idle_cpu_w: 80.0,
+            arrivals_per_hour: 1.9,
+        }
+    }
+}
+
+/// The simulated year.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FacilityTrace {
+    /// Mean facility power per day, megawatts.
+    pub daily_mw: Vec<f64>,
+    /// Mean node utilization per day, `[0, 1]`.
+    pub daily_utilization: Vec<f64>,
+    /// Jobs completed over the simulation.
+    pub jobs_completed: usize,
+}
+
+impl FacilityTrace {
+    /// Annual mean power in MW.
+    pub fn mean_mw(&self) -> f64 {
+        self.daily_mw.iter().sum::<f64>() / self.daily_mw.len() as f64
+    }
+
+    /// Annual peak of the daily means in MW.
+    pub fn peak_mw(&self) -> f64 {
+        self.daily_mw.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// A running job: its nodes and remaining hours.
+struct RunningJob {
+    id: JobId,
+    nodes: usize,
+    cpu_w_per_node: f64,
+    remaining_hours: u32,
+}
+
+/// Simulate the facility for the given parameters.
+pub fn simulate(params: &FacilityParams) -> FacilityTrace {
+    let spec = quartz_spec();
+    let model = PowerModel::new(spec.clone()).expect("quartz spec is valid");
+    let mut rng = ChaCha8Rng::seed_from_u64(params.seed);
+
+    // Pre-characterize the workload population's uncapped per-node power.
+    let population: Vec<f64> = workload_population()
+        .into_iter()
+        .map(|c| {
+            use pmstack_simhw::LoadModel;
+            KernelLoad::new(c, &spec)
+                .operating_point(&model, 1.0, spec.tdp_per_node())
+                .power
+                .value()
+        })
+        .collect();
+
+    let mut scheduler = FifoScheduler::new(
+        NodePool::new(params.nodes),
+        // Power is admission-controlled at the rated CPU envelope.
+        PowerLedger::new(spec.tdp_per_node() * params.nodes as f64),
+        spec.tdp_per_node(),
+    );
+    let mut running: Vec<RunningJob> = Vec::new();
+    let mut pending_power: Vec<(JobId, f64, u32)> = Vec::new();
+    let mut completed = 0usize;
+
+    let mut daily_mw = Vec::with_capacity(params.days);
+    let mut daily_utilization = Vec::with_capacity(params.days);
+
+    for day in 0..params.days {
+        let mut power_sum_w = 0.0;
+        let mut util_sum = 0.0;
+
+        for _hour in 0..24 {
+            // Arrivals: Poisson at the seasonally modulated hourly rate.
+            let rate = arrival_rate(day, params.arrivals_per_hour);
+            let arrivals = poisson(&mut rng, rate);
+            for _ in 0..arrivals {
+                let nodes = job_size(&mut rng);
+                let hours = 1 + rng.gen_range(0..16) + rng.gen_range(0..16);
+                let cpu_w = population[rng.gen_range(0..population.len())];
+                let id = scheduler.submit(JobSpec::new("facility", nodes));
+                pending_power.push((id, cpu_w, hours as u32));
+            }
+            // Start whatever fits.
+            for event in scheduler.tick() {
+                if let SchedulerEvent::Started { job, nodes, .. } = event {
+                    let (_, cpu_w, hours) = *pending_power
+                        .iter()
+                        .find(|(id, _, _)| *id == job)
+                        .expect("started job was submitted");
+                    pending_power.retain(|(id, _, _)| *id != job);
+                    running.push(RunningJob {
+                        id: job,
+                        nodes: nodes.len(),
+                        cpu_w_per_node: cpu_w,
+                        remaining_hours: hours,
+                    });
+                }
+            }
+            // Account this hour's power.
+            let busy_nodes: usize = running.iter().map(|j| j.nodes).sum();
+            let idle_nodes = params.nodes - busy_nodes;
+            let cpu_power: f64 = running
+                .iter()
+                .map(|j| j.nodes as f64 * j.cpu_w_per_node)
+                .sum::<f64>()
+                + idle_nodes as f64 * params.idle_cpu_w;
+            let facility_w = cpu_power + params.nodes as f64 * params.non_cpu_w;
+            power_sum_w += facility_w;
+            util_sum += busy_nodes as f64 / params.nodes as f64;
+
+            // Advance job clocks.
+            for job in &mut running {
+                job.remaining_hours -= 1;
+            }
+            let (done, still): (Vec<_>, Vec<_>) =
+                running.drain(..).partition(|j| j.remaining_hours == 0);
+            running = still;
+            for job in done {
+                scheduler.complete(job.id);
+                completed += 1;
+            }
+        }
+        daily_mw.push(power_sum_w / 24.0 / 1e6);
+        daily_utilization.push(util_sum / 24.0);
+    }
+
+    FacilityTrace {
+        daily_mw,
+        daily_utilization,
+        jobs_completed: completed,
+    }
+}
+
+/// The seasonally and weekly modulated job arrival rate (jobs/hour) for a
+/// given day of the simulation.
+pub fn arrival_rate(day: usize, base_per_hour: f64) -> f64 {
+    let season = 1.0 + 0.10 * (2.0 * std::f64::consts::PI * day as f64 / 365.0).sin();
+    let weekday = if day % 7 < 5 { 1.06 } else { 0.88 };
+    base_per_hour * season * weekday
+}
+
+/// The workload population jobs draw from: the full heat-map space.
+fn workload_population() -> Vec<KernelConfig> {
+    let mut space = Vec::new();
+    for &i in &KernelConfig::heatmap_intensities() {
+        for v in [VectorWidth::Xmm, VectorWidth::Ymm] {
+            space.push(KernelConfig::new(
+                i,
+                v,
+                WaitingFraction::P0,
+                Imbalance::Balanced,
+            ));
+            space.push(KernelConfig::new(
+                i,
+                v,
+                WaitingFraction::P50,
+                Imbalance::TwoX,
+            ));
+        }
+    }
+    space
+}
+
+/// Job node-count distribution: mostly small, occasionally large — the
+/// shape of real HPC queues.
+fn job_size<R: Rng>(rng: &mut R) -> usize {
+    match rng.gen_range(0..100) {
+        0..=49 => rng.gen_range(1..=16),
+        50..=79 => rng.gen_range(17..=64),
+        80..=94 => rng.gen_range(65..=256),
+        _ => rng.gen_range(257..=512),
+    }
+}
+
+/// Knuth Poisson sampling (rates here are small).
+fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            return k; // unreachable for sane rates; guards against λ→∞
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_params() -> FacilityParams {
+        FacilityParams {
+            nodes: 512,
+            days: 60,
+            seed: 7,
+            arrivals_per_hour: 0.65,
+            ..FacilityParams::default()
+        }
+    }
+
+    #[test]
+    fn trace_is_deterministic() {
+        let a = simulate(&quick_params());
+        let b = simulate(&quick_params());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn power_respects_physical_bounds() {
+        let p = quick_params();
+        let trace = simulate(&p);
+        let floor_mw =
+            p.nodes as f64 * (p.idle_cpu_w + p.non_cpu_w) / 1e6;
+        let ceiling_mw = p.nodes as f64 * (240.0 + p.non_cpu_w) / 1e6;
+        for &mw in &trace.daily_mw {
+            assert!(mw >= floor_mw - 1e-9, "below idle floor: {mw}");
+            assert!(mw <= ceiling_mw + 1e-9, "above TDP ceiling: {mw}");
+        }
+        for &u in &trace.daily_utilization {
+            assert!((0.0..=1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn cluster_is_meaningfully_but_not_fully_utilized() {
+        let trace = simulate(&quick_params());
+        let mean_util = trace.daily_utilization.iter().sum::<f64>()
+            / trace.daily_utilization.len() as f64;
+        assert!(
+            (0.3..0.95).contains(&mean_util),
+            "mean utilization {mean_util}"
+        );
+        assert!(trace.jobs_completed > 100, "only {} jobs", trace.jobs_completed);
+    }
+
+    #[test]
+    fn arrival_rate_has_weekly_and_seasonal_structure() {
+        // The trace itself smears arrival modulation through multi-hour
+        // jobs and queueing (as real clusters do), so the demand model is
+        // tested directly.
+        // Weekday rates beat weekend rates.
+        assert!(arrival_rate(0, 1.0) > arrival_rate(5, 1.0));
+        assert!(arrival_rate(8, 1.0) > arrival_rate(6, 1.0));
+        // Seasonal peak (~day 91) beats the trough (~day 273); both days
+        // fall on weekdays, so the weekday factor cancels.
+        assert!(arrival_rate(91, 1.0) > arrival_rate(273, 1.0));
+        // Rates scale linearly with the base.
+        let r = arrival_rate(10, 2.0) / arrival_rate(10, 1.0);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,328 @@
+//! The policy × mix × budget evaluation grid (Figs. 7 and 8).
+
+use crate::budgets::{BudgetLevel, MixBudgets};
+use crate::mixes::{self, MixKind, WorkloadMix};
+use crate::testbed::Testbed;
+use pmstack_analysis::metrics::SavingsRow;
+use pmstack_analysis::stats::{ci95_half_width, mean};
+use pmstack_core::{apply_job_runtime, evaluate_mix, policies, JobChar, JobSetup, MixEvaluation, PolicyCtx, PolicyKind};
+use pmstack_simhw::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// One evaluated (mix, budget level, policy) cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridCell {
+    /// The workload mix.
+    pub mix: MixKind,
+    /// The over-provisioning level.
+    pub level: BudgetLevel,
+    /// The policy.
+    pub policy: PolicyKind,
+    /// The absolute system budget of this cell.
+    pub budget: Watts,
+    /// Steady total power drawn by the mix.
+    pub total_power: Watts,
+    /// Fig. 7: power drawn as a percentage of the budget.
+    pub pct_of_budget: f64,
+    /// Mean job elapsed time.
+    pub mean_elapsed: Seconds,
+    /// Total mix energy.
+    pub energy: Joules,
+    /// Achieved FLOPS per watt.
+    pub flops_per_watt: f64,
+    /// Energy-delay product.
+    pub edp: f64,
+    /// Relative 95% CI half-width of the mean iteration time.
+    pub time_ci_frac: f64,
+    /// Fig. 8: savings vs the same-cell `StaticCaps` baseline (absent for
+    /// the baseline itself and for `Precharacterized`, which the paper
+    /// omits for running over budget).
+    pub savings: Option<SavingsRow>,
+}
+
+/// The whole grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationGrid {
+    /// Every evaluated cell.
+    pub cells: Vec<GridCell>,
+}
+
+/// Parameters of a grid run.
+#[derive(Debug, Clone, Copy)]
+pub struct GridParams {
+    /// Nodes per job (paper: 100).
+    pub nodes_per_job: usize,
+    /// Iterations per execution (paper: 100).
+    pub iterations: usize,
+    /// Relative per-iteration jitter (paper-scale noise: ~0.01).
+    pub jitter_sigma: f64,
+}
+
+impl Default for GridParams {
+    fn default() -> Self {
+        Self {
+            nodes_per_job: 100,
+            iterations: 100,
+            jitter_sigma: 0.01,
+        }
+    }
+}
+
+impl GridParams {
+    /// Reduced-scale parameters for quick runs and tests.
+    pub fn fast() -> Self {
+        Self {
+            nodes_per_job: 10,
+            iterations: 30,
+            jitter_sigma: 0.01,
+        }
+    }
+}
+
+impl EvaluationGrid {
+    /// Evaluate all six mixes at all three levels under all five policies,
+    /// mixes in parallel.
+    pub fn run(testbed: &Testbed, params: GridParams) -> Self {
+        let kinds = MixKind::all();
+        let mut per_mix: Vec<Option<Vec<GridCell>>> = (0..kinds.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|scope| {
+            for (kind, slot) in kinds.iter().zip(per_mix.iter_mut()) {
+                scope.spawn(move |_| {
+                    *slot = Some(run_mix(testbed, *kind, params));
+                });
+            }
+        })
+        .expect("mix evaluation thread panicked");
+        Self {
+            cells: per_mix
+                .into_iter()
+                .flat_map(|c| c.expect("every mix evaluated"))
+                .collect(),
+        }
+    }
+
+    /// Look up one cell.
+    pub fn cell(&self, mix: MixKind, level: BudgetLevel, policy: PolicyKind) -> &GridCell {
+        self.cells
+            .iter()
+            .find(|c| c.mix == mix && c.level == level && c.policy == policy)
+            .expect("grid covers the full cross product")
+    }
+}
+
+/// Evaluate one mix at all levels under all policies.
+pub fn run_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> Vec<GridCell> {
+    let mix = mixes::build_scaled(kind, params.nodes_per_job);
+    let setups = testbed.place(&mix);
+    let chars: Vec<JobChar> = setups
+        .iter()
+        .map(|s| JobChar::analytic(s.config, testbed.model(), &s.host_eps))
+        .collect();
+    let budgets = MixBudgets::from_characterization(&chars);
+    let spec = testbed.model().spec();
+
+    let mut cells = Vec::new();
+    for level in BudgetLevel::all() {
+        let budget = budgets.get(level);
+        let ctx = PolicyCtx {
+            system_budget: budget,
+            min_node: spec.min_rapl_per_node(),
+            tdp_node: spec.tdp_per_node(),
+        };
+        // Baseline first so the savings rows can reference it.
+        let baseline = eval_policy(
+            testbed, &mix, &setups, &chars, &ctx, PolicyKind::StaticCaps, level, params,
+        );
+        let mut level_cells = vec![cell_from(
+            kind, level, PolicyKind::StaticCaps, budget, &baseline, None,
+        )];
+        for policy in [
+            PolicyKind::Precharacterized,
+            PolicyKind::MinimizeWaste,
+            PolicyKind::JobAdaptive,
+            PolicyKind::MixedAdaptive,
+        ] {
+            let eval = eval_policy(testbed, &mix, &setups, &chars, &ctx, policy, level, params);
+            let savings = (policy != PolicyKind::Precharacterized).then(|| {
+                SavingsRow::from_absolute(
+                    baseline.mean_elapsed().value(),
+                    eval.mean_elapsed().value(),
+                    time_ci_frac(&eval),
+                    baseline.total_energy().value(),
+                    eval.total_energy().value(),
+                    baseline.flops_per_watt(),
+                    eval.flops_per_watt(),
+                )
+            });
+            level_cells.push(cell_from(kind, level, policy, budget, &eval, savings));
+        }
+        cells.extend(level_cells);
+    }
+    cells
+}
+
+fn eval_policy(
+    testbed: &Testbed,
+    mix: &WorkloadMix,
+    setups: &[JobSetup],
+    chars: &[JobChar],
+    ctx: &PolicyCtx,
+    policy: PolicyKind,
+    level: BudgetLevel,
+    params: GridParams,
+) -> MixEvaluation {
+    let policy_impl = policies::by_kind(policy);
+    let mut alloc = policy_impl.allocate(ctx, chars);
+    // Application-aware policies run their jobs under the power balancer
+    // at execution time; model its steady-state effect on the allocation.
+    if policy_impl.application_aware() {
+        alloc = apply_job_runtime(&alloc, chars, ctx);
+    }
+    let seed = cell_seed(mix.kind, level, policy);
+    evaluate_mix(
+        testbed.model(),
+        setups,
+        &alloc,
+        params.iterations,
+        params.jitter_sigma,
+        seed,
+    )
+}
+
+fn cell_from(
+    mix: MixKind,
+    level: BudgetLevel,
+    policy: PolicyKind,
+    budget: Watts,
+    eval: &MixEvaluation,
+    savings: Option<SavingsRow>,
+) -> GridCell {
+    GridCell {
+        mix,
+        level,
+        policy,
+        budget,
+        total_power: eval.total_power(),
+        pct_of_budget: 100.0 * eval.total_power().value() / budget.value(),
+        mean_elapsed: eval.mean_elapsed(),
+        energy: eval.total_energy(),
+        flops_per_watt: eval.flops_per_watt(),
+        edp: eval.energy_delay_product(),
+        time_ci_frac: time_ci_frac(eval),
+        savings,
+    }
+}
+
+/// Relative CI of the mean iteration time, averaged over jobs.
+fn time_ci_frac(eval: &MixEvaluation) -> f64 {
+    let per_job: Vec<f64> = eval
+        .jobs
+        .iter()
+        .map(|j| {
+            let times: Vec<f64> = j.iteration_times.iter().map(|t| t.value()).collect();
+            let m = mean(&times);
+            if m <= 0.0 {
+                0.0
+            } else {
+                ci95_half_width(&times) / m
+            }
+        })
+        .collect();
+    mean(&per_job)
+}
+
+/// A stable seed per grid cell so reruns are bit-identical.
+fn cell_seed(mix: MixKind, level: BudgetLevel, policy: PolicyKind) -> u64 {
+    let m = MixKind::all().iter().position(|&k| k == mix).unwrap_or(0) as u64;
+    let l = BudgetLevel::all().iter().position(|&k| k == level).unwrap_or(0) as u64;
+    let p = PolicyKind::all().iter().position(|&k| k == policy).unwrap_or(0) as u64;
+    0x9E37_79B9 ^ (m << 16) ^ (l << 8) ^ p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_grid() -> (Testbed, EvaluationGrid) {
+        let tb = Testbed::new(400, 7);
+        let grid = EvaluationGrid::run(&tb, GridParams::fast());
+        (tb, grid)
+    }
+
+    #[test]
+    fn grid_covers_full_cross_product() {
+        let (_, grid) = small_grid();
+        assert_eq!(grid.cells.len(), 6 * 3 * 5);
+        for mix in MixKind::all() {
+            for level in BudgetLevel::all() {
+                for policy in PolicyKind::all() {
+                    let c = grid.cell(mix, level, policy);
+                    assert!(c.total_power > Watts::ZERO);
+                    assert!(c.mean_elapsed.value() > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_respecting_policies_stay_at_or_under_100pct() {
+        let (_, grid) = small_grid();
+        for c in &grid.cells {
+            if c.policy != PolicyKind::Precharacterized {
+                assert!(
+                    c.pct_of_budget <= 100.5,
+                    "{} {} {}: {:.1}%",
+                    c.mix,
+                    c.level,
+                    c.policy,
+                    c.pct_of_budget
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn precharacterized_exceeds_tight_budgets() {
+        // Fig. 7: Precharacterized is over budget everywhere except max.
+        let (_, grid) = small_grid();
+        let mut over = 0;
+        for mix in MixKind::all() {
+            let c = grid.cell(mix, BudgetLevel::Min, PolicyKind::Precharacterized);
+            if c.pct_of_budget > 100.0 {
+                over += 1;
+            }
+            let c_max = grid.cell(mix, BudgetLevel::Max, PolicyKind::Precharacterized);
+            assert!(
+                c_max.pct_of_budget <= 100.5,
+                "{mix} max: {:.1}%",
+                c_max.pct_of_budget
+            );
+        }
+        assert!(over >= 5, "only {over} mixes over budget at min");
+    }
+
+    #[test]
+    fn mixed_adaptive_never_loses_time_to_static() {
+        let (_, grid) = small_grid();
+        for c in &grid.cells {
+            if c.policy == PolicyKind::MixedAdaptive {
+                let s = c.savings.expect("dynamic policies carry savings");
+                assert!(
+                    s.time_pct > -1.5,
+                    "{} {}: MixedAdaptive {:.2}% slower than StaticCaps",
+                    c.mix,
+                    c.level,
+                    s.time_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic() {
+        let tb = Testbed::new(400, 7);
+        let a = run_mix(&tb, MixKind::LowPower, GridParams::fast());
+        let b = run_mix(&tb, MixKind::LowPower, GridParams::fast());
+        assert_eq!(a, b);
+    }
+}

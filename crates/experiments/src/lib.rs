@@ -1,0 +1,42 @@
+//! # pmstack-experiments — reproduction of the paper's evaluation
+//!
+//! Everything needed to regenerate the paper's tables and figures against
+//! the simulated stack:
+//!
+//! * [`mixes`] — the six workload mixes of Table II (§V-B).
+//! * [`testbed`] — the evaluation environment: the 2000-node variation
+//!   screen, k-means node selection (§V-A2, Fig. 6), and job placement.
+//! * [`budgets`] — the min/ideal/max system budgets of Table III (§V-C).
+//! * [`grid`] — the policy × mix × budget evaluation grid behind Fig. 7
+//!   and Fig. 8.
+//! * [`facility`] — the facility-scale year simulation behind Fig. 1.
+//! * [`export`] — CSV export of the evaluation grid.
+//! * [`sweep`] — continuous budget sweeps locating policy crossovers.
+//! * [`figures`] — generators for Figs. 1–8.
+//! * [`tables`] — generators for Tables I–III.
+//!
+//! The `repro` binary drives all of it:
+//!
+//! ```text
+//! repro all          # every table and figure
+//! repro fig8         # one artifact
+//! repro fig8 --fast  # reduced scale for quick checks
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budgets;
+pub mod export;
+pub mod facility;
+pub mod figures;
+pub mod grid;
+pub mod mixes;
+pub mod sweep;
+pub mod tables;
+pub mod testbed;
+
+pub use budgets::{BudgetLevel, MixBudgets};
+pub use grid::{EvaluationGrid, GridCell};
+pub use mixes::{MixKind, WorkloadMix};
+pub use testbed::Testbed;

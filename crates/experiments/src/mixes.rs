@@ -1,0 +1,289 @@
+//! The six workload mixes of Table II (§V-B).
+//!
+//! The printed table in the paper is partially garbled; memberships below
+//! are reconstructed from the legible fragments plus the §V-B prose
+//! descriptions of what each mix is *for* (documented per mix). All
+//! multi-job mixes are 9 jobs × 100 nodes; `HighImbalance` is a single
+//! 900-node job.
+
+use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use Imbalance::{Balanced, ThreeX, TwoX};
+use VectorWidth::{Xmm, Ymm};
+use WaitingFraction::{P0, P25, P50, P75};
+
+/// The six mixes of Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MixKind {
+    /// Best case for `MinimizeWaste`: a range of average powers, all used
+    /// power needed for performance (balanced jobs only).
+    NeedUsedPower,
+    /// Best case for `JobAdaptive`: one highly imbalanced job across all
+    /// nodes.
+    HighImbalance,
+    /// Best case for `MixedAdaptive`: unconstrained power consumption far
+    /// exceeds the power needed when balanced for performance.
+    WastefulPower,
+    /// The nine lowest-power configurations.
+    LowPower,
+    /// The nine highest-power configurations.
+    HighPower,
+    /// Nine configurations from a seeded random shuffle of the space.
+    RandomLarge,
+}
+
+impl MixKind {
+    /// All six, in the paper's column order.
+    pub fn all() -> [Self; 6] {
+        [
+            Self::NeedUsedPower,
+            Self::HighImbalance,
+            Self::WastefulPower,
+            Self::LowPower,
+            Self::HighPower,
+            Self::RandomLarge,
+        ]
+    }
+}
+
+impl fmt::Display for MixKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::NeedUsedPower => "NeedUsedPower",
+            Self::HighImbalance => "HighImbalance",
+            Self::WastefulPower => "WastefulPower",
+            Self::LowPower => "LowPower",
+            Self::HighPower => "HighPower",
+            Self::RandomLarge => "RandomLarge",
+        })
+    }
+}
+
+/// A concrete workload mix: named kernel configurations with node counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Which Table II mix this is.
+    pub kind: MixKind,
+    /// `(label, config, nodes)` per job.
+    pub jobs: Vec<(String, KernelConfig, usize)>,
+}
+
+impl WorkloadMix {
+    /// Total nodes across jobs.
+    pub fn total_nodes(&self) -> usize {
+        self.jobs.iter().map(|(_, _, n)| n).sum()
+    }
+}
+
+fn cfg(i: f64, v: VectorWidth, w: WaitingFraction, k: Imbalance) -> KernelConfig {
+    KernelConfig::new(i, v, w, k)
+}
+
+/// Build a Table II mix at the paper's scale (9 × 100 nodes, or 1 × 900).
+pub fn build(kind: MixKind) -> WorkloadMix {
+    build_scaled(kind, 100)
+}
+
+/// Build a mix with `nodes_per_job` nodes per job (scaled-down grids use
+/// smaller jobs; `HighImbalance` always takes 9× that as one job).
+pub fn build_scaled(kind: MixKind, nodes_per_job: usize) -> WorkloadMix {
+    let configs: Vec<KernelConfig> = match kind {
+        // All balanced ymm jobs spanning the intensity range: every watt
+        // consumed is needed, with a spread of average power levels.
+        MixKind::NeedUsedPower => vec![
+            cfg(0.0, Ymm, P0, Balanced),
+            cfg(0.25, Ymm, P0, Balanced),
+            cfg(0.5, Ymm, P0, Balanced),
+            cfg(1.0, Ymm, P0, Balanced),
+            cfg(2.0, Ymm, P0, Balanced),
+            cfg(4.0, Ymm, P0, Balanced),
+            cfg(8.0, Ymm, P0, Balanced),
+            cfg(16.0, Ymm, P0, Balanced),
+            cfg(32.0, Ymm, P0, Balanced),
+        ],
+        // One job, every node: heavy waiting and strong imbalance give the
+        // within-job balancer maximal slack to exploit.
+        MixKind::HighImbalance => {
+            return WorkloadMix {
+                kind,
+                jobs: vec![(
+                    "imbalanced".to_string(),
+                    cfg(16.0, Ymm, P75, ThreeX),
+                    nodes_per_job * 9,
+                )],
+            };
+        }
+        // Polling/imbalance-heavy jobs whose unconstrained draw far exceeds
+        // balanced need, plus two balanced power-bound jobs to receive the
+        // reclaimed watts.
+        MixKind::WastefulPower => vec![
+            cfg(0.25, Ymm, P50, TwoX),
+            cfg(1.0, Ymm, P75, ThreeX),
+            cfg(2.0, Ymm, P25, TwoX),
+            cfg(4.0, Ymm, P75, TwoX),
+            cfg(8.0, Ymm, P75, ThreeX),
+            cfg(8.0, Ymm, P25, ThreeX),
+            cfg(16.0, Ymm, P50, ThreeX),
+            cfg(8.0, Ymm, P0, Balanced),
+            cfg(16.0, Ymm, P0, Balanced),
+        ],
+        // The nine lowest-power configurations: memory-bound intensities,
+        // narrow vectors, plenty of waiting.
+        MixKind::LowPower => vec![
+            cfg(0.0, Ymm, P50, TwoX),
+            cfg(0.0, Ymm, P75, TwoX),
+            cfg(0.25, Ymm, P75, ThreeX),
+            cfg(0.25, Xmm, P50, TwoX),
+            cfg(0.5, Ymm, P75, TwoX),
+            cfg(1.0, Ymm, P75, ThreeX),
+            cfg(0.5, Xmm, P50, ThreeX),
+            cfg(1.0, Ymm, P50, TwoX),
+            cfg(0.25, Ymm, P25, TwoX),
+        ],
+        // The nine highest-power configurations: near-ridge intensities,
+        // wide vectors, mostly balanced — with a few waiting variants whose
+        // needed power sits below their draw, giving the min-budget case
+        // its (small) sharing opportunity.
+        MixKind::HighPower => vec![
+            cfg(4.0, Ymm, P0, Balanced),
+            cfg(8.0, Ymm, P0, Balanced),
+            cfg(16.0, Ymm, P0, Balanced),
+            cfg(8.0, Ymm, P25, TwoX),
+            cfg(8.0, Ymm, P25, ThreeX),
+            cfg(4.0, Ymm, P25, TwoX),
+            cfg(16.0, Ymm, P25, TwoX),
+            cfg(8.0, Ymm, P50, TwoX),
+            cfg(4.0, Ymm, P50, TwoX),
+        ],
+        // Nine draws from a seeded shuffle of the whole configuration
+        // space (§V-B: "nine jobs selected from a random shuffle").
+        MixKind::RandomLarge => {
+            let mut space = Vec::new();
+            for &i in &KernelConfig::heatmap_intensities() {
+                for v in [Xmm, Ymm] {
+                    for w in WaitingFraction::all() {
+                        for k in Imbalance::all() {
+                            // Waiting without imbalance (and vice versa) is
+                            // not in the paper's space except the balanced
+                            // 0% column.
+                            let valid = (w == P0) == (k == Balanced);
+                            if valid {
+                                space.push(cfg(i, v, w, k));
+                            }
+                        }
+                    }
+                }
+            }
+            let mut rng = ChaCha8Rng::seed_from_u64(0x5EED);
+            space.shuffle(&mut rng);
+            space.truncate(9);
+            space
+        }
+    };
+    WorkloadMix {
+        kind,
+        jobs: configs
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (format!("{kind}-j{i}: {}", c.label()), c, nodes_per_job))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_kernel::KernelLoad;
+    use pmstack_simhw::{quartz_spec, PowerModel};
+
+    #[test]
+    fn paper_scale_shapes() {
+        for kind in MixKind::all() {
+            let mix = build(kind);
+            assert_eq!(mix.total_nodes(), 900, "{kind}");
+            if kind == MixKind::HighImbalance {
+                assert_eq!(mix.jobs.len(), 1);
+            } else {
+                assert_eq!(mix.jobs.len(), 9, "{kind}");
+                assert!(mix.jobs.iter().all(|(_, _, n)| *n == 100));
+            }
+        }
+    }
+
+    #[test]
+    fn random_mix_is_reproducible() {
+        assert_eq!(build(MixKind::RandomLarge), build(MixKind::RandomLarge));
+    }
+
+    #[test]
+    fn need_used_power_has_no_wasted_watts() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let mix = build(MixKind::NeedUsedPower);
+        for (label, config, _) in &mix.jobs {
+            let load = KernelLoad::new(*config, model.spec());
+            let used = load.used_power(&model, 1.0);
+            let needed = load.needed_power(&model, 1.0);
+            assert!(
+                (used.value() - needed.value()).abs() < 1e-9,
+                "{label}: used {used} != needed {needed}"
+            );
+        }
+    }
+
+    #[test]
+    fn wasteful_power_has_large_used_needed_gaps() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let mix = build(MixKind::WastefulPower);
+        let gaps: Vec<f64> = mix
+            .jobs
+            .iter()
+            .map(|(_, config, _)| {
+                let load = KernelLoad::new(*config, model.spec());
+                load.used_power(&model, 1.0).value() - load.needed_power(&model, 1.0).value()
+            })
+            .collect();
+        let wasteful = gaps.iter().filter(|g| **g > 10.0).count();
+        assert!(wasteful >= 5, "want >=5 wasteful jobs, gaps {gaps:?}");
+    }
+
+    #[test]
+    fn high_power_outneeds_low_power() {
+        // Uncapped draw is nearly flat across the space (Fig. 4), so the
+        // mixes are distinguished by their performance-aware *needed* power
+        // — exactly how Table III's ideal budgets separate them.
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let avg_needed = |kind| {
+            let mix = build(kind);
+            let total: f64 = mix
+                .jobs
+                .iter()
+                .map(|(_, c, n)| {
+                    KernelLoad::new(*c, model.spec())
+                        .needed_power(&model, 1.0)
+                        .value()
+                        * *n as f64
+                })
+                .sum();
+            total / mix.total_nodes() as f64
+        };
+        let high = avg_needed(MixKind::HighPower);
+        let low = avg_needed(MixKind::LowPower);
+        assert!(
+            high > low + 15.0,
+            "HighPower {high:.1} W vs LowPower {low:.1} W needed"
+        );
+    }
+
+    #[test]
+    fn scaled_mixes_shrink_uniformly() {
+        let mix = build_scaled(MixKind::LowPower, 4);
+        assert_eq!(mix.total_nodes(), 36);
+        let imb = build_scaled(MixKind::HighImbalance, 4);
+        assert_eq!(imb.total_nodes(), 36);
+    }
+}

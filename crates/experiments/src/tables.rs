@@ -1,0 +1,123 @@
+//! Generators for Tables I–III.
+
+use crate::budgets::MixBudgets;
+use crate::mixes::{self, MixKind};
+use crate::testbed::Testbed;
+use pmstack_analysis::render::table;
+use pmstack_core::JobChar;
+use pmstack_simhw::quartz_spec;
+
+/// Table I: the Quartz system properties.
+pub fn table1() -> String {
+    let spec = quartz_spec();
+    let rows = vec![
+        vec!["CPU".to_string(), spec.name.clone()],
+        vec![
+            "Cores Per Node".to_string(),
+            (spec.sockets_per_node * spec.cores_per_socket).to_string(),
+        ],
+        vec![
+            "Cores Used Per Node".to_string(),
+            spec.cores_used_per_node.to_string(),
+        ],
+        vec![
+            "Thermal Design Power".to_string(),
+            format!("{:.0} W per CPU socket", spec.tdp_per_socket.value()),
+        ],
+        vec![
+            "Minimum RAPL Limit".to_string(),
+            format!("{:.0} W per CPU socket", spec.min_rapl_per_socket.value()),
+        ],
+        vec![
+            "Base Frequency".to_string(),
+            format!("{:.1} GHz", spec.f_base.ghz()),
+        ],
+        vec![
+            "All-core Turbo".to_string(),
+            format!("{:.1} GHz", spec.f_turbo.ghz()),
+        ],
+        vec![
+            "DRAM Bandwidth (node)".to_string(),
+            format!("{:.0} GB/s", spec.dram_bw_bytes_per_s / 1e9),
+        ],
+    ];
+    format!(
+        "TABLE I: QUARTZ SYSTEM PROPERTIES\n\n{}",
+        table(&["Property", "Value"], &rows)
+    )
+}
+
+/// Table II: the workloads in each workload mix.
+pub fn table2() -> String {
+    let mut out = String::from("TABLE II: WORKLOADS IN EACH WORKLOAD MIX\n\n");
+    for kind in MixKind::all() {
+        let mix = mixes::build(kind);
+        out.push_str(&format!("{kind} ({} nodes):\n", mix.total_nodes()));
+        for (_, config, nodes) in &mix.jobs {
+            out.push_str(&format!("  {:>4} nodes  {}\n", nodes, config.label()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Table III: the min/ideal/max power budgets for each mix, computed from
+/// the testbed's characterization.
+pub fn table3(testbed: &Testbed, nodes_per_job: usize) -> String {
+    let mut rows = Vec::new();
+    let mut total_tdp_kw = 0.0;
+    for kind in MixKind::all() {
+        let mix = mixes::build_scaled(kind, nodes_per_job);
+        let setups = testbed.place(&mix);
+        let chars: Vec<JobChar> = setups
+            .iter()
+            .map(|s| JobChar::analytic(s.config, testbed.model(), &s.host_eps))
+            .collect();
+        let b = MixBudgets::from_characterization(&chars);
+        total_tdp_kw = testbed.model().spec().tdp_per_node().value() * mix.total_nodes() as f64
+            / 1e3;
+        rows.push(vec![
+            kind.to_string(),
+            format!("{:.0} kW", b.min.kw()),
+            format!("{:.0} kW", b.ideal.kw()),
+            format!("{:.0} kW", b.max.kw()),
+        ]);
+    }
+    format!(
+        "TABLE III: POWER BUDGETS FOR EACH WORKLOAD MIX\n\n{}\n*TDP of all CPUs is {:.0} kW\n",
+        table(&["Workload Mix", "min", "ideal", "max"], &rows),
+        total_tdp_kw
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_paper_constants() {
+        let t = table1();
+        assert!(t.contains("120 W per CPU socket"));
+        assert!(t.contains("68 W per CPU socket"));
+        assert!(t.contains("2.1 GHz"));
+    }
+
+    #[test]
+    fn table2_lists_all_mixes() {
+        let t = table2();
+        for kind in MixKind::all() {
+            assert!(t.contains(&kind.to_string()), "missing {kind}");
+        }
+        assert!(t.contains("900 nodes"));
+    }
+
+    #[test]
+    fn table3_orders_budgets() {
+        let tb = Testbed::new(400, 7);
+        let t = table3(&tb, 10);
+        assert!(t.contains("min"));
+        assert!(t.contains("TDP of all CPUs"));
+        // One row per mix plus the TDP footnote.
+        assert_eq!(t.lines().filter(|l| l.contains("kW")).count(), 7);
+    }
+}

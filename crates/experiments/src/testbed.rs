@@ -1,0 +1,168 @@
+//! The evaluation environment (§V-A).
+//!
+//! Reproduces the paper's node-selection methodology: screen a 2000-node
+//! cluster for hardware variation by measuring each node's achieved
+//! frequency under a 70 W/socket limit with the most power-hungry workload,
+//! k-means the frequencies into three groups (Fig. 6), and run the
+//! experiments on the medium-frequency cluster.
+
+use crate::mixes::WorkloadMix;
+use pmstack_analysis::kmeans::{kmeans_1d, KMeansResult};
+use pmstack_core::JobSetup;
+use pmstack_kernel::{KernelConfig, KernelLoad};
+use pmstack_simhw::{
+    quartz, quartz_spec, Cluster, PowerModel, VariationProfile, Watts,
+};
+
+/// The screened evaluation environment.
+pub struct Testbed {
+    model: PowerModel,
+    /// Achieved frequency (GHz) of every screened node, index = node id.
+    pub screen_freqs_ghz: Vec<f64>,
+    /// The k-means partition of the screen frequencies.
+    pub clusters: KMeansResult,
+    /// Efficiency factors of the nodes selected for experiments
+    /// (the medium/largest frequency cluster).
+    pub selected_eps: Vec<f64>,
+}
+
+impl Testbed {
+    /// Screen `screen_nodes` nodes (paper: 2000) using the hungriest
+    /// heat-map workload under the Fig. 6 70 W/socket limit and select the
+    /// largest k-means cluster.
+    pub fn new(screen_nodes: usize, seed: u64) -> Self {
+        let cluster = Cluster::builder(quartz_spec())
+            .nodes(screen_nodes)
+            .variation(VariationProfile::quartz())
+            .seed(seed)
+            .build()
+            .expect("screen cluster builds");
+        let model = cluster.model().clone();
+
+        // The most power-hungry configuration: near-ridge balanced ymm.
+        let load = KernelLoad::new(KernelConfig::balanced_ymm(8.0), model.spec());
+        let cap = Watts(quartz::VARIATION_SCREEN_CAP_W * 2.0);
+        let screen_freqs_ghz: Vec<f64> = cluster
+            .nodes()
+            .iter()
+            .map(|n| load.achieved_frequency(&model, n.eps(), cap).ghz())
+            .collect();
+
+        let clusters = kmeans_1d(&screen_freqs_ghz, 3);
+        let medium = clusters.largest_cluster();
+        let selected_eps: Vec<f64> = clusters
+            .members(medium)
+            .into_iter()
+            .map(|i| cluster.nodes()[i].eps())
+            .collect();
+
+        Self {
+            model,
+            screen_freqs_ghz,
+            clusters,
+            selected_eps,
+        }
+    }
+
+    /// The paper-scale testbed: 2000 screened nodes, seed 42.
+    pub fn paper_scale() -> Self {
+        Self::new(quartz::VARIATION_SCREEN_NODES, 42)
+    }
+
+    /// The machine/power model shared by all nodes.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Number of selectable nodes.
+    pub fn capacity(&self) -> usize {
+        self.selected_eps.len()
+    }
+
+    /// Place a mix's jobs on the selected nodes, first-fit in mix order.
+    ///
+    /// # Panics
+    /// If the mix needs more nodes than the selected cluster provides.
+    pub fn place(&self, mix: &WorkloadMix) -> Vec<JobSetup> {
+        assert!(
+            mix.total_nodes() <= self.capacity(),
+            "mix needs {} nodes; testbed has {}",
+            mix.total_nodes(),
+            self.capacity()
+        );
+        let mut next = 0usize;
+        mix.jobs
+            .iter()
+            .map(|(_, config, n)| {
+                let eps = self.selected_eps[next..next + n].to_vec();
+                next += n;
+                JobSetup {
+                    config: *config,
+                    host_eps: eps,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mixes::{build_scaled, MixKind};
+
+    #[test]
+    fn screen_produces_three_frequency_groups() {
+        let tb = Testbed::new(600, 7);
+        assert_eq!(tb.clusters.sizes.len(), 3);
+        assert!(tb.clusters.sizes.iter().all(|&s| s > 30));
+        // Centroids are distinct and ordered.
+        let c = &tb.clusters.centroids;
+        assert!(c[0] < c[1] && c[1] < c[2]);
+    }
+
+    #[test]
+    fn medium_cluster_is_selected() {
+        let tb = Testbed::new(600, 7);
+        let medium = tb.clusters.largest_cluster();
+        assert_eq!(tb.capacity(), tb.clusters.sizes[medium]);
+        // Medium-cluster nodes have mid-range efficiency: spread is far
+        // narrower than the full tri-modal profile.
+        let min = tb.selected_eps.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = tb
+            .selected_eps
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min < 0.09, "selected spread {}", max - min);
+    }
+
+    #[test]
+    fn paper_scale_selects_enough_nodes_for_a_mix() {
+        let tb = Testbed::paper_scale();
+        // Fig. 6's medium cluster is 918 of 2000; ±60 tolerance for seed.
+        assert!(
+            (850..=990).contains(&tb.capacity()),
+            "selected {}",
+            tb.capacity()
+        );
+        assert!(tb.capacity() >= 900, "need 900 nodes for a mix");
+    }
+
+    #[test]
+    fn placement_covers_all_jobs_without_overlap() {
+        let tb = Testbed::new(600, 7);
+        let mix = build_scaled(MixKind::LowPower, 10);
+        let setups = tb.place(&mix);
+        assert_eq!(setups.len(), 9);
+        let total: usize = setups.iter().map(|s| s.host_eps.len()).sum();
+        assert_eq!(total, 90);
+    }
+
+    #[test]
+    #[should_panic(expected = "mix needs")]
+    fn oversized_mix_panics() {
+        let tb = Testbed::new(60, 7);
+        let mix = build_scaled(MixKind::HighPower, 100);
+        tb.place(&mix);
+    }
+}

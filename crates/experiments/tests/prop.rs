@@ -1,0 +1,121 @@
+//! Property-based tests of the evaluation layer: the paper's structural
+//! guarantees must hold for any seed, any scale, and any budget.
+
+use pmstack_core::{JobChar, PolicyKind};
+use pmstack_experiments::budgets::MixBudgets;
+use pmstack_experiments::grid::{run_mix, GridParams};
+use pmstack_experiments::mixes::{self, MixKind};
+use pmstack_experiments::Testbed;
+use proptest::prelude::*;
+
+fn arb_mix() -> impl Strategy<Value = MixKind> {
+    prop_oneof![
+        Just(MixKind::NeedUsedPower),
+        Just(MixKind::HighImbalance),
+        Just(MixKind::WastefulPower),
+        Just(MixKind::LowPower),
+        Just(MixKind::HighPower),
+        Just(MixKind::RandomLarge),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Table III's ordering (min ≤ ideal ≤ max ≤ mix TDP) holds for every
+    /// mix under any variation seed and job size.
+    #[test]
+    fn budget_ordering_is_seed_invariant(
+        kind in arb_mix(),
+        seed in 0u64..500,
+        nodes_per_job in 2usize..8,
+    ) {
+        let tb = Testbed::new(nodes_per_job * 9 * 2 + 50, seed);
+        let mix = mixes::build_scaled(kind, nodes_per_job);
+        let setups = tb.place(&mix);
+        let chars: Vec<JobChar> = setups
+            .iter()
+            .map(|s| JobChar::analytic(s.config, tb.model(), &s.host_eps))
+            .collect();
+        let b = MixBudgets::from_characterization(&chars);
+        prop_assert!(b.min <= b.ideal);
+        prop_assert!(b.ideal <= b.max);
+        let tdp = tb.model().spec().tdp_per_node() * mix.total_nodes() as f64;
+        prop_assert!(b.max <= tdp + pmstack_simhw::Watts(1e-6));
+    }
+
+    /// For any seed and mix, the grid's structural invariants hold: budget-
+    /// respecting policies stay at or under 100% utilization and
+    /// MixedAdaptive never meaningfully loses time to StaticCaps.
+    #[test]
+    fn grid_invariants_hold_for_any_seed(kind in arb_mix(), seed in 0u64..200) {
+        let tb = Testbed::new(160, seed);
+        let params = GridParams {
+            nodes_per_job: 3,
+            iterations: 10,
+            jitter_sigma: 0.005,
+        };
+        let cells = run_mix(&tb, kind, params);
+        prop_assert_eq!(cells.len(), 15);
+        for c in &cells {
+            prop_assert!(c.mean_elapsed.value() > 0.0);
+            prop_assert!(c.energy.value() > 0.0);
+            if c.policy != PolicyKind::Precharacterized {
+                prop_assert!(
+                    c.pct_of_budget <= 100.5,
+                    "{} {} {}: {:.1}%",
+                    c.mix, c.level, c.policy, c.pct_of_budget
+                );
+            }
+            if c.policy == PolicyKind::MixedAdaptive {
+                let s = c.savings.expect("savings present");
+                prop_assert!(
+                    s.time_pct > -2.0,
+                    "{} {}: {:.2}% loss",
+                    c.mix, c.level, s.time_pct
+                );
+            }
+        }
+    }
+
+    /// The node screen always yields three ordered clusters whose members
+    /// partition the population, for any seed.
+    #[test]
+    fn screen_partition_is_valid_for_any_seed(seed in 0u64..500, n in 120usize..400) {
+        let tb = Testbed::new(n, seed);
+        prop_assert_eq!(tb.clusters.sizes.iter().sum::<usize>(), n);
+        prop_assert_eq!(tb.screen_freqs_ghz.len(), n);
+        let c = &tb.clusters.centroids;
+        prop_assert!(c[0] <= c[1] && c[1] <= c[2]);
+        // Frequencies land on the physical range.
+        for &f in &tb.screen_freqs_ghz {
+            prop_assert!((1.2..=2.6).contains(&f), "frequency {f} out of range");
+        }
+        // The selected cluster is the largest.
+        let max = tb.clusters.sizes.iter().copied().max().unwrap();
+        prop_assert_eq!(tb.capacity(), max);
+    }
+
+    /// Facility simulation invariants for any seed: utilization bounded,
+    /// power within the idle-to-TDP envelope, determinism per seed.
+    #[test]
+    fn facility_invariants_for_any_seed(seed in 0u64..200) {
+        use pmstack_experiments::facility::{simulate, FacilityParams};
+        let params = FacilityParams {
+            nodes: 256,
+            days: 14,
+            seed,
+            arrivals_per_hour: 0.4,
+            ..FacilityParams::default()
+        };
+        let a = simulate(&params);
+        let b = simulate(&params);
+        prop_assert_eq!(&a, &b, "determinism per seed");
+        for (&mw, &u) in a.daily_mw.iter().zip(&a.daily_utilization) {
+            prop_assert!((0.0..=1.0).contains(&u));
+            let floor = 256.0 * (80.0 + 140.0) / 1e6;
+            let ceil = 256.0 * (240.0 + 140.0) / 1e6;
+            prop_assert!(mw >= floor - 1e-9 && mw <= ceil + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-core activity coefficients κ.
+//!
+//! The node power model in `pmstack-simhw` takes a dimensionless activity
+//! coefficient per core class; this module derives those coefficients from
+//! a kernel configuration via the roofline utilizations:
+//!
+//! ```text
+//! κ_compute = a_vec·u_fpu + b·u_mem + e·u_mem/(1 + I) + c0
+//! ```
+//!
+//! * `u_fpu` — floating-point unit utilization (achieved FLOP rate over the
+//!   vector-width-specific peak),
+//! * `u_mem` — memory-system utilization (achieved bandwidth over the
+//!   per-core share of node DRAM bandwidth),
+//! * the `e·u_mem/(1+I)` term models load-stream front-end activity that
+//!   dominates at very low intensity (why the 0.25 F/B row of Fig. 4 is
+//!   hotter than the 1 F/B row),
+//! * `c0` — base pipeline activity of a busy core.
+//!
+//! The constants are calibrated so the uncapped heat map of Fig. 4
+//! (207–232 W per node across the `ymm` grid, peak near the ridge intensity,
+//! insensitive to imbalance) is reproduced; see DESIGN.md §4.2.
+
+use crate::config::{KernelConfig, VectorWidth};
+use pmstack_simhw::MachineSpec;
+use serde::{Deserialize, Serialize};
+
+/// FPU activity weight for the 256-bit path.
+pub const A_YMM: f64 = 0.754;
+/// FPU activity weight for the 128-bit path.
+pub const A_XMM: f64 = 0.60;
+/// FPU activity weight for the scalar path.
+pub const A_SCALAR: f64 = 0.42;
+/// Memory-system activity weight.
+pub const B_MEM: f64 = 0.422;
+/// Load-stream front-end activity weight.
+pub const E_LOAD: f64 = 0.515;
+/// Base activity of any busy core.
+pub const C_BASE: f64 = 1.815;
+/// Activity of a core spin-polling at `MPI_Barrier`. Spin loops retire at
+/// high IPC, so polling power is ≈93% of typical compute power — which is
+/// what makes the uncapped power of Fig. 4 insensitive to imbalance.
+pub const KAPPA_POLL: f64 = 2.45;
+
+fn a_vec(vector: VectorWidth) -> f64 {
+    match vector {
+        VectorWidth::Scalar => A_SCALAR,
+        VectorWidth::Xmm => A_XMM,
+        VectorWidth::Ymm => A_YMM,
+    }
+}
+
+/// Roofline utilizations and the resulting activity coefficient for one
+/// kernel configuration on one machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActivityCoeffs {
+    /// FPU utilization in `[0, 1]`.
+    pub u_fpu: f64,
+    /// Memory-system utilization in `[0, 1]`.
+    pub u_mem: f64,
+    /// Activity coefficient of a computing core.
+    pub kappa_compute: f64,
+    /// Activity coefficient of a polling core.
+    pub kappa_poll: f64,
+}
+
+impl ActivityCoeffs {
+    /// Derive the coefficients for `config` on `spec`, given the per-core
+    /// share of DRAM bandwidth (which depends on how many ranks on the node
+    /// are actually streaming memory).
+    pub fn derive(config: &KernelConfig, spec: &MachineSpec, bw_share_bytes_per_s: f64) -> Self {
+        let peak_flops = config.vector.flops_per_cycle() * spec.f_turbo.value();
+        let (u_fpu, u_mem) = if config.intensity == 0.0 {
+            // Pure streaming: no FP work, memory saturated.
+            (0.0, 1.0)
+        } else {
+            // Achieved byte rate is roofline-limited; utilizations follow.
+            let byte_rate = (peak_flops / config.intensity).min(bw_share_bytes_per_s);
+            let flop_rate = byte_rate * config.intensity;
+            (flop_rate / peak_flops, byte_rate / bw_share_bytes_per_s)
+        };
+        let kappa_compute = a_vec(config.vector) * u_fpu
+            + B_MEM * u_mem
+            + E_LOAD * u_mem / (1.0 + config.intensity)
+            + C_BASE;
+        Self {
+            u_fpu,
+            u_mem,
+            kappa_compute,
+            kappa_poll: KAPPA_POLL,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::KernelConfig;
+    use pmstack_simhw::quartz_spec;
+
+    fn coeffs(intensity: f64) -> ActivityCoeffs {
+        let spec = quartz_spec();
+        let bw_share = spec.dram_bw_bytes_per_s / spec.cores_used_per_node as f64;
+        ActivityCoeffs::derive(&KernelConfig::balanced_ymm(intensity), &spec, bw_share)
+    }
+
+    #[test]
+    fn utilizations_are_bounded() {
+        for &i in &[0.0, 0.25, 1.0, 8.0, 32.0, 1000.0] {
+            let c = coeffs(i);
+            assert!((0.0..=1.0).contains(&c.u_fpu), "u_fpu at I={i}");
+            assert!((0.0..=1.0).contains(&c.u_mem), "u_mem at I={i}");
+        }
+    }
+
+    #[test]
+    fn memory_bound_below_ridge_compute_bound_above() {
+        // Quartz ymm ridge ≈ 9.4 F/B (16 f/c · 2.6 GHz over 4.4 GB/s/core).
+        let low = coeffs(1.0);
+        assert!((low.u_mem - 1.0).abs() < 1e-12);
+        assert!(low.u_fpu < 0.2);
+        let high = coeffs(32.0);
+        assert!((high.u_fpu - 1.0).abs() < 1e-12);
+        assert!(high.u_mem < 0.5);
+    }
+
+    #[test]
+    fn activity_peaks_near_ridge() {
+        // Fig. 4: the hottest row of the heat map is the mid-intensity one,
+        // where both the FPU and the memory system are near saturation.
+        let k8 = coeffs(8.0).kappa_compute;
+        assert!(k8 > coeffs(1.0).kappa_compute);
+        assert!(k8 > coeffs(32.0).kappa_compute);
+    }
+
+    #[test]
+    fn low_intensity_dip_reproduced() {
+        // Fig. 4: the 0.25 F/B row is hotter than the 1 F/B row (load-stream
+        // activity), even though both are fully memory bound.
+        assert!(coeffs(0.25).kappa_compute > coeffs(1.0).kappa_compute);
+    }
+
+    #[test]
+    fn wider_vectors_burn_more_power_when_compute_bound() {
+        let spec = quartz_spec();
+        let bw = spec.dram_bw_bytes_per_s / spec.cores_used_per_node as f64;
+        let mk = |v| {
+            let mut c = KernelConfig::balanced_ymm(32.0);
+            c.vector = v;
+            ActivityCoeffs::derive(&c, &spec, bw).kappa_compute
+        };
+        // All three widths are compute-bound at 32 F/B, so κ follows a_vec.
+        assert!(mk(VectorWidth::Ymm) > mk(VectorWidth::Xmm));
+        assert!(mk(VectorWidth::Xmm) > mk(VectorWidth::Scalar));
+    }
+
+    #[test]
+    fn poll_activity_is_near_compute_activity() {
+        // The Fig. 4 imbalance-insensitivity requires κ_poll within ~10% of
+        // typical compute κ.
+        let typical = coeffs(1.0).kappa_compute;
+        let ratio = KAPPA_POLL / typical;
+        assert!((0.85..=1.05).contains(&ratio), "poll/compute ratio {ratio}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Per-node rank composition.
+//!
+//! Every node of a job runs the same kernel configuration with one rank per
+//! used core. Ranks fall into three classes (Fig. 2):
+//!
+//! * **waiting** ranks poll at the barrier for the whole iteration,
+//! * **critical** ranks carry the (possibly multiplied) largest work and
+//!   define the iteration's elapsed time,
+//! * **common** ranks carry the base work, finish early when the
+//!   configuration is imbalanced, and poll for the remainder.
+
+use crate::config::{Imbalance, KernelConfig};
+use serde::{Deserialize, Serialize};
+
+/// Fraction of ranks designated as critical in imbalanced configurations
+/// (the "Imbalance Work" slice of Fig. 2).
+pub const CRITICAL_FRACTION: f64 = 0.125;
+
+/// Counts of each rank class on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RankComposition {
+    /// Ranks polling the whole iteration.
+    pub waiting: usize,
+    /// Ranks on the critical path.
+    pub critical: usize,
+    /// Working ranks not on the critical path.
+    pub common: usize,
+}
+
+impl RankComposition {
+    /// Partition `cores` ranks according to the configuration.
+    ///
+    /// Waiting ranks take `round(waiting · cores)`. In an imbalanced
+    /// configuration, `round(CRITICAL_FRACTION · cores)` of the remaining
+    /// ranks (at least one) carry the multiplied work; the rest are common.
+    /// In a balanced configuration every working rank is on the critical
+    /// path and the common class is empty.
+    pub fn for_node(config: &KernelConfig, cores: usize) -> Self {
+        assert!(cores > 0, "a node must run at least one rank");
+        let waiting = ((config.waiting.fraction() * cores as f64).round() as usize).min(cores - 1);
+        let working = cores - waiting;
+        match config.imbalance {
+            Imbalance::Balanced => Self {
+                waiting,
+                critical: working,
+                common: 0,
+            },
+            _ => {
+                let critical = ((CRITICAL_FRACTION * cores as f64).round() as usize)
+                    .clamp(1, working);
+                Self {
+                    waiting,
+                    critical,
+                    common: working - critical,
+                }
+            }
+        }
+    }
+
+    /// Total ranks.
+    pub fn total(&self) -> usize {
+        self.waiting + self.critical + self.common
+    }
+
+    /// Working (non-polling) ranks.
+    pub fn working(&self) -> usize {
+        self.critical + self.common
+    }
+
+    /// Sum of work multipliers across ranks, in units of the common work:
+    /// `critical·k + common`. Used for per-node FLOP and byte totals.
+    pub fn total_work_units(&self, imbalance: Imbalance) -> f64 {
+        self.critical as f64 * imbalance.factor() + self.common as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{VectorWidth, WaitingFraction};
+
+    fn cfg(w: WaitingFraction, k: Imbalance) -> KernelConfig {
+        KernelConfig::new(8.0, VectorWidth::Ymm, w, k)
+    }
+
+    #[test]
+    fn balanced_no_waiting_is_all_critical() {
+        let c = RankComposition::for_node(&cfg(WaitingFraction::P0, Imbalance::Balanced), 34);
+        assert_eq!(
+            c,
+            RankComposition {
+                waiting: 0,
+                critical: 34,
+                common: 0
+            }
+        );
+    }
+
+    #[test]
+    fn partition_always_totals_cores() {
+        for w in WaitingFraction::all() {
+            for k in Imbalance::all() {
+                let c = RankComposition::for_node(&cfg(w, k), 34);
+                assert_eq!(c.total(), 34, "{w} {k}");
+                assert!(c.critical >= 1, "{w} {k} must keep a critical rank");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_composition_75pct_2x() {
+        // 75% of 34 ranks wait (26); of the remaining 8, ~12.5% of the node
+        // (4 ranks) carry the imbalanced work.
+        let c = RankComposition::for_node(&cfg(WaitingFraction::P75, Imbalance::TwoX), 34);
+        assert_eq!(c.waiting, 26);
+        assert_eq!(c.critical, 4);
+        assert_eq!(c.common, 4);
+    }
+
+    #[test]
+    fn waiting_never_consumes_all_cores() {
+        let c = RankComposition::for_node(&cfg(WaitingFraction::P75, Imbalance::Balanced), 2);
+        assert!(c.working() >= 1);
+    }
+
+    #[test]
+    fn work_units_weight_critical_ranks() {
+        let c = RankComposition::for_node(&cfg(WaitingFraction::P50, Imbalance::ThreeX), 34);
+        // 17 waiting, 4 critical at 3x, 13 common.
+        assert_eq!(c.waiting, 17);
+        assert_eq!(c.critical, 4);
+        assert_eq!(c.common, 13);
+        assert_eq!(c.total_work_units(Imbalance::ThreeX), 4.0 * 3.0 + 13.0);
+    }
+
+    #[test]
+    fn single_core_node_is_one_critical_rank() {
+        let c = RankComposition::for_node(&cfg(WaitingFraction::P0, Imbalance::TwoX), 1);
+        assert_eq!(c.critical, 1);
+        assert_eq!(c.waiting + c.common, 0);
+    }
+}

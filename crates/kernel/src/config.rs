@@ -1,0 +1,298 @@
+//! Kernel configuration space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Vector register width used by the compute phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum VectorWidth {
+    /// Scalar double-precision adds/multiplies.
+    Scalar,
+    /// 128-bit (`xmm`) packed double FMA.
+    Xmm,
+    /// 256-bit (`ymm`) packed double FMA.
+    Ymm,
+}
+
+impl VectorWidth {
+    /// Double-precision FLOPs retired per core per cycle at this width on
+    /// the Broadwell part (two FMA ports; FMA counts two FLOPs per lane).
+    pub fn flops_per_cycle(self) -> f64 {
+        match self {
+            Self::Scalar => 2.0,
+            Self::Xmm => 8.0,
+            Self::Ymm => 16.0,
+        }
+    }
+
+    /// All widths, narrow to wide.
+    pub fn all() -> [Self; 3] {
+        [Self::Scalar, Self::Xmm, Self::Ymm]
+    }
+}
+
+impl fmt::Display for VectorWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Scalar => "scalar",
+            Self::Xmm => "xmm",
+            Self::Ymm => "ymm",
+        })
+    }
+}
+
+/// Fraction of ranks polling at the barrier for the whole iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum WaitingFraction {
+    /// No waiting ranks.
+    P0,
+    /// 25% of ranks wait.
+    P25,
+    /// 50% of ranks wait.
+    P50,
+    /// 75% of ranks wait.
+    P75,
+}
+
+impl WaitingFraction {
+    /// The fraction as a number in `[0, 1)`.
+    pub fn fraction(self) -> f64 {
+        match self {
+            Self::P0 => 0.0,
+            Self::P25 => 0.25,
+            Self::P50 => 0.50,
+            Self::P75 => 0.75,
+        }
+    }
+
+    /// All levels used in the paper.
+    pub fn all() -> [Self; 4] {
+        [Self::P0, Self::P25, Self::P50, Self::P75]
+    }
+}
+
+impl fmt::Display for WaitingFraction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0}%", self.fraction() * 100.0)
+    }
+}
+
+/// Work multiplier carried by the designated critical ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Imbalance {
+    /// Balanced: every working rank does the common work.
+    Balanced,
+    /// Critical ranks carry 2× the common work.
+    TwoX,
+    /// Critical ranks carry 3× the common work.
+    ThreeX,
+}
+
+impl Imbalance {
+    /// The critical-rank work multiplier.
+    pub fn factor(self) -> f64 {
+        match self {
+            Self::Balanced => 1.0,
+            Self::TwoX => 2.0,
+            Self::ThreeX => 3.0,
+        }
+    }
+
+    /// All levels used in the paper.
+    pub fn all() -> [Self; 3] {
+        [Self::Balanced, Self::TwoX, Self::ThreeX]
+    }
+}
+
+impl fmt::Display for Imbalance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Balanced => "1x",
+            Self::TwoX => "2x",
+            Self::ThreeX => "3x",
+        })
+    }
+}
+
+/// One configuration of the synthetic kernel — the unit the paper calls a
+/// "workload".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelConfig {
+    /// Computational intensity in FLOPs per byte. Zero is the pure memory-
+    /// streaming configuration (Table II's "0 FLOPs/byte" workloads).
+    pub intensity: f64,
+    /// Vector register width of the compute phase.
+    pub vector: VectorWidth,
+    /// Fraction of ranks polling at the barrier.
+    pub waiting: WaitingFraction,
+    /// Critical-rank work multiplier.
+    pub imbalance: Imbalance,
+    /// Bytes of memory traffic per rank per iteration (common work unit).
+    pub bytes_per_rank: f64,
+    /// Iterations per execution (the paper measures 100).
+    pub iterations: usize,
+}
+
+impl KernelConfig {
+    /// Default per-rank memory traffic per iteration: 2 GB, giving
+    /// iteration times on the order of half a second at full speed.
+    pub const DEFAULT_BYTES_PER_RANK: f64 = 2e9;
+    /// Default iteration count (paper: 100 iterations per configuration).
+    pub const DEFAULT_ITERATIONS: usize = 100;
+
+    /// A balanced `ymm` configuration at the given intensity — the most
+    /// common shape in the paper's mixes.
+    pub fn balanced_ymm(intensity: f64) -> Self {
+        Self::new(
+            intensity,
+            VectorWidth::Ymm,
+            WaitingFraction::P0,
+            Imbalance::Balanced,
+        )
+    }
+
+    /// A fully specified configuration with default work size.
+    pub fn new(
+        intensity: f64,
+        vector: VectorWidth,
+        waiting: WaitingFraction,
+        imbalance: Imbalance,
+    ) -> Self {
+        Self {
+            intensity,
+            vector,
+            waiting,
+            imbalance,
+            bytes_per_rank: Self::DEFAULT_BYTES_PER_RANK,
+            iterations: Self::DEFAULT_ITERATIONS,
+        }
+    }
+
+    /// Validate the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.intensity.is_finite() && self.intensity >= 0.0) {
+            return Err(format!("intensity must be >= 0, got {}", self.intensity));
+        }
+        if !(self.bytes_per_rank.is_finite() && self.bytes_per_rank > 0.0) {
+            return Err(format!(
+                "bytes_per_rank must be positive, got {}",
+                self.bytes_per_rank
+            ));
+        }
+        if self.iterations == 0 {
+            return Err("iterations must be >= 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Human-readable label, e.g. `"ymm 16 F/B, 25% waiting, 2x"`.
+    pub fn label(&self) -> String {
+        let intensity = if self.intensity >= 1.0 || self.intensity == 0.0 {
+            format!("{:.0}", self.intensity)
+        } else {
+            format!("{}", self.intensity)
+        };
+        format!(
+            "{} {} F/B, {} waiting, {}",
+            self.vector, intensity, self.waiting, self.imbalance
+        )
+    }
+
+    /// The intensity sweep used by the Fig. 4 / Fig. 5 heat-map rows.
+    pub fn heatmap_intensities() -> [f64; 8] {
+        [0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0]
+    }
+
+    /// The (waiting, imbalance) columns of the Fig. 4 / Fig. 5 heat maps:
+    /// `0%`, then 25/50/75% waiting each at 2× and 3× imbalance.
+    pub fn heatmap_columns() -> [(WaitingFraction, Imbalance); 7] {
+        use Imbalance::*;
+        use WaitingFraction::*;
+        [
+            (P0, Balanced),
+            (P25, TwoX),
+            (P25, ThreeX),
+            (P50, TwoX),
+            (P50, ThreeX),
+            (P75, TwoX),
+            (P75, ThreeX),
+        ]
+    }
+
+    /// The full Fig. 4 / Fig. 5 grid for a vector width (rows × columns).
+    pub fn heatmap_grid(vector: VectorWidth) -> Vec<KernelConfig> {
+        let mut grid = Vec::new();
+        for &i in &Self::heatmap_intensities() {
+            for &(w, k) in &Self::heatmap_columns() {
+                grid.push(KernelConfig::new(i, vector, w, k));
+            }
+        }
+        grid
+    }
+}
+
+impl fmt::Display for KernelConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_per_cycle_doubles_with_width() {
+        assert_eq!(VectorWidth::Xmm.flops_per_cycle(), 8.0);
+        assert_eq!(
+            VectorWidth::Ymm.flops_per_cycle(),
+            2.0 * VectorWidth::Xmm.flops_per_cycle()
+        );
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let c = KernelConfig::new(
+            16.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P25,
+            Imbalance::TwoX,
+        );
+        assert_eq!(c.label(), "ymm 16 F/B, 25% waiting, 2x");
+        let c = KernelConfig::balanced_ymm(0.25);
+        assert_eq!(c.label(), "ymm 0.25 F/B, 0% waiting, 1x");
+    }
+
+    #[test]
+    fn validation() {
+        assert!(KernelConfig::balanced_ymm(8.0).validate().is_ok());
+        assert!(KernelConfig::balanced_ymm(-1.0).validate().is_err());
+        let mut c = KernelConfig::balanced_ymm(8.0);
+        c.bytes_per_rank = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = KernelConfig::balanced_ymm(8.0);
+        c.iterations = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn heatmap_grid_shape_matches_figures() {
+        let g = KernelConfig::heatmap_grid(VectorWidth::Ymm);
+        assert_eq!(g.len(), 8 * 7);
+        // First column of each row is the balanced configuration.
+        assert_eq!(g[0].waiting, WaitingFraction::P0);
+        assert_eq!(g[0].imbalance, Imbalance::Balanced);
+    }
+
+    #[test]
+    fn zero_intensity_is_valid_pure_streaming() {
+        let c = KernelConfig::new(
+            0.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P50,
+            Imbalance::Balanced,
+        );
+        assert!(c.validate().is_ok());
+        assert_eq!(c.label(), "ymm 0 F/B, 50% waiting, 1x");
+    }
+}

@@ -1,0 +1,42 @@
+//! # pmstack-kernel — the synthetic arithmetic-intensity benchmark
+//!
+//! The paper's workloads are instances of a synthetic kernel (derived from
+//! Choi et al.'s roofline-of-energy benchmark) with four knobs that shape a
+//! job's power/performance signature (§IV-A, Fig. 2):
+//!
+//! * **computational intensity** — FLOPs per byte of memory traffic,
+//! * **vector width** — scalar / 128-bit `xmm` / 256-bit `ymm` FMA paths,
+//! * **percent of waiting ranks** — ranks that poll at `MPI_Barrier` the
+//!   whole iteration, consuming power without making progress,
+//! * **work imbalance** — designated critical ranks carry 2× or 3× the
+//!   common work, so only they are on the bulk-synchronous critical path.
+//!
+//! This crate provides both:
+//!
+//! * an **analytic model** of the kernel against the simulated machine —
+//!   roofline-limited iteration time, per-core-class activity coefficients,
+//!   and a [`simhw::LoadModel`](pmstack_simhw::LoadModel) implementation
+//!   whose `operating_point` models the PCU demoting spin-polling cores
+//!   before the critical path (the behaviour the GEOPM power balancer
+//!   exploits), and
+//! * a **native executable micro-kernel** ([`native`]) that runs real
+//!   FMA/load loops at a configurable intensity, for calibration on real
+//!   hardware.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod activity;
+pub mod composition;
+pub mod config;
+pub mod load;
+pub mod native;
+pub mod perf;
+pub mod phases;
+
+pub use activity::{ActivityCoeffs, KAPPA_POLL};
+pub use composition::RankComposition;
+pub use config::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+pub use load::KernelLoad;
+pub use perf::PerfModel;
+pub use phases::{Phase, PhasedWorkload};

@@ -1,0 +1,328 @@
+//! The kernel as a hardware load: power as a function of the operating
+//! point, and the PCU demotion logic under a cap.
+//!
+//! A node running the kernel has three core classes (critical, common,
+//! waiting — see [`crate::composition`]). The package control unit resolves
+//! a power cap in two stages, mirroring per-core p-state hardware:
+//!
+//! 1. **Uncapped** — with power headroom, everything races at the turbo
+//!    ceiling, including spin loops (this is why the uncapped power of
+//!    Fig. 4 is insensitive to imbalance).
+//! 2. **Trail demotion** — when the cap binds, cores with pause-idle cycles
+//!    (polling and slack ranks) are demoted first, down to the spin floor
+//!    frequency, while the critical path stays at turbo. This region is the
+//!    power the GEOPM balancer can harvest with *zero* performance loss —
+//!    the gap between Fig. 4 (used) and Fig. 5 (needed).
+//! 3. **Lead throttle** — below that, everybody slows together and the
+//!    iteration stretches.
+
+use crate::config::KernelConfig;
+use crate::perf::PerfModel;
+use pmstack_simhw::power::{CoreClass, OperatingPoint};
+use pmstack_simhw::{Hertz, Joules, LoadModel, MachineSpec, PowerModel, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// A kernel configuration bound to a machine, usable as a
+/// [`LoadModel`] by the simulated nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelLoad {
+    perf: PerfModel,
+    poll_floor: Hertz,
+    f_turbo: Hertz,
+}
+
+impl KernelLoad {
+    /// Bind `config` to the machine described by `spec`.
+    pub fn new(config: KernelConfig, spec: &MachineSpec) -> Self {
+        Self {
+            perf: PerfModel::new(config, spec),
+            poll_floor: spec.poll_freq_floor,
+            f_turbo: spec.f_turbo,
+        }
+    }
+
+    /// The underlying performance model.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &KernelConfig {
+        self.perf.config()
+    }
+
+    /// The frequency of the *common* (partially busy) cores when fully
+    /// waiting cores run at `trail`: the PCU demotes a core in proportion to
+    /// its pause-idle duty cycle, so a common core that computes `1/k` of
+    /// the iteration only trails `(1 - 1/k)` of the way from the lead
+    /// frequency to the waiting cores' frequency.
+    fn common_freq(&self, lead: Hertz, trail: Hertz) -> Hertz {
+        let k = self.config().imbalance.factor();
+        let idle_frac = 1.0 - 1.0 / k;
+        (lead - (lead - trail) * idle_frac).max(trail)
+    }
+
+    /// Node power with critical cores at `lead` and fully-waiting cores at
+    /// `trail`; common cores sit between the two, trailing in proportion to
+    /// their pause-idle duty cycle.
+    pub fn power(&self, model: &PowerModel, eps: f64, lead: Hertz, trail: Hertz) -> Watts {
+        let comp = self.perf.composition();
+        let coeffs = self.perf.coeffs();
+        let f_common = self.common_freq(lead, trail);
+        let common_frac = self.perf.common_compute_fraction(lead, f_common);
+        let kappa_common =
+            common_frac * coeffs.kappa_compute + (1.0 - common_frac) * coeffs.kappa_poll;
+        let classes = [
+            CoreClass {
+                count: comp.critical,
+                kappa: coeffs.kappa_compute,
+                freq: lead,
+            },
+            CoreClass {
+                count: comp.common,
+                kappa: kappa_common,
+                freq: f_common,
+            },
+            CoreClass {
+                count: comp.waiting,
+                kappa: coeffs.kappa_poll,
+                freq: trail,
+            },
+        ];
+        model.node_power(eps, &classes)
+    }
+
+    /// Power of an unconstrained node: everything (including spin loops)
+    /// races at the turbo ceiling. This is what the GEOPM *monitor* agent
+    /// observes (Fig. 4).
+    pub fn used_power(&self, model: &PowerModel, eps: f64) -> Watts {
+        self.power(model, eps, self.f_turbo, self.f_turbo)
+    }
+
+    /// Minimum power at which the node loses no performance: critical cores
+    /// at turbo, trailing cores demoted to the spin floor. This is what the
+    /// *power balancer* characterization converges to (Fig. 5).
+    pub fn needed_power(&self, model: &PowerModel, eps: f64) -> Watts {
+        self.power(model, eps, self.f_turbo, self.poll_floor)
+    }
+
+    /// The *continuous* achieved lead frequency under `cap` — the
+    /// time-average a frequency counter reports while RAPL dithers between
+    /// adjacent p-states. Used by the hardware-variation screen (Fig. 6),
+    /// where the quantized ladder would hide the variation signal.
+    pub fn achieved_frequency(&self, model: &PowerModel, eps: f64, cap: Watts) -> Hertz {
+        if self.needed_power(model, eps) <= cap {
+            return self.f_turbo;
+        }
+        let spec = model.spec();
+        let power_at = |lead: Hertz| self.power(model, eps, lead, lead.min(self.poll_floor));
+        let (mut lo, mut hi) = (spec.f_min, self.f_turbo);
+        if power_at(lo) >= cap {
+            return lo;
+        }
+        for _ in 0..48 {
+            let mid = Hertz((lo.value() + hi.value()) / 2.0);
+            if power_at(mid) <= cap {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Elapsed time of one iteration at the given operating point.
+    pub fn iteration_time(&self, op: &OperatingPoint) -> Seconds {
+        self.perf.iteration_time(op.lead)
+    }
+
+    /// Node energy for one iteration at the given operating point.
+    pub fn iteration_energy(&self, op: &OperatingPoint) -> Joules {
+        op.power * self.iteration_time(op)
+    }
+}
+
+impl LoadModel for KernelLoad {
+    fn node_power_at(&self, model: &PowerModel, eps: f64, lead: Hertz) -> Watts {
+        if lead >= self.f_turbo {
+            self.used_power(model, eps)
+        } else {
+            self.power(model, eps, lead, lead.min(self.poll_floor))
+        }
+    }
+
+    fn operating_point(&self, model: &PowerModel, eps: f64, cap: Watts) -> OperatingPoint {
+        let slack = Watts(1e-9);
+        // Stage 1: everything at turbo.
+        let p_uncapped = self.used_power(model, eps);
+        if p_uncapped <= cap + slack {
+            return OperatingPoint {
+                lead: self.f_turbo,
+                trail: self.f_turbo,
+                power: p_uncapped,
+            };
+        }
+        // Stage 2: demote trailing cores down to the spin floor while the
+        // critical path holds turbo. Power is monotone in trail, so the
+        // first fitting step scanning downward is the highest fitting.
+        let ladder = model.spec().pstates();
+        for &trail in ladder.steps().iter().rev() {
+            if trail >= self.f_turbo || trail < self.poll_floor {
+                continue;
+            }
+            let p = self.power(model, eps, self.f_turbo, trail);
+            if p <= cap + slack {
+                return OperatingPoint {
+                    lead: self.f_turbo,
+                    trail,
+                    power: p,
+                };
+            }
+        }
+        // Stage 3: throttle the lead; trailing cores ride at
+        // min(lead, floor).
+        for &lead in ladder.steps().iter().rev() {
+            if lead >= self.f_turbo {
+                continue;
+            }
+            let trail = lead.min(self.poll_floor);
+            let p = self.power(model, eps, lead, trail);
+            if p <= cap + slack {
+                return OperatingPoint { lead, trail, power: p };
+            }
+        }
+        // Nothing fits: hardware bottoms out at the minimum p-state.
+        let lead = ladder.min();
+        let trail = lead.min(self.poll_floor);
+        OperatingPoint {
+            lead,
+            trail,
+            power: self.power(model, eps, lead, trail),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Imbalance, VectorWidth, WaitingFraction};
+    use pmstack_simhw::{quartz_spec, PowerModel};
+
+    fn setup(intensity: f64, w: WaitingFraction, k: Imbalance) -> (PowerModel, KernelLoad) {
+        let spec = quartz_spec();
+        let model = PowerModel::new(spec.clone()).unwrap();
+        let load = KernelLoad::new(
+            KernelConfig::new(intensity, VectorWidth::Ymm, w, k),
+            &spec,
+        );
+        (model, load)
+    }
+
+    #[test]
+    fn uncapped_power_matches_fig4_range() {
+        // Fig. 4: balanced ymm rows range ~207-232 W/node uncapped.
+        for &i in &KernelConfig::heatmap_intensities() {
+            let (model, load) = setup(i, WaitingFraction::P0, Imbalance::Balanced);
+            let p = load.used_power(&model, 1.0).value();
+            assert!((200.0..240.0).contains(&p), "I={i}: {p} W");
+        }
+    }
+
+    #[test]
+    fn uncapped_power_insensitive_to_imbalance() {
+        // Fig. 4: along a row, uncapped power moves only a few percent as
+        // waiting/imbalance increase.
+        let (model, base) = setup(1.0, WaitingFraction::P0, Imbalance::Balanced);
+        let p0 = base.used_power(&model, 1.0).value();
+        for (w, k) in KernelConfig::heatmap_columns() {
+            let (_, load) = setup(1.0, w, k);
+            let p = load.used_power(&model, 1.0).value();
+            assert!(
+                (p - p0).abs() / p0 < 0.06,
+                "{w}/{k}: {p} vs {p0} differs more than 6%"
+            );
+        }
+    }
+
+    #[test]
+    fn needed_power_strongly_sensitive_to_waiting() {
+        // Fig. 5: needed power drops with the share of waiting ranks.
+        let (model, p0) = setup(1.0, WaitingFraction::P0, Imbalance::Balanced);
+        let (_, p25) = setup(1.0, WaitingFraction::P25, Imbalance::TwoX);
+        let (_, p75) = setup(1.0, WaitingFraction::P75, Imbalance::TwoX);
+        let n0 = p0.needed_power(&model, 1.0).value();
+        let n25 = p25.needed_power(&model, 1.0).value();
+        let n75 = p75.needed_power(&model, 1.0).value();
+        assert!(n0 > n25 && n25 > n75, "{n0} > {n25} > {n75} expected");
+        // Balanced configuration has no harvestable slack.
+        let u0 = p0.used_power(&model, 1.0).value();
+        assert!((u0 - n0).abs() < 1e-9);
+        // Heavy waiting leaves ~8-12% harvestable (Fig. 5 vs Fig. 4).
+        let (_, u75) = setup(1.0, WaitingFraction::P75, Imbalance::TwoX);
+        let gap = 1.0 - n75 / u75.used_power(&model, 1.0).value();
+        assert!((0.05..0.20).contains(&gap), "harvestable gap {gap}");
+    }
+
+    #[test]
+    fn operating_point_uncapped_is_turbo() {
+        let (model, load) = setup(8.0, WaitingFraction::P0, Imbalance::Balanced);
+        let op = load.operating_point(&model, 1.0, Watts(240.0));
+        assert_eq!(op.lead, Hertz::from_ghz(2.6));
+        assert_eq!(op.trail, Hertz::from_ghz(2.6));
+    }
+
+    #[test]
+    fn cap_between_needed_and_used_preserves_lead() {
+        let (model, load) = setup(8.0, WaitingFraction::P50, Imbalance::TwoX);
+        let used = load.used_power(&model, 1.0);
+        let needed = load.needed_power(&model, 1.0);
+        assert!(needed < used);
+        let cap = Watts((used.value() + needed.value()) / 2.0);
+        let op = load.operating_point(&model, 1.0, cap);
+        assert_eq!(op.lead, Hertz::from_ghz(2.6), "critical path untouched");
+        assert!(op.trail < Hertz::from_ghz(2.6));
+        assert!(op.power <= cap + Watts(1e-6));
+    }
+
+    #[test]
+    fn cap_below_needed_throttles_lead() {
+        let (model, load) = setup(8.0, WaitingFraction::P50, Imbalance::TwoX);
+        let needed = load.needed_power(&model, 1.0);
+        let op = load.operating_point(&model, 1.0, needed - Watts(20.0));
+        assert!(op.lead < Hertz::from_ghz(2.6));
+        assert!(op.power <= needed - Watts(20.0) + Watts(1e-6));
+    }
+
+    #[test]
+    fn impossible_cap_bottoms_out_at_min_pstate() {
+        let (model, load) = setup(8.0, WaitingFraction::P0, Imbalance::Balanced);
+        let op = load.operating_point(&model, 1.0, Watts(1.0));
+        assert_eq!(op.lead, Hertz::from_ghz(1.2));
+        assert!(op.power > Watts(1.0), "power floor exceeds absurd cap");
+    }
+
+    #[test]
+    fn operating_point_power_is_monotone_in_cap() {
+        let (model, load) = setup(4.0, WaitingFraction::P25, Imbalance::ThreeX);
+        let mut last = Watts::ZERO;
+        for cap_w in (130..=240).step_by(10) {
+            let op = load.operating_point(&model, 1.0, Watts(cap_w as f64));
+            assert!(op.power >= last - Watts(1e-9), "power not monotone at {cap_w} W");
+            last = op.power;
+        }
+    }
+
+    #[test]
+    fn iteration_energy_is_power_times_time() {
+        let (model, load) = setup(8.0, WaitingFraction::P0, Imbalance::Balanced);
+        let op = load.operating_point(&model, 1.0, Watts(200.0));
+        let e = load.iteration_energy(&op);
+        assert!((e.value() - op.power.value() * load.iteration_time(&op).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inefficient_node_needs_more_power() {
+        let (model, load) = setup(8.0, WaitingFraction::P0, Imbalance::Balanced);
+        assert!(load.needed_power(&model, 1.07) > load.needed_power(&model, 0.94));
+    }
+}

@@ -1,0 +1,204 @@
+//! A native, actually-executing version of the arithmetic-intensity kernel.
+//!
+//! The analytic model in this crate predicts behaviour on the *simulated*
+//! Quartz machine; this module provides the real thing for calibration runs
+//! on whatever host executes the test suite: threads streaming over arrays
+//! performing a configurable number of fused multiply-adds per element, i.e.
+//! a tunable FLOPs-per-byte ratio, with a spin barrier after each iteration
+//! (the synchronizing point of Fig. 2).
+//!
+//! The public repository referenced by the paper
+//! (`dannosliwcd/arithmetic-intensity`) has the same structure: a compute
+//! phase of FMA/load instructions and a slack/polling phase at a barrier.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parameters for a native kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeConfig {
+    /// Worker threads (ranks).
+    pub ranks: usize,
+    /// `f64` elements per rank (bytes = 8 × elements read + 8 × written).
+    pub elements_per_rank: usize,
+    /// Fused multiply-adds per element; intensity ≈ `2·fma / 16` FLOPs/byte.
+    pub fma_per_element: usize,
+    /// Bulk-synchronous iterations.
+    pub iterations: usize,
+    /// Work multiplier for rank 0 (emulates the imbalanced critical rank).
+    pub critical_multiplier: usize,
+}
+
+impl NativeConfig {
+    /// A small, quick-running configuration for tests and examples.
+    pub fn small() -> Self {
+        Self {
+            ranks: 2,
+            elements_per_rank: 1 << 14,
+            fma_per_element: 4,
+            iterations: 3,
+            critical_multiplier: 1,
+        }
+    }
+
+    /// Approximate arithmetic intensity in FLOPs/byte (each element incurs
+    /// one 8-byte read and one 8-byte write; each FMA is two FLOPs).
+    pub fn intensity(&self) -> f64 {
+        (2 * self.fma_per_element) as f64 / 16.0
+    }
+
+    /// Total FLOPs across all ranks and iterations.
+    pub fn total_flops(&self) -> f64 {
+        let per_rank = (self.elements_per_rank * self.fma_per_element * 2) as f64;
+        let multipliers = (self.ranks - 1) as f64 + self.critical_multiplier as f64;
+        per_rank * multipliers * self.iterations as f64
+    }
+}
+
+/// Results of a native kernel run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NativeStats {
+    /// Wall-clock elapsed seconds.
+    pub elapsed_s: f64,
+    /// Achieved GFLOP/s.
+    pub gflops: f64,
+    /// Checksum of the output data (prevents the optimizer from deleting
+    /// the work and lets tests verify the computation happened).
+    pub checksum: f64,
+}
+
+/// A centralized sense-reversing spin barrier, the polling phase of Fig. 2.
+struct SpinBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SpinBarrier {
+    fn new(total: usize) -> Self {
+        Self {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Release);
+            self.generation.fetch_add(1, Ordering::AcqRel);
+        } else {
+            while self.generation.load(Ordering::Acquire) == gen {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// Stream over `data` applying `fma_per_element` fused multiply-adds to each
+/// element. Returns a checksum.
+fn compute_phase(data: &mut [f64], fma_per_element: usize) -> f64 {
+    let mut sum = 0.0f64;
+    for x in data.iter_mut() {
+        let mut v = *x;
+        for _ in 0..fma_per_element {
+            v = v.mul_add(1.000000001, 1e-9);
+        }
+        *x = v;
+        sum += v;
+    }
+    sum
+}
+
+/// Run the native kernel and report achieved throughput.
+pub fn run(config: &NativeConfig) -> NativeStats {
+    assert!(config.ranks >= 1, "need at least one rank");
+    assert!(config.critical_multiplier >= 1);
+    let barrier = Arc::new(SpinBarrier::new(config.ranks));
+    let start = Instant::now();
+    let checksum: f64 = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(config.ranks);
+        for rank in 0..config.ranks {
+            let barrier = Arc::clone(&barrier);
+            handles.push(scope.spawn(move || {
+                let mult = if rank == 0 {
+                    config.critical_multiplier
+                } else {
+                    1
+                };
+                let mut data = vec![1.0f64; config.elements_per_rank];
+                let mut sum = 0.0;
+                for _ in 0..config.iterations {
+                    for _ in 0..mult {
+                        sum += compute_phase(&mut data, config.fma_per_element);
+                    }
+                    barrier.wait();
+                }
+                sum
+            }));
+        }
+        handles.into_iter().map(|h| h.join().expect("rank panicked")).sum()
+    });
+    let elapsed_s = start.elapsed().as_secs_f64();
+    NativeStats {
+        elapsed_s,
+        gflops: config.total_flops() / elapsed_s / 1e9,
+        checksum,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_run_completes_and_computes() {
+        let stats = run(&NativeConfig::small());
+        assert!(stats.elapsed_s > 0.0);
+        assert!(stats.gflops > 0.0);
+        // Every element started at 1.0 and only grew.
+        assert!(stats.checksum > (2 * (1 << 14)) as f64);
+        assert!(stats.checksum.is_finite());
+    }
+
+    #[test]
+    fn intensity_knob_maps_to_flops_per_byte() {
+        let mut c = NativeConfig::small();
+        c.fma_per_element = 8;
+        assert!((c.intensity() - 1.0).abs() < 1e-12);
+        c.fma_per_element = 32;
+        assert!((c.intensity() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_multiplies_critical_work() {
+        let mut c = NativeConfig::small();
+        c.critical_multiplier = 3;
+        let base_flops = NativeConfig::small().total_flops();
+        // One rank does 3x work: totals grow by 2 rank-shares.
+        let per_rank_share = base_flops / 2.0;
+        assert!((c.total_flops() - (base_flops + 2.0 * per_rank_share)).abs() < 1.0);
+    }
+
+    #[test]
+    fn single_rank_runs_without_deadlock() {
+        let mut c = NativeConfig::small();
+        c.ranks = 1;
+        c.iterations = 2;
+        let stats = run(&c);
+        assert!(stats.checksum.is_finite());
+    }
+
+    #[test]
+    fn barrier_synchronizes_many_ranks() {
+        let mut c = NativeConfig::small();
+        c.ranks = 8;
+        c.elements_per_rank = 1 << 10;
+        c.iterations = 10;
+        // Completion without deadlock across generations is the property.
+        let stats = run(&c);
+        assert!(stats.elapsed_s > 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Roofline performance model of the kernel.
+//!
+//! Per iteration, a working rank moves `bytes_per_rank` bytes (critical
+//! ranks `k×` that) and performs `intensity` FLOPs per byte. The achieved
+//! per-rank byte rate at the turbo ceiling is roofline-limited:
+//!
+//! ```text
+//! rate_bytes(f_turbo) = min( fpc(vec)·f_turbo / I ,  BW_node / working_ranks )
+//! ```
+//!
+//! and scales linearly with the lead frequency below the ceiling — on this
+//! part, reduced core frequency also reduces sustainable memory concurrency,
+//! so even bandwidth-bound phases slow down under a cap (the reason the
+//! power balancer's pre-characterized "needed power" of Fig. 5 stays close
+//! to used power for balanced configurations).
+
+use crate::activity::ActivityCoeffs;
+use crate::composition::RankComposition;
+use crate::config::KernelConfig;
+use pmstack_simhw::{Hertz, MachineSpec, Seconds};
+use serde::{Deserialize, Serialize};
+
+/// The performance model of one kernel configuration on one machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfModel {
+    config: KernelConfig,
+    composition: RankComposition,
+    /// Per-core share of node DRAM bandwidth among streaming ranks.
+    bw_share: f64,
+    /// Achieved per-rank byte rate at the turbo ceiling.
+    rate_bytes_at_turbo: f64,
+    /// Activity coefficients for this configuration.
+    coeffs: ActivityCoeffs,
+    f_turbo: Hertz,
+}
+
+impl PerfModel {
+    /// Build the model for `config` on `spec`, with one rank per used core.
+    pub fn new(config: KernelConfig, spec: &MachineSpec) -> Self {
+        let composition = RankComposition::for_node(&config, spec.cores_used_per_node);
+        let bw_share = spec.dram_bw_bytes_per_s / composition.working() as f64;
+        let coeffs = ActivityCoeffs::derive(&config, spec, bw_share);
+        let peak_flops = config.vector.flops_per_cycle() * spec.f_turbo.value();
+        let rate_bytes_at_turbo = if config.intensity == 0.0 {
+            bw_share
+        } else {
+            (peak_flops / config.intensity).min(bw_share)
+        };
+        Self {
+            config,
+            composition,
+            bw_share,
+            rate_bytes_at_turbo,
+            coeffs,
+            f_turbo: spec.f_turbo,
+        }
+    }
+
+    /// The configuration being modeled.
+    pub fn config(&self) -> &KernelConfig {
+        &self.config
+    }
+
+    /// The node's rank composition.
+    pub fn composition(&self) -> RankComposition {
+        self.composition
+    }
+
+    /// The activity coefficients.
+    pub fn coeffs(&self) -> ActivityCoeffs {
+        self.coeffs
+    }
+
+    /// Per-rank share of DRAM bandwidth.
+    pub fn bw_share(&self) -> f64 {
+        self.bw_share
+    }
+
+    /// Achieved per-rank byte rate at lead frequency `f`.
+    pub fn rank_byte_rate(&self, f: Hertz) -> f64 {
+        self.rate_bytes_at_turbo * (f.value() / self.f_turbo.value())
+    }
+
+    /// Elapsed time of one bulk-synchronous iteration when the critical
+    /// ranks run at lead frequency `f`.
+    pub fn iteration_time(&self, f: Hertz) -> Seconds {
+        let critical_bytes = self.config.imbalance.factor() * self.config.bytes_per_rank;
+        Seconds(critical_bytes / self.rank_byte_rate(f))
+    }
+
+    /// Total FLOPs per node per iteration (all working ranks).
+    pub fn node_flops_per_iteration(&self) -> f64 {
+        self.config.intensity
+            * self.config.bytes_per_rank
+            * self.composition.total_work_units(self.config.imbalance)
+    }
+
+    /// Total bytes per node per iteration (all working ranks).
+    pub fn node_bytes_per_iteration(&self) -> f64 {
+        self.config.bytes_per_rank * self.composition.total_work_units(self.config.imbalance)
+    }
+
+    /// Achieved node FLOP rate at lead frequency `f`.
+    pub fn node_flop_rate(&self, f: Hertz) -> f64 {
+        self.node_flops_per_iteration() / self.iteration_time(f).value()
+    }
+
+    /// The fraction of an iteration a *common* rank spends computing when it
+    /// runs at `trail` while the critical ranks run at `lead`; the remainder
+    /// is spent polling. Bounded to 1 (a trailing rank can never exceed the
+    /// iteration).
+    pub fn common_compute_fraction(&self, lead: Hertz, trail: Hertz) -> f64 {
+        let k = self.config.imbalance.factor();
+        (lead.value() / (k * trail.value())).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Imbalance, VectorWidth, WaitingFraction};
+    use pmstack_simhw::quartz_spec;
+
+    fn model(intensity: f64) -> PerfModel {
+        PerfModel::new(KernelConfig::balanced_ymm(intensity), &quartz_spec())
+    }
+
+    #[test]
+    fn iteration_time_scales_inversely_with_frequency() {
+        let m = model(8.0);
+        let spec = quartz_spec();
+        let t_hi = m.iteration_time(spec.f_turbo);
+        let t_lo = m.iteration_time(Hertz::from_ghz(1.3));
+        assert!((t_lo.value() / t_hi.value() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_rate_is_bandwidth_share() {
+        let m = model(0.25);
+        let spec = quartz_spec();
+        let share = spec.dram_bw_bytes_per_s / 34.0;
+        assert!((m.rank_byte_rate(spec.f_turbo) - share).abs() < 1e-3);
+    }
+
+    #[test]
+    fn compute_bound_rate_is_flop_limited() {
+        let m = model(32.0);
+        let spec = quartz_spec();
+        let peak = 16.0 * spec.f_turbo.value();
+        assert!((m.rank_byte_rate(spec.f_turbo) - peak / 32.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn imbalance_stretches_iteration() {
+        let spec = quartz_spec();
+        let balanced = PerfModel::new(KernelConfig::balanced_ymm(8.0), &spec);
+        let imb = PerfModel::new(
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P0, Imbalance::ThreeX),
+            &spec,
+        );
+        // Critical ranks carry 3x work but also have fewer ranks sharing
+        // bandwidth is unchanged (all 34 working), so iteration is 3x.
+        let r = imb.iteration_time(spec.f_turbo).value()
+            / balanced.iteration_time(spec.f_turbo).value();
+        assert!((r - 3.0).abs() < 1e-9, "ratio {r}");
+    }
+
+    #[test]
+    fn waiting_ranks_boost_bandwidth_share() {
+        let spec = quartz_spec();
+        let full = PerfModel::new(KernelConfig::balanced_ymm(0.25), &spec);
+        let half = PerfModel::new(
+            KernelConfig::new(
+                0.25,
+                VectorWidth::Ymm,
+                WaitingFraction::P50,
+                Imbalance::Balanced,
+            ),
+            &spec,
+        );
+        assert!(half.bw_share() > full.bw_share());
+        // Memory-bound iteration is therefore faster with waiting ranks.
+        assert!(half.iteration_time(spec.f_turbo) < full.iteration_time(spec.f_turbo));
+    }
+
+    #[test]
+    fn zero_intensity_has_zero_flops() {
+        let spec = quartz_spec();
+        let m = PerfModel::new(
+            KernelConfig::new(
+                0.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P0,
+                Imbalance::Balanced,
+            ),
+            &spec,
+        );
+        assert_eq!(m.node_flops_per_iteration(), 0.0);
+        assert!(m.iteration_time(spec.f_turbo).value() > 0.0);
+    }
+
+    #[test]
+    fn common_compute_fraction_bounds() {
+        let spec = quartz_spec();
+        let m = PerfModel::new(
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P0, Imbalance::TwoX),
+            &spec,
+        );
+        let f = m.common_compute_fraction(spec.f_turbo, spec.f_turbo);
+        assert!((f - 0.5).abs() < 1e-12);
+        // A heavily-trailed common rank saturates at 1 (it never exceeds the
+        // iteration).
+        let f = m.common_compute_fraction(spec.f_turbo, Hertz::from_ghz(1.2));
+        assert!(f <= 1.0);
+    }
+
+    #[test]
+    fn flop_rate_consistency() {
+        let spec = quartz_spec();
+        let m = model(8.0);
+        // All 34 ranks memory bound at 4.41 GB/s/rank · 8 F/B.
+        let expected = 34.0 * (spec.dram_bw_bytes_per_s / 34.0) * 8.0;
+        assert!((m.node_flop_rate(spec.f_turbo) - expected).abs() / expected < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-phase applications.
+//!
+//! §VIII names "extending this study to account for applications with
+//! multiple phases that have varying design characteristics" as future
+//! work. A [`PhasedWorkload`] is a sequence of kernel configurations with
+//! per-phase iteration counts — e.g. a solver alternating between a
+//! memory-bound assembly phase and a compute-bound factorization phase.
+//! The runtime's balancer re-converges at each phase boundary (see the
+//! `pmstack-runtime` phased controller tests).
+
+use crate::config::KernelConfig;
+use serde::{Deserialize, Serialize};
+
+/// One phase: a kernel configuration held for a number of iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// The workload shape during this phase.
+    pub config: KernelConfig,
+    /// Bulk-synchronous iterations in this phase.
+    pub iterations: usize,
+}
+
+/// A multi-phase application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedWorkload {
+    /// Phases, in execution order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    /// A single-phase workload (degenerate case).
+    pub fn single(config: KernelConfig, iterations: usize) -> Self {
+        Self {
+            phases: vec![Phase { config, iterations }],
+        }
+    }
+
+    /// Build from `(config, iterations)` pairs.
+    ///
+    /// # Panics
+    /// On an empty phase list or a zero-iteration phase.
+    pub fn new(phases: impl IntoIterator<Item = (KernelConfig, usize)>) -> Self {
+        let phases: Vec<Phase> = phases
+            .into_iter()
+            .map(|(config, iterations)| Phase { config, iterations })
+            .collect();
+        assert!(!phases.is_empty(), "a workload needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.iterations > 0),
+            "phases must run at least one iteration"
+        );
+        Self { phases }
+    }
+
+    /// Total iterations across phases.
+    pub fn total_iterations(&self) -> usize {
+        self.phases.iter().map(|p| p.iterations).sum()
+    }
+
+    /// Number of phases.
+    pub fn len(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// True when the workload has no phases (unreachable via constructors).
+    pub fn is_empty(&self) -> bool {
+        self.phases.is_empty()
+    }
+
+    /// The phase active at global iteration `iter` (0-based), with the
+    /// phase index. Iterations beyond the end stay in the last phase.
+    pub fn phase_at(&self, iter: usize) -> (usize, &Phase) {
+        let mut start = 0;
+        for (i, p) in self.phases.iter().enumerate() {
+            if iter < start + p.iterations {
+                return (i, p);
+            }
+            start += p.iterations;
+        }
+        (self.phases.len() - 1, self.phases.last().expect("non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Imbalance, VectorWidth, WaitingFraction};
+
+    fn two_phase() -> PhasedWorkload {
+        PhasedWorkload::new([
+            (KernelConfig::balanced_ymm(0.5), 10),
+            (
+                KernelConfig::new(
+                    16.0,
+                    VectorWidth::Ymm,
+                    WaitingFraction::P50,
+                    Imbalance::TwoX,
+                ),
+                5,
+            ),
+        ])
+    }
+
+    #[test]
+    fn phase_lookup_walks_boundaries() {
+        let w = two_phase();
+        assert_eq!(w.total_iterations(), 15);
+        assert_eq!(w.phase_at(0).0, 0);
+        assert_eq!(w.phase_at(9).0, 0);
+        assert_eq!(w.phase_at(10).0, 1);
+        assert_eq!(w.phase_at(14).0, 1);
+        // Beyond the end: stays in the last phase.
+        assert_eq!(w.phase_at(100).0, 1);
+    }
+
+    #[test]
+    fn single_phase_is_whole_run() {
+        let w = PhasedWorkload::single(KernelConfig::balanced_ymm(8.0), 7);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.phase_at(3).0, 0);
+        assert_eq!(w.total_iterations(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_workload_rejected() {
+        PhasedWorkload::new(std::iter::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iteration_phase_rejected() {
+        PhasedWorkload::new([(KernelConfig::balanced_ymm(1.0), 0)]);
+    }
+}

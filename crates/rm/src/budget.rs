@@ -1,0 +1,151 @@
+//! The system-wide power ledger.
+//!
+//! The resource manager owns the site's deliverable power capacity
+//! (§I: "power delivery infrastructure must ensure that a site's total power
+//! consumption does not exceed the deliverable power capacity") and accounts
+//! every watt it grants to jobs against it.
+
+use crate::job::JobId;
+use pmstack_simhw::Watts;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error returned when a reservation would overcommit the system budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverCommit {
+    /// Watts requested.
+    pub requested: Watts,
+    /// Watts still unreserved.
+    pub available: Watts,
+}
+
+impl fmt::Display for OverCommit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "power reservation of {} exceeds available {}",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for OverCommit {}
+
+/// Tracks the system power budget and per-job reservations.
+#[derive(Debug, Clone)]
+pub struct PowerLedger {
+    system_budget: Watts,
+    reservations: HashMap<JobId, Watts>,
+}
+
+impl PowerLedger {
+    /// A ledger over the given system budget.
+    pub fn new(system_budget: Watts) -> Self {
+        Self {
+            system_budget,
+            reservations: HashMap::new(),
+        }
+    }
+
+    /// The total system budget.
+    pub fn system_budget(&self) -> Watts {
+        self.system_budget
+    }
+
+    /// Watts currently reserved across all jobs.
+    pub fn reserved(&self) -> Watts {
+        self.reservations.values().copied().sum()
+    }
+
+    /// Watts still unreserved.
+    pub fn available(&self) -> Watts {
+        self.system_budget - self.reserved()
+    }
+
+    /// A job's current reservation.
+    pub fn reservation(&self, job: JobId) -> Option<Watts> {
+        self.reservations.get(&job).copied()
+    }
+
+    /// Reserve `watts` for `job` (replacing any prior reservation). Fails
+    /// if the new total would exceed the system budget; admission control,
+    /// not clamping, because an unnoticed clamp is exactly the cross-layer
+    /// conflict the paper warns about.
+    pub fn reserve(&mut self, job: JobId, watts: Watts) -> Result<(), OverCommit> {
+        let prior = self.reservation(job).unwrap_or(Watts::ZERO);
+        let available = self.available() + prior;
+        if watts > available + Watts(1e-9) {
+            return Err(OverCommit {
+                requested: watts,
+                available,
+            });
+        }
+        self.reservations.insert(job, watts);
+        Ok(())
+    }
+
+    /// Release a job's reservation (idempotent).
+    pub fn release(&mut self, job: JobId) {
+        self.reservations.remove(&job);
+    }
+
+    /// True if observed total power `usage` fits the system budget with the
+    /// given relative tolerance.
+    pub fn within_budget(&self, usage: Watts, tolerance: f64) -> bool {
+        usage.value() <= self.system_budget.value() * (1.0 + tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserve_and_release() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(400.0)).unwrap();
+        ledger.reserve(JobId(2), Watts(500.0)).unwrap();
+        assert_eq!(ledger.reserved(), Watts(900.0));
+        assert_eq!(ledger.available(), Watts(100.0));
+        ledger.release(JobId(1));
+        assert_eq!(ledger.available(), Watts(500.0));
+    }
+
+    #[test]
+    fn overcommit_is_rejected() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(800.0)).unwrap();
+        let err = ledger.reserve(JobId(2), Watts(300.0)).unwrap_err();
+        assert_eq!(err.requested, Watts(300.0));
+        assert_eq!(err.available, Watts(200.0));
+        // Failed reservation leaves the ledger unchanged.
+        assert_eq!(ledger.reserved(), Watts(800.0));
+    }
+
+    #[test]
+    fn re_reservation_replaces_not_accumulates() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(700.0)).unwrap();
+        // Shrinking and regrowing the same job's share must be possible.
+        ledger.reserve(JobId(1), Watts(900.0)).unwrap();
+        assert_eq!(ledger.reserved(), Watts(900.0));
+    }
+
+    #[test]
+    fn within_budget_tolerance() {
+        let ledger = PowerLedger::new(Watts(1000.0));
+        assert!(ledger.within_budget(Watts(1000.0), 0.0));
+        assert!(ledger.within_budget(Watts(1009.0), 0.01));
+        assert!(!ledger.within_budget(Watts(1020.0), 0.01));
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut ledger = PowerLedger::new(Watts(100.0));
+        ledger.release(JobId(9));
+        ledger.reserve(JobId(9), Watts(50.0)).unwrap();
+        ledger.release(JobId(9));
+        ledger.release(JobId(9));
+        assert_eq!(ledger.available(), Watts(100.0));
+    }
+}

@@ -1,0 +1,139 @@
+//! Jobs as the resource manager sees them.
+
+use pmstack_simhw::{NodeId, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a job within one resource-manager instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job{}", self.0)
+    }
+}
+
+/// What a user submits: a node count plus an optional power hint (the
+/// `Precharacterized` policy's per-node cap travels here).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable name (the workload label in the paper's mixes).
+    pub name: String,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Optional user-provided per-node power cap hint.
+    pub power_hint_per_node: Option<Watts>,
+}
+
+impl JobSpec {
+    /// A spec with no power hint.
+    pub fn new(name: impl Into<String>, nodes: usize) -> Self {
+        Self {
+            name: name.into(),
+            nodes,
+            power_hint_per_node: None,
+        }
+    }
+
+    /// Attach a per-node power hint.
+    pub fn with_power_hint(mut self, per_node: Watts) -> Self {
+        self.power_hint_per_node = Some(per_node);
+        self
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobState {
+    /// Queued, waiting for nodes.
+    Pending,
+    /// Holding nodes, executing.
+    Running,
+    /// Finished; nodes returned.
+    Completed,
+}
+
+/// A job record tracked by the resource manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// The job's identifier.
+    pub id: JobId,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Nodes held while running (empty otherwise).
+    pub nodes: Vec<NodeId>,
+    /// The job-level power budget currently granted by the active policy.
+    pub power_budget: Option<Watts>,
+}
+
+impl Job {
+    /// A pending job from a spec.
+    pub fn pending(id: JobId, spec: JobSpec) -> Self {
+        Self {
+            id,
+            spec,
+            state: JobState::Pending,
+            nodes: Vec::new(),
+            power_budget: None,
+        }
+    }
+
+    /// Transition to running on the given nodes.
+    ///
+    /// # Panics
+    /// If the job is not pending or the node count mismatches the spec —
+    /// both are scheduler bugs, not runtime conditions.
+    pub fn start(&mut self, nodes: Vec<NodeId>) {
+        assert_eq!(self.state, JobState::Pending, "only pending jobs start");
+        assert_eq!(nodes.len(), self.spec.nodes, "node grant mismatches spec");
+        self.nodes = nodes;
+        self.state = JobState::Running;
+    }
+
+    /// Transition to completed, releasing the nodes to the caller.
+    pub fn complete(&mut self) -> Vec<NodeId> {
+        assert_eq!(self.state, JobState::Running, "only running jobs complete");
+        self.state = JobState::Completed;
+        std::mem::take(&mut self.nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_happy_path() {
+        let mut job = Job::pending(JobId(1), JobSpec::new("w1", 2));
+        assert_eq!(job.state, JobState::Pending);
+        job.start(vec![NodeId(0), NodeId(1)]);
+        assert_eq!(job.state, JobState::Running);
+        let released = job.complete();
+        assert_eq!(released.len(), 2);
+        assert_eq!(job.state, JobState::Completed);
+        assert!(job.nodes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "node grant mismatches spec")]
+    fn start_rejects_wrong_grant() {
+        let mut job = Job::pending(JobId(1), JobSpec::new("w1", 2));
+        job.start(vec![NodeId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only running jobs complete")]
+    fn complete_requires_running() {
+        let mut job = Job::pending(JobId(1), JobSpec::new("w1", 1));
+        job.complete();
+    }
+
+    #[test]
+    fn power_hint_travels_with_spec() {
+        let spec = JobSpec::new("hungry", 4).with_power_hint(Watts(230.0));
+        assert_eq!(spec.power_hint_per_node, Some(Watts(230.0)));
+    }
+}

@@ -1,0 +1,26 @@
+//! # pmstack-rm — a SLURM-like resource manager
+//!
+//! The system-level half of the paper's stack: the component that owns the
+//! cluster's nodes and its site-level power budget, admits jobs, and applies
+//! per-job/per-host power caps (the role SLURM's power management plugin or
+//! Cray ALPS plays in §VII-C).
+//!
+//! The resource manager is deliberately *workload-agnostic*: it sees job
+//! node counts and power numbers, never application structure. Application
+//! awareness only enters through the characterization data the policies in
+//! `pmstack-core` consume — that separation is the paper's whole point.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod backfill;
+pub mod budget;
+pub mod job;
+pub mod pool;
+pub mod scheduler;
+
+pub use backfill::BackfillScheduler;
+pub use budget::PowerLedger;
+pub use job::{Job, JobId, JobSpec, JobState};
+pub use pool::NodePool;
+pub use scheduler::{FifoScheduler, SchedulerEvent};

@@ -1,0 +1,108 @@
+//! The free-node pool.
+
+use pmstack_simhw::NodeId;
+use std::collections::BTreeSet;
+
+/// Tracks which cluster nodes are free versus leased to jobs.
+#[derive(Debug, Clone)]
+pub struct NodePool {
+    free: BTreeSet<NodeId>,
+    total: usize,
+}
+
+impl NodePool {
+    /// A pool over nodes `0..total`.
+    pub fn new(total: usize) -> Self {
+        Self {
+            free: (0..total).map(NodeId).collect(),
+            total,
+        }
+    }
+
+    /// A pool over an explicit node set (e.g. only the medium-frequency
+    /// cluster selected in §V-A2).
+    pub fn from_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let free: BTreeSet<NodeId> = nodes.into_iter().collect();
+        let total = free.len();
+        Self { free, total }
+    }
+
+    /// Total nodes managed.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Currently free nodes.
+    pub fn available(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Lease `n` nodes (lowest ids first, for determinism). Returns `None`
+    /// without side effects if not enough are free.
+    pub fn allocate(&mut self, n: usize) -> Option<Vec<NodeId>> {
+        if self.free.len() < n {
+            return None;
+        }
+        let grant: Vec<NodeId> = self.free.iter().take(n).copied().collect();
+        for id in &grant {
+            self.free.remove(id);
+        }
+        Some(grant)
+    }
+
+    /// Return leased nodes.
+    ///
+    /// # Panics
+    /// If a node is returned twice — a double-free is always a bug.
+    pub fn release(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
+        for id in nodes {
+            assert!(self.free.insert(id), "double release of {id}");
+        }
+        assert!(self.free.len() <= self.total, "released foreign node");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_and_release_roundtrip() {
+        let mut pool = NodePool::new(10);
+        let grant = pool.allocate(4).unwrap();
+        assert_eq!(grant.len(), 4);
+        assert_eq!(pool.available(), 6);
+        pool.release(grant);
+        assert_eq!(pool.available(), 10);
+    }
+
+    #[test]
+    fn allocation_is_deterministic() {
+        let mut a = NodePool::new(5);
+        let mut b = NodePool::new(5);
+        assert_eq!(a.allocate(3), b.allocate(3));
+    }
+
+    #[test]
+    fn over_allocation_fails_without_side_effects() {
+        let mut pool = NodePool::new(3);
+        assert!(pool.allocate(4).is_none());
+        assert_eq!(pool.available(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut pool = NodePool::new(3);
+        let grant = pool.allocate(1).unwrap();
+        pool.release(grant.clone());
+        pool.release(grant);
+    }
+
+    #[test]
+    fn explicit_node_set() {
+        let pool = NodePool::from_nodes([NodeId(7), NodeId(9), NodeId(11)]);
+        assert_eq!(pool.total(), 3);
+        assert_eq!(pool.available(), 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! A FIFO scheduler with power-aware admission.
+//!
+//! Jobs start in submission order when enough nodes are free. On start, the
+//! scheduler reserves the job's power from the [`crate::budget::PowerLedger`]
+//! (the policy layer later rebalances the per-job grants). A job that cannot
+//! get its power reservation waits even if nodes are free — power is a
+//! first-class schedulable resource here, which is the RM-side behaviour the
+//! paper's system-level policies presume.
+
+use crate::budget::PowerLedger;
+use crate::job::{Job, JobId, JobSpec, JobState};
+use crate::pool::NodePool;
+use pmstack_simhw::{NodeId, Watts};
+use std::collections::{HashMap, VecDeque};
+
+/// A scheduling decision notification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedulerEvent {
+    /// A job was admitted and holds nodes.
+    Started {
+        /// The started job.
+        job: JobId,
+        /// The granted nodes.
+        nodes: Vec<NodeId>,
+        /// The power reserved for the job.
+        power: Watts,
+    },
+    /// A job finished and its resources were returned.
+    Completed {
+        /// The finished job.
+        job: JobId,
+    },
+}
+
+/// FIFO scheduler over a node pool and power ledger.
+#[derive(Debug)]
+pub struct FifoScheduler {
+    pool: NodePool,
+    ledger: PowerLedger,
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, Job>,
+    next_id: u64,
+    /// Default power reserved per node when a spec carries no hint.
+    default_per_node: Watts,
+}
+
+impl FifoScheduler {
+    /// A scheduler over `pool` and `ledger`. `default_per_node` is reserved
+    /// for jobs without a power hint (typically node TDP).
+    pub fn new(pool: NodePool, ledger: PowerLedger, default_per_node: Watts) -> Self {
+        Self {
+            pool,
+            ledger,
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            next_id: 1,
+        default_per_node,
+        }
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.insert(id, Job::pending(id, spec));
+        self.queue.push_back(id);
+        id
+    }
+
+    /// Look up a job.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs currently running.
+    pub fn running(&self) -> Vec<JobId> {
+        let mut ids: Vec<JobId> = self
+            .jobs
+            .values()
+            .filter(|j| j.state == JobState::Running)
+            .map(|j| j.id)
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// The power ledger (for the policy layer to rebalance grants).
+    pub fn ledger(&self) -> &PowerLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access for the policy layer.
+    pub fn ledger_mut(&mut self) -> &mut PowerLedger {
+        &mut self.ledger
+    }
+
+    /// Nodes still free.
+    pub fn free_nodes(&self) -> usize {
+        self.pool.available()
+    }
+
+    /// Try to start queued jobs in FIFO order; strict FIFO, so a stuck head
+    /// of queue blocks later jobs (no backfill — matching the paper's
+    /// static, all-jobs-start-together mixes).
+    pub fn tick(&mut self) -> Vec<SchedulerEvent> {
+        let mut events = Vec::new();
+        while let Some(&head) = self.queue.front() {
+            let (nodes_needed, per_node) = {
+                let job = &self.jobs[&head];
+                (
+                    job.spec.nodes,
+                    job.spec.power_hint_per_node.unwrap_or(self.default_per_node),
+                )
+            };
+            if self.pool.available() < nodes_needed {
+                break;
+            }
+            let power = per_node * nodes_needed as f64;
+            if self.ledger.reserve(head, power).is_err() {
+                break;
+            }
+            let nodes = self
+                .pool
+                .allocate(nodes_needed)
+                .expect("availability checked above");
+            let job = self.jobs.get_mut(&head).expect("queued job exists");
+            job.start(nodes.clone());
+            job.power_budget = Some(power);
+            self.queue.pop_front();
+            events.push(SchedulerEvent::Started {
+                job: head,
+                nodes,
+                power,
+            });
+        }
+        events
+    }
+
+    /// Mark a running job finished, returning its nodes and power.
+    pub fn complete(&mut self, id: JobId) -> SchedulerEvent {
+        let job = self.jobs.get_mut(&id).expect("completing unknown job");
+        let nodes = job.complete();
+        self.pool.release(nodes);
+        self.ledger.release(id);
+        SchedulerEvent::Completed { job: id }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(nodes: usize, budget_w: f64) -> FifoScheduler {
+        FifoScheduler::new(
+            NodePool::new(nodes),
+            PowerLedger::new(Watts(budget_w)),
+            Watts(240.0),
+        )
+    }
+
+    #[test]
+    fn fifo_order_is_respected() {
+        let mut s = scheduler(10, 1e6);
+        let a = s.submit(JobSpec::new("a", 6));
+        let b = s.submit(JobSpec::new("b", 6));
+        let c = s.submit(JobSpec::new("c", 4));
+        let events = s.tick();
+        // Only `a` fits; `c` would fit but must not jump `b`.
+        assert_eq!(events.len(), 1);
+        assert!(matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == a));
+        s.complete(a);
+        let events = s.tick();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == b));
+        assert!(matches!(&events[1], SchedulerEvent::Started { job, .. } if *job == c));
+    }
+
+    #[test]
+    fn power_is_admission_controlled() {
+        // 4 nodes free but only 500 W: a 3-node job at 240 W/node (720 W)
+        // must wait.
+        let mut s = scheduler(4, 500.0);
+        s.submit(JobSpec::new("big", 3));
+        assert!(s.tick().is_empty());
+        // A hinted job fitting the power starts.
+        let mut s = scheduler(4, 500.0);
+        let id = s.submit(JobSpec::new("lean", 3).with_power_hint(Watts(150.0)));
+        let events = s.tick();
+        assert!(
+            matches!(&events[0], SchedulerEvent::Started { job, power, .. } if *job == id && *power == Watts(450.0))
+        );
+    }
+
+    #[test]
+    fn completion_returns_resources() {
+        let mut s = scheduler(5, 1e6);
+        let a = s.submit(JobSpec::new("a", 5));
+        s.tick();
+        assert_eq!(s.free_nodes(), 0);
+        s.complete(a);
+        assert_eq!(s.free_nodes(), 5);
+        assert_eq!(s.ledger().reserved(), Watts::ZERO);
+    }
+
+    #[test]
+    fn running_lists_active_jobs() {
+        let mut s = scheduler(6, 1e6);
+        let a = s.submit(JobSpec::new("a", 2));
+        let b = s.submit(JobSpec::new("b", 2));
+        s.tick();
+        assert_eq!(s.running(), vec![a, b]);
+        s.complete(a);
+        assert_eq!(s.running(), vec![b]);
+    }
+}

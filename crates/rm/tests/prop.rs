@@ -1,0 +1,85 @@
+//! Property-based tests of resource-manager conservation invariants.
+
+use pmstack_rm::{FifoScheduler, JobSpec, NodePool, PowerLedger, SchedulerEvent};
+use pmstack_simhw::Watts;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Under any submission/completion schedule, nodes are never double-
+    /// allocated, the ledger never overcommits, and completing everything
+    /// restores full capacity.
+    #[test]
+    fn scheduler_conserves_resources(
+        sizes in prop::collection::vec(1usize..8, 1..12),
+        pool_size in 8usize..24,
+        budget_per_node in 140.0f64..240.0,
+    ) {
+        let budget = Watts(budget_per_node * pool_size as f64);
+        let mut s = FifoScheduler::new(
+            NodePool::new(pool_size),
+            PowerLedger::new(budget),
+            Watts(budget_per_node),
+        );
+        let ids: Vec<_> = sizes
+            .iter()
+            .map(|&n| s.submit(JobSpec::new(format!("j{n}"), n)))
+            .collect();
+
+        let mut held: HashSet<usize> = HashSet::new();
+        let mut running = Vec::new();
+        loop {
+            for ev in s.tick() {
+                if let SchedulerEvent::Started { job, nodes, .. } = ev {
+                    for n in &nodes {
+                        prop_assert!(held.insert(n.0), "node {n} double-allocated");
+                    }
+                    running.push((job, nodes));
+                }
+            }
+            prop_assert!(s.ledger().reserved() <= budget + Watts(1e-6));
+            match running.pop() {
+                Some((job, nodes)) => {
+                    s.complete(job);
+                    for n in nodes {
+                        held.remove(&n.0);
+                    }
+                }
+                None => break,
+            }
+        }
+        // Everything that fit eventually ran and completed.
+        prop_assert_eq!(s.free_nodes(), pool_size);
+        prop_assert_eq!(s.ledger().reserved(), Watts::ZERO);
+        let completed = ids
+            .iter()
+            .filter(|id| {
+                matches!(
+                    s.job(**id).map(|j| j.state),
+                    Some(pmstack_rm::JobState::Completed)
+                )
+            })
+            .count();
+        let fits = sizes.iter().filter(|&&n| n <= pool_size).count();
+        prop_assert_eq!(completed, fits, "every feasible job completed");
+    }
+
+    /// Ledger arithmetic: any sequence of reserve/release operations keeps
+    /// reserved + available == system budget.
+    #[test]
+    fn ledger_conservation(ops in prop::collection::vec((0u64..6, 0.0f64..400.0), 1..40)) {
+        let budget = Watts(1000.0);
+        let mut ledger = PowerLedger::new(budget);
+        for (job, w) in ops {
+            let id = pmstack_rm::JobId(job);
+            if w < 200.0 {
+                let _ = ledger.reserve(id, Watts(w));
+            } else {
+                ledger.release(id);
+            }
+            let total = ledger.reserved() + ledger.available();
+            prop_assert!((total.value() - budget.value()).abs() < 1e-6);
+            prop_assert!(ledger.reserved() <= budget + Watts(1e-9));
+        }
+    }
+}

@@ -1,0 +1,346 @@
+//! The power balancer agent.
+//!
+//! Re-implements the behaviour of GEOPM's `power_balancer` that the paper's
+//! methodology relies on (§III-A): *"the power balancer agent reduces the
+//! power limit where it does not impact performance, and redistributes that
+//! power where it can improve performance, all during execution."*
+//!
+//! The algorithm, per control step (one kernel iteration here), starting
+//! from a uniform split of the job budget:
+//!
+//! 1. **Harvest** — a host whose lead (critical-path) frequency still holds
+//!    the turbo ceiling has power to spare: one probe step is cut. On hardware
+//!    whose PCU demotes spin-polling cores first, these cuts are
+//!    performance-free and harvest the slack power of waiting/imbalanced
+//!    ranks — the Fig. 4 → Fig. 5 gap. A throttled host that is *off* the
+//!    job's critical path is pure slack and is trimmed too.
+//! 2. **Grant** — freed watts are pooled and granted (rate-limited) to
+//!    power-bound hosts on the critical path, equalizing iteration times
+//!    across hosts that differ in manufacturing efficiency.
+//!
+//! Steps halve on direction reversals (the binary-search refinement the
+//! real agent uses) and restores run faster than cuts, so the search
+//! breathes slightly *above* each host's needed power — protecting elapsed
+//! time while still harvesting the slack.
+
+use crate::agent::Agent;
+use crate::platform::{IterationOutcome, JobPlatform};
+use pmstack_simhw::{Seconds, Watts};
+
+/// Tunable parameters of the balancer (exposed for the ablation benches).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalancerParams {
+    /// Watts removed per probe/cut step.
+    pub step: Watts,
+    /// Relative epoch-time degradation treated as "no impact".
+    pub tolerance: f64,
+    /// Relative distance from the slowest host within which a host counts
+    /// as on the critical path and may receive grants.
+    pub critical_band: f64,
+}
+
+impl Default for BalancerParams {
+    fn default() -> Self {
+        Self {
+            step: Watts(4.0),
+            tolerance: 0.01,
+            critical_band: 0.01,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HostState {
+    /// The limit this agent wants for the host.
+    target: Watts,
+    /// Current adjustment step; halves on direction reversals (the
+    /// balancer's binary-search convergence) and re-expands after
+    /// sustained moves in one direction.
+    step: Watts,
+    /// Direction of the last adjustment: -1 cut, +1 grant, 0 none.
+    last_dir: i8,
+    /// Consecutive adjustments in the same direction.
+    streak: u8,
+}
+
+impl HostState {
+    /// Update the step size for a move in direction `dir`, returning the
+    /// step to use for this move.
+    fn step_for(&mut self, dir: i8, initial: Watts) -> Watts {
+        if self.last_dir != 0 && dir != self.last_dir {
+            // Reversal: we bracketed the optimum; refine.
+            self.step = (self.step * 0.5).max(Watts(0.25));
+            self.streak = 0;
+        } else {
+            self.streak = self.streak.saturating_add(1);
+            if self.streak >= 4 {
+                // Sustained motion: the optimum moved; accelerate.
+                self.step = (self.step * 2.0).min(initial);
+                self.streak = 0;
+            }
+        }
+        self.last_dir = dir;
+        self.step
+    }
+}
+
+/// The performance-aware power balancer.
+#[derive(Debug, Clone)]
+pub struct PowerBalancerAgent {
+    budget: Watts,
+    params: BalancerParams,
+    hosts: Vec<HostState>,
+    /// Watts freed by cuts, not yet granted.
+    pool: Watts,
+}
+
+impl PowerBalancerAgent {
+    /// Balance `budget` watts across the job.
+    pub fn new(budget: Watts) -> Self {
+        Self::with_params(budget, BalancerParams::default())
+    }
+
+    /// Balance with explicit parameters.
+    pub fn with_params(budget: Watts, params: BalancerParams) -> Self {
+        Self {
+            budget,
+            params,
+            hosts: Vec::new(),
+            pool: Watts::ZERO,
+        }
+    }
+
+    /// The per-host limits the agent currently targets.
+    pub fn targets(&self) -> Vec<Watts> {
+        self.hosts.iter().map(|h| h.target).collect()
+    }
+
+    /// Watts currently freed and unallocated.
+    pub fn pool(&self) -> Watts {
+        self.pool
+    }
+}
+
+impl Agent for PowerBalancerAgent {
+    fn name(&self) -> &'static str {
+        "power_balancer"
+    }
+
+    fn budget(&self) -> Option<Watts> {
+        Some(self.budget)
+    }
+
+    fn init(&mut self, platform: &mut JobPlatform) {
+        let spec = platform.model().spec();
+        let floor = spec.min_rapl_per_node();
+        let tdp = spec.tdp_per_node();
+        let share = (self.budget / platform.num_hosts() as f64).clamp(floor, tdp);
+        self.hosts = (0..platform.num_hosts())
+            .map(|_| HostState {
+                target: share,
+                step: self.params.step,
+                last_dir: 0,
+                streak: 0,
+            })
+            .collect();
+        self.pool = Watts::ZERO;
+        platform
+            .set_uniform_limit(share)
+            .expect("share is clamped into the settable range");
+    }
+
+    fn on_phase_change(&mut self, _platform: &mut JobPlatform) {
+        // A new phase has a new power signature: re-open every host's
+        // search at the full step so convergence is fast again.
+        let initial = self.params.step;
+        for state in &mut self.hosts {
+            state.step = initial;
+            state.last_dir = 0;
+            state.streak = 0;
+        }
+    }
+
+    fn adjust(&mut self, platform: &mut JobPlatform, outcome: &IterationOutcome) {
+        let spec = platform.model().spec();
+        let floor = spec.min_rapl_per_node();
+        let tdp = spec.tdp_per_node();
+        let f_turbo = spec.f_turbo;
+        let slowest = outcome
+            .host_compute_time
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max);
+
+        // Harvest: a host whose critical path still holds the turbo ceiling
+        // has free power above its needs (cuts there only demote spin-
+        // polling cores); a throttled host *off* the job's critical path is
+        // pure slack, trim it too. One step per control interval, the
+        // gentle cadence the real balancer uses.
+        let initial = self.params.step;
+        for (h, state) in self.hosts.iter_mut().enumerate() {
+            let throttled = outcome.host_lead[h] < f_turbo;
+            let off_critical = outcome.host_compute_time[h].value()
+                < slowest.value() * (1.0 - self.params.critical_band);
+            if (!throttled || off_critical) && state.target > floor {
+                let cut = state.step_for(-1, initial).min(state.target - floor);
+                state.target -= cut;
+                self.pool += cut;
+            }
+        }
+
+        // Grant: throttled hosts on the critical path are power-bound —
+        // extra watts buy elapsed time. Rate-limited to one step per
+        // interval so a transiently throttled host cannot swallow the pool.
+        let recipients: Vec<usize> = (0..self.hosts.len())
+            .filter(|&h| {
+                outcome.host_lead[h] < f_turbo
+                    && outcome.host_compute_time[h].value()
+                        >= slowest.value() * (1.0 - self.params.critical_band)
+                    && self.hosts[h].target < tdp
+            })
+            .collect();
+        if !recipients.is_empty() && self.pool > Watts::ZERO {
+            let fair_share = self.pool / recipients.len() as f64;
+            for &h in &recipients {
+                let state = &mut self.hosts[h];
+                // Restores are deliberately faster than cuts (twice the
+                // nominal step): a throttled critical path costs elapsed
+                // time immediately, so the search hovers just *above* the
+                // needed power rather than below it. The reversal still
+                // halves the subsequent cut probe.
+                state.step_for(1, initial);
+                let grant = fair_share
+                    .min(initial * 2.0)
+                    .min(tdp - state.target)
+                    .min(self.pool);
+                state.target += grant;
+                self.pool -= grant;
+            }
+        }
+
+        for (h, state) in self.hosts.iter().enumerate() {
+            platform
+                .set_host_limit(h, state.target)
+                .expect("targets stay within the settable range");
+        }
+        debug_assert!(
+            self.hosts.iter().map(|h| h.target).sum::<Watts>() + self.pool
+                <= self.budget + Watts(1e-6),
+            "balancer must never exceed its budget"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_kernel::{Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction};
+    use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel};
+
+    fn run_balancer(
+        config: KernelConfig,
+        eps: &[f64],
+        budget_per_host: f64,
+        iterations: usize,
+    ) -> (PowerBalancerAgent, JobPlatform) {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = eps
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, config);
+        let mut agent = PowerBalancerAgent::new(Watts(budget_per_host * eps.len() as f64));
+        agent.init(&mut platform);
+        for _ in 0..iterations {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        (agent, platform)
+    }
+
+    #[test]
+    fn converges_to_needed_power_under_ample_budget() {
+        // Heavy waiting: lots of harvestable slack. Under a TDP-level
+        // budget the balancer should settle near the workload's needed
+        // power, well below the uniform share.
+        let config = KernelConfig::new(
+            8.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P75,
+            Imbalance::TwoX,
+        );
+        let (agent, platform) = run_balancer(config, &[1.0, 1.0], 240.0, 120);
+        let load = KernelLoad::new(config, platform.model().spec());
+        let needed = load.needed_power(platform.model(), 1.0);
+        for t in agent.targets() {
+            assert!(
+                (t.value() - needed.value()).abs() < 16.0,
+                "target {t} should approach needed {needed} (search breathes                  around the optimum)"
+            );
+        }
+        // The harvested surplus sits unspent in the pool.
+        assert!(agent.pool().value() > 50.0);
+    }
+
+    #[test]
+    fn balanced_workload_keeps_its_power() {
+        // Balanced, compute-heavy: needed == used; probing must back off
+        // near the used power, not collapse to the floor.
+        let config = KernelConfig::balanced_ymm(16.0);
+        let (agent, platform) = run_balancer(config, &[1.0], 240.0, 120);
+        let load = KernelLoad::new(config, platform.model().spec());
+        let used = load.used_power(platform.model(), 1.0);
+        let t = agent.targets()[0];
+        assert!(
+            t.value() > used.value() - 12.0,
+            "target {t} collapsed below used {used}"
+        );
+    }
+
+    #[test]
+    fn shifts_power_toward_inefficient_node_under_scarcity() {
+        // Two nodes, one inefficient, tight budget: the balancer should
+        // give the inefficient (slower-under-cap) node more power.
+        let config = KernelConfig::balanced_ymm(16.0);
+        let (agent, _) = run_balancer(config, &[0.94, 1.07], 170.0, 200);
+        let t = agent.targets();
+        assert!(
+            t[1].value() > t[0].value() + 2.0,
+            "inefficient node got {} vs efficient {}",
+            t[1],
+            t[0]
+        );
+    }
+
+    #[test]
+    fn equalizes_epoch_times_under_scarcity() {
+        let config = KernelConfig::balanced_ymm(16.0);
+        let (_, mut platform) = run_balancer(config, &[0.94, 1.07], 170.0, 200);
+        // Let enforcement settle on the final targets, then compare.
+        for _ in 0..40 {
+            platform.run_iteration();
+        }
+        let out = platform.run_iteration();
+        let a = out.host_compute_time[0].value();
+        let b = out.host_compute_time[1].value();
+        assert!(
+            (a - b).abs() / b < 0.06,
+            "epoch times {a} vs {b} should be near-equal"
+        );
+    }
+
+    #[test]
+    fn never_exceeds_budget() {
+        let config = KernelConfig::new(
+            4.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P25,
+            Imbalance::ThreeX,
+        );
+        let budget = Watts(180.0 * 3.0);
+        let (agent, _) = run_balancer(config, &[1.0, 0.95, 1.05], 180.0, 150);
+        let total: Watts = agent.targets().iter().copied().sum();
+        assert!(total <= budget + Watts(1e-6));
+    }
+}

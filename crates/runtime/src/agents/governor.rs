@@ -1,0 +1,76 @@
+//! The power governor agent: a static, uniform per-host cap.
+//!
+//! This is the performance-agnostic way to enforce a job power budget —
+//! divide it evenly and hold it. It is the within-job behaviour of the
+//! paper's `StaticCaps` and `MinimizeWaste` policies.
+
+use crate::agent::Agent;
+use crate::platform::JobPlatform;
+use pmstack_simhw::Watts;
+
+/// A uniform static per-host power cap enforcing a job budget.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerGovernorAgent {
+    budget: Watts,
+}
+
+impl PowerGovernorAgent {
+    /// Enforce `budget` watts across the whole job.
+    pub fn new(budget: Watts) -> Self {
+        Self { budget }
+    }
+}
+
+impl Agent for PowerGovernorAgent {
+    fn name(&self) -> &'static str {
+        "power_governor"
+    }
+
+    fn init(&mut self, platform: &mut JobPlatform) {
+        let per_host = self.budget / platform.num_hosts() as f64;
+        platform
+            .set_uniform_limit(per_host)
+            .expect("node clamps limits into the settable range");
+    }
+
+    fn budget(&self) -> Option<Watts> {
+        Some(self.budget)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_kernel::KernelConfig;
+    use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel};
+
+    #[test]
+    fn governor_splits_budget_uniformly() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = (0..4)
+            .map(|i| Node::new(NodeId(i), &model, 1.0).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, KernelConfig::balanced_ymm(8.0));
+        let mut agent = PowerGovernorAgent::new(Watts(640.0));
+        agent.init(&mut platform);
+        for l in platform.host_limits() {
+            assert!((l.value() - 160.0).abs() < 0.5);
+        }
+        assert_eq!(agent.budget(), Some(Watts(640.0)));
+    }
+
+    #[test]
+    fn governor_respects_hardware_floor() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = (0..2)
+            .map(|i| Node::new(NodeId(i), &model, 1.0).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, KernelConfig::balanced_ymm(8.0));
+        // 100 W/host requested; hardware floor is 136 W/node.
+        let mut agent = PowerGovernorAgent::new(Watts(200.0));
+        agent.init(&mut platform);
+        for l in platform.host_limits() {
+            assert!((l.value() - 136.0).abs() < 0.5);
+        }
+    }
+}

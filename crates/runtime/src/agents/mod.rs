@@ -1,0 +1,11 @@
+//! The agent implementations the paper's methodology uses.
+
+mod balancer;
+mod freq_governor;
+mod governor;
+mod monitor;
+
+pub use balancer::{BalancerParams, PowerBalancerAgent};
+pub use freq_governor::FrequencyGovernorAgent;
+pub use governor::PowerGovernorAgent;
+pub use monitor::MonitorAgent;

@@ -1,0 +1,47 @@
+//! The monitor agent: observe, never control.
+//!
+//! GEOPM's `monitor` agent "simply reports requested metrics of interest,
+//! such as energy and time, without modifying system behavior" (§III-B).
+//! The paper's *used power* characterization (Fig. 4) comes from runs under
+//! this agent with no power limit.
+
+use crate::agent::Agent;
+use crate::platform::JobPlatform;
+
+/// The observe-only agent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MonitorAgent;
+
+impl Agent for MonitorAgent {
+    fn name(&self) -> &'static str {
+        "monitor"
+    }
+
+    fn init(&mut self, platform: &mut JobPlatform) {
+        // Release any inherited limit: program every host to node TDP,
+        // the power-on default.
+        let tdp = platform.model().spec().tdp_per_node();
+        platform
+            .set_uniform_limit(tdp)
+            .expect("TDP is always settable");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_kernel::KernelConfig;
+    use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel, Watts};
+
+    #[test]
+    fn monitor_resets_limits_to_tdp() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = vec![Node::new(NodeId(0), &model, 1.0).unwrap()];
+        let mut platform = JobPlatform::new(model, nodes, KernelConfig::balanced_ymm(8.0));
+        platform.set_uniform_limit(Watts(150.0)).unwrap();
+        let mut agent = MonitorAgent;
+        agent.init(&mut platform);
+        assert!((platform.host_limits()[0].value() - 240.0).abs() < 0.5);
+        assert!(agent.budget().is_none());
+    }
+}

@@ -1,0 +1,147 @@
+//! The resource-manager ↔ job-runtime endpoint.
+//!
+//! The paper's conclusion calls out that "there is not currently an existing
+//! protocol or central mechanism for coordinating power management decisions
+//! across a data center's power delivery hierarchy" and emulates the loop
+//! with pre-characterization. This module implements the missing protocol as
+//! a small shared-state channel (mirroring GEOPM's endpoint design): the
+//! resource manager posts a job power budget; the runtime acknowledges it
+//! and reports achieved power back.
+
+use parking_lot::Mutex;
+use pmstack_simhw::Watts;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct EndpointState {
+    budget: Option<Watts>,
+    budget_serial: u64,
+    achieved: Option<Watts>,
+    achieved_samples: u64,
+}
+
+/// A bidirectional RM ↔ runtime power-coordination channel.
+#[derive(Debug, Clone, Default)]
+pub struct Endpoint {
+    state: Arc<Mutex<EndpointState>>,
+}
+
+impl Endpoint {
+    /// A fresh endpoint with no budget posted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The resource-manager half.
+    pub fn rm_half(&self) -> EndpointRm {
+        EndpointRm {
+            state: Arc::clone(&self.state),
+        }
+    }
+
+    /// The job-runtime half.
+    pub fn runtime_half(&self) -> EndpointRuntime {
+        EndpointRuntime {
+            state: Arc::clone(&self.state),
+        }
+    }
+}
+
+/// The resource manager's view of an endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointRm {
+    state: Arc<Mutex<EndpointState>>,
+}
+
+impl EndpointRm {
+    /// Post (or update) the job's power budget.
+    pub fn set_budget(&self, budget: Watts) {
+        let mut s = self.state.lock();
+        s.budget = Some(budget);
+        s.budget_serial += 1;
+    }
+
+    /// The most recent power the runtime reported achieving.
+    pub fn achieved_power(&self) -> Option<Watts> {
+        self.state.lock().achieved
+    }
+
+    /// How many achieved-power samples the runtime has reported.
+    pub fn sample_count(&self) -> u64 {
+        self.state.lock().achieved_samples
+    }
+}
+
+/// The job runtime's view of an endpoint.
+#[derive(Debug, Clone)]
+pub struct EndpointRuntime {
+    state: Arc<Mutex<EndpointState>>,
+}
+
+impl EndpointRuntime {
+    /// The currently posted budget, with its serial (bumps on every RM
+    /// update so the runtime can detect changes cheaply).
+    pub fn budget(&self) -> Option<(Watts, u64)> {
+        let s = self.state.lock();
+        s.budget.map(|b| (b, s.budget_serial))
+    }
+
+    /// Report the job's achieved power for this control interval.
+    pub fn report_achieved(&self, power: Watts) {
+        let mut s = self.state.lock();
+        s.achieved = Some(power);
+        s.achieved_samples += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_flows_rm_to_runtime() {
+        let ep = Endpoint::new();
+        let rm = ep.rm_half();
+        let rt = ep.runtime_half();
+        assert!(rt.budget().is_none());
+        rm.set_budget(Watts(1500.0));
+        let (b, serial) = rt.budget().unwrap();
+        assert_eq!(b, Watts(1500.0));
+        rm.set_budget(Watts(1600.0));
+        let (b2, serial2) = rt.budget().unwrap();
+        assert_eq!(b2, Watts(1600.0));
+        assert!(serial2 > serial, "serial must bump on update");
+    }
+
+    #[test]
+    fn achieved_flows_runtime_to_rm() {
+        let ep = Endpoint::new();
+        let rm = ep.rm_half();
+        let rt = ep.runtime_half();
+        assert!(rm.achieved_power().is_none());
+        rt.report_achieved(Watts(1450.0));
+        rt.report_achieved(Watts(1480.0));
+        assert_eq!(rm.achieved_power(), Some(Watts(1480.0)));
+        assert_eq!(rm.sample_count(), 2);
+    }
+
+    #[test]
+    fn endpoint_is_shareable_across_threads() {
+        let ep = Endpoint::new();
+        let rm = ep.rm_half();
+        let rt = ep.runtime_half();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..100 {
+                    rt.report_achieved(Watts(f64::from(i)));
+                }
+            });
+            s.spawn(move || {
+                for i in 0..100 {
+                    rm.set_budget(Watts(f64::from(i)));
+                }
+            });
+        });
+        assert_eq!(ep.rm_half().sample_count(), 100);
+    }
+}

@@ -1,0 +1,301 @@
+//! The PlatformIO layer: a job's runtime view of its hosts.
+//!
+//! A [`JobPlatform`] owns the job's nodes (leased from the resource
+//! manager), binds them to the job's kernel workload, executes
+//! bulk-synchronous iterations against the RAPL-enforced limits, and exposes
+//! the signals and controls agents operate on.
+
+use pmstack_kernel::{KernelConfig, KernelLoad};
+use pmstack_simhw::power::OperatingPoint;
+use pmstack_simhw::{Hertz, Joules, Node, PowerModel, Seconds, SimHwError, Watts};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The observable outcome of one bulk-synchronous iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationOutcome {
+    /// Elapsed wall time of the iteration (the barrier releases when the
+    /// slowest host finishes).
+    pub elapsed: Seconds,
+    /// Per-host critical-path compute time (before the barrier).
+    pub host_compute_time: Vec<Seconds>,
+    /// Per-host average power over the iteration.
+    pub host_power: Vec<Watts>,
+    /// Per-host lead frequency.
+    pub host_lead: Vec<Hertz>,
+    /// Per-host enforced node power limit during the iteration.
+    pub host_limit: Vec<Watts>,
+}
+
+impl IterationOutcome {
+    /// Total job power during the iteration.
+    pub fn total_power(&self) -> Watts {
+        self.host_power.iter().copied().sum()
+    }
+}
+
+/// A job's hosts bound to its workload.
+pub struct JobPlatform {
+    model: PowerModel,
+    nodes: Vec<Node>,
+    load: KernelLoad,
+    jitter_sigma: f64,
+    rng: ChaCha8Rng,
+    elapsed: Seconds,
+}
+
+impl JobPlatform {
+    /// Bind `nodes` to a kernel workload. Every host of a job runs the same
+    /// configuration (one benchmark instance per job, as in the paper).
+    pub fn new(model: PowerModel, nodes: Vec<Node>, config: KernelConfig) -> Self {
+        assert!(!nodes.is_empty(), "a job needs at least one host");
+        let load = KernelLoad::new(config, model.spec());
+        Self {
+            model,
+            nodes,
+            load,
+            jitter_sigma: 0.0,
+            rng: ChaCha8Rng::seed_from_u64(0),
+        elapsed: Seconds::ZERO,
+        }
+    }
+
+    /// Enable per-host per-iteration multiplicative compute-time jitter
+    /// (log-normal-ish, σ small). The paper's error bars come from exactly
+    /// this kind of run-to-run noise over 100 iterations.
+    pub fn with_jitter(mut self, sigma: f64, seed: u64) -> Self {
+        self.jitter_sigma = sigma;
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+        self
+    }
+
+    /// Number of hosts.
+    pub fn num_hosts(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The shared power model.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// The workload bound to this job.
+    pub fn load(&self) -> &KernelLoad {
+        &self.load
+    }
+
+    /// The job's hosts.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Rebind the platform to a new kernel configuration — a phase change
+    /// in a multi-phase application. Node state (energy counters, limits,
+    /// enforcement filters) carries across the boundary, exactly as on real
+    /// hardware.
+    pub fn set_config(&mut self, config: KernelConfig) {
+        self.load = KernelLoad::new(config, self.model.spec());
+    }
+
+    /// Release the nodes back to the caller (lease return).
+    pub fn into_nodes(self) -> Vec<Node> {
+        self.nodes
+    }
+
+    /// Total simulated time this platform has executed.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Program one host's node power limit (clamped into the settable
+    /// range by the node itself).
+    pub fn set_host_limit(&mut self, host: usize, limit: Watts) -> Result<(), SimHwError> {
+        self.nodes
+            .get_mut(host)
+            .ok_or(SimHwError::UnknownNode(host))?
+            .set_power_limit(limit)
+    }
+
+    /// Program every host to the same node power limit.
+    pub fn set_uniform_limit(&mut self, limit: Watts) -> Result<(), SimHwError> {
+        for host in 0..self.num_hosts() {
+            self.set_host_limit(host, limit)?;
+        }
+        Ok(())
+    }
+
+    /// Program (or release) a frequency cap on every host — the DVFS
+    /// control path through `IA32_PERF_CTL`.
+    pub fn set_uniform_freq_cap(
+        &mut self,
+        cap: Option<pmstack_simhw::Hertz>,
+    ) -> Result<(), SimHwError> {
+        for node in &mut self.nodes {
+            node.set_freq_cap(cap)?;
+        }
+        Ok(())
+    }
+
+    /// The currently programmed per-host limits.
+    pub fn host_limits(&self) -> Vec<Watts> {
+        self.nodes.iter().map(|n| n.power_limit()).collect()
+    }
+
+    /// Cumulative per-host energy.
+    pub fn host_energy(&self) -> Vec<Joules> {
+        self.nodes.iter().map(|n| n.energy()).collect()
+    }
+
+    /// The operating point a host would settle on under its *enforced*
+    /// limit (and any software frequency cap) right now.
+    pub fn host_operating_point(&self, host: usize) -> OperatingPoint {
+        self.nodes[host].operating_point(&self.model, &self.load)
+    }
+
+    /// Execute one bulk-synchronous iteration: each host computes at the
+    /// operating point its enforced limit allows; the barrier releases when
+    /// the slowest host finishes; every node accumulates energy for the full
+    /// elapsed time (waiting hosts poll at their operating-point power,
+    /// which is the energy sink the paper's kernel deliberately models).
+    pub fn run_iteration(&mut self) -> IterationOutcome {
+        let n = self.num_hosts();
+        let mut ops = Vec::with_capacity(n);
+        let mut compute = Vec::with_capacity(n);
+        for host in 0..n {
+            let op = self.host_operating_point(host);
+            let jitter = self.draw_jitter();
+            let t = Seconds(self.load.iteration_time(&op).value() * jitter);
+            ops.push(op);
+            compute.push(t);
+        }
+        let elapsed = compute
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max);
+
+        let mut host_power = Vec::with_capacity(n);
+        let mut host_lead = Vec::with_capacity(n);
+        let mut host_limit = Vec::with_capacity(n);
+        for (host, op) in ops.iter().enumerate() {
+            let node = &mut self.nodes[host];
+            host_limit.push(node.enforced_limit());
+            // Advance RAPL state (energy counters + enforcement filters)
+            // through the iteration at the operating-point power.
+            let sample = node.step(&self.model, &self.load, elapsed);
+            host_power.push(sample.power);
+            host_lead.push(op.lead);
+        }
+        self.elapsed += elapsed;
+        IterationOutcome {
+            elapsed,
+            host_compute_time: compute,
+            host_power,
+            host_lead,
+            host_limit,
+        }
+    }
+
+    fn draw_jitter(&mut self) -> f64 {
+        if self.jitter_sigma == 0.0 {
+            return 1.0;
+        }
+        // Two-uniform approximation of a centered Gaussian is plenty for
+        // multiplicative noise of a fraction of a percent.
+        let u: f64 = self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0;
+        (1.0 + u * self.jitter_sigma * 1.7).max(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_kernel::{Imbalance, VectorWidth, WaitingFraction};
+    use pmstack_simhw::{quartz_spec, NodeId};
+
+    fn platform(n_hosts: usize, eps: &[f64]) -> JobPlatform {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = (0..n_hosts)
+            .map(|i| Node::new(NodeId(i), &model, eps.get(i).copied().unwrap_or(1.0)).unwrap())
+            .collect();
+        JobPlatform::new(
+            model,
+            nodes,
+            KernelConfig::new(
+                8.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P0,
+                Imbalance::Balanced,
+            ),
+        )
+    }
+
+    #[test]
+    fn iteration_elapsed_is_max_of_hosts() {
+        let mut p = platform(3, &[1.0, 1.0, 1.07]);
+        // Tight limit: the inefficient host is slower.
+        p.set_uniform_limit(Watts(150.0)).unwrap();
+        // Let enforcement settle.
+        for _ in 0..30 {
+            p.run_iteration();
+        }
+        let out = p.run_iteration();
+        let max_t = out
+            .host_compute_time
+            .iter()
+            .copied()
+            .fold(Seconds::ZERO, Seconds::max);
+        assert_eq!(out.elapsed, max_t);
+        assert!(out.host_compute_time[2] >= out.host_compute_time[0]);
+    }
+
+    #[test]
+    fn energy_accumulates_over_iterations() {
+        let mut p = platform(2, &[1.0, 1.0]);
+        p.run_iteration();
+        let e1 = p.host_energy();
+        p.run_iteration();
+        let e2 = p.host_energy();
+        assert!(e2[0] > e1[0] && e2[1] > e1[1]);
+    }
+
+    #[test]
+    fn jitter_is_reproducible_and_small() {
+        let mk = |seed| {
+            let mut p = platform(1, &[1.0]).with_jitter(0.01, seed);
+            (0..5).map(|_| p.run_iteration().elapsed.value()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+        let ts = mk(3);
+        let mean = ts.iter().sum::<f64>() / ts.len() as f64;
+        assert!(ts.iter().all(|t| (t - mean).abs() / mean < 0.1));
+    }
+
+    #[test]
+    fn limits_are_programmable_per_host() {
+        let mut p = platform(2, &[1.0, 1.0]);
+        p.set_host_limit(0, Watts(150.0)).unwrap();
+        p.set_host_limit(1, Watts(200.0)).unwrap();
+        let limits = p.host_limits();
+        assert!((limits[0].value() - 150.0).abs() < 0.5);
+        assert!((limits[1].value() - 200.0).abs() < 0.5);
+        assert!(p.set_host_limit(5, Watts(150.0)).is_err());
+    }
+
+    #[test]
+    fn out_of_range_limits_are_clamped_by_node() {
+        let mut p = platform(1, &[1.0]);
+        // 50 W/node is below the 136 W floor; node clamps per socket.
+        p.set_host_limit(0, Watts(50.0)).unwrap();
+        assert!((p.host_limits()[0].value() - 136.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn total_power_sums_hosts() {
+        let mut p = platform(3, &[1.0, 1.0, 1.0]);
+        let out = p.run_iteration();
+        let sum: f64 = out.host_power.iter().map(|w| w.value()).sum();
+        assert!((out.total_power().value() - sum).abs() < 1e-9);
+    }
+}

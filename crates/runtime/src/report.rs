@@ -1,0 +1,137 @@
+//! Runtime reports — the artifact the paper's characterization pipeline
+//! consumes ("obtained from GEOPM reports", §III-A).
+
+use pmstack_simhw::{Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Per-host section of a job report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostReport {
+    /// Host index within the job.
+    pub host: usize,
+    /// Node efficiency factor (diagnostic; not visible to real tools).
+    pub eps: f64,
+    /// Average node power over the run.
+    pub avg_power: Watts,
+    /// Total node energy.
+    pub energy: Joules,
+    /// Final programmed node power limit.
+    pub final_limit: Watts,
+    /// Mean per-iteration critical-path compute time.
+    pub mean_epoch: Seconds,
+}
+
+/// A whole-job report produced by the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The agent that governed the run.
+    pub agent: String,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Elapsed wall time of the run.
+    pub elapsed: Seconds,
+    /// Per-iteration elapsed times (for confidence intervals).
+    pub iteration_times: Vec<Seconds>,
+    /// Total job energy.
+    pub energy: Joules,
+    /// Total FLOPs performed by the job.
+    pub flops: f64,
+    /// Per-host details.
+    pub hosts: Vec<HostReport>,
+}
+
+impl JobReport {
+    /// Average job power over the run.
+    pub fn avg_power(&self) -> Watts {
+        if self.elapsed.value() <= 0.0 {
+            return Watts::ZERO;
+        }
+        self.energy / self.elapsed
+    }
+
+    /// Achieved FLOPS per watt.
+    pub fn flops_per_watt(&self) -> f64 {
+        if self.energy.value() <= 0.0 {
+            return 0.0;
+        }
+        self.flops / self.energy.value()
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn energy_delay_product(&self) -> f64 {
+        self.energy.value() * self.elapsed.value()
+    }
+
+    /// The highest per-host average power — what the `Precharacterized`
+    /// policy submits as its job cap (§III-B).
+    pub fn max_host_avg_power(&self) -> Watts {
+        self.hosts
+            .iter()
+            .map(|h| h.avg_power)
+            .fold(Watts::ZERO, Watts::max)
+    }
+
+    /// Per-host final limits — the "final power distribution from a
+    /// pre-characterization run" the paper's policies consume.
+    pub fn final_limits(&self) -> Vec<Watts> {
+        self.hosts.iter().map(|h| h.final_limit).collect()
+    }
+
+    /// Per-host average powers.
+    pub fn host_avg_powers(&self) -> Vec<Watts> {
+        self.hosts.iter().map(|h| h.avg_power).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> JobReport {
+        JobReport {
+            agent: "monitor".into(),
+            iterations: 2,
+            elapsed: Seconds(10.0),
+            iteration_times: vec![Seconds(5.0), Seconds(5.0)],
+            energy: Joules(2000.0),
+            flops: 4e12,
+            hosts: vec![
+                HostReport {
+                    host: 0,
+                    eps: 1.0,
+                    avg_power: Watts(90.0),
+                    energy: Joules(900.0),
+                    final_limit: Watts(200.0),
+                    mean_epoch: Seconds(4.0),
+                },
+                HostReport {
+                    host: 1,
+                    eps: 1.05,
+                    avg_power: Watts(110.0),
+                    energy: Joules(1100.0),
+                    final_limit: Watts(220.0),
+                    mean_epoch: Seconds(5.0),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert_eq!(r.avg_power(), Watts(200.0));
+        assert!((r.flops_per_watt() - 2e9).abs() < 1.0);
+        assert_eq!(r.energy_delay_product(), 20000.0);
+        assert_eq!(r.max_host_avg_power(), Watts(110.0));
+        assert_eq!(r.final_limits(), vec![Watts(200.0), Watts(220.0)]);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let mut r = report();
+        r.elapsed = Seconds::ZERO;
+        r.energy = Joules::ZERO;
+        assert_eq!(r.avg_power(), Watts::ZERO);
+        assert_eq!(r.flops_per_watt(), 0.0);
+    }
+}

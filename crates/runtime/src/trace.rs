@@ -1,0 +1,211 @@
+//! Execution traces — the per-control-interval signal record GEOPM writes
+//! alongside its reports.
+//!
+//! A [`Tracer`] collects one [`TraceRecord`] per iteration per host;
+//! [`Trace::to_csv`] renders the standard column layout for offline
+//! analysis, and the accessors answer the questions agents' post-mortems
+//! ask (power over time, limit over time, convergence point).
+
+use crate::platform::IterationOutcome;
+use pmstack_simhw::{Hertz, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One host's signals during one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Simulated time at the end of the iteration.
+    pub time: Seconds,
+    /// Iteration index.
+    pub iteration: usize,
+    /// Host index within the job.
+    pub host: usize,
+    /// Average node power during the iteration.
+    pub power: Watts,
+    /// Lead (critical-core) frequency.
+    pub freq: Hertz,
+    /// Enforced node power limit.
+    pub limit: Watts,
+    /// Critical-path compute time of the iteration on this host.
+    pub epoch: Seconds,
+}
+
+/// A whole-job execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// All records, iteration-major then host order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Records for one host, in time order.
+    pub fn host(&self, host: usize) -> Vec<&TraceRecord> {
+        self.records.iter().filter(|r| r.host == host).collect()
+    }
+
+    /// Iterations recorded.
+    pub fn iterations(&self) -> usize {
+        self.records
+            .iter()
+            .map(|r| r.iteration + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The first iteration after which a host's limit stays within
+    /// `tolerance` watts of its final value — the convergence point of an
+    /// adaptive agent on that host.
+    pub fn convergence_iteration(&self, host: usize, tolerance: Watts) -> Option<usize> {
+        let series = self.host(host);
+        let last = series.last()?.limit;
+        let converged_from = series
+            .iter()
+            .rposition(|r| (r.limit - last).abs() > tolerance)
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        series.get(converged_from).map(|r| r.iteration)
+    }
+
+    /// GEOPM-style CSV rendering.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("time_s,iteration,host,power_w,freq_ghz,limit_w,epoch_s\n");
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{:.4},{},{},{:.2},{:.3},{:.2},{:.5}",
+                r.time.value(),
+                r.iteration,
+                r.host,
+                r.power.value(),
+                r.freq.ghz(),
+                r.limit.value(),
+                r.epoch.value()
+            );
+        }
+        out
+    }
+}
+
+/// Collects records from iteration outcomes.
+#[derive(Debug, Clone, Default)]
+pub struct Tracer {
+    trace: Trace,
+    iteration: usize,
+    time: Seconds,
+}
+
+impl Tracer {
+    /// A fresh tracer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one iteration's outcome.
+    pub fn record(&mut self, outcome: &IterationOutcome) {
+        self.time += outcome.elapsed;
+        for host in 0..outcome.host_power.len() {
+            self.trace.records.push(TraceRecord {
+                time: self.time,
+                iteration: self.iteration,
+                host,
+                power: outcome.host_power[host],
+                freq: outcome.host_lead[host],
+                limit: outcome.host_limit[host],
+                epoch: outcome.host_compute_time[host],
+            });
+        }
+        self.iteration += 1;
+    }
+
+    /// Finish, yielding the trace.
+    pub fn finish(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use crate::agents::PowerBalancerAgent;
+    use crate::platform::JobPlatform;
+    use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+    use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel};
+
+    fn traced_balancer_run(iters: usize) -> Trace {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = vec![
+            Node::new(NodeId(0), &model, 0.98).unwrap(),
+            Node::new(NodeId(1), &model, 1.03).unwrap(),
+        ];
+        let mut platform = JobPlatform::new(
+            model,
+            nodes,
+            KernelConfig::new(
+                8.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P75,
+                Imbalance::TwoX,
+            ),
+        );
+        let mut agent = PowerBalancerAgent::new(Watts(2.0 * 240.0));
+        agent.init(&mut platform);
+        let mut tracer = Tracer::new();
+        for _ in 0..iters {
+            let out = platform.run_iteration();
+            tracer.record(&out);
+            agent.adjust(&mut platform, &out);
+        }
+        tracer.finish()
+    }
+
+    #[test]
+    fn trace_covers_every_host_and_iteration() {
+        let trace = traced_balancer_run(20);
+        assert_eq!(trace.iterations(), 20);
+        assert_eq!(trace.records().len(), 40);
+        assert_eq!(trace.host(0).len(), 20);
+        assert_eq!(trace.host(1).len(), 20);
+        // Time is monotone.
+        let times: Vec<f64> = trace.host(0).iter().map(|r| r.time.value()).collect();
+        assert!(times.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn trace_shows_balancer_harvest() {
+        let trace = traced_balancer_run(80);
+        let series = trace.host(0);
+        let early = series[1].limit.value();
+        let late = series.last().unwrap().limit.value();
+        assert!(
+            late < early - 20.0,
+            "limit should drop as slack is harvested: {early} → {late}"
+        );
+        // The convergence detector finds a point before the end.
+        let conv = trace.convergence_iteration(0, Watts(6.0)).unwrap();
+        assert!(conv < 79, "converged at {conv}");
+    }
+
+    #[test]
+    fn csv_is_rectangular() {
+        let trace = traced_balancer_run(5);
+        let csv = trace.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 10);
+        let cols = lines[0].split(',').count();
+        assert!(lines[1..].iter().all(|l| l.split(',').count() == cols));
+    }
+
+    #[test]
+    fn empty_trace_is_sane() {
+        let trace = Tracer::new().finish();
+        assert_eq!(trace.iterations(), 0);
+        assert!(trace.convergence_iteration(0, Watts(1.0)).is_none());
+        assert_eq!(trace.to_csv().lines().count(), 1);
+    }
+}

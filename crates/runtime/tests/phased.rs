@@ -1,0 +1,107 @@
+//! Integration tests of multi-phase application support (§VIII future
+//! work): the balancer must re-converge to each phase's needed power.
+
+use pmstack_kernel::{
+    Imbalance, KernelConfig, KernelLoad, PhasedWorkload, VectorWidth, WaitingFraction,
+};
+use pmstack_runtime::{Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
+use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel, Watts};
+
+fn platform(eps: &[f64]) -> JobPlatform {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes = eps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+        .collect();
+    // Initial config is immediately replaced by the first phase.
+    JobPlatform::new(model, nodes, KernelConfig::balanced_ymm(1.0))
+}
+
+fn slack_phase() -> KernelConfig {
+    KernelConfig::new(
+        8.0,
+        VectorWidth::Ymm,
+        WaitingFraction::P75,
+        Imbalance::TwoX,
+    )
+}
+
+fn hungry_phase() -> KernelConfig {
+    KernelConfig::balanced_ymm(16.0)
+}
+
+#[test]
+fn balancer_reconverges_across_phase_boundary() {
+    let workload = PhasedWorkload::new([(slack_phase(), 120), (hungry_phase(), 120)]);
+    let budget = Watts(2.0 * 240.0);
+    let mut controller = Controller::new(platform(&[1.0, 1.0]), PowerBalancerAgent::new(budget));
+    let report = controller.run_phased(&workload);
+    assert_eq!(report.iterations, 240);
+
+    // After the hungry phase the balancer must have restored the limits:
+    // the hungry phase needs ~224 W/node while the slack phase needed ~184.
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let hungry_needed = KernelLoad::new(hungry_phase(), &quartz_spec())
+        .needed_power(&model, 1.0)
+        .value();
+    let final_targets = controller.agent().targets();
+    for t in final_targets {
+        assert!(
+            (t.value() - hungry_needed).abs() < 18.0,
+            "final target {t} should track the hungry phase's needed {hungry_needed:.1} W"
+        );
+    }
+}
+
+#[test]
+fn phased_energy_beats_unmanaged_run() {
+    let workload = PhasedWorkload::new([(slack_phase(), 100), (hungry_phase(), 100)]);
+    let budget = Watts(2.0 * 240.0);
+    let managed = Controller::new(platform(&[1.0, 1.0]), PowerBalancerAgent::new(budget))
+        .run_phased(&workload);
+    let unmanaged =
+        Controller::new(platform(&[1.0, 1.0]), MonitorAgent).run_phased(&workload);
+    // The slack phase's harvested power is pure energy savings; time must
+    // not regress materially.
+    assert!(
+        managed.energy < unmanaged.energy * 0.99,
+        "managed {} vs unmanaged {}",
+        managed.energy,
+        unmanaged.energy
+    );
+    assert!(managed.elapsed.value() < unmanaged.elapsed.value() * 1.03);
+}
+
+#[test]
+fn phased_report_accounts_both_phases() {
+    let workload = PhasedWorkload::new([
+        (KernelConfig::balanced_ymm(0.0), 10), // zero-FLOP streaming phase
+        (hungry_phase(), 10),
+    ]);
+    let report =
+        Controller::new(platform(&[1.0]), MonitorAgent).run_phased(&workload);
+    assert_eq!(report.iteration_times.len(), 20);
+    // FLOPs come only from the second phase.
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let _ = &model;
+    let expected = pmstack_kernel::PerfModel::new(hungry_phase(), &quartz_spec())
+        .node_flops_per_iteration()
+        * 10.0;
+    assert!((report.flops - expected).abs() / expected < 1e-9);
+    // Elapsed equals the sum of the iteration series.
+    let sum: f64 = report.iteration_times.iter().map(|t| t.value()).sum();
+    assert!((sum - report.elapsed.value()).abs() < 1e-9);
+}
+
+#[test]
+fn single_phase_run_matches_plain_run() {
+    let config = hungry_phase();
+    let workload = PhasedWorkload::single(config, 25);
+    let phased = Controller::new(platform(&[1.0, 1.03]), MonitorAgent).run_phased(&workload);
+    let mut plain_platform = platform(&[1.0, 1.03]);
+    plain_platform.set_config(config);
+    let plain = Controller::new(plain_platform, MonitorAgent).run(25);
+    assert!((phased.elapsed.value() - plain.elapsed.value()).abs() < 1e-9);
+    assert!((phased.energy.value() - plain.energy.value()).abs() < 1e-6);
+}

@@ -1,0 +1,97 @@
+//! Property-based tests of the runtime agents.
+
+use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use pmstack_runtime::{Agent, Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
+use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel, Watts};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = KernelConfig> {
+    (
+        0.25f64..32.0,
+        prop_oneof![
+            Just(WaitingFraction::P0),
+            Just(WaitingFraction::P25),
+            Just(WaitingFraction::P50),
+            Just(WaitingFraction::P75)
+        ],
+        prop_oneof![
+            Just(Imbalance::Balanced),
+            Just(Imbalance::TwoX),
+            Just(Imbalance::ThreeX)
+        ],
+    )
+        .prop_map(|(i, w, k)| {
+            let k = if w == WaitingFraction::P0 { Imbalance::Balanced } else { k };
+            KernelConfig::new(i, VectorWidth::Ymm, w, k)
+        })
+}
+
+fn platform(config: KernelConfig, eps: &[f64]) -> JobPlatform {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes = eps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+        .collect();
+    JobPlatform::new(model, nodes, config)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The balancer's targets never exceed its budget nor leave the node's
+    /// settable range, for any workload, efficiency mix, and budget.
+    #[test]
+    fn balancer_conserves_budget(
+        config in arb_config(),
+        eps in prop::collection::vec(0.9f64..1.1, 2..5),
+        per_host in 140.0f64..240.0,
+    ) {
+        let budget = Watts(per_host * eps.len() as f64);
+        let mut p = platform(config, &eps);
+        let mut agent = PowerBalancerAgent::new(budget);
+        agent.init(&mut p);
+        for _ in 0..60 {
+            let out = p.run_iteration();
+            agent.adjust(&mut p, &out);
+            let total: Watts = agent.targets().iter().copied().sum();
+            prop_assert!(total <= budget + Watts(1e-6));
+            for t in agent.targets() {
+                prop_assert!(t >= Watts(136.0) - Watts(1e-6) && t <= Watts(240.0) + Watts(1e-6));
+            }
+        }
+    }
+
+    /// Monitor runs are side-effect free: the same platform state yields
+    /// identical iteration outcomes every time (determinism without jitter).
+    #[test]
+    fn monitor_runs_are_deterministic(config in arb_config()) {
+        let run = || {
+            let mut c = Controller::new(platform(config, &[1.0, 1.05]), MonitorAgent);
+            let r = c.run(10);
+            (r.elapsed, r.energy)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Under the balancer, a job's energy never exceeds the same job under
+    /// no management at the same elapsed-time tolerance — harvesting slack
+    /// can only reduce energy.
+    #[test]
+    fn balancer_never_wastes_energy(
+        config in arb_config(),
+        per_host in 180.0f64..240.0,
+    ) {
+        let eps = [1.0, 1.02];
+        let budget = Watts(per_host * eps.len() as f64);
+        let mon = Controller::new(platform(config, &eps), MonitorAgent).run(80);
+        let bal = Controller::new(platform(config, &eps), PowerBalancerAgent::new(budget))
+            .run(80);
+        prop_assert!(
+            bal.energy <= mon.energy * 1.01,
+            "balancer energy {} vs monitor {}",
+            bal.energy,
+            mon.energy
+        );
+    }
+}

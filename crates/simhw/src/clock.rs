@@ -1,0 +1,118 @@
+//! Simulation clock.
+//!
+//! All time in the stack is simulated. The clock is a monotonic f64 of
+//! seconds with helpers for fixed control intervals, mirroring how GEOPM's
+//! controller wakes on a fixed cadence.
+
+use crate::units::Seconds;
+
+/// A monotonic simulated clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimClock {
+    now: Seconds,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SimClock {
+    /// A clock starting at t = 0.
+    pub fn new() -> Self {
+        Self { now: Seconds::ZERO }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> Seconds {
+        self.now
+    }
+
+    /// Advance the clock by `dt`. Panics (in debug builds) on negative or
+    /// non-finite steps, which always indicate a harness bug.
+    pub fn advance(&mut self, dt: Seconds) {
+        debug_assert!(dt.is_valid(), "clock step must be finite and >= 0");
+        self.now += dt;
+    }
+
+    /// Number of whole control periods of length `period` that have elapsed.
+    pub fn ticks(&self, period: Seconds) -> u64 {
+        if period.value() <= 0.0 {
+            return 0;
+        }
+        (self.now.value() / period.value()).floor() as u64
+    }
+}
+
+/// An iterator of fixed-size steps covering `[0, total)`, yielding
+/// `(t_start, dt)` pairs. The final step is truncated so steps exactly tile
+/// the interval.
+#[derive(Debug, Clone)]
+pub struct FixedSteps {
+    t: f64,
+    total: f64,
+    dt: f64,
+}
+
+impl FixedSteps {
+    /// Steps of nominal size `dt` covering `total` seconds.
+    pub fn new(total: Seconds, dt: Seconds) -> Self {
+        Self {
+            t: 0.0,
+            total: total.value().max(0.0),
+            dt: dt.value().max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+impl Iterator for FixedSteps {
+    type Item = (Seconds, Seconds);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.t >= self.total - 1e-12 {
+            return None;
+        }
+        let start = self.t;
+        let step = self.dt.min(self.total - self.t);
+        self.t += step;
+        Some((Seconds(start), Seconds(step)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance(Seconds(0.5));
+        c.advance(Seconds(0.25));
+        assert!((c.now().value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ticks_counts_periods() {
+        let mut c = SimClock::new();
+        c.advance(Seconds(1.05));
+        assert_eq!(c.ticks(Seconds(0.5)), 2);
+        assert_eq!(c.ticks(Seconds::ZERO), 0);
+    }
+
+    #[test]
+    fn fixed_steps_tile_interval_exactly() {
+        let steps: Vec<_> = FixedSteps::new(Seconds(1.0), Seconds(0.3)).collect();
+        assert_eq!(steps.len(), 4);
+        let total: f64 = steps.iter().map(|(_, dt)| dt.value()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        // Last step is the truncated remainder.
+        assert!((steps[3].1.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_steps_empty_interval() {
+        assert_eq!(FixedSteps::new(Seconds::ZERO, Seconds(0.1)).count(), 0);
+    }
+}

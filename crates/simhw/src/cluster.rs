@@ -1,0 +1,182 @@
+//! A cluster of simulated nodes.
+
+use crate::error::{Result, SimHwError};
+use crate::node::{Node, NodeId};
+use crate::power::{MachineSpec, PowerModel};
+use crate::units::Watts;
+use crate::variation::{VariationModel, VariationProfile};
+
+/// Builder for a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    spec: MachineSpec,
+    nodes: usize,
+    profile: VariationProfile,
+    seed: u64,
+}
+
+impl ClusterBuilder {
+    /// Start from a machine spec.
+    pub fn new(spec: MachineSpec) -> Self {
+        Self {
+            spec,
+            nodes: 0,
+            profile: VariationProfile::quartz(),
+            seed: 0,
+        }
+    }
+
+    /// Number of nodes to instantiate.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Variation profile for node efficiency factors.
+    pub fn variation(mut self, profile: VariationProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Seed for the variation sampler.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Build the cluster.
+    pub fn build(self) -> Result<Cluster> {
+        if self.nodes == 0 {
+            return Err(SimHwError::InvalidParameter(
+                "cluster must have at least one node".into(),
+            ));
+        }
+        let model = PowerModel::new(self.spec)?;
+        let mut sampler = VariationModel::new(self.profile, self.seed);
+        let nodes = (0..self.nodes)
+            .map(|i| Node::new(NodeId(i), &model, sampler.sample()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Cluster { model, nodes })
+    }
+}
+
+/// A set of nodes sharing one machine model.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    model: PowerModel,
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Start building a cluster.
+    pub fn builder(spec: MachineSpec) -> ClusterBuilder {
+        ClusterBuilder::new(spec)
+    }
+
+    /// The shared power model.
+    pub fn model(&self) -> &PowerModel {
+        &self.model
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster holds no nodes (cannot happen via the builder).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Mutable access to all nodes.
+    pub fn nodes_mut(&mut self) -> &mut [Node] {
+        &mut self.nodes
+    }
+
+    /// One node by id.
+    pub fn node(&self, id: NodeId) -> Result<&Node> {
+        self.nodes.get(id.0).ok_or(SimHwError::UnknownNode(id.0))
+    }
+
+    /// One node by id, mutably.
+    pub fn node_mut(&mut self, id: NodeId) -> Result<&mut Node> {
+        self.nodes
+            .get_mut(id.0)
+            .ok_or(SimHwError::UnknownNode(id.0))
+    }
+
+    /// Sum of all programmed node power limits.
+    pub fn total_power_limit(&self) -> Watts {
+        self.nodes.iter().map(|n| n.power_limit()).sum()
+    }
+
+    /// Total TDP across the cluster.
+    pub fn total_tdp(&self) -> Watts {
+        self.model.spec().tdp_per_node() * self.nodes.len() as f64
+    }
+
+    /// Minimum total settable power across the cluster.
+    pub fn total_min_limit(&self) -> Watts {
+        self.model.spec().min_rapl_per_node() * self.nodes.len() as f64
+    }
+
+    /// The node efficiency factors, indexed by node id.
+    pub fn efficiency_factors(&self) -> Vec<f64> {
+        self.nodes.iter().map(|n| n.eps()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quartz::quartz_spec;
+
+    #[test]
+    fn builder_produces_seeded_population() {
+        let a = Cluster::builder(quartz_spec())
+            .nodes(50)
+            .seed(11)
+            .build()
+            .unwrap();
+        let b = Cluster::builder(quartz_spec())
+            .nodes(50)
+            .seed(11)
+            .build()
+            .unwrap();
+        assert_eq!(a.efficiency_factors(), b.efficiency_factors());
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        assert!(Cluster::builder(quartz_spec()).nodes(0).build().is_err());
+    }
+
+    #[test]
+    fn totals_scale_with_node_count() {
+        let c = Cluster::builder(quartz_spec()).nodes(900).build().unwrap();
+        assert_eq!(c.total_tdp(), Watts(216_000.0));
+        assert_eq!(c.total_min_limit(), Watts(122_400.0));
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let c = Cluster::builder(quartz_spec()).nodes(3).build().unwrap();
+        assert!(c.node(NodeId(3)).is_err());
+        assert!(c.node(NodeId(2)).is_ok());
+    }
+
+    #[test]
+    fn uniform_variation_gives_identical_nodes() {
+        let c = Cluster::builder(quartz_spec())
+            .nodes(10)
+            .variation(VariationProfile::uniform())
+            .build()
+            .unwrap();
+        assert!(c.efficiency_factors().iter().all(|&e| e == 1.0));
+    }
+}

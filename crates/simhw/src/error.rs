@@ -1,0 +1,93 @@
+//! Error types for the hardware substrate.
+
+use std::fmt;
+
+/// Errors produced by the simulated hardware layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimHwError {
+    /// An MSR access targeted an address that is not in the device's
+    /// allowlist (the `msr-safe` behaviour: unknown registers fault).
+    MsrNotAllowed {
+        /// The MSR address that was rejected.
+        address: u32,
+        /// Whether the rejected access was a write.
+        write: bool,
+    },
+    /// A write touched bits outside the register's writable mask.
+    MsrReadOnlyBits {
+        /// The MSR address.
+        address: u32,
+        /// The offending bits (set bits were not writable).
+        offending: u64,
+    },
+    /// A requested power limit is outside the part's settable range.
+    PowerLimitOutOfRange {
+        /// The requested limit in watts.
+        requested_w: f64,
+        /// Minimum settable limit in watts.
+        min_w: f64,
+        /// Maximum settable limit in watts.
+        max_w: f64,
+    },
+    /// A node id did not exist in the cluster.
+    UnknownNode(usize),
+    /// The frequency solver could not bracket a solution.
+    SolverFailure(String),
+    /// A model parameter was invalid (negative, NaN, empty…).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SimHwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MsrNotAllowed { address, write } => write!(
+                f,
+                "msr-safe denied {} of MSR {address:#x}",
+                if *write { "write" } else { "read" }
+            ),
+            Self::MsrReadOnlyBits { address, offending } => write!(
+                f,
+                "write to MSR {address:#x} touches read-only bits {offending:#x}"
+            ),
+            Self::PowerLimitOutOfRange {
+                requested_w,
+                min_w,
+                max_w,
+            } => write!(
+                f,
+                "power limit {requested_w:.1} W outside settable range [{min_w:.1}, {max_w:.1}] W"
+            ),
+            Self::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            Self::SolverFailure(msg) => write!(f, "frequency solver failure: {msg}"),
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimHwError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, SimHwError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = SimHwError::MsrNotAllowed {
+            address: 0x610,
+            write: true,
+        };
+        assert!(e.to_string().contains("0x610"));
+        assert!(e.to_string().contains("write"));
+
+        let e = SimHwError::PowerLimitOutOfRange {
+            requested_w: 300.0,
+            min_w: 68.0,
+            max_w: 120.0,
+        };
+        assert!(e.to_string().contains("300.0"));
+        assert!(e.to_string().contains("68.0"));
+    }
+}

@@ -1,0 +1,205 @@
+//! Simulated model-specific registers with an `msr-safe` style allowlist.
+//!
+//! The paper's testbed exposes power knobs through the msr-safe Linux kernel
+//! module, which mediates userspace MSR access with per-register read/write
+//! masks. This module reproduces that contract: every access is checked
+//! against an allowlist, and writes may only touch writable bits.
+
+use crate::error::{Result, SimHwError};
+use std::collections::HashMap;
+
+/// Intel MSR addresses used by the stack (subset relevant to RAPL/p-states).
+pub mod address {
+    /// `MSR_RAPL_POWER_UNIT`: units for power/energy/time fields.
+    pub const RAPL_POWER_UNIT: u32 = 0x606;
+    /// `MSR_PKG_POWER_LIMIT`: package power limit control (PL1/PL2).
+    pub const PKG_POWER_LIMIT: u32 = 0x610;
+    /// `MSR_PKG_ENERGY_STATUS`: 32-bit package energy counter.
+    pub const PKG_ENERGY_STATUS: u32 = 0x611;
+    /// `MSR_PKG_POWER_INFO`: TDP and min/max settable power.
+    pub const PKG_POWER_INFO: u32 = 0x614;
+    /// `IA32_PERF_STATUS`: current p-state readback.
+    pub const PERF_STATUS: u32 = 0x198;
+    /// `IA32_PERF_CTL`: requested p-state.
+    pub const PERF_CTL: u32 = 0x199;
+}
+
+/// One allowlist entry: which bits may be read and which may be written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsrPermission {
+    /// Bits readable through the device.
+    pub read_mask: u64,
+    /// Bits writable through the device.
+    pub write_mask: u64,
+}
+
+impl MsrPermission {
+    /// Fully readable, not writable.
+    pub const READ_ONLY: Self = Self {
+        read_mask: u64::MAX,
+        write_mask: 0,
+    };
+
+    /// Fully readable and writable.
+    pub const READ_WRITE: Self = Self {
+        read_mask: u64::MAX,
+        write_mask: u64::MAX,
+    };
+}
+
+/// A simulated per-package MSR device.
+///
+/// Registers hold raw `u64` values; semantics (encodings, counters) live in
+/// [`crate::rapl`].
+#[derive(Debug, Clone)]
+pub struct MsrDevice {
+    registers: HashMap<u32, u64>,
+    allowlist: HashMap<u32, MsrPermission>,
+}
+
+impl MsrDevice {
+    /// An empty device with no allowlisted registers.
+    pub fn new() -> Self {
+        Self {
+            registers: HashMap::new(),
+            allowlist: HashMap::new(),
+        }
+    }
+
+    /// A device with the default RAPL/p-state allowlist used on the
+    /// paper's testbed.
+    pub fn with_default_allowlist() -> Self {
+        let mut dev = Self::new();
+        dev.allow(address::RAPL_POWER_UNIT, MsrPermission::READ_ONLY);
+        dev.allow(
+            address::PKG_POWER_LIMIT,
+            MsrPermission {
+                read_mask: u64::MAX,
+                // PL1+PL2 fields, enable/clamp bits and time windows are
+                // writable; the lock bit (63) is not.
+                write_mask: 0x00FF_FFFF_00FF_FFFF,
+            },
+        );
+        dev.allow(address::PKG_ENERGY_STATUS, MsrPermission::READ_ONLY);
+        dev.allow(address::PKG_POWER_INFO, MsrPermission::READ_ONLY);
+        dev.allow(address::PERF_STATUS, MsrPermission::READ_ONLY);
+        dev.allow(address::PERF_CTL, MsrPermission::READ_WRITE);
+        dev
+    }
+
+    /// Add (or replace) an allowlist entry.
+    pub fn allow(&mut self, addr: u32, perm: MsrPermission) {
+        self.allowlist.insert(addr, perm);
+    }
+
+    /// Read an MSR through the allowlist. Unknown or unreadable registers
+    /// fault, as with msr-safe.
+    pub fn read(&self, addr: u32) -> Result<u64> {
+        let perm = self.allowlist.get(&addr).ok_or(SimHwError::MsrNotAllowed {
+            address: addr,
+            write: false,
+        })?;
+        let raw = self.registers.get(&addr).copied().unwrap_or(0);
+        Ok(raw & perm.read_mask)
+    }
+
+    /// Write an MSR through the allowlist, enforcing the write mask.
+    ///
+    /// A write is rejected outright if it would *change* read-only bits;
+    /// writing the current value of a read-only bit is permitted (this is
+    /// how real tooling writes back read-modify-write patterns).
+    pub fn write(&mut self, addr: u32, value: u64) -> Result<()> {
+        let perm = self.allowlist.get(&addr).ok_or(SimHwError::MsrNotAllowed {
+            address: addr,
+            write: true,
+        })?;
+        if perm.write_mask == 0 {
+            return Err(SimHwError::MsrNotAllowed {
+                address: addr,
+                write: true,
+            });
+        }
+        let current = self.registers.get(&addr).copied().unwrap_or(0);
+        let changed = current ^ value;
+        let offending = changed & !perm.write_mask;
+        if offending != 0 {
+            return Err(SimHwError::MsrReadOnlyBits {
+                address: addr,
+                offending,
+            });
+        }
+        self.registers.insert(addr, value);
+        Ok(())
+    }
+
+    /// Backdoor write used by the *hardware model itself* (e.g. energy
+    /// counter updates). Not subject to the allowlist, like silicon updating
+    /// its own registers.
+    pub(crate) fn hw_store(&mut self, addr: u32, value: u64) {
+        self.registers.insert(addr, value);
+    }
+
+    /// Backdoor read for the hardware model.
+    pub(crate) fn hw_load(&self, addr: u32) -> u64 {
+        self.registers.get(&addr).copied().unwrap_or(0)
+    }
+}
+
+impl Default for MsrDevice {
+    fn default() -> Self {
+        Self::with_default_allowlist()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_register_faults() {
+        let dev = MsrDevice::with_default_allowlist();
+        let err = dev.read(0xDEAD).unwrap_err();
+        assert!(matches!(err, SimHwError::MsrNotAllowed { address: 0xDEAD, write: false }));
+    }
+
+    #[test]
+    fn read_only_register_rejects_writes() {
+        let mut dev = MsrDevice::with_default_allowlist();
+        let err = dev.write(address::PKG_ENERGY_STATUS, 1).unwrap_err();
+        assert!(matches!(err, SimHwError::MsrNotAllowed { write: true, .. }));
+    }
+
+    #[test]
+    fn lock_bit_is_not_writable() {
+        let mut dev = MsrDevice::with_default_allowlist();
+        // Setting the lock bit (63) must be rejected.
+        let err = dev.write(address::PKG_POWER_LIMIT, 1 << 63).unwrap_err();
+        assert!(matches!(err, SimHwError::MsrReadOnlyBits { .. }));
+        // Writing only PL fields is fine.
+        dev.write(address::PKG_POWER_LIMIT, 0x0001_83D0).unwrap();
+        assert_eq!(dev.read(address::PKG_POWER_LIMIT).unwrap(), 0x0001_83D0);
+    }
+
+    #[test]
+    fn rewriting_existing_read_only_bits_is_tolerated() {
+        let mut dev = MsrDevice::with_default_allowlist();
+        dev.hw_store(address::PKG_POWER_LIMIT, 1 << 63);
+        // Read-modify-write that preserves the lock bit must succeed.
+        let v = dev.hw_load(address::PKG_POWER_LIMIT) | 0x50;
+        dev.write(address::PKG_POWER_LIMIT, v).unwrap();
+        assert_eq!(dev.read(address::PKG_POWER_LIMIT).unwrap(), (1 << 63) | 0x50);
+    }
+
+    #[test]
+    fn hw_backdoor_bypasses_allowlist() {
+        let mut dev = MsrDevice::with_default_allowlist();
+        dev.hw_store(address::PKG_ENERGY_STATUS, 42);
+        assert_eq!(dev.read(address::PKG_ENERGY_STATUS).unwrap(), 42);
+    }
+
+    #[test]
+    fn unallowlisted_device_is_fully_opaque() {
+        let dev = MsrDevice::new();
+        assert!(dev.read(address::RAPL_POWER_UNIT).is_err());
+    }
+}

@@ -1,0 +1,384 @@
+//! A compute node: two RAPL packages, a variation factor, and the PCU
+//! frequency-resolution logic.
+
+use crate::error::{Result, SimHwError};
+use crate::power::{LoadModel, PowerModel};
+use crate::rapl::{PowerLimit, RaplPackage};
+use crate::units::{Hertz, Joules, Seconds, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node{:04}", self.0)
+    }
+}
+
+/// An instantaneous sample of a node's power state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodePowerSample {
+    /// Instantaneous node power draw.
+    pub power: Watts,
+    /// Cumulative node energy since construction.
+    pub energy: Joules,
+    /// Current lead (critical-core) frequency.
+    pub freq: Hertz,
+}
+
+/// One simulated node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    id: NodeId,
+    eps: f64,
+    packages: Vec<RaplPackage>,
+    last_freq: Hertz,
+    /// Software frequency cap programmed through `IA32_PERF_CTL`
+    /// (`None` = uncapped). The DVFS control path of EAR-style tools.
+    freq_cap: Option<Hertz>,
+}
+
+impl Node {
+    /// Construct a node with efficiency factor `eps` from a machine spec.
+    pub fn new(id: NodeId, model: &PowerModel, eps: f64) -> Result<Self> {
+        if !(eps.is_finite() && eps > 0.0) {
+            return Err(SimHwError::InvalidParameter(format!(
+                "node efficiency factor must be positive, got {eps}"
+            )));
+        }
+        let spec = model.spec();
+        let packages = (0..spec.sockets_per_node)
+            .map(|_| {
+                RaplPackage::new(
+                    spec.tdp_per_socket,
+                    spec.min_rapl_per_socket,
+                    // RAPL allows programming somewhat above TDP; we cap the
+                    // settable range at TDP since the policies never exceed it.
+                    spec.tdp_per_socket,
+                )
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(Self {
+            id,
+            eps,
+            packages,
+            last_freq: spec.f_turbo,
+            freq_cap: None,
+        })
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's efficiency factor ε.
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// The RAPL packages (one per socket).
+    pub fn packages(&self) -> &[RaplPackage] {
+        &self.packages
+    }
+
+    /// Program a node-level power limit by splitting it evenly across
+    /// sockets, clamped into each package's settable range. This is what the
+    /// job runtime's platform layer does on the real system.
+    pub fn set_power_limit(&mut self, node_limit: Watts) -> Result<()> {
+        let per_socket = (node_limit / self.packages.len() as f64).clamp(
+            self.packages[0].min_limit(),
+            self.packages[0].max_limit(),
+        );
+        for pkg in &mut self.packages {
+            pkg.set_limit(PowerLimit {
+                limit: per_socket,
+                enabled: true,
+                clamp: true,
+                time_window: Seconds(1.0),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// The programmed node-level limit (sum over sockets).
+    pub fn power_limit(&self) -> Watts {
+        self.packages.iter().map(|p| p.limit().limit).sum()
+    }
+
+    /// The limit the enforcement loops currently hold (sum over sockets);
+    /// settles toward the programmed limit as the node advances.
+    pub fn enforced_limit(&self) -> Watts {
+        self.packages.iter().map(|p| p.enforced_limit()).sum()
+    }
+
+    /// Cumulative node energy (exact, simulation-side).
+    pub fn energy(&self) -> Joules {
+        self.packages.iter().map(|p| p.exact_energy()).sum()
+    }
+
+    /// The most recent lead frequency resolved by [`Self::resolve_frequency`].
+    pub fn current_freq(&self) -> Hertz {
+        self.last_freq
+    }
+
+    /// Program a frequency cap through `IA32_PERF_CTL` (the DVFS path used
+    /// by frequency-scaling tools like EAR, §VII-B). The ratio field is the
+    /// frequency in 100 MHz units. Pass `None` to release the cap.
+    pub fn set_freq_cap(&mut self, cap: Option<Hertz>) -> Result<()> {
+        self.freq_cap = cap;
+        let raw = match cap {
+            Some(f) => {
+                if !f.is_valid() || f.value() <= 0.0 {
+                    return Err(SimHwError::InvalidParameter(format!(
+                        "frequency cap must be positive, got {f}"
+                    )));
+                }
+                ((f.value() / 100e6).round() as u64 & 0xFF) << 8
+            }
+            None => 0,
+        };
+        for pkg in &mut self.packages {
+            pkg.msrs_mut()
+                .write(crate::msr::address::PERF_CTL, raw)?;
+        }
+        Ok(())
+    }
+
+    /// The currently programmed frequency cap, if any.
+    pub fn freq_cap(&self) -> Option<Hertz> {
+        self.freq_cap
+    }
+
+    /// Apply the software frequency cap on top of a PCU-resolved operating
+    /// point: DVFS clamps the whole node, so both lead and trail drop to
+    /// the cap if they exceed it, and power is re-derived at the clamped
+    /// lead through the workload's uniform-throttle path.
+    fn clamp_to_freq_cap(
+        &self,
+        model: &PowerModel,
+        load: &dyn LoadModel,
+        op: crate::power::OperatingPoint,
+    ) -> crate::power::OperatingPoint {
+        match self.freq_cap {
+            Some(cap_f) if op.lead > cap_f => crate::power::OperatingPoint {
+                lead: cap_f,
+                trail: op.trail.min(cap_f),
+                power: load.node_power_at(model, self.eps, cap_f),
+            },
+            _ => op,
+        }
+    }
+
+    /// The operating point this node settles on right now: the workload's
+    /// PCU resolution under the node's *enforced* RAPL limit, clamped by
+    /// any software frequency cap.
+    pub fn operating_point(
+        &self,
+        model: &PowerModel,
+        load: &dyn LoadModel,
+    ) -> crate::power::OperatingPoint {
+        self.clamp_to_freq_cap(
+            model,
+            load,
+            load.operating_point(model, self.eps, self.enforced_limit()),
+        )
+    }
+
+    /// Emulate the PCU: resolve the workload's operating point under `cap`
+    /// and return the lead frequency. Delegates to
+    /// [`LoadModel::operating_point`], which models the PCU demoting
+    /// spin-polling cores before the critical path.
+    pub fn resolve_frequency(&mut self, model: &PowerModel, load: &dyn LoadModel, cap: Watts) -> Hertz {
+        let op = self.clamp_to_freq_cap(model, load, load.operating_point(model, self.eps, cap));
+        self.last_freq = op.lead;
+        op.lead
+    }
+
+    /// Advance hardware state by `dt`: resolve the operating point against
+    /// the currently *enforced* limit, accumulate energy at the resulting
+    /// power, settle enforcement filters. Returns the sample for this step.
+    pub fn step(&mut self, model: &PowerModel, load: &dyn LoadModel, dt: Seconds) -> NodePowerSample {
+        let cap = self.enforced_limit();
+        let op = self.clamp_to_freq_cap(model, load, load.operating_point(model, self.eps, cap));
+        self.last_freq = op.lead;
+        let per_socket = op.power / self.packages.len() as f64;
+        for pkg in &mut self.packages {
+            pkg.advance(dt, per_socket);
+        }
+        NodePowerSample {
+            power: op.power,
+            energy: self.energy(),
+            freq: op.lead,
+        }
+    }
+
+    /// Steady-state power under `cap` (no filter dynamics): the power drawn
+    /// at the operating point the PCU would settle on. Used by the fast
+    /// analytic evaluation path.
+    pub fn steady_power(&mut self, model: &PowerModel, load: &dyn LoadModel, cap: Watts) -> Watts {
+        let op = self.clamp_to_freq_cap(model, load, load.operating_point(model, self.eps, cap));
+        self.last_freq = op.lead;
+        op.power
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::CoreClass;
+    use crate::quartz::quartz_spec;
+
+    /// A trivially simple load for node-level tests: all used cores busy at
+    /// a fixed activity, lead frequency applied to every core.
+    struct FlatLoad {
+        kappa: f64,
+    }
+
+    impl LoadModel for FlatLoad {
+        fn node_power_at(&self, model: &PowerModel, eps: f64, lead: Hertz) -> Watts {
+            model.node_power(
+                eps,
+                &[CoreClass {
+                    count: model.spec().cores_used_per_node,
+                    kappa: self.kappa,
+                    freq: lead,
+                }],
+            )
+        }
+    }
+
+    fn setup() -> (PowerModel, Node) {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let node = Node::new(NodeId(0), &model, 1.0).unwrap();
+        (model, node)
+    }
+
+    #[test]
+    fn uncapped_node_runs_at_turbo() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.5 };
+        let f = node.resolve_frequency(&model, &load, Watts(240.0));
+        assert_eq!(f, model.spec().f_turbo);
+    }
+
+    #[test]
+    fn tight_cap_throttles() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.9 };
+        let f_tight = node.resolve_frequency(&model, &load, Watts(140.0));
+        assert!(f_tight < model.spec().f_turbo);
+        assert!(f_tight >= model.spec().f_min);
+        // Modeled power at the resolved state fits the cap.
+        assert!(load.node_power_at(&model, 1.0, f_tight) <= Watts(140.0 + 1e-6));
+    }
+
+    #[test]
+    fn inefficient_node_is_slower_under_same_cap() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let mut eff = Node::new(NodeId(1), &model, 0.94).unwrap();
+        let mut ineff = Node::new(NodeId(2), &model, 1.07).unwrap();
+        let load = FlatLoad { kappa: 2.9 };
+        let f_eff = eff.resolve_frequency(&model, &load, Watts(140.0));
+        let f_ineff = ineff.resolve_frequency(&model, &load, Watts(140.0));
+        assert!(f_eff > f_ineff, "{f_eff:?} should beat {f_ineff:?}");
+    }
+
+    #[test]
+    fn cap_below_floor_resolves_to_min_pstate() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.9 };
+        let f = node.resolve_frequency(&model, &load, Watts(5.0));
+        assert_eq!(f, model.spec().f_min);
+    }
+
+    #[test]
+    fn stepping_accumulates_energy() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.5 };
+        node.set_power_limit(Watts(240.0)).unwrap();
+        let mut last = Joules::ZERO;
+        for _ in 0..10 {
+            let s = node.step(&model, &load, Seconds(0.1));
+            assert!(s.energy >= last);
+            last = s.energy;
+        }
+        // Energy ≈ power × 1 s.
+        let p = load.node_power_at(&model, 1.0, node.current_freq());
+        assert!((last.value() - p.value()).abs() / p.value() < 0.05);
+    }
+
+    #[test]
+    fn limit_change_takes_effect_gradually() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.9 };
+        node.set_power_limit(Watts(240.0)).unwrap();
+        for _ in 0..30 {
+            node.step(&model, &load, Seconds(0.1));
+        }
+        let f_before = node.current_freq();
+        node.set_power_limit(Watts(150.0)).unwrap();
+        // One step later the enforced limit has barely moved.
+        node.step(&model, &load, Seconds(0.05));
+        assert!(node.enforced_limit().value() > 200.0);
+        // After many windows it has settled and the node throttled.
+        for _ in 0..100 {
+            node.step(&model, &load, Seconds(0.2));
+        }
+        assert!(node.enforced_limit().value() < 155.0);
+        assert!(node.current_freq() < f_before);
+    }
+
+    #[test]
+    fn freq_cap_clamps_the_operating_point() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.5 };
+        node.set_freq_cap(Some(Hertz::from_ghz(1.8))).unwrap();
+        let f = node.resolve_frequency(&model, &load, Watts(240.0));
+        assert_eq!(f, Hertz::from_ghz(1.8));
+        // The cap is visible through PERF_CTL's ratio field.
+        let raw = node.packages()[0]
+            .msrs()
+            .read(crate::msr::address::PERF_CTL)
+            .unwrap();
+        assert_eq!((raw >> 8) & 0xFF, 18);
+        // Releasing the cap restores turbo.
+        node.set_freq_cap(None).unwrap();
+        let f = node.resolve_frequency(&model, &load, Watts(240.0));
+        assert_eq!(f, model.spec().f_turbo);
+    }
+
+    #[test]
+    fn freq_cap_and_power_cap_compose() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.9 };
+        // Power cap alone resolves ~1.8-1.9 GHz at 140 W; a looser freq cap
+        // leaves the power cap binding…
+        let f_power = node.resolve_frequency(&model, &load, Watts(140.0));
+        node.set_freq_cap(Some(Hertz::from_ghz(2.4))).unwrap();
+        assert_eq!(node.resolve_frequency(&model, &load, Watts(140.0)), f_power);
+        // …while a tighter freq cap takes over.
+        node.set_freq_cap(Some(Hertz::from_ghz(1.3))).unwrap();
+        let f = node.resolve_frequency(&model, &load, Watts(140.0));
+        assert_eq!(f, Hertz::from_ghz(1.3));
+        // DVFS-clamped power is below the RAPL cap.
+        assert!(load.node_power_at(&model, 1.0, f) < Watts(140.0));
+    }
+
+    #[test]
+    fn invalid_freq_cap_rejected() {
+        let (model, mut node) = setup();
+        let _ = model;
+        assert!(node.set_freq_cap(Some(Hertz(-1.0))).is_err());
+        assert!(node.set_freq_cap(Some(Hertz(f64::NAN))).is_err());
+    }
+
+    #[test]
+    fn invalid_eps_rejected() {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        assert!(Node::new(NodeId(0), &model, 0.0).is_err());
+        assert!(Node::new(NodeId(0), &model, f64::NAN).is_err());
+    }
+}

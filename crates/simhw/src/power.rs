@@ -1,0 +1,357 @@
+//! The socket/node power model and the machine description.
+//!
+//! Node power is modeled as
+//!
+//! ```text
+//! P_node(f…) = n_sockets · P_uncore
+//!            + ε · [ n_cores_used · P_leak  +  Σ_core  κ_core · φ(f_core) ]
+//! φ(f) = (f / f_base)^α
+//! ```
+//!
+//! where `κ_core` is a dimensionless *activity coefficient* supplied by the
+//! workload layer (FMA-heavy code has high κ, memory-stalled code lower κ,
+//! a spin-polling core its own κ), and `ε` is the node's manufacturing
+//! variation factor. The exponent α ≈ 2.4 folds the voltage/frequency curve
+//! into a single power law, a standard compact model for DVFS studies.
+//!
+//! Workload specifics never enter this crate: the [`LoadModel`] trait lets a
+//! workload report total node power at a given *lead frequency* (the
+//! frequency of the cores on the critical path); how the other core classes
+//! (slack cores, polling cores) trail the lead frequency is the workload
+//! model's business.
+
+use crate::error::{Result, SimHwError};
+use crate::pstate::PStateLadder;
+use crate::units::{Hertz, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Static description of one machine model (Table I plus model parameters).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Human-readable part name.
+    pub name: String,
+    /// CPU sockets per node.
+    pub sockets_per_node: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// Cores per node actually running application ranks (the paper uses 34
+    /// of 36, leaving two for system services).
+    pub cores_used_per_node: usize,
+    /// Minimum p-state.
+    pub f_min: Hertz,
+    /// Base (guaranteed) frequency.
+    pub f_base: Hertz,
+    /// All-core turbo ceiling.
+    pub f_turbo: Hertz,
+    /// P-state granularity.
+    pub f_step: Hertz,
+    /// Thermal design power per socket.
+    pub tdp_per_socket: Watts,
+    /// Minimum settable RAPL limit per socket.
+    pub min_rapl_per_socket: Watts,
+    /// Frequency/voltage power-law exponent α.
+    pub alpha: f64,
+    /// Uncore power per socket (fabric, LLC, memory controller idle).
+    pub uncore_per_socket: Watts,
+    /// Leakage power per active core.
+    pub leak_per_core: Watts,
+    /// Node-level DRAM bandwidth in bytes/second.
+    pub dram_bw_bytes_per_s: f64,
+    /// Effective frequency floor the PCU holds for spin-polling cores when
+    /// power is not scarce. Spin loops retire at high IPC and look busy to
+    /// the PCU, so they are only trailed modestly below the compute cores;
+    /// calibrated so balancer-characterized "needed power" reproduces the
+    /// Fig. 5 bands.
+    pub poll_freq_floor: Hertz,
+}
+
+impl MachineSpec {
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        let check = |cond: bool, msg: &str| -> Result<()> {
+            if cond {
+                Ok(())
+            } else {
+                Err(SimHwError::InvalidParameter(msg.to_string()))
+            }
+        };
+        check(self.sockets_per_node > 0, "sockets_per_node must be > 0")?;
+        check(self.cores_per_socket > 0, "cores_per_socket must be > 0")?;
+        check(
+            self.cores_used_per_node <= self.sockets_per_node * self.cores_per_socket,
+            "cores_used_per_node exceeds physical cores",
+        )?;
+        check(
+            self.f_min <= self.f_base && self.f_base <= self.f_turbo,
+            "frequency ordering must be f_min <= f_base <= f_turbo",
+        )?;
+        check(
+            self.min_rapl_per_socket <= self.tdp_per_socket,
+            "min RAPL limit must not exceed TDP",
+        )?;
+        check(self.alpha > 1.0, "alpha must exceed 1")?;
+        check(
+            self.dram_bw_bytes_per_s > 0.0,
+            "dram bandwidth must be positive",
+        )?;
+        Ok(())
+    }
+
+    /// TDP for a whole node.
+    pub fn tdp_per_node(&self) -> Watts {
+        self.tdp_per_socket * self.sockets_per_node as f64
+    }
+
+    /// Minimum settable RAPL limit for a whole node.
+    pub fn min_rapl_per_node(&self) -> Watts {
+        self.min_rapl_per_socket * self.sockets_per_node as f64
+    }
+
+    /// The p-state ladder of this part.
+    pub fn pstates(&self) -> PStateLadder {
+        PStateLadder::new(self.f_min, self.f_turbo, self.f_step)
+            .expect("validated spec produces a valid ladder")
+    }
+}
+
+/// The node power model. Thin by design: all workload knowledge arrives as
+/// activity coefficients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    spec: MachineSpec,
+}
+
+/// One class of cores: `count` cores running with activity `kappa` at
+/// frequency `freq`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreClass {
+    /// Number of cores in this class.
+    pub count: usize,
+    /// Dimensionless activity coefficient κ.
+    pub kappa: f64,
+    /// Operating frequency of this class.
+    pub freq: Hertz,
+}
+
+impl PowerModel {
+    /// Build a model over a validated spec.
+    pub fn new(spec: MachineSpec) -> Result<Self> {
+        spec.validate()?;
+        Ok(Self { spec })
+    }
+
+    /// The machine description.
+    pub fn spec(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// The frequency power-law factor `φ(f) = (f / f_base)^α`.
+    #[inline]
+    pub fn phi(&self, f: Hertz) -> f64 {
+        (f.value() / self.spec.f_base.value()).powf(self.spec.alpha)
+    }
+
+    /// Static node power: uncore plus leakage for the used cores, with the
+    /// leakage part subject to the node's variation factor `eps`.
+    pub fn static_power(&self, eps: f64) -> Watts {
+        self.spec.uncore_per_socket * self.spec.sockets_per_node as f64
+            + self.spec.leak_per_core * self.spec.cores_used_per_node as f64 * eps
+    }
+
+    /// Total node power for a set of core classes on a node with variation
+    /// factor `eps`.
+    pub fn node_power(&self, eps: f64, classes: &[CoreClass]) -> Watts {
+        debug_assert!(
+            classes.iter().map(|c| c.count).sum::<usize>() <= self.spec.cores_used_per_node,
+            "core classes exceed usable cores"
+        );
+        let dynamic: f64 = classes
+            .iter()
+            .map(|c| c.count as f64 * c.kappa * self.phi(c.freq))
+            .sum();
+        self.static_power(eps) + Watts(dynamic * eps)
+    }
+
+    /// Invert [`Self::node_power`] for a single homogeneous class: the
+    /// frequency at which `count` cores of activity `kappa` draw exactly
+    /// `budget`. Returns `None` if even the minimum p-state exceeds the
+    /// budget or the budget exceeds the power at the turbo ceiling
+    /// (callers clamp to the ladder in both cases).
+    pub fn freq_for_power(
+        &self,
+        eps: f64,
+        count: usize,
+        kappa: f64,
+        budget: Watts,
+    ) -> Option<Hertz> {
+        let dyn_budget = (budget - self.static_power(eps)).value() / eps;
+        if dyn_budget <= 0.0 || count == 0 || kappa <= 0.0 {
+            return None;
+        }
+        let phi = dyn_budget / (count as f64 * kappa);
+        let f = self.spec.f_base.value() * phi.powf(1.0 / self.spec.alpha);
+        if f < self.spec.f_min.value() || f > self.spec.f_turbo.value() {
+            return None;
+        }
+        Some(Hertz(f))
+    }
+}
+
+/// The operating point the package control unit settles on under a cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Frequency of the critical-path cores.
+    pub lead: Hertz,
+    /// Frequency of the trailing (slack / spin-polling) cores.
+    pub trail: Hertz,
+    /// Modeled node power at this point.
+    pub power: Watts,
+}
+
+/// A workload's view of node power as a function of the *lead* (critical
+/// path) core frequency. Implemented by `pmstack-kernel`.
+pub trait LoadModel {
+    /// Total node power when the critical-path cores run at `lead_freq`.
+    /// The implementation decides how trailing core classes (slack cores,
+    /// polling cores) follow the lead frequency.
+    fn node_power_at(&self, model: &PowerModel, eps: f64, lead_freq: Hertz) -> Watts;
+
+    /// The operating point the PCU resolves for a node-level power `cap`.
+    ///
+    /// The default walks the p-state ladder from the top and picks the
+    /// highest lead frequency whose power fits the cap (falling back to the
+    /// minimum p-state when nothing fits — hardware cannot stop the clock).
+    /// Workloads with distinguishable core classes override this to model
+    /// the PCU demoting low-utilization (spin-polling) cores *before*
+    /// touching the critical path, which is the hardware behaviour the
+    /// GEOPM power balancer exploits.
+    fn operating_point(&self, model: &PowerModel, eps: f64, cap: Watts) -> OperatingPoint {
+        let ladder = model.spec().pstates();
+        let lead =
+            ladder.highest_fitting(|s| self.node_power_at(model, eps, s) <= cap + Watts(1e-9));
+        OperatingPoint {
+            lead,
+            trail: lead,
+            power: self.node_power_at(model, eps, lead),
+        }
+    }
+}
+
+impl<T: LoadModel + ?Sized> LoadModel for &T {
+    fn node_power_at(&self, model: &PowerModel, eps: f64, lead_freq: Hertz) -> Watts {
+        (**self).node_power_at(model, eps, lead_freq)
+    }
+
+    fn operating_point(&self, model: &PowerModel, eps: f64, cap: Watts) -> OperatingPoint {
+        (**self).operating_point(model, eps, cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quartz::quartz_spec;
+
+    fn model() -> PowerModel {
+        PowerModel::new(quartz_spec()).unwrap()
+    }
+
+    #[test]
+    fn phi_is_one_at_base() {
+        let m = model();
+        assert!((m.phi(m.spec().f_base) - 1.0).abs() < 1e-12);
+        assert!(m.phi(m.spec().f_turbo) > 1.0);
+        assert!(m.phi(m.spec().f_min) < 1.0);
+    }
+
+    #[test]
+    fn power_monotonic_in_frequency() {
+        let m = model();
+        let at = |f: f64| {
+            m.node_power(
+                1.0,
+                &[CoreClass {
+                    count: 34,
+                    kappa: 2.5,
+                    freq: Hertz::from_ghz(f),
+                }],
+            )
+        };
+        assert!(at(1.2) < at(1.8));
+        assert!(at(1.8) < at(2.6));
+    }
+
+    #[test]
+    fn variation_scales_dynamic_and_leakage() {
+        let m = model();
+        let classes = [CoreClass {
+            count: 34,
+            kappa: 2.5,
+            freq: Hertz::from_ghz(2.1),
+        }];
+        let p_eff = m.node_power(0.94, &classes);
+        let p_ineff = m.node_power(1.07, &classes);
+        assert!(p_ineff > p_eff);
+        // Uncore is unaffected by variation: difference is strictly less
+        // than the full ratio.
+        let ratio = p_ineff.value() / p_eff.value();
+        assert!(ratio < 1.07 / 0.94);
+    }
+
+    #[test]
+    fn freq_for_power_inverts_node_power() {
+        let m = model();
+        let kappa = 2.7;
+        let f = Hertz::from_ghz(1.9);
+        let p = m.node_power(
+            1.0,
+            &[CoreClass {
+                count: 34,
+                kappa,
+                freq: f,
+            }],
+        );
+        let back = m.freq_for_power(1.0, 34, kappa, p).unwrap();
+        assert!((back.ghz() - 1.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn freq_for_power_out_of_range_is_none() {
+        let m = model();
+        assert!(m.freq_for_power(1.0, 34, 2.5, Watts(10.0)).is_none());
+        assert!(m.freq_for_power(1.0, 34, 2.5, Watts(10_000.0)).is_none());
+        assert!(m.freq_for_power(1.0, 0, 2.5, Watts(200.0)).is_none());
+    }
+
+    #[test]
+    fn uncapped_power_is_near_tdp_for_hot_workload() {
+        // The calibration target: a hot (κ≈3) workload at the turbo ceiling
+        // should draw close to, but within, the 240 W node TDP.
+        let m = model();
+        let p = m.node_power(
+            1.0,
+            &[CoreClass {
+                count: 34,
+                kappa: 2.98,
+                freq: m.spec().f_turbo,
+            }],
+        );
+        assert!(
+            p.value() > 215.0 && p.value() < 240.0,
+            "expected ~232 W, got {p}"
+        );
+    }
+
+    #[test]
+    fn spec_validation_catches_errors() {
+        let mut bad = quartz_spec();
+        bad.cores_used_per_node = 100;
+        assert!(bad.validate().is_err());
+        let mut bad = quartz_spec();
+        bad.f_min = Hertz::from_ghz(3.0);
+        assert!(bad.validate().is_err());
+        let mut bad = quartz_spec();
+        bad.alpha = 0.5;
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,143 @@
+//! The part's discrete frequency ladder (p-states).
+//!
+//! Broadwell-EP exposes operating points in 100 MHz increments from the
+//! minimum p-state up to the all-core turbo ceiling. Power capping works by
+//! the package control unit (PCU) walking this ladder; the solver in
+//! [`crate::node`] mirrors that.
+
+use crate::error::{Result, SimHwError};
+use crate::units::Hertz;
+
+/// A discrete ladder of operating frequencies, ascending.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PStateLadder {
+    steps: Vec<Hertz>,
+}
+
+impl PStateLadder {
+    /// Build a ladder from `min` to `max` inclusive with the given step.
+    /// The top step is always exactly `max` even if the step does not divide
+    /// the range evenly.
+    pub fn new(min: Hertz, max: Hertz, step: Hertz) -> Result<Self> {
+        if !(min.is_valid() && max.is_valid() && step.is_valid()) || step.value() <= 0.0 {
+            return Err(SimHwError::InvalidParameter(
+                "p-state ladder bounds/step must be positive and finite".into(),
+            ));
+        }
+        if min > max {
+            return Err(SimHwError::InvalidParameter(format!(
+                "p-state min {min} exceeds max {max}"
+            )));
+        }
+        let mut steps = Vec::new();
+        let mut f = min.value();
+        while f < max.value() - 1e-3 {
+            steps.push(Hertz(f));
+            f += step.value();
+        }
+        steps.push(max);
+        Ok(Self { steps })
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the ladder has no operating points (cannot happen through
+    /// [`Self::new`], but callers treat the type generically).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Lowest operating point.
+    pub fn min(&self) -> Hertz {
+        self.steps[0]
+    }
+
+    /// Highest operating point.
+    pub fn max(&self) -> Hertz {
+        *self.steps.last().expect("ladder is non-empty")
+    }
+
+    /// All operating points, ascending.
+    pub fn steps(&self) -> &[Hertz] {
+        &self.steps
+    }
+
+    /// The highest operating point that does not exceed `f`; `None` when `f`
+    /// is below the bottom of the ladder.
+    pub fn floor(&self, f: Hertz) -> Option<Hertz> {
+        self.steps
+            .iter()
+            .rev()
+            .find(|&&s| s.value() <= f.value() + 1e-3)
+            .copied()
+    }
+
+    /// The highest operating point `s` for which `fits(s)` holds, scanning
+    /// from the top of the ladder down — exactly how the PCU resolves a
+    /// power limit to a frequency. Returns the bottom state when nothing
+    /// fits (hardware can not go below its minimum p-state).
+    pub fn highest_fitting(&self, mut fits: impl FnMut(Hertz) -> bool) -> Hertz {
+        for &s in self.steps.iter().rev() {
+            if fits(s) {
+                return s;
+            }
+        }
+        self.min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ladder() -> PStateLadder {
+        PStateLadder::new(Hertz::from_ghz(1.2), Hertz::from_ghz(2.6), Hertz(100e6)).unwrap()
+    }
+
+    #[test]
+    fn ladder_covers_range_inclusive() {
+        let l = ladder();
+        assert_eq!(l.len(), 15);
+        assert_eq!(l.min(), Hertz::from_ghz(1.2));
+        assert_eq!(l.max(), Hertz::from_ghz(2.6));
+    }
+
+    #[test]
+    fn uneven_step_still_tops_out_at_max() {
+        let l = PStateLadder::new(Hertz::from_ghz(1.0), Hertz::from_ghz(1.25), Hertz(100e6)).unwrap();
+        assert_eq!(l.max(), Hertz::from_ghz(1.25));
+        assert_eq!(l.len(), 4); // 1.0, 1.1, 1.2, 1.25
+    }
+
+    #[test]
+    fn floor_snaps_down() {
+        let l = ladder();
+        assert_eq!(l.floor(Hertz::from_ghz(2.15)), Some(Hertz::from_ghz(2.1)));
+        assert_eq!(l.floor(Hertz::from_ghz(1.2)), Some(Hertz::from_ghz(1.2)));
+        assert_eq!(l.floor(Hertz::from_ghz(0.9)), None);
+        // Values above the ceiling snap to the ceiling.
+        assert_eq!(l.floor(Hertz::from_ghz(5.0)), Some(Hertz::from_ghz(2.6)));
+    }
+
+    #[test]
+    fn highest_fitting_scans_from_top() {
+        let l = ladder();
+        let f = l.highest_fitting(|s| s.ghz() <= 1.85);
+        assert_eq!(f, Hertz::from_ghz(1.8));
+        // Nothing fits → bottom state.
+        let f = l.highest_fitting(|_| false);
+        assert_eq!(f, l.min());
+        // Everything fits → top state.
+        let f = l.highest_fitting(|_| true);
+        assert_eq!(f, l.max());
+    }
+
+    #[test]
+    fn invalid_ladders_rejected() {
+        assert!(PStateLadder::new(Hertz::from_ghz(2.6), Hertz::from_ghz(1.2), Hertz(100e6)).is_err());
+        assert!(PStateLadder::new(Hertz::from_ghz(1.2), Hertz::from_ghz(2.6), Hertz(0.0)).is_err());
+    }
+}

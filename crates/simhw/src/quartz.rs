@@ -1,0 +1,87 @@
+//! The LLNL Quartz machine description (paper Table I) and derived
+//! system-level constants.
+
+use crate::power::MachineSpec;
+use crate::units::{Hertz, Watts};
+
+/// Cores per node (dual 18-core sockets).
+pub const CORES_PER_NODE: usize = 36;
+/// Cores per node used for application ranks (two reserved for system
+/// services, §V-A1).
+pub const CORES_USED_PER_NODE: usize = 34;
+/// TDP per CPU socket (Table I).
+pub const TDP_PER_SOCKET_W: f64 = 120.0;
+/// Minimum settable RAPL limit per socket (Table I).
+pub const MIN_RAPL_PER_SOCKET_W: f64 = 68.0;
+/// Base frequency (Table I).
+pub const BASE_FREQ_GHZ: f64 = 2.1;
+/// All-core turbo ceiling for the E5-2695 v4 part.
+pub const TURBO_FREQ_GHZ: f64 = 2.6;
+/// Minimum p-state.
+pub const MIN_FREQ_GHZ: f64 = 1.2;
+/// Nodes per job in the paper's multi-job mixes.
+pub const NODES_PER_JOB: usize = 100;
+/// Jobs per workload mix (§V-B).
+pub const JOBS_PER_MIX: usize = 9;
+/// Total nodes in a mix experiment.
+pub const NODES_PER_MIX: usize = NODES_PER_JOB * JOBS_PER_MIX;
+/// Number of nodes screened for hardware variation (Fig. 6).
+pub const VARIATION_SCREEN_NODES: usize = 2000;
+/// Per-socket cap used for the variation screen (Fig. 6).
+pub const VARIATION_SCREEN_CAP_W: f64 = 70.0;
+/// Peak power rating of the full Quartz system (Fig. 1 dashed line).
+pub const SYSTEM_RATED_POWER_MW: f64 = 1.35;
+/// Typical average system draw observed over the year of Fig. 1.
+pub const SYSTEM_TYPICAL_POWER_MW: f64 = 0.83;
+
+/// The Quartz node description used throughout the reproduction.
+///
+/// Physical constants come from Table I; the power-model coefficients
+/// (α, uncore, leakage, poll floor) are calibrated so that the uncapped and
+/// balancer-characterized power of the synthetic kernel reproduce the
+/// Fig. 4 / Fig. 5 heat maps (see DESIGN.md §4).
+pub fn quartz_spec() -> MachineSpec {
+    MachineSpec {
+        name: "Intel Xeon E5-2695 v4 (Quartz node)".to_string(),
+        sockets_per_node: 2,
+        cores_per_socket: 18,
+        cores_used_per_node: CORES_USED_PER_NODE,
+        f_min: Hertz::from_ghz(MIN_FREQ_GHZ),
+        f_base: Hertz::from_ghz(BASE_FREQ_GHZ),
+        f_turbo: Hertz::from_ghz(TURBO_FREQ_GHZ),
+        f_step: Hertz(100e6),
+        tdp_per_socket: Watts(TDP_PER_SOCKET_W),
+        min_rapl_per_socket: Watts(MIN_RAPL_PER_SOCKET_W),
+        alpha: 2.4,
+        uncore_per_socket: Watts(16.0),
+        leak_per_core: Watts(0.9),
+        dram_bw_bytes_per_s: 150e9,
+        poll_freq_floor: Hertz::from_ghz(2.4),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_is_valid() {
+        quartz_spec().validate().unwrap();
+    }
+
+    #[test]
+    fn table_1_constants() {
+        let s = quartz_spec();
+        assert_eq!(s.sockets_per_node * s.cores_per_socket, CORES_PER_NODE);
+        assert_eq!(s.tdp_per_node(), Watts(240.0));
+        assert_eq!(s.min_rapl_per_node(), Watts(136.0));
+        assert!((s.f_base.ghz() - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mix_scale_matches_paper() {
+        // Table III footnote: TDP of all CPUs in a mix is 216 kW.
+        let total_tdp_kw = NODES_PER_MIX as f64 * quartz_spec().tdp_per_node().value() / 1e3;
+        assert!((total_tdp_kw - 216.0).abs() < 1e-9);
+    }
+}

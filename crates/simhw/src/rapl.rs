@@ -1,0 +1,415 @@
+//! RAPL (Running Average Power Limit) package-domain semantics.
+//!
+//! Implements the pieces of Intel's RAPL interface that the power-management
+//! stack depends on, layered over the [`crate::msr`] device:
+//!
+//! * the `MSR_RAPL_POWER_UNIT` register and its fixed-point unit fields,
+//! * `MSR_PKG_POWER_LIMIT` PL1 encode/decode with enable and clamp bits,
+//! * `MSR_PKG_ENERGY_STATUS`, a 32-bit counter in energy units that wraps,
+//! * `MSR_PKG_POWER_INFO` describing TDP and the settable range,
+//! * a first-order *running average* enforcement filter: when software moves
+//!   the limit, the effectively enforced cap settles toward the target with
+//!   the PL1 time-window constant, which is what makes rapid cap changes
+//!   behave gently on real parts.
+
+use crate::error::{Result, SimHwError};
+use crate::msr::{address, MsrDevice};
+use crate::units::{Joules, Seconds, Watts};
+
+/// Default `MSR_RAPL_POWER_UNIT` value on the Broadwell-EP parts of the
+/// testbed: power unit = 2^-3 W (0.125 W), energy unit = 2^-14 J (61 µJ),
+/// time unit = 2^-10 s (976 µs).
+pub const DEFAULT_UNIT_REGISTER: u64 = 0x000A_0E03;
+
+/// Decoded fixed-point units from `MSR_RAPL_POWER_UNIT`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RaplUnits {
+    /// Watts per power-field LSB.
+    pub power_w: f64,
+    /// Joules per energy-counter LSB.
+    pub energy_j: f64,
+    /// Seconds per time-field LSB.
+    pub time_s: f64,
+}
+
+impl RaplUnits {
+    /// Decode the unit register.
+    pub fn decode(raw: u64) -> Self {
+        let pw = (raw & 0xF) as u32;
+        let en = ((raw >> 8) & 0x1F) as u32;
+        let tm = ((raw >> 16) & 0xF) as u32;
+        Self {
+            power_w: 1.0 / f64::from(1u32 << pw),
+            energy_j: 1.0 / (1u64 << en) as f64,
+            time_s: 1.0 / f64::from(1u32 << tm),
+        }
+    }
+}
+
+/// Decoded PL1 fields of `MSR_PKG_POWER_LIMIT`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLimit {
+    /// The PL1 limit.
+    pub limit: Watts,
+    /// Whether the limit is enabled.
+    pub enabled: bool,
+    /// Whether clamping (running below requested p-states) is allowed.
+    pub clamp: bool,
+    /// The PL1 averaging time window.
+    pub time_window: Seconds,
+}
+
+/// Encode the PL1 fields into the raw register layout
+/// (bits 14:0 limit, 15 enable, 16 clamp, 23:17 time window as `(1+F/4)·2^E`).
+pub fn encode_power_limit(pl: &PowerLimit, units: &RaplUnits) -> u64 {
+    let raw_limit = ((pl.limit.value() / units.power_w).round() as u64) & 0x7FFF;
+    let mut raw = raw_limit;
+    if pl.enabled {
+        raw |= 1 << 15;
+    }
+    if pl.clamp {
+        raw |= 1 << 16;
+    }
+    let (e, f) = encode_time_window(pl.time_window.value() / units.time_s);
+    raw |= (u64::from(e) & 0x1F) << 17;
+    raw |= (u64::from(f) & 0x3) << 22;
+    raw
+}
+
+/// Decode PL1 fields from the raw register layout.
+pub fn decode_power_limit(raw: u64, units: &RaplUnits) -> PowerLimit {
+    let limit = Watts((raw & 0x7FFF) as f64 * units.power_w);
+    let enabled = raw & (1 << 15) != 0;
+    let clamp = raw & (1 << 16) != 0;
+    let e = ((raw >> 17) & 0x1F) as u32;
+    let f = ((raw >> 22) & 0x3) as u32;
+    let window_units = (1.0 + f64::from(f) / 4.0) * (1u64 << e) as f64;
+    PowerLimit {
+        limit,
+        enabled,
+        clamp,
+        time_window: Seconds(window_units * units.time_s),
+    }
+}
+
+/// Encode a time window (in time units) as `(E, F)` with value
+/// `(1 + F/4) * 2^E`, picking the closest representable value.
+fn encode_time_window(units: f64) -> (u32, u32) {
+    let mut best = (0u32, 0u32);
+    let mut best_err = f64::INFINITY;
+    for e in 0..32u32 {
+        for f in 0..4u32 {
+            let v = (1.0 + f64::from(f) / 4.0) * (1u64 << e) as f64;
+            let err = (v - units).abs();
+            if err < best_err {
+                best_err = err;
+                best = (e, f);
+            }
+        }
+    }
+    best
+}
+
+/// One RAPL package domain (one CPU socket) with its MSR device, energy
+/// accounting, and limit-enforcement filter.
+#[derive(Debug, Clone)]
+pub struct RaplPackage {
+    msrs: MsrDevice,
+    units: RaplUnits,
+    /// Exact accumulated energy (the 32-bit counter is derived from this).
+    energy_exact: Joules,
+    /// The limit the enforcement loop is currently holding (settles toward
+    /// the programmed PL1 with the time-window constant).
+    enforced: Watts,
+    /// Settable range, from `MSR_PKG_POWER_INFO`.
+    min_limit: Watts,
+    max_limit: Watts,
+    tdp: Watts,
+}
+
+impl RaplPackage {
+    /// A package with the given TDP and settable limit range. The limit is
+    /// initialized to TDP (the power-on default), enabled, with a 1 s PL1
+    /// window.
+    pub fn new(tdp: Watts, min_limit: Watts, max_limit: Watts) -> Result<Self> {
+        if !(tdp.is_valid() && min_limit.is_valid() && max_limit.is_valid()) {
+            return Err(SimHwError::InvalidParameter(
+                "RAPL package powers must be finite and non-negative".into(),
+            ));
+        }
+        if min_limit > max_limit {
+            return Err(SimHwError::InvalidParameter(format!(
+                "min limit {min_limit} exceeds max limit {max_limit}"
+            )));
+        }
+        let mut msrs = MsrDevice::with_default_allowlist();
+        msrs.hw_store(address::RAPL_POWER_UNIT, DEFAULT_UNIT_REGISTER);
+        let units = RaplUnits::decode(DEFAULT_UNIT_REGISTER);
+
+        // MSR_PKG_POWER_INFO: TDP bits 14:0, min 30:16, max 46:32.
+        let tdp_u = (tdp.value() / units.power_w).round() as u64 & 0x7FFF;
+        let min_u = (min_limit.value() / units.power_w).round() as u64 & 0x7FFF;
+        let max_u = (max_limit.value() / units.power_w).round() as u64 & 0x7FFF;
+        msrs.hw_store(
+            address::PKG_POWER_INFO,
+            tdp_u | (min_u << 16) | (max_u << 32),
+        );
+
+        let mut pkg = Self {
+            msrs,
+            units,
+            energy_exact: Joules::ZERO,
+            enforced: tdp,
+            min_limit,
+            max_limit,
+            tdp,
+        };
+        pkg.set_limit(PowerLimit {
+            limit: tdp,
+            enabled: true,
+            clamp: true,
+            time_window: Seconds(1.0),
+        })?;
+        Ok(pkg)
+    }
+
+    /// The decoded RAPL units.
+    pub fn units(&self) -> RaplUnits {
+        self.units
+    }
+
+    /// The package TDP.
+    pub fn tdp(&self) -> Watts {
+        self.tdp
+    }
+
+    /// Minimum settable power limit.
+    pub fn min_limit(&self) -> Watts {
+        self.min_limit
+    }
+
+    /// Maximum settable power limit.
+    pub fn max_limit(&self) -> Watts {
+        self.max_limit
+    }
+
+    /// Program PL1. Limits outside the part's settable range are rejected,
+    /// matching hardware which silently clamps — we make it an error so the
+    /// software stack above must do its own clamping deliberately.
+    pub fn set_limit(&mut self, pl: PowerLimit) -> Result<()> {
+        if pl.limit < self.min_limit || pl.limit > self.max_limit {
+            return Err(SimHwError::PowerLimitOutOfRange {
+                requested_w: pl.limit.value(),
+                min_w: self.min_limit.value(),
+                max_w: self.max_limit.value(),
+            });
+        }
+        let raw = encode_power_limit(&pl, &self.units);
+        self.msrs.write(address::PKG_POWER_LIMIT, raw)
+    }
+
+    /// The currently programmed PL1 fields.
+    pub fn limit(&self) -> PowerLimit {
+        decode_power_limit(self.msrs.hw_load(address::PKG_POWER_LIMIT), &self.units)
+    }
+
+    /// The limit the enforcement loop currently holds. This settles toward
+    /// the programmed PL1 with the PL1 time-window constant whenever
+    /// [`Self::advance`] is called.
+    pub fn enforced_limit(&self) -> Watts {
+        if self.limit().enabled {
+            self.enforced
+        } else {
+            self.max_limit
+        }
+    }
+
+    /// Advance hardware state by `dt` while the package draws `power`:
+    /// accumulates the energy counter (with 32-bit wraparound) and settles
+    /// the enforcement filter toward the programmed limit.
+    pub fn advance(&mut self, dt: Seconds, power: Watts) {
+        debug_assert!(dt.is_valid() && power.is_valid());
+        self.energy_exact += power * dt;
+        let counts = (self.energy_exact.value() / self.units.energy_j) as u64;
+        self.msrs
+            .hw_store(address::PKG_ENERGY_STATUS, counts & 0xFFFF_FFFF);
+
+        let pl = self.limit();
+        let target = if pl.enabled { pl.limit } else { self.max_limit };
+        let tau = pl.time_window.value().max(1e-3);
+        let alpha = 1.0 - (-dt.value() / tau).exp();
+        self.enforced += (target - self.enforced) * alpha;
+    }
+
+    /// Read the raw 32-bit energy counter (what a tool like GEOPM samples).
+    pub fn read_energy_counter(&self) -> Result<u32> {
+        Ok(self.msrs.read(address::PKG_ENERGY_STATUS)? as u32)
+    }
+
+    /// Exact accumulated energy (simulation-side ground truth, used by
+    /// tests to validate counter-based sampling).
+    pub fn exact_energy(&self) -> Joules {
+        self.energy_exact
+    }
+
+    /// Access the underlying MSR device (for tooling that goes through the
+    /// register interface directly).
+    pub fn msrs(&self) -> &MsrDevice {
+        &self.msrs
+    }
+
+    /// Mutable access to the underlying MSR device.
+    pub fn msrs_mut(&mut self) -> &mut MsrDevice {
+        &mut self.msrs
+    }
+}
+
+/// Computes energy deltas from successive 32-bit counter reads, handling
+/// wraparound — the standard idiom for RAPL sampling loops.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyCounterReader {
+    last: Option<u32>,
+    energy_per_count: Joules,
+}
+
+impl EnergyCounterReader {
+    /// A reader using the given units.
+    pub fn new(units: &RaplUnits) -> Self {
+        Self {
+            last: None,
+            energy_per_count: Joules(units.energy_j),
+        }
+    }
+
+    /// Feed a new counter sample; returns the energy consumed since the
+    /// previous sample (zero for the first).
+    pub fn sample(&mut self, counter: u32) -> Joules {
+        let delta = match self.last {
+            None => 0u32,
+            Some(prev) => counter.wrapping_sub(prev),
+        };
+        self.last = Some(counter);
+        self.energy_per_count * f64::from(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkg() -> RaplPackage {
+        RaplPackage::new(Watts(120.0), Watts(68.0), Watts(135.0)).unwrap()
+    }
+
+    #[test]
+    fn units_decode_matches_broadwell() {
+        let u = RaplUnits::decode(DEFAULT_UNIT_REGISTER);
+        assert!((u.power_w - 0.125).abs() < 1e-12);
+        assert!((u.energy_j - 1.0 / 16384.0).abs() < 1e-12);
+        assert!((u.time_s - 1.0 / 1024.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_limit_roundtrip() {
+        let u = RaplUnits::decode(DEFAULT_UNIT_REGISTER);
+        let pl = PowerLimit {
+            limit: Watts(91.5),
+            enabled: true,
+            clamp: true,
+            time_window: Seconds(1.0),
+        };
+        let decoded = decode_power_limit(encode_power_limit(&pl, &u), &u);
+        assert!((decoded.limit.value() - 91.5).abs() < u.power_w);
+        assert!(decoded.enabled);
+        assert!(decoded.clamp);
+        // Window is quantized to (1+F/4)*2^E time units.
+        assert!((decoded.time_window.value() - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn limits_outside_range_are_rejected() {
+        let mut p = pkg();
+        let err = p
+            .set_limit(PowerLimit {
+                limit: Watts(20.0),
+                enabled: true,
+                clamp: true,
+                time_window: Seconds(1.0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, SimHwError::PowerLimitOutOfRange { .. }));
+    }
+
+    #[test]
+    fn energy_counter_accumulates_and_wraps() {
+        let mut p = pkg();
+        let u = p.units();
+        // Drive enough energy through to wrap the 32-bit counter
+        // (2^32 * 61 µJ ≈ 262 kJ).
+        let wrap_j = u.energy_j * 4294967296.0;
+        p.advance(Seconds(1.0), Watts(wrap_j - 100.0));
+        let c1 = p.read_energy_counter().unwrap();
+        p.advance(Seconds(1.0), Watts(200.0));
+        let c2 = p.read_energy_counter().unwrap();
+        assert!(c2 < c1, "counter must wrap");
+
+        let mut rd = EnergyCounterReader::new(&u);
+        rd.sample(c1);
+        let delta = rd.sample(c2);
+        assert!(
+            (delta.value() - 200.0).abs() < 1.0,
+            "wraparound-corrected delta ≈ 200 J, got {delta}"
+        );
+    }
+
+    #[test]
+    fn enforcement_filter_settles_with_time_window() {
+        let mut p = pkg();
+        p.set_limit(PowerLimit {
+            limit: Watts(70.0),
+            enabled: true,
+            clamp: true,
+            time_window: Seconds(1.0),
+        })
+        .unwrap();
+        // Immediately after the write the enforced limit is still near TDP.
+        assert!(p.enforced_limit().value() > 100.0);
+        // After several time windows, it has settled onto the target.
+        for _ in 0..50 {
+            p.advance(Seconds(0.2), Watts(100.0));
+        }
+        assert!((p.enforced_limit().value() - 70.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn disabled_limit_enforces_max() {
+        let mut p = pkg();
+        p.set_limit(PowerLimit {
+            limit: Watts(70.0),
+            enabled: false,
+            clamp: false,
+            time_window: Seconds(1.0),
+        })
+        .unwrap();
+        assert_eq!(p.enforced_limit(), p.max_limit());
+    }
+
+    #[test]
+    fn power_info_register_reports_range() {
+        let p = pkg();
+        let raw = p.msrs().read(address::PKG_POWER_INFO).unwrap();
+        let u = p.units();
+        let tdp = (raw & 0x7FFF) as f64 * u.power_w;
+        let min = ((raw >> 16) & 0x7FFF) as f64 * u.power_w;
+        let max = ((raw >> 32) & 0x7FFF) as f64 * u.power_w;
+        assert!((tdp - 120.0).abs() < u.power_w);
+        assert!((min - 68.0).abs() < u.power_w);
+        assert!((max - 135.0).abs() < u.power_w);
+    }
+
+    #[test]
+    fn invalid_construction_is_rejected() {
+        assert!(RaplPackage::new(Watts(120.0), Watts(135.0), Watts(68.0)).is_err());
+        assert!(RaplPackage::new(Watts(f64::NAN), Watts(68.0), Watts(135.0)).is_err());
+    }
+}

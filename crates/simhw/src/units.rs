@@ -1,0 +1,321 @@
+//! Strongly-typed physical quantities.
+//!
+//! The stack moves watts, joules, seconds, and hertz between many layers
+//! (policies, agents, registers, models). Newtypes keep those from being
+//! silently confused while staying `Copy` and arithmetic-friendly.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw value in base units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Elementwise maximum.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Elementwise minimum.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamp into `[lo, hi]`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// True if the value is finite and non-negative.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $unit)
+                } else {
+                    write!(f, "{:.3} {}", self.0, $unit)
+                }
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+
+        impl<'a> Sum<&'a $name> for $name {
+            fn sum<I: Iterator<Item = &'a Self>>(iter: I) -> Self {
+                Self(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+
+impl Watts {
+    /// Construct from kilowatts.
+    #[inline]
+    pub fn from_kw(kw: f64) -> Self {
+        Self(kw * 1e3)
+    }
+
+    /// Value in kilowatts.
+    #[inline]
+    pub fn kw(self) -> f64 {
+        self.0 / 1e3
+    }
+}
+
+impl Hertz {
+    /// Construct from gigahertz.
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Value in gigahertz.
+    #[inline]
+    pub fn ghz(self) -> f64 {
+        self.0 / 1e9
+    }
+}
+
+impl Joules {
+    /// Construct from kilojoules.
+    #[inline]
+    pub fn from_kj(kj: f64) -> Self {
+        Self(kj * 1e3)
+    }
+
+    /// Value in kilojoules.
+    #[inline]
+    pub fn kj(self) -> f64 {
+        self.0 / 1e3
+    }
+}
+
+impl Seconds {
+    /// Construct from milliseconds.
+    #[inline]
+    pub fn from_ms(ms: f64) -> Self {
+        Self(ms / 1e3)
+    }
+
+    /// Value in milliseconds.
+    #[inline]
+    pub fn ms(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    /// Power integrated over time yields energy.
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    /// Energy over time yields average power.
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    /// Energy over power yields time.
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let p = Watts(120.0);
+        let t = Seconds(2.0);
+        let e = p * t;
+        assert_eq!(e, Joules(240.0));
+        assert_eq!(e / t, p);
+        assert_eq!(e / p, t);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Watts::from_kw(1.35).value(), 1350.0);
+        assert!((Hertz::from_ghz(2.1).ghz() - 2.1).abs() < 1e-12);
+        assert!((Seconds::from_ms(500.0).value() - 0.5).abs() < 1e-12);
+        assert!((Joules::from_kj(3.0).kj() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_is_dimensionless() {
+        let r: f64 = Watts(60.0) / Watts(120.0);
+        assert_eq!(r, 0.5);
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let w = Watts(300.0).clamp(Watts(68.0), Watts(120.0));
+        assert_eq!(w, Watts(120.0));
+        assert_eq!(Watts(10.0).max(Watts(20.0)), Watts(20.0));
+        assert_eq!(Watts(10.0).min(Watts(20.0)), Watts(10.0));
+    }
+
+    #[test]
+    fn sum_over_iter() {
+        let total: Watts = [Watts(1.0), Watts(2.0), Watts(3.5)].iter().sum();
+        assert!((total.value() - 6.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Watts(5.0).is_valid());
+        assert!(!Watts(-1.0).is_valid());
+        assert!(!Watts(f64::NAN).is_valid());
+        assert!(!Watts(f64::INFINITY).is_valid());
+    }
+
+    #[test]
+    fn display_formats_unit() {
+        assert_eq!(format!("{:.1}", Watts(120.0)), "120.0 W");
+        assert_eq!(format!("{:.0}", Seconds(3.0)), "3 s");
+    }
+}

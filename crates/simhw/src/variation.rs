@@ -1,0 +1,205 @@
+//! Manufacturing variation across nodes.
+//!
+//! Under a tight power cap, process variation turns identical SKUs into
+//! different-speed machines (paper §V-A2, citing Marathe et al.). The
+//! paper's Fig. 6 shows the achieved frequencies of 2000 Quartz nodes under
+//! a 70 W/socket limit clustering into three k-means groups
+//! (n = 522 / 918 / 560). We model a node's variation as a multiplicative
+//! power-efficiency factor ε (power drawn at a fixed frequency relative to
+//! the nominal part) sampled from a seeded tri-modal Gaussian mixture:
+//! a *less* efficient node (higher ε) achieves a *lower* frequency under the
+//! same cap.
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One mode of the mixture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VariationMode {
+    /// Relative weight (need not be normalized).
+    pub weight: f64,
+    /// Mean efficiency factor ε of the mode.
+    pub mean: f64,
+    /// Standard deviation of the mode.
+    pub sigma: f64,
+}
+
+/// A mixture-of-Gaussians variation profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariationProfile {
+    /// Mixture modes.
+    pub modes: Vec<VariationMode>,
+    /// Hard clamp applied to samples, guarding against unphysical tails.
+    pub clamp: (f64, f64),
+}
+
+impl VariationProfile {
+    /// The tri-modal Quartz profile calibrated against Fig. 6: mode weights
+    /// follow the paper's cluster sizes (522 / 918 / 560 of 2000), with the
+    /// *low-frequency* cluster being the *high-ε* (inefficient) parts.
+    pub fn quartz() -> Self {
+        Self {
+            modes: vec![
+                VariationMode {
+                    weight: 522.0,
+                    mean: 1.065,
+                    sigma: 0.013,
+                },
+                VariationMode {
+                    weight: 918.0,
+                    mean: 1.0,
+                    sigma: 0.013,
+                },
+                VariationMode {
+                    weight: 560.0,
+                    mean: 0.938,
+                    sigma: 0.013,
+                },
+            ],
+            clamp: (0.85, 1.18),
+        }
+    }
+
+    /// A degenerate profile with no variation (every node nominal). Used by
+    /// ablations and by tests that need determinism across nodes.
+    pub fn uniform() -> Self {
+        Self {
+            modes: vec![VariationMode {
+                weight: 1.0,
+                mean: 1.0,
+                sigma: 0.0,
+            }],
+            clamp: (1.0, 1.0),
+        }
+    }
+
+    /// A unimodal profile with the same overall spread as the Quartz
+    /// profile, used by the tri-modal-vs-unimodal ablation.
+    pub fn unimodal(sigma: f64) -> Self {
+        Self {
+            modes: vec![VariationMode {
+                weight: 1.0,
+                mean: 1.0,
+                sigma,
+            }],
+            clamp: (0.85, 1.18),
+        }
+    }
+
+    /// Total mixture weight.
+    fn total_weight(&self) -> f64 {
+        self.modes.iter().map(|m| m.weight).sum()
+    }
+}
+
+/// Seeded sampler over a [`VariationProfile`].
+#[derive(Debug, Clone)]
+pub struct VariationModel {
+    profile: VariationProfile,
+    rng: ChaCha8Rng,
+}
+
+impl VariationModel {
+    /// A sampler with a fixed seed; equal seeds yield equal node
+    /// populations, which is what makes experiments reproducible.
+    pub fn new(profile: VariationProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The profile being sampled.
+    pub fn profile(&self) -> &VariationProfile {
+        &self.profile
+    }
+
+    /// Draw one node's efficiency factor ε.
+    pub fn sample(&mut self) -> f64 {
+        let total = self.profile.total_weight();
+        let mut pick = self.rng.gen::<f64>() * total;
+        let mode = self
+            .profile
+            .modes
+            .iter()
+            .find(|m| {
+                pick -= m.weight;
+                pick <= 0.0
+            })
+            .or(self.profile.modes.last())
+            .expect("profile has at least one mode");
+        let z = standard_normal(&mut self.rng);
+        let eps = mode.mean + z * mode.sigma;
+        eps.clamp(self.profile.clamp.0, self.profile.clamp.1)
+    }
+
+    /// Draw `n` node efficiency factors.
+    pub fn sample_n(&mut self, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample()).collect()
+    }
+}
+
+/// Box–Muller standard normal draw.
+fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let a = VariationModel::new(VariationProfile::quartz(), 7).sample_n(100);
+        let b = VariationModel::new(VariationProfile::quartz(), 7).sample_n(100);
+        let c = VariationModel::new(VariationProfile::quartz(), 8).sample_n(100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn samples_respect_clamp() {
+        let samples = VariationModel::new(VariationProfile::quartz(), 1).sample_n(5000);
+        let p = VariationProfile::quartz();
+        assert!(samples.iter().all(|&e| e >= p.clamp.0 && e <= p.clamp.1));
+    }
+
+    #[test]
+    fn mixture_weights_shape_population() {
+        // Counting samples near each mode should roughly reproduce the
+        // 522:918:560 weighting of the Quartz profile.
+        let samples = VariationModel::new(VariationProfile::quartz(), 42).sample_n(2000);
+        let near = |c: f64| samples.iter().filter(|&&e| (e - c).abs() < 0.031).count();
+        let hi = near(1.065);
+        let mid = near(1.0);
+        let lo = near(0.938);
+        assert!(
+            (450..600).contains(&hi),
+            "high-ε cluster size {hi} outside expectation"
+        );
+        assert!((800..1040).contains(&mid), "mid cluster size {mid}");
+        assert!((480..650).contains(&lo), "low cluster size {lo}");
+    }
+
+    #[test]
+    fn uniform_profile_is_exactly_nominal() {
+        let samples = VariationModel::new(VariationProfile::uniform(), 3).sample_n(50);
+        assert!(samples.iter().all(|&e| (e - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn mean_is_near_one() {
+        let samples = VariationModel::new(VariationProfile::quartz(), 99).sample_n(4000);
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.02, "population mean {mean}");
+    }
+}

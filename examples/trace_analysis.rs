@@ -1,0 +1,60 @@
+//! Record an execution trace of the power balancer (the GEOPM trace-file
+//! analogue) and analyze its convergence, printing the per-iteration CSV a
+//! plotting pipeline would consume.
+//!
+//! ```text
+//! cargo run --release --example trace_analysis
+//! ```
+
+use powerstack::kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use powerstack::runtime::{Agent, JobPlatform, PowerBalancerAgent, Tracer};
+use powerstack::simhw::{quartz_spec, Node, NodeId, PowerModel, Watts};
+
+fn main() {
+    let model = PowerModel::new(quartz_spec()).expect("valid spec");
+    let nodes = vec![
+        Node::new(NodeId(0), &model, 0.96).expect("valid eps"),
+        Node::new(NodeId(1), &model, 1.00).expect("valid eps"),
+        Node::new(NodeId(2), &model, 1.05).expect("valid eps"),
+    ];
+    let config = KernelConfig::new(
+        8.0,
+        VectorWidth::Ymm,
+        WaitingFraction::P50,
+        Imbalance::ThreeX,
+    );
+    let mut platform = JobPlatform::new(model, nodes, config);
+    let mut agent = PowerBalancerAgent::new(Watts(3.0 * 240.0));
+    agent.init(&mut platform);
+
+    let mut tracer = Tracer::new();
+    for _ in 0..60 {
+        let out = platform.run_iteration();
+        tracer.record(&out);
+        agent.adjust(&mut platform, &out);
+    }
+    let trace = tracer.finish();
+
+    println!("workload: {}\n", config.label());
+    for host in 0..3 {
+        let series = trace.host(host);
+        let first = series.first().expect("non-empty trace");
+        let last = series.last().expect("non-empty trace");
+        let conv = trace
+            .convergence_iteration(host, Watts(6.0))
+            .map(|i| i.to_string())
+            .unwrap_or_else(|| "—".into());
+        println!(
+            "host {host}: limit {:.0} → {:.0} W, power {:.0} → {:.0} W, converged at iteration {conv}",
+            first.limit.value(),
+            last.limit.value(),
+            first.power.value(),
+            last.power.value(),
+        );
+    }
+
+    println!("\nfirst ten records of the trace CSV:");
+    for line in trace.to_csv().lines().take(11) {
+        println!("  {line}");
+    }
+}
