@@ -138,7 +138,14 @@ mod tests {
         let out = histogram(&samples, 3, 1);
         let total: usize = out
             .lines()
-            .map(|l| l.split('|').nth(1).unwrap().trim().parse::<usize>().unwrap())
+            .map(|l| {
+                l.split('|')
+                    .nth(1)
+                    .unwrap()
+                    .trim()
+                    .parse::<usize>()
+                    .unwrap()
+            })
             .sum();
         assert_eq!(total, samples.len());
     }

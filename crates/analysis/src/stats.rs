@@ -50,12 +50,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
 /// `(lo, hi)` bounds at the given confidence (e.g. `0.95`). Used to
 /// cross-check the normal-approximation CI on skewed iteration-time
 /// distributions.
-pub fn bootstrap_ci_mean(
-    xs: &[f64],
-    resamples: usize,
-    confidence: f64,
-    seed: u64,
-) -> (f64, f64) {
+pub fn bootstrap_ci_mean(xs: &[f64], resamples: usize, confidence: f64, seed: u64) -> (f64, f64) {
     if xs.len() < 2 || resamples == 0 {
         let m = mean(xs);
         return (m, m);
@@ -162,7 +157,9 @@ mod tests {
 
     #[test]
     fn bootstrap_agrees_with_normal_ci_on_well_behaved_data() {
-        let xs: Vec<f64> = (0..500).map(|i| 10.0 + ((i * 31) % 7) as f64 * 0.1).collect();
+        let xs: Vec<f64> = (0..500)
+            .map(|i| 10.0 + ((i * 31) % 7) as f64 * 0.1)
+            .collect();
         let (lo, hi) = bootstrap_ci_mean(&xs, 800, 0.95, 7);
         let half = ci95_half_width(&xs);
         let m = mean(&xs);

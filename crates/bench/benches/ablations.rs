@@ -12,12 +12,7 @@ use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel, VariationProfile, Wat
 use std::hint::black_box;
 
 fn demo_config() -> KernelConfig {
-    KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P75,
-        Imbalance::TwoX,
-    )
+    KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX)
 }
 
 /// Balancer step-size ablation: convergence speed vs steady-state accuracy.
@@ -125,10 +120,10 @@ fn ablate_step4_weighting(c: &mut Criterion) {
     let policy = policies::by_kind(PolicyKind::MixedAdaptive);
     let alloc = policy.allocate(&ctx, &jobs);
     // Quality metric: how unevenly the surplus lands (spread across jobs).
-    let totals: Vec<f64> = (0..jobs.len()).map(|j| alloc.job_total(j).value()).collect();
-    println!(
-        "[ablation] MixedAdaptive step-4 headroom weighting → per-job totals {totals:?}"
-    );
+    let totals: Vec<f64> = (0..jobs.len())
+        .map(|j| alloc.job_total(j).value())
+        .collect();
+    println!("[ablation] MixedAdaptive step-4 headroom weighting → per-job totals {totals:?}");
     let mut g = c.benchmark_group("ablation_step4");
     g.bench_function("headroom_weighted_allocation", |b| {
         b.iter(|| black_box(policy.allocate(&ctx, &jobs)))

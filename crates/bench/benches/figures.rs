@@ -28,7 +28,9 @@ fn bench_figures(c: &mut Criterion) {
     g.bench_function("fig1_year_power_trace", |b| {
         b.iter(|| black_box(figures::fig1(42)))
     });
-    g.bench_function("fig2_kernel_design", |b| b.iter(|| black_box(figures::fig2())));
+    g.bench_function("fig2_kernel_design", |b| {
+        b.iter(|| black_box(figures::fig2()))
+    });
     g.bench_function("fig3_roofline", |b| b.iter(|| black_box(figures::fig3())));
     g.bench_function("fig4_monitor_heatmap", |b| {
         b.iter(|| black_box(figures::fig4()))

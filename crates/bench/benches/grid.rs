@@ -35,8 +35,12 @@ fn bench_rendering(c: &mut Criterion) {
     let tb = bench_testbed();
     let grid = EvaluationGrid::run(&tb, bench_grid_params());
     let mut g = c.benchmark_group("grid_render");
-    g.bench_function("fig7_render", |b| b.iter(|| black_box(figures::fig7(&grid))));
-    g.bench_function("fig8_render", |b| b.iter(|| black_box(figures::fig8(&grid))));
+    g.bench_function("fig7_render", |b| {
+        b.iter(|| black_box(figures::fig7(&grid)))
+    });
+    g.bench_function("fig8_render", |b| {
+        b.iter(|| black_box(figures::fig8(&grid)))
+    });
     g.finish();
 }
 

@@ -11,12 +11,7 @@ use pmstack_simhw::{quartz_spec, LoadModel, Node, NodeId, PowerModel, Seconds, W
 use std::hint::black_box;
 
 fn demo_config() -> KernelConfig {
-    KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P50,
-        Imbalance::TwoX,
-    )
+    KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX)
 }
 
 fn bench_pcu_solve(c: &mut Criterion) {

@@ -230,8 +230,7 @@ mod tests {
     fn weighted_distribute_follows_headroom_weights() {
         let mut caps = vec![Watts(136.0), Watts(186.0)];
         // Weights 0 and 50: everything goes to host 1.
-        let left =
-            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(40.0));
+        let left = weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(40.0));
         assert!((caps[0].value() - 136.0).abs() < 1e-9);
         assert!((caps[1].value() - 226.0).abs() < 1e-9);
         assert!(left.value() < 1e-9);
@@ -240,8 +239,7 @@ mod tests {
     #[test]
     fn weighted_distribute_respects_ceiling_and_reflows() {
         let mut caps = vec![Watts(230.0), Watts(160.0)];
-        let left =
-            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(60.0));
+        let left = weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(60.0));
         // Host 0 can absorb only 10 W; the rest flows to host 1.
         assert!((caps[0].value() - 240.0).abs() < 1e-6);
         assert!((caps[1].value() - 210.0).abs() < 1e-6);
@@ -251,8 +249,7 @@ mod tests {
     #[test]
     fn weighted_distribute_all_at_floor_falls_back_to_uniform() {
         let mut caps = vec![Watts(136.0), Watts(136.0)];
-        let left =
-            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(50.0));
+        let left = weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(50.0));
         assert!((caps[0].value() - 161.0).abs() < 1e-6);
         assert!((caps[1].value() - 161.0).abs() < 1e-6);
         assert!(left.value() < 1e-6);
@@ -293,8 +290,7 @@ mod tests {
     #[test]
     fn weighted_distribute_returns_surplus_when_saturated() {
         let mut caps = vec![Watts(239.0)];
-        let left =
-            weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(50.0));
+        let left = weighted_headroom_distribute(&mut caps, Watts(136.0), Watts(240.0), Watts(50.0));
         assert!((caps[0].value() - 240.0).abs() < 1e-6);
         assert!((left.value() - 49.0).abs() < 1e-6);
     }

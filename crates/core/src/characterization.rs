@@ -126,7 +126,10 @@ impl JobChar {
     /// The job's highest per-host used power (what `Precharacterized`
     /// submits as a cap).
     pub fn max_used(&self) -> Watts {
-        self.hosts.iter().map(|h| h.used).fold(Watts::ZERO, Watts::max)
+        self.hosts
+            .iter()
+            .map(|h| h.used)
+            .fold(Watts::ZERO, Watts::max)
     }
 
     /// Sum of per-host used power.
@@ -170,12 +173,8 @@ mod tests {
     #[test]
     fn measured_matches_analytic_within_balancer_step() {
         let m = model();
-        let config = KernelConfig::new(
-            8.0,
-            VectorWidth::Ymm,
-            WaitingFraction::P50,
-            Imbalance::TwoX,
-        );
+        let config =
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX);
         let analytic = JobChar::analytic(config, &m, &[1.0]);
         let measured = JobChar::measured(config, &m, &[1.0], 120);
         let a = &analytic.hosts[0];

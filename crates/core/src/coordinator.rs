@@ -15,6 +15,14 @@
 //!   mid-run, the RM re-characterizes from *measured* powers and
 //!   re-allocates, exercising the execution-time feedback loop end to end.
 //!
+//! A [`pmstack_simhw::FaultPlan`] can be attached with
+//! [`Coordinator::with_fault_plan`]. Faults fire at iteration boundaries
+//! inside the job platforms; the coordinator reacts at the phase boundary:
+//! dead nodes are drained through [`FifoScheduler::fail_node`] (their watts
+//! reclaimed into the system budget), and in online mode the surviving
+//! hosts are re-characterized and re-allocated. The whole story is recorded
+//! in [`MixRun::resilience`].
+//!
 //! Jobs run in parallel on OS threads (crossbeam scoped), one runtime
 //! controller per job, mirroring the real deployment topology.
 
@@ -22,10 +30,11 @@ use crate::allocation::Allocation;
 use crate::characterization::{CharacterizationSource, HostChar, JobChar};
 use crate::evaluate::JobSetup;
 use crate::policy::{PolicyCtx, PowerPolicy};
+use crate::resilience::{slice_plan, CoordinatorError, ResilienceReport};
 use pmstack_kernel::KernelConfig;
 use pmstack_rm::{FifoScheduler, JobSpec, NodePool, PowerLedger, SchedulerEvent};
 use pmstack_runtime::{Agent, Controller, JobPlatform, JobReport};
-use pmstack_simhw::{Cluster, Node, PowerModel, Watts};
+use pmstack_simhw::{Cluster, FaultPlan, Node, NodeId, PowerModel, Watts};
 
 /// Whether the feedback loop runs once (emulated) or live (online).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,11 +65,13 @@ impl Agent for FixedAllocationAgent {
     }
 
     fn init(&mut self, platform: &mut JobPlatform) {
-        assert_eq!(self.caps.len(), platform.num_hosts(), "cap/host mismatch");
-        for (h, &cap) in self.caps.iter().enumerate() {
-            platform
-                .set_host_limit(h, cap)
-                .expect("nodes clamp limits into range");
+        // Cap-count/host-count agreement is validated by the coordinator
+        // before any thread spawns; here a host refusing its cap (fail-stop
+        // dead, transient MSR denial) simply keeps its previous enforced
+        // limit and the run continues degraded.
+        let hosts = platform.num_hosts();
+        for (h, &cap) in self.caps.iter().enumerate().take(hosts) {
+            let _ = platform.set_host_limit(h, cap);
         }
     }
 
@@ -72,10 +83,13 @@ impl Agent for FixedAllocationAgent {
 /// The result of running a mix through the full stack.
 #[derive(Debug, Clone)]
 pub struct MixRun {
-    /// The allocation the policy produced (final allocation in online mode).
+    /// The allocation the policy produced (final allocation in online mode;
+    /// hosts that died mid-run report a zero cap).
     pub allocation: Allocation,
     /// Per-job runtime reports, mix order.
     pub reports: Vec<JobReport>,
+    /// What the stack observed and did about injected faults.
+    pub resilience: ResilienceReport,
 }
 
 impl MixRun {
@@ -96,6 +110,7 @@ pub struct Coordinator {
     node_eps: Vec<f64>,
     jitter_sigma: f64,
     seed: u64,
+    fault_plan: FaultPlan,
 }
 
 impl Coordinator {
@@ -106,6 +121,7 @@ impl Coordinator {
             node_eps: cluster.efficiency_factors(),
             jitter_sigma: 0.0,
             seed: 0,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -116,8 +132,19 @@ impl Coordinator {
         self
     }
 
+    /// Attach a fault plan. Event host indices are cluster-global node ids;
+    /// events against nodes outside the cluster are dropped.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan.restricted_to(self.node_eps.len());
+        self
+    }
+
     /// Run a mix of `(name, config, node_count)` jobs under `policy` and a
     /// system `budget` for `iterations` bulk-synchronous iterations each.
+    ///
+    /// Infallible wrapper over [`Self::try_run_mix`], kept for callers that
+    /// treat coordination failures as programming errors; it panics with
+    /// the error's message.
     pub fn run_mix(
         &self,
         mix: &[(String, KernelConfig, usize)],
@@ -126,7 +153,23 @@ impl Coordinator {
         iterations: usize,
         mode: CoordinatorMode,
     ) -> MixRun {
-        assert!(!mix.is_empty(), "cannot run an empty mix");
+        self.try_run_mix(mix, policy, budget, iterations, mode)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run a mix through the full stack, returning a typed error instead of
+    /// panicking when the mix cannot be coordinated.
+    pub fn try_run_mix(
+        &self,
+        mix: &[(String, KernelConfig, usize)],
+        policy: &dyn PowerPolicy,
+        budget: Watts,
+        iterations: usize,
+        mode: CoordinatorMode,
+    ) -> Result<MixRun, CoordinatorError> {
+        if mix.is_empty() {
+            return Err(CoordinatorError::EmptyMix);
+        }
         let spec = self.model.spec();
         let ctx = PolicyCtx {
             system_budget: budget,
@@ -145,20 +188,25 @@ impl Coordinator {
             .iter()
             .map(|(name, _, nodes)| scheduler.submit(JobSpec::new(name.clone(), *nodes)))
             .collect();
-        let events = scheduler.tick();
-        assert_eq!(
-            events.len(),
-            mix.len(),
-            "the mix must fit the cluster and budget"
-        );
+        let started: Vec<Vec<NodeId>> = scheduler
+            .tick()
+            .into_iter()
+            .filter_map(|ev| match ev {
+                SchedulerEvent::Started { nodes, .. } => Some(nodes),
+                _ => None,
+            })
+            .collect();
+        if started.len() != mix.len() {
+            return Err(CoordinatorError::MixDoesNotFit {
+                submitted: mix.len(),
+                admitted: started.len(),
+            });
+        }
 
         // Collect each job's granted hosts and their efficiency factors.
         let mut setups: Vec<JobSetup> = Vec::with_capacity(mix.len());
         let mut grants: Vec<Vec<usize>> = Vec::with_capacity(mix.len());
-        for (event, (_, config, _)) in events.iter().zip(mix) {
-            let SchedulerEvent::Started { nodes, .. } = event else {
-                unreachable!("tick only emits Started events");
-            };
+        for (nodes, (_, config, _)) in started.iter().zip(mix) {
             let host_ids: Vec<usize> = nodes.iter().map(|n| n.0).collect();
             let host_eps: Vec<f64> = host_ids.iter().map(|&i| self.node_eps[i]).collect();
             setups.push(JobSetup {
@@ -174,75 +222,183 @@ impl Coordinator {
             .map(|s| JobChar::analytic(s.config, &self.model, &s.host_eps))
             .collect();
         let allocation = policy.allocate(&ctx, &chars);
+        validate_shape(&allocation, &grants)?;
         for (j, id) in ids.iter().enumerate() {
             // Budget-blind policies may overcommit; the ledger records it
             // faithfully so the violation is observable (Fig. 7 bars >100%).
             let _ = scheduler.ledger_mut().reserve(*id, allocation.job_total(j));
         }
 
+        let mut resilience = ResilienceReport {
+            injected: self
+                .fault_plan
+                .events()
+                .iter()
+                .copied()
+                .filter(|e| grants.iter().any(|g| g.contains(&e.host)))
+                .collect(),
+            ..ResilienceReport::default()
+        };
+
         match mode {
             CoordinatorMode::Emulated => {
-                let reports =
-                    self.execute_phase(&setups, &grants, &allocation, iterations);
-                MixRun {
+                let plans: Vec<FaultPlan> = grants
+                    .iter()
+                    .map(|g| slice_plan(&self.fault_plan, g, 0, u64::MAX))
+                    .collect();
+                let (reports, alive) =
+                    self.execute_phase(&setups, &grants, &allocation, iterations, &plans);
+                // The RM learns of deaths after the fact and drains them so
+                // the ledger reflects the surviving capacity.
+                for (j, mask) in alive.iter().enumerate() {
+                    for (h, &ok) in mask.iter().enumerate() {
+                        if !ok {
+                            resilience.absorb(scheduler.fail_node(NodeId(grants[j][h])));
+                        }
+                    }
+                }
+                resilience.reserved_after = scheduler.ledger().reserved();
+                debug_assert!(resilience.reserved_after <= budget + Watts(1e-6));
+                Ok(MixRun {
                     allocation,
                     reports,
-                }
+                    resilience,
+                })
             }
             CoordinatorMode::Online => {
-                let first = iterations / 2;
-                let second = iterations - first;
-                let reports1 = self.execute_phase(&setups, &grants, &allocation, first.max(1));
-
-                // Execution-time feedback: measured average power becomes
-                // the new "used"; needed cannot exceed what was measured.
-                let measured: Vec<JobChar> = chars
+                let first = (iterations / 2).max(1);
+                let second = (iterations - iterations / 2).max(1);
+                let plans1: Vec<FaultPlan> = grants
                     .iter()
-                    .zip(&reports1)
-                    .map(|(c, r)| JobChar {
-                        hosts: c
-                            .hosts
+                    .map(|g| slice_plan(&self.fault_plan, g, 0, first as u64))
+                    .collect();
+                let (mut reports, alive1) =
+                    self.execute_phase(&setups, &grants, &allocation, first, &plans1);
+
+                // Drain nodes lost in the first window: the scheduler
+                // shrinks the owner's grant and the ledger reclaims the
+                // dead share into the system budget.
+                for (j, mask) in alive1.iter().enumerate() {
+                    for (h, &ok) in mask.iter().enumerate() {
+                        if !ok {
+                            resilience.absorb(scheduler.fail_node(NodeId(grants[j][h])));
+                        }
+                    }
+                }
+
+                // Execution-time feedback over the *survivors*: measured
+                // average power becomes the new "used"; needed cannot
+                // exceed what was measured.
+                let survivors: Vec<Vec<usize>> = alive1
+                    .iter()
+                    .map(|mask| (0..mask.len()).filter(|&h| mask[h]).collect::<Vec<usize>>())
+                    .collect();
+                let live_jobs: Vec<usize> = (0..mix.len())
+                    .filter(|&j| !survivors[j].is_empty())
+                    .collect();
+                if live_jobs.is_empty() {
+                    return Err(CoordinatorError::AllHostsFailed);
+                }
+                let measured: Vec<JobChar> = live_jobs
+                    .iter()
+                    .map(|&j| JobChar {
+                        hosts: survivors[j]
                             .iter()
-                            .zip(&r.hosts)
-                            .map(|(hc, hr)| HostChar {
-                                used: hr.avg_power,
-                                needed: hc.needed.min(hr.avg_power),
+                            .map(|&h| {
+                                let hr = &reports[j].hosts[h];
+                                HostChar {
+                                    used: hr.avg_power,
+                                    needed: chars[j].hosts[h].needed.min(hr.avg_power),
+                                }
                             })
                             .collect(),
                         source: CharacterizationSource::Measured,
                     })
                     .collect();
                 let allocation2 = policy.allocate(&ctx, &measured);
-                let reports2 =
-                    self.execute_phase(&setups, &grants, &allocation2, second.max(1));
-                let reports = reports1
-                    .into_iter()
-                    .zip(reports2)
-                    .map(|(a, b)| merge_reports(a, b))
+                resilience.reallocated = true;
+                let surv_grants: Vec<Vec<usize>> = live_jobs
+                    .iter()
+                    .map(|&j| survivors[j].iter().map(|&h| grants[j][h]).collect())
                     .collect();
-                MixRun {
-                    allocation: allocation2,
-                    reports,
+                validate_shape(&allocation2, &surv_grants)?;
+                for (k, &j) in live_jobs.iter().enumerate() {
+                    let _ = scheduler
+                        .ledger_mut()
+                        .reserve(ids[j], allocation2.job_total(k));
                 }
+
+                let surv_setups: Vec<JobSetup> = live_jobs
+                    .iter()
+                    .map(|&j| JobSetup {
+                        config: setups[j].config,
+                        host_eps: survivors[j]
+                            .iter()
+                            .map(|&h| setups[j].host_eps[h])
+                            .collect(),
+                    })
+                    .collect();
+                let plans2: Vec<FaultPlan> = surv_grants
+                    .iter()
+                    .map(|g| slice_plan(&self.fault_plan, g, first as u64, second as u64))
+                    .collect();
+                let (reports2, alive2) =
+                    self.execute_phase(&surv_setups, &surv_grants, &allocation2, second, &plans2);
+                for (k, mask) in alive2.iter().enumerate() {
+                    for (h, &ok) in mask.iter().enumerate() {
+                        if !ok {
+                            resilience.absorb(scheduler.fail_node(NodeId(surv_grants[k][h])));
+                        }
+                    }
+                }
+                resilience.reserved_after = scheduler.ledger().reserved();
+                debug_assert!(resilience.reserved_after <= budget + Watts(1e-6));
+
+                // Merge the phase reports; a job with no survivors keeps
+                // its phase-1 report as its whole story.
+                for (k, &j) in live_jobs.iter().enumerate() {
+                    let merged =
+                        merge_reports(reports[j].clone(), reports2[k].clone(), &survivors[j]);
+                    reports[j] = merged;
+                }
+
+                // The final allocation, expanded back to the full mix shape
+                // with zero caps on dead hosts.
+                let mut final_jobs: Vec<Vec<Watts>> =
+                    grants.iter().map(|g| vec![Watts::ZERO; g.len()]).collect();
+                for (k, &j) in live_jobs.iter().enumerate() {
+                    for (b, &h) in survivors[j].iter().enumerate() {
+                        final_jobs[j][h] = allocation2.jobs[k][b];
+                    }
+                }
+                Ok(MixRun {
+                    allocation: Allocation { jobs: final_jobs },
+                    reports,
+                    resilience,
+                })
             }
         }
     }
 
     /// Run every job of the mix for `iterations`, in parallel, under the
-    /// given allocation.
+    /// given allocation and per-job fault plans (platform-local indices).
+    /// Returns the reports plus each job's per-host liveness at phase end.
     fn execute_phase(
         &self,
         setups: &[JobSetup],
         grants: &[Vec<usize>],
         allocation: &Allocation,
         iterations: usize,
-    ) -> Vec<JobReport> {
-        let mut slots: Vec<Option<JobReport>> = (0..setups.len()).map(|_| None).collect();
+        plans: &[FaultPlan],
+    ) -> (Vec<JobReport>, Vec<Vec<bool>>) {
+        let mut slots: Vec<Option<(JobReport, Vec<bool>)>> =
+            (0..setups.len()).map(|_| None).collect();
         crossbeam::thread::scope(|scope| {
             for (j, slot) in slots.iter_mut().enumerate() {
                 let setup = &setups[j];
                 let host_ids = &grants[j];
                 let caps = allocation.jobs[j].clone();
+                let plan = plans[j].clone();
                 let model = &self.model;
                 let jitter = self.jitter_sigma;
                 let seed = self.seed.wrapping_add(j as u64);
@@ -255,13 +411,17 @@ impl Coordinator {
                                 .expect("eps sampled from a valid profile")
                         })
                         .collect();
-                    let mut platform = JobPlatform::new(model.clone(), nodes, setup.config);
+                    let mut platform =
+                        JobPlatform::new(model.clone(), nodes, setup.config).with_fault_plan(plan);
                     if jitter > 0.0 {
                         platform = platform.with_jitter(jitter, seed);
                     }
-                    let mut controller =
-                        Controller::new(platform, FixedAllocationAgent::new(caps));
-                    *slot = Some(controller.run(iterations));
+                    let mut controller = Controller::new(platform, FixedAllocationAgent::new(caps));
+                    let report = controller.run(iterations);
+                    let alive: Vec<bool> = (0..report.hosts.len())
+                        .map(|h| controller.platform().is_host_alive(h))
+                        .collect();
+                    *slot = Some((report, alive));
                 });
             }
         })
@@ -269,24 +429,52 @@ impl Coordinator {
         slots
             .into_iter()
             .map(|s| s.expect("every job produced a report"))
-            .collect()
+            .unzip()
     }
 }
 
-/// Combine two phase reports of the same job.
-fn merge_reports(mut a: JobReport, b: JobReport) -> JobReport {
-    assert_eq!(a.hosts.len(), b.hosts.len());
+/// Check that the policy produced one cap per granted host.
+fn validate_shape(allocation: &Allocation, grants: &[Vec<usize>]) -> Result<(), CoordinatorError> {
+    for (j, grant) in grants.iter().enumerate() {
+        let caps = allocation.jobs.get(j).map_or(0, Vec::len);
+        if caps != grant.len() {
+            return Err(CoordinatorError::CapShapeMismatch {
+                job: j,
+                caps,
+                hosts: grant.len(),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Combine two phase reports of the same job. `survivors[b]` names the host
+/// index of report `a` that host `b` of report `b` continued as (identity
+/// when nothing died between the phases). Hosts of `a` absent from
+/// `survivors` contribute only their first-phase energy.
+fn merge_reports(mut a: JobReport, b: JobReport, survivors: &[usize]) -> JobReport {
+    assert_eq!(b.hosts.len(), survivors.len());
     a.iterations += b.iterations;
     a.elapsed += b.elapsed;
     a.iteration_times.extend(b.iteration_times);
     a.energy += b.energy;
     a.flops += b.flops;
-    for (ha, hb) in a.hosts.iter_mut().zip(b.hosts) {
+    for (bi, &ai) in survivors.iter().enumerate() {
+        let ha = &mut a.hosts[ai];
+        let hb = &b.hosts[bi];
         let total = ha.energy + hb.energy;
-        ha.avg_power = total / a.elapsed;
         ha.energy = total;
         ha.final_limit = hb.final_limit;
         ha.mean_epoch = (ha.mean_epoch + hb.mean_epoch) / 2.0;
+    }
+    // Every host's average re-derives from its total energy over the
+    // combined elapsed time (dead hosts simply stop accumulating).
+    for h in &mut a.hosts {
+        h.avg_power = if a.elapsed.value() > 0.0 {
+            h.energy / a.elapsed
+        } else {
+            Watts::ZERO
+        };
     }
     a
 }
@@ -338,6 +526,7 @@ mod tests {
         assert_eq!(run.reports.len(), 2);
         assert!(run.reports.iter().all(|r| r.iterations == 30));
         assert!(run.total_energy() > 0.0);
+        assert!(run.resilience.clean());
     }
 
     #[test]
@@ -414,5 +603,68 @@ mod tests {
             5,
             CoordinatorMode::Emulated,
         );
+    }
+
+    #[test]
+    fn try_run_mix_reports_typed_errors() {
+        let c = cluster(4);
+        let coord = Coordinator::new(&c);
+        let err = coord
+            .try_run_mix(&[], &StaticCaps, Watts(800.0), 5, CoordinatorMode::Emulated)
+            .unwrap_err();
+        assert_eq!(err, CoordinatorError::EmptyMix);
+        let err = coord
+            .try_run_mix(
+                &small_mix(),
+                &StaticCaps,
+                Watts(4.0 * 200.0),
+                5,
+                CoordinatorMode::Emulated,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoordinatorError::MixDoesNotFit { submitted: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn merge_with_partial_survivors_keeps_dead_host_energy() {
+        use pmstack_runtime::HostReport;
+        use pmstack_simhw::{Joules, Seconds};
+        let host = |h: usize, e: f64| HostReport {
+            host: h,
+            eps: 1.0,
+            avg_power: Watts(100.0),
+            energy: Joules(e),
+            final_limit: Watts(150.0),
+            mean_epoch: Seconds(1.0),
+        };
+        let a = JobReport {
+            agent: "fixed_allocation".into(),
+            iterations: 10,
+            elapsed: Seconds(10.0),
+            iteration_times: vec![Seconds(1.0); 10],
+            energy: Joules(3000.0),
+            flops: 1e9,
+            hosts: vec![host(0, 1000.0), host(1, 1000.0), host(2, 1000.0)],
+        };
+        let b = JobReport {
+            agent: "fixed_allocation".into(),
+            iterations: 10,
+            elapsed: Seconds(10.0),
+            iteration_times: vec![Seconds(1.0); 10],
+            energy: Joules(2000.0),
+            flops: 1e9,
+            hosts: vec![host(0, 1000.0), host(1, 1000.0)],
+        };
+        // Host 1 died between phases; b's hosts continue a's hosts 0 and 2.
+        let merged = merge_reports(a, b, &[0, 2]);
+        assert_eq!(merged.iterations, 20);
+        assert_eq!(merged.hosts[0].energy, Joules(2000.0));
+        assert_eq!(merged.hosts[1].energy, Joules(1000.0), "dead host froze");
+        assert_eq!(merged.hosts[2].energy, Joules(2000.0));
+        assert!((merged.hosts[1].avg_power.value() - 50.0).abs() < 1e-9);
+        assert_eq!(merged.energy, Joules(5000.0));
     }
 }

@@ -71,9 +71,7 @@ pub struct MixEvaluation {
 impl MixEvaluation {
     /// Mean job elapsed time — the paper's "system time dedicated to jobs".
     pub fn mean_elapsed(&self) -> Seconds {
-        Seconds(
-            self.jobs.iter().map(|j| j.elapsed.value()).sum::<f64>() / self.jobs.len() as f64,
-        )
+        Seconds(self.jobs.iter().map(|j| j.elapsed.value()).sum::<f64>() / self.jobs.len() as f64)
     }
 
     /// Total energy across jobs.
@@ -132,7 +130,11 @@ pub fn apply_job_runtime(
     chars: &[crate::characterization::JobChar],
     ctx: &crate::policy::PolicyCtx,
 ) -> crate::allocation::Allocation {
-    assert_eq!(alloc.jobs.len(), chars.len(), "allocation/characterization mismatch");
+    assert_eq!(
+        alloc.jobs.len(),
+        chars.len(),
+        "allocation/characterization mismatch"
+    );
     let jobs = alloc
         .jobs
         .iter()
@@ -208,9 +210,8 @@ fn evaluate_job(
         elapsed += t;
     }
 
-    let flops = load.perf().node_flops_per_iteration()
-        * iterations as f64
-        * setup.host_eps.len() as f64;
+    let flops =
+        load.perf().node_flops_per_iteration() * iterations as f64 * setup.host_eps.len() as f64;
     JobOutcome {
         elapsed,
         iteration_times,
@@ -270,10 +271,7 @@ mod tests {
             Imbalance::ThreeX,
         );
         let hungry = KernelConfig::balanced_ymm(8.0);
-        let setups = vec![
-            JobSetup::uniform(wasteful, 4),
-            JobSetup::uniform(hungry, 4),
-        ];
+        let setups = vec![JobSetup::uniform(wasteful, 4), JobSetup::uniform(hungry, 4)];
         let budget = 8.0 * 200.0;
         let stat = eval_under(&StaticCaps, &setups, budget);
         let mixed = eval_under(&MixedAdaptive, &setups, budget);

@@ -28,6 +28,9 @@
 //!   over the runtime endpoint, and full reports; used to validate the
 //!   analytic evaluator and to demonstrate the protocol the paper proposes
 //!   as future work.
+//! * [`resilience`] — typed coordination errors and the record of how the
+//!   stack degraded gracefully under injected hardware faults (node death,
+//!   stuck RAPL, telemetry dropout).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -38,6 +41,7 @@ pub mod coordinator;
 pub mod evaluate;
 pub mod policies;
 pub mod policy;
+pub mod resilience;
 
 pub use allocation::Allocation;
 pub use characterization::{CharacterizationSource, HostChar, JobChar};
@@ -45,3 +49,4 @@ pub use coordinator::{Coordinator, CoordinatorMode, MixRun};
 pub use evaluate::{apply_job_runtime, evaluate_mix, JobOutcome, JobSetup, MixEvaluation};
 pub use policies::{JobAdaptive, MinimizeWaste, MixedAdaptive, Precharacterized, StaticCaps};
 pub use policy::{PolicyCtx, PolicyKind, PowerPolicy};
+pub use resilience::{CoordinatorError, ResilienceReport};

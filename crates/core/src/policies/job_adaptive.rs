@@ -118,9 +118,7 @@ mod tests {
             .jobs
             .iter()
             .zip(&jobs)
-            .flat_map(|(caps, j)| {
-                caps.iter().zip(&j.hosts).map(|(&c, h)| c.min(h.used))
-            })
+            .flat_map(|(caps, j)| caps.iter().zip(&j.hosts).map(|(&c, h)| c.min(h.used)))
             .sum();
         assert!(drawn < c.system_budget - Watts(30.0));
     }

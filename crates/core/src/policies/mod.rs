@@ -84,7 +84,11 @@ mod tests {
 
     #[test]
     fn every_budget_respecting_policy_stays_within_budget() {
-        let jobs = vec![job(3, 230.0, 180.0), job(3, 200.0, 150.0), job(3, 210.0, 210.0)];
+        let jobs = vec![
+            job(3, 230.0, 180.0),
+            job(3, 200.0, 150.0),
+            job(3, 210.0, 210.0),
+        ];
         for kind in [
             PolicyKind::StaticCaps,
             PolicyKind::MinimizeWaste,

@@ -1,0 +1,157 @@
+//! End-to-end resilience acceptance tests: a deterministic fault plan fired
+//! mid-run against the full stack must degrade the mix, never crash it —
+//! the ledger stays within the system budget, dead nodes are drained, and
+//! (online mode) the surviving hosts are re-characterized and re-allocated.
+
+use pmstack_core::policies::by_kind;
+use pmstack_core::{Coordinator, CoordinatorError, CoordinatorMode, MixedAdaptive, PolicyKind};
+use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use pmstack_simhw::{faults, quartz_spec, Cluster, FaultPlan, VariationProfile, Watts};
+
+fn cluster(n: usize) -> Cluster {
+    Cluster::builder(quartz_spec())
+        .nodes(n)
+        .variation(VariationProfile::quartz())
+        .seed(42)
+        .build()
+        .unwrap()
+}
+
+fn mix() -> Vec<(String, KernelConfig, usize)> {
+    vec![
+        (
+            "wasteful".into(),
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX),
+            3,
+        ),
+        ("hungry".into(), KernelConfig::balanced_ymm(8.0), 3),
+    ]
+}
+
+#[test]
+fn online_mode_reallocates_survivors_after_a_node_death() {
+    // Node 3 (held by the second job) dies at iteration 8 of 40 — inside
+    // the first online window, so the re-characterization step sees the
+    // shrunken job.
+    let c = cluster(6);
+    let budget = Watts(6.0 * 190.0);
+    let plan = FaultPlan::scripted(vec![faults::kill(3, 8)]);
+    let coord = Coordinator::new(&c).with_fault_plan(plan);
+    let run = coord
+        .try_run_mix(&mix(), &MixedAdaptive, budget, 40, CoordinatorMode::Online)
+        .expect("a node death must not fail the mix");
+
+    assert_eq!(run.reports.len(), 2, "every job still reports");
+    assert!(run.reports.iter().all(|r| r.iterations == 40));
+    assert_eq!(run.resilience.dead_nodes, vec![3]);
+    assert!(run.resilience.reallocated);
+    assert!(
+        run.resilience.reclaimed > Watts::ZERO,
+        "the dead node's share returned to the system budget"
+    );
+    assert!(
+        run.resilience.reserved_after <= budget + Watts(1e-6),
+        "ledger within budget post-failure: {} vs {}",
+        run.resilience.reserved_after,
+        budget
+    );
+    // The final allocation zeroes exactly the dead host and spends only
+    // the budget on the survivors.
+    let zeros = run
+        .allocation
+        .jobs
+        .iter()
+        .flatten()
+        .filter(|&&c| c == Watts::ZERO)
+        .count();
+    assert_eq!(zeros, 1, "one dead host, one zero cap");
+    assert!(run.allocation.total() <= budget + Watts(1e-6));
+    // The mix still made progress on every surviving host.
+    assert!(run.total_energy() > 0.0);
+}
+
+#[test]
+fn emulated_mode_drains_dead_nodes_into_the_ledger() {
+    let c = cluster(6);
+    let budget = Watts(6.0 * 190.0);
+    let plan = FaultPlan::scripted(vec![faults::kill(0, 5), faults::kill(4, 12)]);
+    let coord = Coordinator::new(&c).with_fault_plan(plan);
+    let run = coord
+        .try_run_mix(
+            &mix(),
+            &MixedAdaptive,
+            budget,
+            30,
+            CoordinatorMode::Emulated,
+        )
+        .expect("emulated mode absorbs deaths too");
+    let mut dead = run.resilience.dead_nodes.clone();
+    dead.sort_unstable();
+    assert_eq!(dead, vec![0, 4]);
+    assert!(
+        !run.resilience.reallocated,
+        "emulated mode never re-allocates"
+    );
+    assert!(run.resilience.reserved_after <= budget + Watts(1e-6));
+    assert!(run.resilience.reclaimed > Watts::ZERO);
+}
+
+#[test]
+fn telemetry_dropout_and_stuck_rapl_degrade_without_any_death() {
+    let c = cluster(6);
+    let budget = Watts(6.0 * 190.0);
+    let plan = FaultPlan::scripted(vec![
+        faults::telemetry_dropout(1, 4, 6),
+        faults::stuck_rapl(5, 10, Watts(170.0)),
+    ]);
+    let coord = Coordinator::new(&c).with_fault_plan(plan);
+    let run = coord
+        .try_run_mix(&mix(), &MixedAdaptive, budget, 30, CoordinatorMode::Online)
+        .expect("soft faults must not fail the mix");
+    assert!(run.resilience.dead_nodes.is_empty());
+    assert!(!run.resilience.injected.is_empty());
+    assert!(!run.resilience.clean());
+    assert!(run.resilience.reserved_after <= budget + Watts(1e-6));
+    assert!(run.reports.iter().all(|r| r.iterations == 30));
+}
+
+#[test]
+fn every_policy_survives_the_same_fixed_fault_plan() {
+    // The EXPERIMENTS.md comparison rests on this: one fixed plan, five
+    // policies, zero panics, ledger always within budget.
+    let plan = FaultPlan::scripted(vec![
+        faults::kill(2, 7),
+        faults::telemetry_dropout(4, 3, 5),
+        faults::stuck_rapl(0, 10, Watts(180.0)),
+    ]);
+    let budget = Watts(6.0 * 185.0);
+    for kind in PolicyKind::all() {
+        let c = cluster(6);
+        let coord = Coordinator::new(&c).with_fault_plan(plan.clone());
+        let policy = by_kind(kind);
+        for mode in [CoordinatorMode::Emulated, CoordinatorMode::Online] {
+            let run = coord
+                .try_run_mix(&mix(), policy.as_ref(), budget, 30, mode)
+                .unwrap_or_else(|e| panic!("{kind} under {mode:?} failed: {e}"));
+            assert_eq!(run.resilience.dead_nodes, vec![2], "{kind} {mode:?}");
+            assert!(
+                run.resilience.reserved_after <= budget + Watts(1e-6),
+                "{kind} {mode:?}: {}",
+                run.resilience.reserved_after
+            );
+        }
+    }
+}
+
+#[test]
+fn losing_every_host_is_a_typed_error_not_a_panic() {
+    let c = cluster(2);
+    let budget = Watts(2.0 * 200.0);
+    let plan = FaultPlan::scripted(vec![faults::kill(0, 2), faults::kill(1, 2)]);
+    let coord = Coordinator::new(&c).with_fault_plan(plan);
+    let single = vec![("doomed".to_string(), KernelConfig::balanced_ymm(8.0), 2)];
+    let err = coord
+        .try_run_mix(&single, &MixedAdaptive, budget, 20, CoordinatorMode::Online)
+        .unwrap_err();
+    assert_eq!(err, CoordinatorError::AllHostsFailed);
+}

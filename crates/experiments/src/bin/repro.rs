@@ -8,12 +8,14 @@
 //! ```
 
 use pmstack_experiments::grid::{EvaluationGrid, GridParams};
-use pmstack_experiments::{export, figures, tables, Testbed};
+use pmstack_experiments::{export, figures, resilience, tables, Testbed};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact> [--fast] [--out DIR]\n\
-         artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep"
+        "usage: repro <artifact> [--fast] [--faults] [--out DIR]\n\
+         artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep faults\n\
+         (--faults is shorthand for the `faults` artifact: the five policies\n\
+          under one fixed fault plan, online mode)"
     );
     std::process::exit(2);
 }
@@ -29,12 +31,12 @@ fn main() {
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            !a.starts_with("--")
-                && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--out")
+            !a.starts_with("--") && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--out")
         })
         .map(|(_, a)| a.as_str())
         .collect();
     let artifact = match artifacts.as_slice() {
+        [] if args.iter().any(|a| a == "--faults") => "faults",
         [] => "all",
         [one] => one,
         _ => usage(),
@@ -50,8 +52,10 @@ fn main() {
     };
 
     // Cheap artifacts need no testbed; build it lazily.
-    let needs_testbed =
-        matches!(artifact, "all" | "table3" | "fig6" | "fig7" | "fig8" | "sweep");
+    let needs_testbed = matches!(
+        artifact,
+        "all" | "table3" | "fig6" | "fig7" | "fig8" | "sweep"
+    );
     let testbed = needs_testbed.then(|| {
         eprintln!("[repro] screening {screen_nodes} nodes for hardware variation…");
         Testbed::new(screen_nodes, 42)
@@ -78,7 +82,7 @@ fn main() {
 
     match artifact {
         "all" | "table1" | "table2" | "table3" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5"
-        | "fig6" | "fig7" | "fig8" | "sweep" => {}
+        | "fig6" | "fig7" | "fig8" | "sweep" | "faults" => {}
         _ => usage(),
     }
 
@@ -102,12 +106,23 @@ fn main() {
             );
         }
     }
+    if artifact == "all" || artifact == "faults" {
+        let rp = if fast {
+            resilience::ResilienceParams::fast()
+        } else {
+            resilience::ResilienceParams::default_scale()
+        };
+        eprintln!(
+            "[repro] resilience: 5 policies x 2 runs (9 jobs x {} nodes, {} iterations)…",
+            rp.nodes_per_job, rp.iterations
+        );
+        emit("faults", resilience::render(&resilience::run_study(rp)));
+    }
     if let Some(g) = &grid {
         emit("fig7", figures::fig7(g));
         emit("fig8", figures::fig8(g));
         if let Some(dir) = &out_dir {
-            std::fs::write(dir.join("grid.csv"), export::grid_to_csv(g))
-                .expect("write grid CSV");
+            std::fs::write(dir.join("grid.csv"), export::grid_to_csv(g)).expect("write grid CSV");
             eprintln!("[repro] wrote {}", dir.join("grid.csv").display());
         }
     }

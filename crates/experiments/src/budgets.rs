@@ -107,10 +107,7 @@ mod tests {
             .iter()
             .map(|s| JobChar::analytic(s.config, tb.model(), &s.host_eps))
             .collect();
-        (
-            MixBudgets::from_characterization(&chars),
-            mix.total_nodes(),
-        )
+        (MixBudgets::from_characterization(&chars), mix.total_nodes())
     }
 
     #[test]
@@ -129,7 +126,12 @@ mod tests {
         for kind in MixKind::all() {
             let (b, nodes) = budgets_for(kind);
             let tdp_total = spec.tdp_per_node() * nodes as f64;
-            assert!(b.max <= tdp_total, "{kind}: max {} vs TDP {}", b.max, tdp_total);
+            assert!(
+                b.max <= tdp_total,
+                "{kind}: max {} vs TDP {}",
+                b.max,
+                tdp_total
+            );
             assert!(b.min >= spec.min_rapl_per_node() * nodes as f64 * 0.95);
         }
     }

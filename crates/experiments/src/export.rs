@@ -93,7 +93,11 @@ mod tests {
             assert_eq!(line.split(',').count(), cols, "ragged row: {line}");
         }
         // Baseline rows carry empty savings fields; dynamic rows are full.
-        assert!(lines.iter().any(|l| l.contains("StaticCaps") && l.ends_with(",,,")));
-        assert!(lines.iter().any(|l| l.contains("MixedAdaptive") && !l.ends_with(",,,")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("StaticCaps") && l.ends_with(",,,")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("MixedAdaptive") && !l.ends_with(",,,")));
     }
 }

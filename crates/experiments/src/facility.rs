@@ -259,8 +259,7 @@ mod tests {
     fn power_respects_physical_bounds() {
         let p = quick_params();
         let trace = simulate(&p);
-        let floor_mw =
-            p.nodes as f64 * (p.idle_cpu_w + p.non_cpu_w) / 1e6;
+        let floor_mw = p.nodes as f64 * (p.idle_cpu_w + p.non_cpu_w) / 1e6;
         let ceiling_mw = p.nodes as f64 * (240.0 + p.non_cpu_w) / 1e6;
         for &mw in &trace.daily_mw {
             assert!(mw >= floor_mw - 1e-9, "below idle floor: {mw}");
@@ -274,13 +273,17 @@ mod tests {
     #[test]
     fn cluster_is_meaningfully_but_not_fully_utilized() {
         let trace = simulate(&quick_params());
-        let mean_util = trace.daily_utilization.iter().sum::<f64>()
-            / trace.daily_utilization.len() as f64;
+        let mean_util =
+            trace.daily_utilization.iter().sum::<f64>() / trace.daily_utilization.len() as f64;
         assert!(
             (0.3..0.95).contains(&mean_util),
             "mean utilization {mean_util}"
         );
-        assert!(trace.jobs_completed > 100, "only {} jobs", trace.jobs_completed);
+        assert!(
+            trace.jobs_completed > 100,
+            "only {} jobs",
+            trace.jobs_completed
+        );
     }
 
     #[test]

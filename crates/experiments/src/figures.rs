@@ -67,12 +67,7 @@ pub fn fig1(seed: u64) -> String {
 /// timeline for a demo configuration, rendered per core class.
 pub fn fig2() -> String {
     let spec = quartz_spec();
-    let config = KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P25,
-        Imbalance::TwoX,
-    );
+    let config = KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P25, Imbalance::TwoX);
     let perf = PerfModel::new(config, &spec);
     let comp = perf.composition();
     let t_iter = perf.iteration_time(spec.f_turbo).value();
@@ -213,8 +208,7 @@ fn power_heatmap(title: &str, needed: bool) -> String {
             KernelConfig::heatmap_columns()
                 .iter()
                 .map(|&(w, k)| {
-                    let load =
-                        KernelLoad::new(KernelConfig::new(i, VectorWidth::Ymm, w, k), &spec);
+                    let load = KernelLoad::new(KernelConfig::new(i, VectorWidth::Ymm, w, k), &spec);
                     if needed {
                         load.needed_power(&model, 1.0).value()
                     } else {
@@ -278,9 +272,11 @@ pub fn fig_sweep(testbed: &Testbed, mix: MixKind, nodes_per_job: usize, steps: u
     let sweep = crate::sweep::BudgetSweep::run(testbed, mix, nodes_per_job, steps);
     let dynamic = PolicyKind::dynamic();
     let header: Vec<String> = std::iter::once("budget W/node".to_string())
-        .chain(dynamic.iter().flat_map(|p| {
-            [format!("{p} time"), format!("{p} energy")]
-        }))
+        .chain(
+            dynamic
+                .iter()
+                .flat_map(|p| [format!("{p} time"), format!("{p} energy")]),
+        )
         .collect();
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
     let n: f64 = sweep
@@ -294,9 +290,11 @@ pub fn fig_sweep(testbed: &Testbed, mix: MixKind, nodes_per_job: usize, steps: u
         .iter()
         .map(|pt| {
             std::iter::once(format!("{:.0}", pt.budget.value() / n))
-                .chain(pt.savings.iter().flat_map(|(t, e)| {
-                    [format!("{t:+.1}%"), format!("{e:+.1}%")]
-                }))
+                .chain(
+                    pt.savings
+                        .iter()
+                        .flat_map(|(t, e)| [format!("{t:+.1}%"), format!("{e:+.1}%")]),
+                )
                 .collect()
         })
         .collect();

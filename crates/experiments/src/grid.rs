@@ -5,7 +5,10 @@ use crate::mixes::{self, MixKind, WorkloadMix};
 use crate::testbed::Testbed;
 use pmstack_analysis::metrics::SavingsRow;
 use pmstack_analysis::stats::{ci95_half_width, mean};
-use pmstack_core::{apply_job_runtime, evaluate_mix, policies, JobChar, JobSetup, MixEvaluation, PolicyCtx, PolicyKind};
+use pmstack_core::{
+    apply_job_runtime, evaluate_mix, policies, JobChar, JobSetup, MixEvaluation, PolicyCtx,
+    PolicyKind,
+};
 use pmstack_simhw::{Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
 
@@ -131,10 +134,22 @@ pub fn run_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> Vec<Grid
         };
         // Baseline first so the savings rows can reference it.
         let baseline = eval_policy(
-            testbed, &mix, &setups, &chars, &ctx, PolicyKind::StaticCaps, level, params,
+            testbed,
+            &mix,
+            &setups,
+            &chars,
+            &ctx,
+            PolicyKind::StaticCaps,
+            level,
+            params,
         );
         let mut level_cells = vec![cell_from(
-            kind, level, PolicyKind::StaticCaps, budget, &baseline, None,
+            kind,
+            level,
+            PolicyKind::StaticCaps,
+            budget,
+            &baseline,
+            None,
         )];
         for policy in [
             PolicyKind::Precharacterized,
@@ -161,6 +176,7 @@ pub fn run_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> Vec<Grid
     cells
 }
 
+#[allow(clippy::too_many_arguments)]
 fn eval_policy(
     testbed: &Testbed,
     mix: &WorkloadMix,
@@ -234,8 +250,14 @@ fn time_ci_frac(eval: &MixEvaluation) -> f64 {
 /// A stable seed per grid cell so reruns are bit-identical.
 fn cell_seed(mix: MixKind, level: BudgetLevel, policy: PolicyKind) -> u64 {
     let m = MixKind::all().iter().position(|&k| k == mix).unwrap_or(0) as u64;
-    let l = BudgetLevel::all().iter().position(|&k| k == level).unwrap_or(0) as u64;
-    let p = PolicyKind::all().iter().position(|&k| k == policy).unwrap_or(0) as u64;
+    let l = BudgetLevel::all()
+        .iter()
+        .position(|&k| k == level)
+        .unwrap_or(0) as u64;
+    let p = PolicyKind::all()
+        .iter()
+        .position(|&k| k == policy)
+        .unwrap_or(0) as u64;
     0x9E37_79B9 ^ (m << 16) ^ (l << 8) ^ p
 }
 

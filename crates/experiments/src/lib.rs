@@ -12,6 +12,9 @@
 //! * [`facility`] — the facility-scale year simulation behind Fig. 1.
 //! * [`export`] — CSV export of the evaluation grid.
 //! * [`sweep`] — continuous budget sweeps locating policy crossovers.
+//! * [`resilience`] — the five policies under one fixed fault plan
+//!   (node deaths, telemetry dropout, stuck RAPL): graceful degradation
+//!   across the whole stack (`repro faults`).
 //! * [`figures`] — generators for Figs. 1–8.
 //! * [`tables`] — generators for Tables I–III.
 //!
@@ -32,6 +35,7 @@ pub mod facility;
 pub mod figures;
 pub mod grid;
 pub mod mixes;
+pub mod resilience;
 pub mod sweep;
 pub mod tables;
 pub mod testbed;

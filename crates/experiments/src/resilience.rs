@@ -1,0 +1,260 @@
+//! The resilience scenario (`repro faults`).
+//!
+//! The paper's evaluation assumes hardware that never misbehaves; this
+//! scenario asks what each §III policy does when it does. One *fixed,
+//! seeded* fault plan — two fail-stop node deaths, a telemetry blackout and
+//! a latched RAPL limit — is fired against the same mix under all five
+//! policies in [`CoordinatorMode::Online`], and each faulted run is
+//! compared with its fault-free twin: slowdown, budget compliance, watts
+//! reclaimed by the resource manager, and whether the coordinator
+//! re-allocated the survivors. The claim under test is graceful
+//! degradation: *no* policy may panic or let the ledger exceed the system
+//! budget, whatever the plan does to its nodes.
+
+use crate::mixes::{build_scaled, MixKind};
+use pmstack_analysis::render::table;
+use pmstack_core::policies::by_kind;
+use pmstack_core::{Coordinator, CoordinatorError, CoordinatorMode, MixRun, PolicyKind};
+use pmstack_simhw::{faults, quartz_spec, Cluster, FaultPlan, VariationProfile, Watts};
+
+/// Scale knobs of the resilience study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceParams {
+    /// Nodes per job of the scaled mix (9 jobs).
+    pub nodes_per_job: usize,
+    /// Iterations per job.
+    pub iterations: usize,
+    /// System budget per node, watts.
+    pub budget_per_node_w: f64,
+    /// Cluster variation seed.
+    pub seed: u64,
+}
+
+impl ResilienceParams {
+    /// Paper-adjacent scale: 9 jobs × 4 nodes, 60 iterations.
+    pub fn default_scale() -> Self {
+        Self {
+            nodes_per_job: 4,
+            iterations: 60,
+            budget_per_node_w: 185.0,
+            seed: 42,
+        }
+    }
+
+    /// Reduced scale for quick checks (`--fast`).
+    pub fn fast() -> Self {
+        Self {
+            nodes_per_job: 2,
+            iterations: 24,
+            budget_per_node_w: 185.0,
+            seed: 42,
+        }
+    }
+}
+
+/// One policy's behaviour under the fixed fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyResilience {
+    /// The policy.
+    pub kind: PolicyKind,
+    /// Mean job elapsed time without faults, seconds.
+    pub clean_elapsed_s: f64,
+    /// Mean job elapsed time under the fault plan, seconds.
+    pub faulted_elapsed_s: f64,
+    /// Faulted-run system draw as a fraction of the budget.
+    pub draw_frac: f64,
+    /// Nodes the plan killed (as seen by the RM).
+    pub dead_nodes: usize,
+    /// Watts the ledger reclaimed from degraded jobs.
+    pub reclaimed_w: f64,
+    /// Ledger reservations at run end, watts.
+    pub reserved_after_w: f64,
+    /// Whether the coordinator re-allocated survivors mid-run.
+    pub reallocated: bool,
+}
+
+impl PolicyResilience {
+    /// Faulted elapsed over clean elapsed.
+    pub fn slowdown(&self) -> f64 {
+        self.faulted_elapsed_s / self.clean_elapsed_s
+    }
+}
+
+/// The five-policy resilience comparison under one fixed fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceStudy {
+    /// The system budget, watts.
+    pub budget_w: f64,
+    /// The plan every policy faced.
+    pub plan: FaultPlan,
+    /// One row per policy, paper order.
+    pub rows: Vec<PolicyResilience>,
+}
+
+/// The fixed fault plan: scaled to the mix, independent of the policy.
+/// Two deaths land inside the first online window (so re-characterization
+/// sees them), the soft faults exercise the degraded telemetry paths.
+pub fn fixed_plan(total_nodes: usize, iterations: usize) -> FaultPlan {
+    let quarter = (iterations / 4).max(1) as u64;
+    FaultPlan::scripted(vec![
+        faults::kill(1 % total_nodes, quarter),
+        faults::kill(total_nodes / 2, quarter + 2),
+        faults::telemetry_dropout(total_nodes / 3, 2, 6),
+        faults::stuck_rapl(total_nodes - 1, quarter, Watts(170.0)),
+    ])
+}
+
+/// Run the study.
+pub fn run_study(params: ResilienceParams) -> ResilienceStudy {
+    let mix = build_scaled(MixKind::WastefulPower, params.nodes_per_job);
+    let total = mix.total_nodes();
+    let cluster = Cluster::builder(quartz_spec())
+        .nodes(total)
+        .variation(VariationProfile::quartz())
+        .seed(params.seed)
+        .build()
+        .expect("study cluster builds");
+    let budget = Watts(params.budget_per_node_w * total as f64);
+    let plan = fixed_plan(total, params.iterations);
+
+    let run = |policy: PolicyKind, with_faults: bool| -> Result<MixRun, CoordinatorError> {
+        let mut coord = Coordinator::new(&cluster);
+        if with_faults {
+            coord = coord.with_fault_plan(plan.clone());
+        }
+        coord.try_run_mix(
+            &mix.jobs,
+            by_kind(policy).as_ref(),
+            budget,
+            params.iterations,
+            CoordinatorMode::Online,
+        )
+    };
+
+    let rows = PolicyKind::all()
+        .into_iter()
+        .map(|kind| {
+            let clean = run(kind, false).expect("fault-free run coordinates");
+            let faulted = run(kind, true).expect("graceful degradation: no policy fails the mix");
+            let draw: f64 = faulted
+                .reports
+                .iter()
+                .map(|r| r.energy.value() / r.elapsed.value().max(1e-12))
+                .sum();
+            PolicyResilience {
+                kind,
+                clean_elapsed_s: clean.mean_elapsed(),
+                faulted_elapsed_s: faulted.mean_elapsed(),
+                draw_frac: draw / budget.value(),
+                dead_nodes: faulted.resilience.dead_nodes.len(),
+                reclaimed_w: faulted.resilience.reclaimed.value(),
+                reserved_after_w: faulted.resilience.reserved_after.value(),
+                reallocated: faulted.resilience.reallocated,
+            }
+        })
+        .collect();
+
+    ResilienceStudy {
+        budget_w: budget.value(),
+        plan,
+        rows,
+    }
+}
+
+/// Render the study as a text artifact.
+pub fn render(study: &ResilienceStudy) -> String {
+    let header = [
+        "policy",
+        "slowdown",
+        "draw %budget",
+        "dead",
+        "reclaimed W",
+        "reserved W",
+        "realloc",
+    ];
+    let rows: Vec<Vec<String>> = study
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.to_string(),
+                format!("{:.3}x", r.slowdown()),
+                format!("{:.1}%", r.draw_frac * 100.0),
+                r.dead_nodes.to_string(),
+                format!("{:.0}", r.reclaimed_w),
+                format!("{:.0}", r.reserved_after_w),
+                if r.reallocated { "yes" } else { "no" }.to_string(),
+            ]
+        })
+        .collect();
+    let events: String = study
+        .plan
+        .events()
+        .iter()
+        .map(|e| {
+            format!(
+                "  iter {:>3}: node {:>3} ← {}\n",
+                e.at_iteration, e.host, e.kind
+            )
+        })
+        .collect();
+    format!(
+        "RESILIENCE: 5 POLICIES x 1 FIXED FAULT PLAN (online mode, {} W budget)\n\n\
+         fault plan:\n{events}\n{}\n\
+         invariants checked: no panics; ledger reservations never exceed the\n\
+         system budget after failures; online re-allocation hands the dead\n\
+         nodes' budget to the survivors.\n",
+        study.budget_w,
+        table(&header, &rows),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_runs_every_policy_without_panicking() {
+        let study = run_study(ResilienceParams {
+            nodes_per_job: 1,
+            iterations: 8,
+            budget_per_node_w: 185.0,
+            seed: 42,
+        });
+        assert_eq!(study.rows.len(), 5);
+        for row in &study.rows {
+            assert!(row.dead_nodes >= 2, "{}: both deaths drained", row.kind);
+            assert!(
+                row.reserved_after_w <= study.budget_w + 1e-6,
+                "{}: ledger within budget",
+                row.kind
+            );
+            assert!(row.reallocated, "{}: online mode re-allocates", row.kind);
+            assert!(row.clean_elapsed_s > 0.0 && row.faulted_elapsed_s > 0.0);
+        }
+    }
+
+    #[test]
+    fn fixed_plan_is_deterministic_and_in_range() {
+        let a = fixed_plan(18, 40);
+        let b = fixed_plan(18, 40);
+        assert_eq!(a, b);
+        assert!(a.events().iter().all(|e| e.host < 18));
+        assert_eq!(a.len(), 4);
+    }
+
+    #[test]
+    fn render_names_every_policy() {
+        let study = run_study(ResilienceParams {
+            nodes_per_job: 1,
+            iterations: 8,
+            budget_per_node_w: 185.0,
+            seed: 42,
+        });
+        let text = render(&study);
+        for kind in PolicyKind::all() {
+            assert!(text.contains(&kind.to_string()), "missing {kind}");
+        }
+        assert!(text.contains("fault plan:"));
+    }
+}

@@ -175,8 +175,14 @@ mod tests {
         // awareness starts paying in energy once budgets exceed needs.
         let s = sweep(MixKind::WastefulPower);
         let dynamic = PolicyKind::dynamic();
-        let mixed = dynamic.iter().position(|&p| p == PolicyKind::MixedAdaptive).unwrap();
-        let minwaste = dynamic.iter().position(|&p| p == PolicyKind::MinimizeWaste).unwrap();
+        let mixed = dynamic
+            .iter()
+            .position(|&p| p == PolicyKind::MixedAdaptive)
+            .unwrap();
+        let minwaste = dynamic
+            .iter()
+            .position(|&p| p == PolicyKind::MinimizeWaste)
+            .unwrap();
         let crossover = s.energy_crossover(mixed, minwaste, 1.0);
         assert!(
             crossover.is_some(),

@@ -74,8 +74,8 @@ pub fn table3(testbed: &Testbed, nodes_per_job: usize) -> String {
             .map(|s| JobChar::analytic(s.config, testbed.model(), &s.host_eps))
             .collect();
         let b = MixBudgets::from_characterization(&chars);
-        total_tdp_kw = testbed.model().spec().tdp_per_node().value() * mix.total_nodes() as f64
-            / 1e3;
+        total_tdp_kw =
+            testbed.model().spec().tdp_per_node().value() * mix.total_nodes() as f64 / 1e3;
         rows.push(vec![
             kind.to_string(),
             format!("{:.0} kW", b.min.kw()),

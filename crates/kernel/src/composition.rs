@@ -46,8 +46,8 @@ impl RankComposition {
                 common: 0,
             },
             _ => {
-                let critical = ((CRITICAL_FRACTION * cores as f64).round() as usize)
-                    .clamp(1, working);
+                let critical =
+                    ((CRITICAL_FRACTION * cores as f64).round() as usize).clamp(1, working);
                 Self {
                     waiting,
                     critical,

@@ -188,7 +188,11 @@ impl LoadModel for KernelLoad {
             let trail = lead.min(self.poll_floor);
             let p = self.power(model, eps, lead, trail);
             if p <= cap + slack {
-                return OperatingPoint { lead, trail, power: p };
+                return OperatingPoint {
+                    lead,
+                    trail,
+                    power: p,
+                };
             }
         }
         // Nothing fits: hardware bottoms out at the minimum p-state.
@@ -211,10 +215,7 @@ mod tests {
     fn setup(intensity: f64, w: WaitingFraction, k: Imbalance) -> (PowerModel, KernelLoad) {
         let spec = quartz_spec();
         let model = PowerModel::new(spec.clone()).unwrap();
-        let load = KernelLoad::new(
-            KernelConfig::new(intensity, VectorWidth::Ymm, w, k),
-            &spec,
-        );
+        let load = KernelLoad::new(KernelConfig::new(intensity, VectorWidth::Ymm, w, k), &spec);
         (model, load)
     }
 
@@ -307,7 +308,10 @@ mod tests {
         let mut last = Watts::ZERO;
         for cap_w in (130..=240).step_by(10) {
             let op = load.operating_point(&model, 1.0, Watts(cap_w as f64));
-            assert!(op.power >= last - Watts(1e-9), "power not monotone at {cap_w} W");
+            assert!(
+                op.power >= last - Watts(1e-9),
+                "power not monotone at {cap_w} W"
+            );
             last = op.power;
         }
     }

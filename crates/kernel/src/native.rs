@@ -139,7 +139,10 @@ pub fn run(config: &NativeConfig) -> NativeStats {
                 sum
             }));
         }
-        handles.into_iter().map(|h| h.join().expect("rank panicked")).sum()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .sum()
     });
     let elapsed_s = start.elapsed().as_secs_f64();
     NativeStats {

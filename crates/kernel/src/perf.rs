@@ -155,7 +155,12 @@ mod tests {
         let spec = quartz_spec();
         let balanced = PerfModel::new(KernelConfig::balanced_ymm(8.0), &spec);
         let imb = PerfModel::new(
-            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P0, Imbalance::ThreeX),
+            KernelConfig::new(
+                8.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P0,
+                Imbalance::ThreeX,
+            ),
             &spec,
         );
         // Critical ranks carry 3x work but also have fewer ranks sharing

@@ -77,7 +77,10 @@ impl PhasedWorkload {
             }
             start += p.iterations;
         }
-        (self.phases.len() - 1, self.phases.last().expect("non-empty"))
+        (
+            self.phases.len() - 1,
+            self.phases.last().expect("non-empty"),
+        )
     }
 }
 

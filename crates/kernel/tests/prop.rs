@@ -6,10 +6,7 @@ use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = KernelConfig> {
     (
-        prop_oneof![
-            Just(0.0),
-            0.05f64..40.0,
-        ],
+        prop_oneof![Just(0.0), 0.05f64..40.0,],
         prop_oneof![
             Just(VectorWidth::Scalar),
             Just(VectorWidth::Xmm),

@@ -90,8 +90,7 @@ impl BackfillScheduler {
                     )
                 };
                 let power = per_node * nodes_needed as f64;
-                if self.pool.available() < nodes_needed
-                    || self.ledger.reserve(*id, power).is_err()
+                if self.pool.available() < nodes_needed || self.ledger.reserve(*id, power).is_err()
                 {
                     // Head-of-queue blocked: later jobs may still backfill,
                     // so keep scanning.

@@ -89,6 +89,22 @@ impl PowerLedger {
         self.reservations.remove(&job);
     }
 
+    /// Reclaim up to `watts` from a job's reservation — the accounting step
+    /// when a node dies under the job and its share of power returns to the
+    /// system. Returns the watts actually reclaimed (zero for an unknown
+    /// job; never more than the job held, so the ledger cannot go negative).
+    pub fn reclaim(&mut self, job: JobId, watts: Watts) -> Watts {
+        let Some(held) = self.reservations.get_mut(&job) else {
+            return Watts::ZERO;
+        };
+        let reclaimed = Watts(watts.value().clamp(0.0, held.value()));
+        *held -= reclaimed;
+        if held.value() <= 0.0 {
+            self.reservations.remove(&job);
+        }
+        reclaimed
+    }
+
     /// True if observed total power `usage` fits the system budget with the
     /// given relative tolerance.
     pub fn within_budget(&self, usage: Watts, tolerance: f64) -> bool {
@@ -137,6 +153,22 @@ mod tests {
         assert!(ledger.within_budget(Watts(1000.0), 0.0));
         assert!(ledger.within_budget(Watts(1009.0), 0.01));
         assert!(!ledger.within_budget(Watts(1020.0), 0.01));
+    }
+
+    #[test]
+    fn reclaim_returns_capped_watts() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(600.0)).unwrap();
+        // Partial reclaim frees exactly the claimed share.
+        assert_eq!(ledger.reclaim(JobId(1), Watts(150.0)), Watts(150.0));
+        assert_eq!(ledger.reservation(JobId(1)), Some(Watts(450.0)));
+        assert_eq!(ledger.available(), Watts(550.0));
+        // Over-reclaim caps at what the job held and clears the entry.
+        assert_eq!(ledger.reclaim(JobId(1), Watts(9999.0)), Watts(450.0));
+        assert_eq!(ledger.reservation(JobId(1)), None);
+        assert_eq!(ledger.available(), Watts(1000.0));
+        // Unknown job reclaims nothing.
+        assert_eq!(ledger.reclaim(JobId(42), Watts(10.0)), Watts::ZERO);
     }
 
     #[test]

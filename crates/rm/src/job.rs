@@ -99,6 +99,18 @@ impl Job {
         self.state = JobState::Completed;
         std::mem::take(&mut self.nodes)
     }
+
+    /// Drop a failed node from a running job's grant, returning `true` if
+    /// the job held it. The job keeps running degraded on the survivors;
+    /// the scheduler decides what happens when none remain.
+    pub fn lose_node(&mut self, id: NodeId) -> bool {
+        if self.state != JobState::Running {
+            return false;
+        }
+        let before = self.nodes.len();
+        self.nodes.retain(|&n| n != id);
+        self.nodes.len() != before
+    }
 }
 
 #[cfg(test)]
@@ -129,6 +141,17 @@ mod tests {
     fn complete_requires_running() {
         let mut job = Job::pending(JobId(1), JobSpec::new("w1", 1));
         job.complete();
+    }
+
+    #[test]
+    fn lose_node_shrinks_running_grant() {
+        let mut job = Job::pending(JobId(1), JobSpec::new("w1", 2));
+        assert!(!job.lose_node(NodeId(0)), "pending jobs hold nothing");
+        job.start(vec![NodeId(0), NodeId(1)]);
+        assert!(job.lose_node(NodeId(0)));
+        assert!(!job.lose_node(NodeId(0)), "already lost");
+        assert_eq!(job.nodes, vec![NodeId(1)]);
+        assert_eq!(job.state, JobState::Running);
     }
 
     #[test]

@@ -3,38 +3,49 @@
 use pmstack_simhw::NodeId;
 use std::collections::BTreeSet;
 
-/// Tracks which cluster nodes are free versus leased to jobs.
+/// Tracks which cluster nodes are free versus leased to jobs, and which
+/// have been drained out of management (fail-stop dead nodes).
 #[derive(Debug, Clone)]
 pub struct NodePool {
     free: BTreeSet<NodeId>,
-    total: usize,
+    /// Every node this pool manages, leased or free. Nodes removed by
+    /// [`NodePool::remove`] leave this set permanently.
+    managed: BTreeSet<NodeId>,
 }
 
 impl NodePool {
     /// A pool over nodes `0..total`.
     pub fn new(total: usize) -> Self {
+        let managed: BTreeSet<NodeId> = (0..total).map(NodeId).collect();
         Self {
-            free: (0..total).map(NodeId).collect(),
-            total,
+            free: managed.clone(),
+            managed,
         }
     }
 
     /// A pool over an explicit node set (e.g. only the medium-frequency
     /// cluster selected in §V-A2).
     pub fn from_nodes(nodes: impl IntoIterator<Item = NodeId>) -> Self {
-        let free: BTreeSet<NodeId> = nodes.into_iter().collect();
-        let total = free.len();
-        Self { free, total }
+        let managed: BTreeSet<NodeId> = nodes.into_iter().collect();
+        Self {
+            free: managed.clone(),
+            managed,
+        }
     }
 
-    /// Total nodes managed.
+    /// Total nodes managed (excludes removed nodes).
     pub fn total(&self) -> usize {
-        self.total
+        self.managed.len()
     }
 
     /// Currently free nodes.
     pub fn available(&self) -> usize {
         self.free.len()
+    }
+
+    /// True if the pool manages this node (free or leased).
+    pub fn manages(&self, id: NodeId) -> bool {
+        self.managed.contains(&id)
     }
 
     /// Lease `n` nodes (lowest ids first, for determinism). Returns `None`
@@ -50,15 +61,24 @@ impl NodePool {
         Some(grant)
     }
 
-    /// Return leased nodes.
-    ///
-    /// # Panics
-    /// If a node is returned twice — a double-free is always a bug.
+    /// Return leased nodes. Idempotent: releasing a node twice is a no-op,
+    /// and nodes no longer managed (drained after a failure) silently stay
+    /// out of the free set instead of re-entering circulation.
     pub fn release(&mut self, nodes: impl IntoIterator<Item = NodeId>) {
         for id in nodes {
-            assert!(self.free.insert(id), "double release of {id}");
+            if self.managed.contains(&id) {
+                self.free.insert(id);
+            }
         }
-        assert!(self.free.len() <= self.total, "released foreign node");
+    }
+
+    /// Drain a node out of management entirely (fail-stop death): it stops
+    /// counting toward [`NodePool::total`], cannot be allocated, and future
+    /// releases of it are ignored. Returns `false` if the pool never
+    /// managed the node (or it was already removed).
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        self.free.remove(&id);
+        self.managed.remove(&id)
     }
 }
 
@@ -91,12 +111,46 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double release")]
-    fn double_release_panics() {
+    fn double_release_is_a_noop() {
         let mut pool = NodePool::new(3);
         let grant = pool.allocate(1).unwrap();
         pool.release(grant.clone());
         pool.release(grant);
+        assert_eq!(pool.available(), 3);
+        assert_eq!(pool.total(), 3);
+    }
+
+    #[test]
+    fn foreign_release_is_ignored() {
+        let mut pool = NodePool::from_nodes([NodeId(1), NodeId(2)]);
+        pool.release([NodeId(7)]);
+        assert_eq!(pool.available(), 2);
+        assert_eq!(pool.total(), 2);
+    }
+
+    #[test]
+    fn removed_node_never_returns() {
+        let mut pool = NodePool::new(4);
+        let grant = pool.allocate(2).unwrap();
+        // Kill a leased node: it leaves management…
+        assert!(pool.remove(grant[0]));
+        assert_eq!(pool.total(), 3);
+        // …and releasing the old grant only returns the survivor.
+        pool.release(grant.clone());
+        assert_eq!(pool.available(), 3);
+        assert!(!pool.manages(grant[0]));
+        // Removing twice reports false.
+        assert!(!pool.remove(grant[0]));
+    }
+
+    #[test]
+    fn removed_free_node_shrinks_availability() {
+        let mut pool = NodePool::new(3);
+        assert!(pool.remove(NodeId(0)));
+        assert_eq!(pool.available(), 2);
+        assert_eq!(pool.total(), 2);
+        let grant = pool.allocate(2).unwrap();
+        assert_eq!(grant, vec![NodeId(1), NodeId(2)]);
     }
 
     #[test]

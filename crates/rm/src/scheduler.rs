@@ -30,6 +30,25 @@ pub enum SchedulerEvent {
         /// The finished job.
         job: JobId,
     },
+    /// A node suffered fail-stop death and was drained from the pool.
+    NodeFailed {
+        /// The dead node.
+        node: NodeId,
+        /// The job that held it, if it was leased.
+        job: Option<JobId>,
+    },
+    /// A running job lost a node and continues degraded on the survivors,
+    /// with its power reservation shrunk accordingly.
+    JobDegraded {
+        /// The degraded job.
+        job: JobId,
+        /// The node it lost.
+        lost: NodeId,
+        /// Nodes it still holds.
+        remaining: usize,
+        /// Watts reclaimed into the system budget.
+        reclaimed: Watts,
+    },
 }
 
 /// FIFO scheduler over a node pool and power ledger.
@@ -54,7 +73,7 @@ impl FifoScheduler {
             queue: VecDeque::new(),
             jobs: HashMap::new(),
             next_id: 1,
-        default_per_node,
+            default_per_node,
         }
     }
 
@@ -109,7 +128,9 @@ impl FifoScheduler {
                 let job = &self.jobs[&head];
                 (
                     job.spec.nodes,
-                    job.spec.power_hint_per_node.unwrap_or(self.default_per_node),
+                    job.spec
+                        .power_hint_per_node
+                        .unwrap_or(self.default_per_node),
                 )
             };
             if self.pool.available() < nodes_needed {
@@ -143,6 +164,56 @@ impl FifoScheduler {
         self.pool.release(nodes);
         self.ledger.release(id);
         SchedulerEvent::Completed { job: id }
+    }
+
+    /// Handle fail-stop death of a node: drain it from the pool, shrink the
+    /// owning job's grant and power reservation (reclaiming the dead node's
+    /// share into the system budget), and report what happened. A job whose
+    /// last node dies is completed (failed out) and fully released.
+    ///
+    /// Unknown or already-drained nodes produce no events — failure reports
+    /// can race, and handling one twice must be harmless.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        if !self.pool.manages(node) {
+            return Vec::new();
+        }
+        self.pool.remove(node);
+
+        let owner = self
+            .jobs
+            .values()
+            .find(|j| j.state == JobState::Running && j.nodes.contains(&node))
+            .map(|j| j.id);
+        let mut events = vec![SchedulerEvent::NodeFailed { node, job: owner }];
+
+        if let Some(id) = owner {
+            let job = self.jobs.get_mut(&id).expect("owner exists");
+            let held_nodes = job.nodes.len();
+            job.lose_node(node);
+            if job.nodes.is_empty() {
+                // Last node gone: the job fails out entirely.
+                job.complete();
+                self.ledger.release(id);
+                events.push(SchedulerEvent::Completed { job: id });
+            } else {
+                // Reclaim the dead node's per-node share of the reservation.
+                let share = self
+                    .ledger
+                    .reservation(id)
+                    .map(|w| w / held_nodes as f64)
+                    .unwrap_or(Watts::ZERO);
+                let reclaimed = self.ledger.reclaim(id, share);
+                let job = self.jobs.get_mut(&id).expect("owner exists");
+                job.power_budget = self.ledger.reservation(id);
+                events.push(SchedulerEvent::JobDegraded {
+                    job: id,
+                    lost: node,
+                    remaining: job.nodes.len(),
+                    reclaimed,
+                });
+            }
+        }
+        events
     }
 }
 
@@ -200,6 +271,84 @@ mod tests {
         s.complete(a);
         assert_eq!(s.free_nodes(), 5);
         assert_eq!(s.ledger().reserved(), Watts::ZERO);
+    }
+
+    #[test]
+    fn node_failure_degrades_the_owning_job() {
+        let mut s = scheduler(4, 1e6);
+        let a = s.submit(JobSpec::new("a", 3).with_power_hint(Watts(150.0)));
+        s.tick();
+        let held = s.job(a).unwrap().nodes.clone();
+        assert_eq!(s.ledger().reservation(a), Some(Watts(450.0)));
+
+        let events = s.fail_node(held[1]);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            SchedulerEvent::NodeFailed { node, job: Some(j) } if node == held[1] && j == a
+        ));
+        assert!(matches!(
+            events[1],
+            SchedulerEvent::JobDegraded { job, lost, remaining: 2, reclaimed }
+                if job == a && lost == held[1] && reclaimed == Watts(150.0)
+        ));
+        // The dead node's share returned to the system budget; the job's
+        // reservation shrank to its surviving share.
+        assert_eq!(s.ledger().reservation(a), Some(Watts(300.0)));
+        // The node is drained: total capacity shrank and completion of the
+        // job returns only survivors.
+        s.complete(a);
+        assert_eq!(s.free_nodes(), 3);
+    }
+
+    #[test]
+    fn losing_the_last_node_fails_the_job_out() {
+        let mut s = scheduler(2, 1e6);
+        let a = s.submit(JobSpec::new("a", 1).with_power_hint(Watts(200.0)));
+        s.tick();
+        let held = s.job(a).unwrap().nodes.clone();
+        let events = s.fail_node(held[0]);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[1], SchedulerEvent::Completed { job } if job == a));
+        assert_eq!(s.job(a).unwrap().state, JobState::Completed);
+        assert_eq!(s.ledger().reserved(), Watts::ZERO);
+    }
+
+    #[test]
+    fn failing_a_free_or_unknown_node_is_quiet() {
+        let mut s = scheduler(3, 1e6);
+        // Free node: drained, reported, no job impact.
+        let events = s.fail_node(NodeId(2));
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            SchedulerEvent::NodeFailed {
+                node: NodeId(2),
+                job: None
+            }
+        ));
+        assert_eq!(s.free_nodes(), 2);
+        // Failing it again (or a node that never existed) is a no-op.
+        assert!(s.fail_node(NodeId(2)).is_empty());
+        assert!(s.fail_node(NodeId(99)).is_empty());
+    }
+
+    #[test]
+    fn freed_capacity_admits_waiting_jobs_after_failure() {
+        // Power-constrained: two 1-node jobs at 240 W each against 300 W.
+        let mut s = scheduler(4, 300.0);
+        let a = s.submit(JobSpec::new("a", 1));
+        let b = s.submit(JobSpec::new("b", 1));
+        s.tick();
+        assert_eq!(s.running(), vec![a]);
+        // `a`'s node dies → its 240 W returns → `b` can now start.
+        let held = s.job(a).unwrap().nodes.clone();
+        s.fail_node(held[0]);
+        let events = s.tick();
+        assert!(
+            matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == b),
+            "reclaimed budget admits the waiting job"
+        );
     }
 
     #[test]

@@ -64,6 +64,72 @@ proptest! {
         prop_assert_eq!(completed, fits, "every feasible job completed");
     }
 
+    /// Fault accounting: under any schedule of starts and node deaths, the
+    /// ledger never reports more available power than the system budget,
+    /// reservations never go negative, and the pool never frees more nodes
+    /// than it manages. This is the reserve → fail → reclaim invariant the
+    /// resilience plane depends on.
+    #[test]
+    fn node_death_reclaims_without_overshooting(
+        sizes in prop::collection::vec(1usize..6, 1..10),
+        death_picks in prop::collection::vec(0usize..64, 1..24),
+        pool_size in 6usize..20,
+    ) {
+        let budget = Watts(200.0 * pool_size as f64);
+        let mut s = FifoScheduler::new(
+            NodePool::new(pool_size),
+            PowerLedger::new(budget),
+            Watts(200.0),
+        );
+        for (i, &n) in sizes.iter().enumerate() {
+            s.submit(JobSpec::new(format!("j{i}"), n));
+        }
+        s.tick();
+        for &pick in &death_picks {
+            // Kill an arbitrary (possibly repeated, possibly unknown) node.
+            let victim = pmstack_simhw::NodeId(pick % (pool_size + 2));
+            for ev in s.fail_node(victim) {
+                if let SchedulerEvent::JobDegraded { job, remaining, .. } = ev {
+                    let j = s.job(job).expect("degraded job exists");
+                    prop_assert_eq!(j.nodes.len(), remaining);
+                    prop_assert!(remaining > 0);
+                }
+            }
+            // Invariants hold after every single failure event…
+            prop_assert!(s.ledger().reserved() <= budget + Watts(1e-6));
+            prop_assert!(s.ledger().available() <= budget + Watts(1e-6));
+            prop_assert!(s.ledger().available() >= Watts(-1e-6));
+            prop_assert!(s.free_nodes() <= pool_size);
+            // …and the freed capacity may admit queued work.
+            s.tick();
+            prop_assert!(s.ledger().reserved() <= budget + Watts(1e-6));
+        }
+        // Completing all survivors returns the ledger to zero reservations.
+        for id in s.running() {
+            s.complete(id);
+        }
+        prop_assert_eq!(s.ledger().reserved(), Watts::ZERO);
+        prop_assert!(s.ledger().available() <= budget + Watts(1e-6));
+    }
+
+    /// Double release is a no-op: however many times a grant is returned,
+    /// availability never exceeds the managed total.
+    #[test]
+    fn double_release_is_a_noop(
+        pool_size in 2usize..16,
+        take in 1usize..8,
+        repeats in 2usize..5,
+    ) {
+        let mut pool = NodePool::new(pool_size);
+        let take = take.min(pool_size);
+        let grant = pool.allocate(take).expect("grant fits");
+        for _ in 0..repeats {
+            pool.release(grant.clone());
+            prop_assert_eq!(pool.available(), pool_size);
+            prop_assert_eq!(pool.total(), pool_size);
+        }
+    }
+
     /// Ledger arithmetic: any sequence of reserve/release operations keeps
     /// reserved + available == system budget.
     #[test]

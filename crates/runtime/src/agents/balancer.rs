@@ -61,6 +61,9 @@ struct HostState {
     last_dir: i8,
     /// Consecutive adjustments in the same direction.
     streak: u8,
+    /// The host is fail-stop dead; its power was returned to the pool and
+    /// it is excluded from the search permanently.
+    dead: bool,
 }
 
 impl HostState {
@@ -134,13 +137,18 @@ impl Agent for PowerBalancerAgent {
         let spec = platform.model().spec();
         let floor = spec.min_rapl_per_node();
         let tdp = spec.tdp_per_node();
-        let share = (self.budget / platform.num_hosts() as f64).clamp(floor, tdp);
+        let alive = platform.alive_hosts().max(1);
+        let share = (self.budget / alive as f64).clamp(floor, tdp);
         self.hosts = (0..platform.num_hosts())
-            .map(|_| HostState {
-                target: share,
-                step: self.params.step,
-                last_dir: 0,
-                streak: 0,
+            .map(|h| {
+                let dead = !platform.is_host_alive(h);
+                HostState {
+                    target: if dead { Watts::ZERO } else { share },
+                    step: self.params.step,
+                    last_dir: 0,
+                    streak: 0,
+                    dead,
+                }
             })
             .collect();
         self.pool = Watts::ZERO;
@@ -165,6 +173,19 @@ impl Agent for PowerBalancerAgent {
         let floor = spec.min_rapl_per_node();
         let tdp = spec.tdp_per_node();
         let f_turbo = spec.f_turbo;
+
+        // Graceful degradation: a host that died this interval leaves the
+        // search and its power returns to the pool, where the grant path
+        // redistributes it to the survivors — the within-job version of the
+        // coordinator re-allocating a failed node's budget.
+        for (h, state) in self.hosts.iter_mut().enumerate() {
+            if !state.dead && !outcome.host_alive.get(h).copied().unwrap_or(true) {
+                state.dead = true;
+                self.pool += state.target;
+                state.target = Watts::ZERO;
+            }
+        }
+
         let slowest = outcome
             .host_compute_time
             .iter()
@@ -178,6 +199,11 @@ impl Agent for PowerBalancerAgent {
         // gentle cadence the real balancer uses.
         let initial = self.params.step;
         for (h, state) in self.hosts.iter_mut().enumerate() {
+            // Dead hosts left the search; stale telemetry means we cannot
+            // judge slack, so the host holds its last-known cap untouched.
+            if state.dead || !outcome.host_fresh.get(h).copied().unwrap_or(true) {
+                continue;
+            }
             let throttled = outcome.host_lead[h] < f_turbo;
             let off_critical = outcome.host_compute_time[h].value()
                 < slowest.value() * (1.0 - self.params.critical_band);
@@ -191,9 +217,13 @@ impl Agent for PowerBalancerAgent {
         // Grant: throttled hosts on the critical path are power-bound —
         // extra watts buy elapsed time. Rate-limited to one step per
         // interval so a transiently throttled host cannot swallow the pool.
+        // Only hosts with fresh telemetry qualify: granting on stale data
+        // would chase a critical path that may no longer exist.
         let recipients: Vec<usize> = (0..self.hosts.len())
             .filter(|&h| {
-                outcome.host_lead[h] < f_turbo
+                !self.hosts[h].dead
+                    && outcome.host_fresh.get(h).copied().unwrap_or(true)
+                    && outcome.host_lead[h] < f_turbo
                     && outcome.host_compute_time[h].value()
                         >= slowest.value() * (1.0 - self.params.critical_band)
                     && self.hosts[h].target < tdp
@@ -219,6 +249,9 @@ impl Agent for PowerBalancerAgent {
         }
 
         for (h, state) in self.hosts.iter().enumerate() {
+            if state.dead {
+                continue;
+            }
             platform
                 .set_host_limit(h, state.target)
                 .expect("targets stay within the settable range");
@@ -264,12 +297,8 @@ mod tests {
         // Heavy waiting: lots of harvestable slack. Under a TDP-level
         // budget the balancer should settle near the workload's needed
         // power, well below the uniform share.
-        let config = KernelConfig::new(
-            8.0,
-            VectorWidth::Ymm,
-            WaitingFraction::P75,
-            Imbalance::TwoX,
-        );
+        let config =
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX);
         let (agent, platform) = run_balancer(config, &[1.0, 1.0], 240.0, 120);
         let load = KernelLoad::new(config, platform.model().spec());
         let needed = load.needed_power(platform.model(), 1.0);
@@ -328,6 +357,81 @@ mod tests {
             (a - b).abs() / b < 0.06,
             "epoch times {a} vs {b} should be near-equal"
         );
+    }
+
+    #[test]
+    fn dead_host_returns_its_power_to_the_survivors() {
+        // Tight budget, three hosts. Kill one mid-run: the balancer must
+        // not panic, must zero the dead host's target, and the survivors
+        // end up with more power than their original scarce share.
+        let config = KernelConfig::balanced_ymm(16.0);
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = [1.0, 1.0, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, config);
+        let budget = Watts(3.0 * 160.0);
+        let mut agent = PowerBalancerAgent::new(budget);
+        agent.init(&mut platform);
+        for _ in 0..40 {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        platform.inject_fault(2, pmstack_simhw::FaultKind::NodeDeath);
+        for _ in 0..80 {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        let t = agent.targets();
+        assert_eq!(t[2], Watts::ZERO, "dead host's target is zeroed");
+        for &survivor in &t[..2] {
+            assert!(
+                survivor.value() > 165.0,
+                "survivor holds {survivor}, should exceed the scarce 160 W share"
+            );
+        }
+        let total: Watts = t.iter().copied().sum::<Watts>() + agent.pool();
+        assert!(total <= budget + Watts(1e-6), "budget is conserved");
+    }
+
+    #[test]
+    fn stale_telemetry_holds_the_last_known_cap() {
+        let config =
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX);
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = [1.0, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, config);
+        let mut agent = PowerBalancerAgent::new(Watts(2.0 * 200.0));
+        agent.init(&mut platform);
+        for _ in 0..30 {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        let held = agent.targets()[0];
+        platform.inject_fault(
+            0,
+            pmstack_simhw::FaultKind::TelemetryDropout { iterations: 5 },
+        );
+        for _ in 0..5 {
+            let out = platform.run_iteration();
+            assert!(!out.host_fresh[0]);
+            agent.adjust(&mut platform, &out);
+            assert_eq!(
+                agent.targets()[0],
+                held,
+                "blind host's cap must not move on stale data"
+            );
+        }
+        // Fresh telemetry resumes the search.
+        let out = platform.run_iteration();
+        assert!(out.host_fresh[0]);
+        agent.adjust(&mut platform, &out);
     }
 
     #[test]

@@ -35,10 +35,7 @@ impl FrequencyGovernorAgent {
     /// The frequency whose *nominal-node* power draw best matches a
     /// per-host power target for the given workload — how a frequency-
     /// oriented tool translates a power budget into a p-state.
-    pub fn freq_for_power_target(
-        platform: &JobPlatform,
-        per_host_target: Watts,
-    ) -> Hertz {
+    pub fn freq_for_power_target(platform: &JobPlatform, per_host_target: Watts) -> Hertz {
         let model = platform.model();
         let load = platform.load();
         use pmstack_simhw::LoadModel;
@@ -119,11 +116,8 @@ mod tests {
         let target = Watts(170.0);
         let freq = FrequencyGovernorAgent::freq_for_power_target(&platform(&[1.0]), target);
 
-        let dvfs = Controller::new(
-            platform(&[0.94, 1.07]),
-            FrequencyGovernorAgent::new(freq),
-        )
-        .run(80);
+        let dvfs =
+            Controller::new(platform(&[0.94, 1.07]), FrequencyGovernorAgent::new(freq)).run(80);
         let rapl = Controller::new(
             platform(&[0.94, 1.07]),
             PowerGovernorAgent::new(Watts(2.0 * target.value())),
@@ -132,16 +126,14 @@ mod tests {
 
         // Under DVFS the per-host powers diverge with the variation factor
         // (the cap is a frequency, not a power)…
-        let dvfs_spread =
-            (dvfs.hosts[1].avg_power.value() - dvfs.hosts[0].avg_power.value()).abs();
+        let dvfs_spread = (dvfs.hosts[1].avg_power.value() - dvfs.hosts[0].avg_power.value()).abs();
         assert!(
             dvfs_spread > 8.0,
             "DVFS power spread {dvfs_spread:.1} W should track the ±7% variation"
         );
         // …while RAPL pins both hosts near the budgeted power (small
         // residual spread from p-state quantization below the cap).
-        let rapl_spread =
-            (rapl.hosts[1].avg_power.value() - rapl.hosts[0].avg_power.value()).abs();
+        let rapl_spread = (rapl.hosts[1].avg_power.value() - rapl.hosts[0].avg_power.value()).abs();
         assert!(
             rapl_spread < dvfs_spread / 1.5 && rapl_spread < 8.0,
             "RAPL spread {rapl_spread:.1} W should be far tighter than DVFS {dvfs_spread:.1} W"

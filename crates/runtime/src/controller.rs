@@ -70,6 +70,7 @@ impl<A: Agent> Controller<A> {
             for (h, t) in outcome.host_compute_time.iter().enumerate() {
                 epoch_sums[h] += *t;
             }
+            self.mark_host_trust(&outcome);
             self.agent.adjust(&mut self.platform, &outcome);
             if iter >= tail_start {
                 for (h, l) in self.platform.host_limits().iter().enumerate() {
@@ -146,6 +147,7 @@ impl<A: Agent> Controller<A> {
                 for (h, t) in outcome.host_compute_time.iter().enumerate() {
                     epoch_sums[h] += *t;
                 }
+                self.mark_host_trust(&outcome);
                 self.agent.adjust(&mut self.platform, &outcome);
                 for (h, l) in self.platform.host_limits().iter().enumerate() {
                     limit_sums[h] += *l;
@@ -187,6 +189,23 @@ impl<A: Agent> Controller<A> {
             energy: hosts.iter().map(|h| h.energy).sum::<Joules>(),
             flops,
             hosts,
+        }
+    }
+
+    /// Propagate the iteration's telemetry quality into host health: hosts
+    /// with stale readings become suspect (agents hold their last-known
+    /// caps there), hosts with fresh readings are cleared again. Death is
+    /// recorded by the hardware layer itself.
+    fn mark_host_trust(&mut self, outcome: &crate::platform::IterationOutcome) {
+        for h in 0..outcome.host_alive.len() {
+            if !outcome.host_alive[h] {
+                continue;
+            }
+            if outcome.host_fresh[h] {
+                self.platform.mark_host_healthy(h);
+            } else {
+                self.platform.mark_host_suspect(h);
+            }
         }
     }
 
@@ -262,8 +281,11 @@ mod tests {
             Imbalance::TwoX,
         );
         let budget = Watts(2.0 * 175.0);
-        let gov = Controller::new(platform(config, &[1.0, 1.05]), PowerGovernorAgent::new(budget))
-            .run(150);
+        let gov = Controller::new(
+            platform(config, &[1.0, 1.05]),
+            PowerGovernorAgent::new(budget),
+        )
+        .run(150);
         let bal = Controller::new(
             platform(config, &[1.0, 1.05]),
             PowerBalancerAgent::new(budget),

@@ -7,7 +7,9 @@
 
 use pmstack_kernel::{KernelConfig, KernelLoad};
 use pmstack_simhw::power::OperatingPoint;
-use pmstack_simhw::{Hertz, Joules, Node, PowerModel, Seconds, SimHwError, Watts};
+use pmstack_simhw::{
+    FaultPlan, Hertz, Joules, Node, NodeHealth, PowerModel, Seconds, SimHwError, Watts,
+};
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -20,18 +22,37 @@ pub struct IterationOutcome {
     pub elapsed: Seconds,
     /// Per-host critical-path compute time (before the barrier).
     pub host_compute_time: Vec<Seconds>,
-    /// Per-host average power over the iteration.
+    /// Per-host average power over the iteration. When a host's telemetry
+    /// is out (`host_fresh[h] == false`) this holds the last-known reading,
+    /// not the true draw — exactly what an out-of-band agent would see.
     pub host_power: Vec<Watts>,
-    /// Per-host lead frequency.
+    /// Per-host lead frequency (stale under telemetry dropout, see above).
     pub host_lead: Vec<Hertz>,
     /// Per-host enforced node power limit during the iteration.
     pub host_limit: Vec<Watts>,
+    /// Per-host liveness: `false` for fail-stop dead hosts, which no longer
+    /// compute, draw power, or accept control.
+    pub host_alive: Vec<bool>,
+    /// Per-host telemetry freshness: `false` means the power/lead entries
+    /// are stale last-known values, not this iteration's readings.
+    pub host_fresh: Vec<bool>,
 }
 
 impl IterationOutcome {
-    /// Total job power during the iteration.
+    /// Total job power during the iteration (as observed — stale entries
+    /// contribute their last-known value).
     pub fn total_power(&self) -> Watts {
         self.host_power.iter().copied().sum()
+    }
+
+    /// Number of hosts still alive.
+    pub fn alive_count(&self) -> usize {
+        self.host_alive.iter().filter(|&&a| a).count()
+    }
+
+    /// True when any host died or reported stale telemetry this iteration.
+    pub fn degraded(&self) -> bool {
+        self.host_alive.iter().any(|&a| !a) || self.host_fresh.iter().any(|&f| !f)
     }
 }
 
@@ -43,6 +64,15 @@ pub struct JobPlatform {
     jitter_sigma: f64,
     rng: ChaCha8Rng,
     elapsed: Seconds,
+    /// Faults scheduled against this job's hosts, applied at iteration
+    /// boundaries (host indices are platform-local).
+    fault_plan: FaultPlan,
+    /// Index of the next bulk-synchronous iteration (for fault scheduling).
+    iteration: u64,
+    /// Last successfully read per-host power (held through dropouts).
+    last_power: Vec<Watts>,
+    /// Last successfully read per-host lead frequency.
+    last_lead: Vec<Hertz>,
 }
 
 impl JobPlatform {
@@ -51,14 +81,27 @@ impl JobPlatform {
     pub fn new(model: PowerModel, nodes: Vec<Node>, config: KernelConfig) -> Self {
         assert!(!nodes.is_empty(), "a job needs at least one host");
         let load = KernelLoad::new(config, model.spec());
+        let n = nodes.len();
         Self {
             model,
             nodes,
             load,
             jitter_sigma: 0.0,
             rng: ChaCha8Rng::seed_from_u64(0),
-        elapsed: Seconds::ZERO,
+            elapsed: Seconds::ZERO,
+            fault_plan: FaultPlan::none(),
+            iteration: 0,
+            last_power: vec![Watts::ZERO; n],
+            last_lead: vec![Hertz(0.0); n],
         }
+    }
+
+    /// Attach a fault plan. Events fire at the start of the matching
+    /// bulk-synchronous iteration; host indices outside this job are
+    /// ignored.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan.restricted_to(self.nodes.len());
+        self
     }
 
     /// Enable per-host per-iteration multiplicative compute-time jitter
@@ -117,22 +160,67 @@ impl JobPlatform {
             .set_power_limit(limit)
     }
 
-    /// Program every host to the same node power limit.
+    /// Program every host to the same node power limit. Fail-stop dead
+    /// hosts are skipped (nothing left to program); other errors propagate.
     pub fn set_uniform_limit(&mut self, limit: Watts) -> Result<(), SimHwError> {
         for host in 0..self.num_hosts() {
-            self.set_host_limit(host, limit)?;
+            match self.set_host_limit(host, limit) {
+                Ok(()) | Err(SimHwError::NodeFailed(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
 
+    /// Per-host health as observed through the platform.
+    pub fn host_health(&self) -> Vec<NodeHealth> {
+        self.nodes.iter().map(|n| n.health()).collect()
+    }
+
+    /// True when the host exists and is not fail-stop dead.
+    pub fn is_host_alive(&self, host: usize) -> bool {
+        self.nodes.get(host).is_some_and(|n| !n.is_dead())
+    }
+
+    /// Number of hosts still alive.
+    pub fn alive_hosts(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_dead()).count()
+    }
+
+    /// Mark a host suspect (stale telemetry, transient faults) without
+    /// killing it; controllers call this when readings go missing.
+    pub fn mark_host_suspect(&mut self, host: usize) {
+        if let Some(n) = self.nodes.get_mut(host) {
+            n.mark_suspect();
+        }
+    }
+
+    /// Clear a host's suspect marking after telemetry recovers.
+    pub fn mark_host_healthy(&mut self, host: usize) {
+        if let Some(n) = self.nodes.get_mut(host) {
+            n.mark_healthy();
+        }
+    }
+
+    /// Inject a fault into one host immediately (outside any plan).
+    pub fn inject_fault(&mut self, host: usize, kind: pmstack_simhw::FaultKind) {
+        if let Some(n) = self.nodes.get_mut(host) {
+            n.inject(kind);
+        }
+    }
+
     /// Program (or release) a frequency cap on every host — the DVFS
-    /// control path through `IA32_PERF_CTL`.
+    /// control path through `IA32_PERF_CTL`. Fail-stop dead hosts are
+    /// skipped, like [`Self::set_uniform_limit`].
     pub fn set_uniform_freq_cap(
         &mut self,
         cap: Option<pmstack_simhw::Hertz>,
     ) -> Result<(), SimHwError> {
         for node in &mut self.nodes {
-            node.set_freq_cap(cap)?;
+            match node.set_freq_cap(cap) {
+                Ok(()) | Err(SimHwError::NodeFailed(_)) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
@@ -159,32 +247,73 @@ impl JobPlatform {
     /// elapsed time (waiting hosts poll at their operating-point power,
     /// which is the energy sink the paper's kernel deliberately models).
     pub fn run_iteration(&mut self) -> IterationOutcome {
+        // Fire the fault plan's events scheduled for this iteration before
+        // anything computes — a node dying "during" an iteration is modeled
+        // as dying at its leading barrier.
+        let events: Vec<_> = self.fault_plan.events_at(self.iteration).copied().collect();
+        for ev in events {
+            if let Some(node) = self.nodes.get_mut(ev.host) {
+                node.inject(ev.kind);
+            }
+        }
+        self.iteration += 1;
+
         let n = self.num_hosts();
         let mut ops = Vec::with_capacity(n);
         let mut compute = Vec::with_capacity(n);
         for host in 0..n {
+            if self.nodes[host].is_dead() {
+                // Dead hosts drop out of the computation: the surviving
+                // ranks redistribute (we charge no extra time) and the dead
+                // host contributes nothing to the barrier.
+                ops.push(None);
+                compute.push(Seconds::ZERO);
+                continue;
+            }
             let op = self.host_operating_point(host);
             let jitter = self.draw_jitter();
             let t = Seconds(self.load.iteration_time(&op).value() * jitter);
-            ops.push(op);
+            ops.push(Some(op));
             compute.push(t);
         }
-        let elapsed = compute
-            .iter()
-            .copied()
-            .fold(Seconds::ZERO, Seconds::max);
+        let elapsed = compute.iter().copied().fold(Seconds::ZERO, Seconds::max);
 
         let mut host_power = Vec::with_capacity(n);
         let mut host_lead = Vec::with_capacity(n);
         let mut host_limit = Vec::with_capacity(n);
+        let mut host_alive = Vec::with_capacity(n);
+        let mut host_fresh = Vec::with_capacity(n);
         for (host, op) in ops.iter().enumerate() {
             let node = &mut self.nodes[host];
+            let Some(op) = op else {
+                host_limit.push(node.enforced_limit());
+                host_power.push(Watts::ZERO);
+                host_lead.push(Hertz(0.0));
+                host_alive.push(false);
+                host_fresh.push(false);
+                continue;
+            };
             host_limit.push(node.enforced_limit());
+            host_alive.push(true);
             // Advance RAPL state (energy counters + enforcement filters)
-            // through the iteration at the operating-point power.
-            let sample = node.step(&self.model, &self.load, elapsed);
-            host_power.push(sample.power);
-            host_lead.push(op.lead);
+            // through the iteration at the operating-point power; the
+            // fallible read surfaces telemetry dropouts.
+            match node.try_step(&self.model, &self.load, elapsed) {
+                Ok(sample) => {
+                    self.last_power[host] = sample.power;
+                    self.last_lead[host] = op.lead;
+                    host_power.push(sample.power);
+                    host_lead.push(op.lead);
+                    host_fresh.push(true);
+                }
+                Err(_) => {
+                    // Telemetry out: the hardware advanced underneath, but
+                    // the observer only has last-known readings.
+                    host_power.push(self.last_power[host]);
+                    host_lead.push(self.last_lead[host]);
+                    host_fresh.push(false);
+                }
+            }
         }
         self.elapsed += elapsed;
         IterationOutcome {
@@ -193,6 +322,8 @@ impl JobPlatform {
             host_power,
             host_lead,
             host_limit,
+            host_alive,
+            host_fresh,
         }
     }
 
@@ -263,7 +394,9 @@ mod tests {
     fn jitter_is_reproducible_and_small() {
         let mk = |seed| {
             let mut p = platform(1, &[1.0]).with_jitter(0.01, seed);
-            (0..5).map(|_| p.run_iteration().elapsed.value()).collect::<Vec<_>>()
+            (0..5)
+                .map(|_| p.run_iteration().elapsed.value())
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(3), mk(3));
         assert_ne!(mk(3), mk(4));
@@ -297,5 +430,71 @@ mod tests {
         let out = p.run_iteration();
         let sum: f64 = out.host_power.iter().map(|w| w.value()).sum();
         assert!((out.total_power().value() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn planned_node_death_fires_at_its_iteration() {
+        let plan = pmstack_simhw::FaultPlan::scripted(vec![pmstack_simhw::faults::kill(1, 3)]);
+        let mut p = platform(2, &[1.0, 1.0]).with_fault_plan(plan);
+        let before = p.run_iteration(); // iterations 0, 1, 2
+        assert!(before.host_alive.iter().all(|&a| a));
+        p.run_iteration();
+        p.run_iteration();
+        let after = p.run_iteration(); // iteration 3: host 1 dies at barrier
+        assert!(after.host_alive[0]);
+        assert!(!after.host_alive[1]);
+        assert_eq!(after.alive_count(), 1);
+        assert!(after.degraded());
+        assert_eq!(after.host_power[1], Watts::ZERO);
+        // The survivors keep the job going: elapsed still positive, and the
+        // dead host no longer accumulates energy.
+        let e1 = p.host_energy();
+        p.run_iteration();
+        let e2 = p.host_energy();
+        assert!(e2[0] > e1[0]);
+        assert_eq!(e2[1], e1[1]);
+    }
+
+    #[test]
+    fn telemetry_dropout_serves_stale_readings_then_recovers() {
+        let plan =
+            pmstack_simhw::FaultPlan::scripted(vec![pmstack_simhw::faults::telemetry_dropout(
+                0, 1, 3,
+            )]);
+        let mut p = platform(1, &[1.0]).with_fault_plan(plan);
+        let fresh = p.run_iteration();
+        assert!(fresh.host_fresh[0]);
+        let known = fresh.host_power[0];
+        let e_before = p.host_energy();
+        for _ in 0..3 {
+            let out = p.run_iteration();
+            assert!(out.host_alive[0], "dropout must not kill the host");
+            assert!(!out.host_fresh[0]);
+            assert_eq!(out.host_power[0], known, "stale reading is last-known");
+        }
+        // The hardware kept running underneath the blackout.
+        assert!(p.host_energy()[0] > e_before[0]);
+        let recovered = p.run_iteration();
+        assert!(recovered.host_fresh[0]);
+    }
+
+    #[test]
+    fn stuck_rapl_pins_the_programmed_limit() {
+        let mut p = platform(1, &[1.0]);
+        p.inject_fault(0, pmstack_simhw::FaultKind::StuckRapl { pinned_w: 200.0 });
+        // Writes "succeed" but the latch wins.
+        p.set_host_limit(0, Watts(150.0)).unwrap();
+        assert!((p.host_limits()[0].value() - 200.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn uniform_limit_skips_dead_hosts() {
+        let mut p = platform(2, &[1.0, 1.0]);
+        p.inject_fault(1, pmstack_simhw::FaultKind::NodeDeath);
+        p.set_uniform_limit(Watts(180.0)).unwrap();
+        assert!((p.host_limits()[0].value() - 180.0).abs() < 0.5);
+        assert!(!p.is_host_alive(1));
+        assert_eq!(p.alive_hosts(), 1);
+        assert_eq!(p.host_health()[1], NodeHealth::Dead);
     }
 }

@@ -72,8 +72,7 @@ impl Trace {
 
     /// GEOPM-style CSV rendering.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("time_s,iteration,host,power_w,freq_ghz,limit_w,epoch_s\n");
+        let mut out = String::from("time_s,iteration,host,power_w,freq_ghz,limit_w,epoch_s\n");
         for r in &self.records {
             let _ = writeln!(
                 out,
@@ -146,12 +145,7 @@ mod tests {
         let mut platform = JobPlatform::new(
             model,
             nodes,
-            KernelConfig::new(
-                8.0,
-                VectorWidth::Ymm,
-                WaitingFraction::P75,
-                Imbalance::TwoX,
-            ),
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX),
         );
         let mut agent = PowerBalancerAgent::new(Watts(2.0 * 240.0));
         agent.init(&mut platform);

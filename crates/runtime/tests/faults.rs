@@ -1,0 +1,135 @@
+//! Integration tests of graceful degradation in the job runtime: injected
+//! faults must bend the run (stale telemetry, lost hosts, reclaimed power),
+//! never break it (no panics, no budget violations, reports still produced).
+
+use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use pmstack_runtime::{Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
+use pmstack_simhw::{
+    faults, quartz_spec, FaultKind, FaultPlan, Node, NodeHealth, NodeId, PowerModel, Watts,
+};
+
+fn platform(eps: &[f64], plan: FaultPlan) -> JobPlatform {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes = eps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+        .collect();
+    JobPlatform::new(
+        model,
+        nodes,
+        KernelConfig::new(
+            16.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P25,
+            Imbalance::Balanced,
+        ),
+    )
+    .with_fault_plan(plan)
+}
+
+#[test]
+fn telemetry_dropout_degrades_the_run_without_crashing() {
+    // A mid-run telemetry blackout on host 0: the controller must finish
+    // the run, the agent must hold the blind host's cap, and the report
+    // must still carry true hardware-counter energy (the dropout hides
+    // samples from the observer, not from the energy accounting).
+    let plan = FaultPlan::scripted(vec![faults::telemetry_dropout(0, 40, 8)]);
+    let budget = Watts(2.0 * 180.0);
+    let mut controller = Controller::new(
+        platform(&[1.0, 1.05], plan),
+        PowerBalancerAgent::new(budget),
+    );
+    let report = controller.run(120);
+    assert_eq!(report.iterations, 120);
+    assert!(report.hosts.iter().all(|h| h.energy.value() > 0.0));
+    assert!(
+        report.avg_power() <= budget + Watts(10.0),
+        "budget respected through the blackout: {}",
+        report.avg_power()
+    );
+    // Telemetry recovered afterwards, so the host ends healthy again.
+    assert_eq!(
+        controller.platform().host_health(),
+        vec![NodeHealth::Healthy, NodeHealth::Healthy]
+    );
+}
+
+#[test]
+fn dropout_marks_the_host_suspect_while_blind() {
+    let plan = FaultPlan::scripted(vec![faults::telemetry_dropout(1, 5, 50)]);
+    let mut controller = Controller::new(platform(&[1.0, 1.0], plan), MonitorAgent);
+    let report = controller.run(20);
+    assert_eq!(report.iterations, 20);
+    // The blackout outlives the run: the host is suspect, not dead.
+    let health = controller.platform().host_health();
+    assert_eq!(health[0], NodeHealth::Healthy);
+    assert_eq!(health[1], NodeHealth::Suspect);
+    assert!(controller.platform().is_host_alive(1));
+}
+
+#[test]
+fn node_death_mid_run_still_produces_a_full_report() {
+    let plan = FaultPlan::scripted(vec![faults::kill(1, 30)]);
+    let budget = Watts(3.0 * 170.0);
+    let mut controller = Controller::new(
+        platform(&[1.0, 1.0, 1.07], plan),
+        PowerBalancerAgent::new(budget),
+    );
+    let report = controller.run(100);
+    assert_eq!(report.iterations, 100);
+    assert_eq!(report.hosts.len(), 3);
+    let health = controller.platform().host_health();
+    assert_eq!(health[1], NodeHealth::Dead);
+    // The dead host stopped drawing power; the survivors kept computing
+    // under the (re-balanced) budget.
+    assert!(report.hosts[1].energy < report.hosts[0].energy);
+    assert!(
+        report.avg_power() <= budget + Watts(10.0),
+        "budget respected across the death: {}",
+        report.avg_power()
+    );
+}
+
+#[test]
+fn stuck_rapl_and_transient_msr_faults_are_survivable() {
+    let plan = FaultPlan::scripted(vec![
+        faults::stuck_rapl(0, 10, Watts(190.0)),
+        pmstack_simhw::FaultEvent {
+            at_iteration: 20,
+            host: 1,
+            kind: FaultKind::TransientMsrFault,
+        },
+    ]);
+    let mut controller = Controller::new(
+        platform(&[1.0, 1.0], plan),
+        PowerBalancerAgent::new(Watts(2.0 * 200.0)),
+    );
+    let report = controller.run(60);
+    assert_eq!(report.iterations, 60);
+    // The stuck host enforces the pinned value no matter what the agent
+    // programs.
+    assert!(
+        (controller.platform().host_limits()[0].value() - 190.0).abs() < 0.5,
+        "latched limit wins: {}",
+        controller.platform().host_limits()[0]
+    );
+    // The one-shot MSR fault was absorbed; both hosts end alive.
+    assert_eq!(controller.platform().alive_hosts(), 2);
+}
+
+#[test]
+fn randomized_plans_never_panic_the_controller() {
+    // Deterministic fuzz: a handful of seeded random plans over a small
+    // job. Whatever fires, runs finish and report.
+    for seed in 0..8 {
+        let plan = FaultPlan::randomized(seed, 3, 50, 4);
+        let mut controller = Controller::new(
+            platform(&[1.0, 0.95, 1.05], plan),
+            PowerBalancerAgent::new(Watts(3.0 * 175.0)),
+        );
+        let report = controller.run(60);
+        assert_eq!(report.iterations, 60, "seed {seed}");
+        assert!(report.elapsed.value() > 0.0, "seed {seed}");
+    }
+}

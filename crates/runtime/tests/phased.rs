@@ -19,12 +19,7 @@ fn platform(eps: &[f64]) -> JobPlatform {
 }
 
 fn slack_phase() -> KernelConfig {
-    KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P75,
-        Imbalance::TwoX,
-    )
+    KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX)
 }
 
 fn hungry_phase() -> KernelConfig {
@@ -60,8 +55,7 @@ fn phased_energy_beats_unmanaged_run() {
     let budget = Watts(2.0 * 240.0);
     let managed = Controller::new(platform(&[1.0, 1.0]), PowerBalancerAgent::new(budget))
         .run_phased(&workload);
-    let unmanaged =
-        Controller::new(platform(&[1.0, 1.0]), MonitorAgent).run_phased(&workload);
+    let unmanaged = Controller::new(platform(&[1.0, 1.0]), MonitorAgent).run_phased(&workload);
     // The slack phase's harvested power is pure energy savings; time must
     // not regress materially.
     assert!(
@@ -79,8 +73,7 @@ fn phased_report_accounts_both_phases() {
         (KernelConfig::balanced_ymm(0.0), 10), // zero-FLOP streaming phase
         (hungry_phase(), 10),
     ]);
-    let report =
-        Controller::new(platform(&[1.0]), MonitorAgent).run_phased(&workload);
+    let report = Controller::new(platform(&[1.0]), MonitorAgent).run_phased(&workload);
     assert_eq!(report.iteration_times.len(), 20);
     // FLOPs come only from the second phase.
     let model = PowerModel::new(quartz_spec()).unwrap();

@@ -21,7 +21,11 @@ fn arb_config() -> impl Strategy<Value = KernelConfig> {
         ],
     )
         .prop_map(|(i, w, k)| {
-            let k = if w == WaitingFraction::P0 { Imbalance::Balanced } else { k };
+            let k = if w == WaitingFraction::P0 {
+                Imbalance::Balanced
+            } else {
+                k
+            };
             KernelConfig::new(i, VectorWidth::Ymm, w, k)
         })
 }

@@ -1,6 +1,7 @@
 //! A cluster of simulated nodes.
 
 use crate::error::{Result, SimHwError};
+use crate::faults::{FaultKind, NodeHealth};
 use crate::node::{Node, NodeId};
 use crate::power::{MachineSpec, PowerModel};
 use crate::units::Watts;
@@ -129,6 +130,45 @@ impl Cluster {
     pub fn efficiency_factors(&self) -> Vec<f64> {
         self.nodes.iter().map(|n| n.eps()).collect()
     }
+
+    /// Per-node health, indexed by node id.
+    pub fn health(&self) -> Vec<NodeHealth> {
+        self.nodes.iter().map(|n| n.health()).collect()
+    }
+
+    /// One node's health.
+    pub fn node_health(&self, id: NodeId) -> Result<NodeHealth> {
+        self.node(id).map(|n| n.health())
+    }
+
+    /// Ids of nodes that are not fail-stop dead.
+    pub fn alive_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| !n.is_dead())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Ids of fail-stop dead nodes.
+    pub fn dead_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_dead())
+            .map(|n| n.id())
+            .collect()
+    }
+
+    /// Number of nodes that are not fail-stop dead.
+    pub fn alive_count(&self) -> usize {
+        self.nodes.iter().filter(|n| !n.is_dead()).count()
+    }
+
+    /// Inject a fault into one node.
+    pub fn inject(&mut self, id: NodeId, kind: FaultKind) -> Result<()> {
+        self.node_mut(id)?.inject(kind);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -168,6 +208,19 @@ mod tests {
         let c = Cluster::builder(quartz_spec()).nodes(3).build().unwrap();
         assert!(c.node(NodeId(3)).is_err());
         assert!(c.node(NodeId(2)).is_ok());
+    }
+
+    #[test]
+    fn health_surface_tracks_injected_faults() {
+        let mut c = Cluster::builder(quartz_spec()).nodes(4).build().unwrap();
+        assert_eq!(c.alive_count(), 4);
+        assert!(c.health().iter().all(|&h| h == NodeHealth::Healthy));
+        c.inject(NodeId(2), FaultKind::NodeDeath).unwrap();
+        assert_eq!(c.alive_count(), 3);
+        assert_eq!(c.dead_nodes(), vec![NodeId(2)]);
+        assert_eq!(c.node_health(NodeId(2)).unwrap(), NodeHealth::Dead);
+        assert!(c.alive_nodes().iter().all(|&id| id != NodeId(2)));
+        assert!(c.inject(NodeId(9), FaultKind::NodeDeath).is_err());
     }
 
     #[test]

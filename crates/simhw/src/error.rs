@@ -35,6 +35,15 @@ pub enum SimHwError {
     SolverFailure(String),
     /// A model parameter was invalid (negative, NaN, empty…).
     InvalidParameter(String),
+    /// The node is fail-stop dead; no MSR traffic will ever succeed again.
+    NodeFailed(usize),
+    /// Telemetry (power/energy/frequency readings) is currently unavailable
+    /// for the node; execution continues underneath and the read may
+    /// succeed on a later attempt.
+    TelemetryUnavailable {
+        /// The node whose telemetry path is down.
+        node: usize,
+    },
 }
 
 impl fmt::Display for SimHwError {
@@ -60,6 +69,10 @@ impl fmt::Display for SimHwError {
             Self::UnknownNode(id) => write!(f, "unknown node id {id}"),
             Self::SolverFailure(msg) => write!(f, "frequency solver failure: {msg}"),
             Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::NodeFailed(id) => write!(f, "node {id} is fail-stop dead"),
+            Self::TelemetryUnavailable { node } => {
+                write!(f, "telemetry unavailable for node {node}")
+            }
         }
     }
 }
@@ -89,5 +102,16 @@ mod tests {
         };
         assert!(e.to_string().contains("300.0"));
         assert!(e.to_string().contains("68.0"));
+    }
+
+    #[test]
+    fn fault_variant_displays_name_the_node() {
+        let e = SimHwError::NodeFailed(17);
+        assert!(e.to_string().contains("node 17"));
+        assert!(e.to_string().contains("fail-stop"));
+
+        let e = SimHwError::TelemetryUnavailable { node: 4 };
+        assert!(e.to_string().contains("telemetry"));
+        assert!(e.to_string().contains("node 4"));
     }
 }

@@ -32,6 +32,7 @@
 pub mod clock;
 pub mod cluster;
 pub mod error;
+pub mod faults;
 pub mod machines;
 pub mod msr;
 pub mod node;
@@ -45,6 +46,7 @@ pub mod variation;
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::SimHwError;
+pub use faults::{FaultEvent, FaultKind, FaultPlan, NodeHealth};
 pub use node::{Node, NodeId, NodePowerSample};
 pub use power::{CoreClass, LoadModel, MachineSpec, OperatingPoint, PowerModel};
 pub use pstate::PStateLadder;

@@ -159,7 +159,13 @@ mod tests {
     fn unknown_register_faults() {
         let dev = MsrDevice::with_default_allowlist();
         let err = dev.read(0xDEAD).unwrap_err();
-        assert!(matches!(err, SimHwError::MsrNotAllowed { address: 0xDEAD, write: false }));
+        assert!(matches!(
+            err,
+            SimHwError::MsrNotAllowed {
+                address: 0xDEAD,
+                write: false
+            }
+        ));
     }
 
     #[test]
@@ -187,7 +193,10 @@ mod tests {
         // Read-modify-write that preserves the lock bit must succeed.
         let v = dev.hw_load(address::PKG_POWER_LIMIT) | 0x50;
         dev.write(address::PKG_POWER_LIMIT, v).unwrap();
-        assert_eq!(dev.read(address::PKG_POWER_LIMIT).unwrap(), (1 << 63) | 0x50);
+        assert_eq!(
+            dev.read(address::PKG_POWER_LIMIT).unwrap(),
+            (1 << 63) | 0x50
+        );
     }
 
     #[test]

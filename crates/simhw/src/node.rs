@@ -2,6 +2,7 @@
 //! frequency-resolution logic.
 
 use crate::error::{Result, SimHwError};
+use crate::faults::{FaultKind, NodeHealth};
 use crate::power::{LoadModel, PowerModel};
 use crate::rapl::{PowerLimit, RaplPackage};
 use crate::units::{Hertz, Joules, Seconds, Watts};
@@ -38,6 +39,16 @@ pub struct Node {
     /// Software frequency cap programmed through `IA32_PERF_CTL`
     /// (`None` = uncapped). The DVFS control path of EAR-style tools.
     freq_cap: Option<Hertz>,
+    /// Observed health; faults move this away from `Healthy`.
+    health: NodeHealth,
+    /// When set, RAPL limit writes silently latch this node-level value
+    /// instead of the requested one (stuck-limit erratum).
+    stuck_limit: Option<Watts>,
+    /// Remaining telemetry-read attempts that fail while the node keeps
+    /// executing underneath.
+    telemetry_down_for: u32,
+    /// One-shot msr-safe denial consumed by the next MSR access.
+    msr_glitch: bool,
 }
 
 impl Node {
@@ -66,6 +77,10 @@ impl Node {
             packages,
             last_freq: spec.f_turbo,
             freq_cap: None,
+            health: NodeHealth::Healthy,
+            stuck_limit: None,
+            telemetry_down_for: 0,
+            msr_glitch: false,
         })
     }
 
@@ -87,11 +102,25 @@ impl Node {
     /// Program a node-level power limit by splitting it evenly across
     /// sockets, clamped into each package's settable range. This is what the
     /// job runtime's platform layer does on the real system.
+    ///
+    /// Fault behaviour: a dead node returns [`SimHwError::NodeFailed`]; a
+    /// pending transient MSR fault is consumed and surfaces as a one-shot
+    /// `msr-safe` denial; a stuck-RAPL node *silently* latches the pinned
+    /// value instead of the requested one and reports success — exactly the
+    /// failure that makes read-back verification necessary.
     pub fn set_power_limit(&mut self, node_limit: Watts) -> Result<()> {
-        let per_socket = (node_limit / self.packages.len() as f64).clamp(
-            self.packages[0].min_limit(),
-            self.packages[0].max_limit(),
-        );
+        if self.health == NodeHealth::Dead {
+            return Err(SimHwError::NodeFailed(self.id.0));
+        }
+        if std::mem::take(&mut self.msr_glitch) {
+            return Err(SimHwError::MsrNotAllowed {
+                address: crate::msr::address::PKG_POWER_LIMIT,
+                write: true,
+            });
+        }
+        let node_limit = self.stuck_limit.unwrap_or(node_limit);
+        let per_socket = (node_limit / self.packages.len() as f64)
+            .clamp(self.packages[0].min_limit(), self.packages[0].max_limit());
         for pkg in &mut self.packages {
             pkg.set_limit(PowerLimit {
                 limit: per_socket,
@@ -128,6 +157,9 @@ impl Node {
     /// by frequency-scaling tools like EAR, §VII-B). The ratio field is the
     /// frequency in 100 MHz units. Pass `None` to release the cap.
     pub fn set_freq_cap(&mut self, cap: Option<Hertz>) -> Result<()> {
+        if self.health == NodeHealth::Dead {
+            return Err(SimHwError::NodeFailed(self.id.0));
+        }
         self.freq_cap = cap;
         let raw = match cap {
             Some(f) => {
@@ -141,8 +173,7 @@ impl Node {
             None => 0,
         };
         for pkg in &mut self.packages {
-            pkg.msrs_mut()
-                .write(crate::msr::address::PERF_CTL, raw)?;
+            pkg.msrs_mut().write(crate::msr::address::PERF_CTL, raw)?;
         }
         Ok(())
     }
@@ -191,7 +222,12 @@ impl Node {
     /// and return the lead frequency. Delegates to
     /// [`LoadModel::operating_point`], which models the PCU demoting
     /// spin-polling cores before the critical path.
-    pub fn resolve_frequency(&mut self, model: &PowerModel, load: &dyn LoadModel, cap: Watts) -> Hertz {
+    pub fn resolve_frequency(
+        &mut self,
+        model: &PowerModel,
+        load: &dyn LoadModel,
+        cap: Watts,
+    ) -> Hertz {
         let op = self.clamp_to_freq_cap(model, load, load.operating_point(model, self.eps, cap));
         self.last_freq = op.lead;
         op.lead
@@ -200,7 +236,20 @@ impl Node {
     /// Advance hardware state by `dt`: resolve the operating point against
     /// the currently *enforced* limit, accumulate energy at the resulting
     /// power, settle enforcement filters. Returns the sample for this step.
-    pub fn step(&mut self, model: &PowerModel, load: &dyn LoadModel, dt: Seconds) -> NodePowerSample {
+    pub fn step(
+        &mut self,
+        model: &PowerModel,
+        load: &dyn LoadModel,
+        dt: Seconds,
+    ) -> NodePowerSample {
+        if self.health == NodeHealth::Dead {
+            // A dead node draws nothing and holds its final energy counter.
+            return NodePowerSample {
+                power: Watts(0.0),
+                energy: self.energy(),
+                freq: Hertz(0.0),
+            };
+        }
         let cap = self.enforced_limit();
         let op = self.clamp_to_freq_cap(model, load, load.operating_point(model, self.eps, cap));
         self.last_freq = op.lead;
@@ -213,6 +262,90 @@ impl Node {
             energy: self.energy(),
             freq: op.lead,
         }
+    }
+
+    /// Advance hardware state by `dt` like [`Self::step`], but surface the
+    /// node's fault state through the telemetry path:
+    ///
+    /// * dead node — [`SimHwError::NodeFailed`], nothing advances;
+    /// * telemetry blackout or transient MSR fault — the hardware *does*
+    ///   advance (the job keeps running and drawing power) but the read
+    ///   fails with [`SimHwError::TelemetryUnavailable`].
+    ///
+    /// Controllers that only ever call the infallible [`Self::step`] see
+    /// through blackouts — this entry point is what an out-of-band
+    /// monitoring agent actually experiences.
+    pub fn try_step(
+        &mut self,
+        model: &PowerModel,
+        load: &dyn LoadModel,
+        dt: Seconds,
+    ) -> Result<NodePowerSample> {
+        if self.health == NodeHealth::Dead {
+            return Err(SimHwError::NodeFailed(self.id.0));
+        }
+        let sample = self.step(model, load, dt);
+        if self.telemetry_down_for > 0 {
+            self.telemetry_down_for -= 1;
+            return Err(SimHwError::TelemetryUnavailable { node: self.id.0 });
+        }
+        if std::mem::take(&mut self.msr_glitch) {
+            return Err(SimHwError::TelemetryUnavailable { node: self.id.0 });
+        }
+        Ok(sample)
+    }
+
+    /// Apply an injected fault to this node.
+    pub fn inject(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::NodeDeath => self.health = NodeHealth::Dead,
+            FaultKind::StuckRapl { pinned_w } => {
+                self.stuck_limit = Some(Watts(pinned_w));
+                // Latch the wrong value immediately; ignore MSR-layer
+                // errors — the erratum bypasses the safe path.
+                let _ = self.set_power_limit(Watts(pinned_w));
+            }
+            FaultKind::TelemetryDropout { iterations } => {
+                self.telemetry_down_for = self.telemetry_down_for.saturating_add(iterations);
+            }
+            FaultKind::TransientMsrFault => self.msr_glitch = true,
+        }
+    }
+
+    /// The node's observed health.
+    pub fn health(&self) -> NodeHealth {
+        self.health
+    }
+
+    /// True when the node is fail-stop dead.
+    pub fn is_dead(&self) -> bool {
+        self.health == NodeHealth::Dead
+    }
+
+    /// Mark the node suspect (telemetry gaps, transient faults) without
+    /// killing it. Dead nodes stay dead.
+    pub fn mark_suspect(&mut self) {
+        if self.health == NodeHealth::Healthy {
+            self.health = NodeHealth::Suspect;
+        }
+    }
+
+    /// Clear a suspect marking after the node has behaved for a while.
+    /// Dead nodes stay dead.
+    pub fn mark_healthy(&mut self) {
+        if self.health == NodeHealth::Suspect {
+            self.health = NodeHealth::Healthy;
+        }
+    }
+
+    /// The pinned limit if the node's RAPL interface is stuck.
+    pub fn stuck_limit(&self) -> Option<Watts> {
+        self.stuck_limit
+    }
+
+    /// True while the telemetry path is blacked out.
+    pub fn telemetry_down(&self) -> bool {
+        self.telemetry_down_for > 0
     }
 
     /// Steady-state power under `cap` (no filter dynamics): the power drawn
@@ -380,5 +513,84 @@ mod tests {
         let model = PowerModel::new(quartz_spec()).unwrap();
         assert!(Node::new(NodeId(0), &model, 0.0).is_err());
         assert!(Node::new(NodeId(0), &model, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn dead_node_rejects_control_and_draws_nothing() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.5 };
+        node.set_power_limit(Watts(200.0)).unwrap();
+        let e_before = node.energy();
+        node.inject(crate::faults::FaultKind::NodeDeath);
+        assert!(node.is_dead());
+        assert!(matches!(
+            node.set_power_limit(Watts(180.0)),
+            Err(SimHwError::NodeFailed(0))
+        ));
+        assert!(matches!(
+            node.try_step(&model, &load, Seconds(0.1)),
+            Err(SimHwError::NodeFailed(0))
+        ));
+        let s = node.step(&model, &load, Seconds(0.1));
+        assert_eq!(s.power, Watts(0.0));
+        assert_eq!(s.energy, e_before);
+    }
+
+    #[test]
+    fn stuck_rapl_silently_pins_the_limit() {
+        let (model, mut node) = setup();
+        let _ = model;
+        node.inject(crate::faults::FaultKind::StuckRapl { pinned_w: 140.0 });
+        // The write "succeeds" but the programmed value is the pinned one.
+        node.set_power_limit(Watts(240.0)).unwrap();
+        assert_eq!(node.power_limit(), Watts(140.0));
+        assert_eq!(node.stuck_limit(), Some(Watts(140.0)));
+        assert!(!node.is_dead());
+    }
+
+    #[test]
+    fn telemetry_dropout_fails_reads_while_hardware_advances() {
+        let (model, mut node) = setup();
+        let load = FlatLoad { kappa: 2.5 };
+        node.set_power_limit(Watts(240.0)).unwrap();
+        node.inject(crate::faults::FaultKind::TelemetryDropout { iterations: 2 });
+        assert!(node.telemetry_down());
+        let e0 = node.energy();
+        for _ in 0..2 {
+            assert!(matches!(
+                node.try_step(&model, &load, Seconds(0.1)),
+                Err(SimHwError::TelemetryUnavailable { node: 0 })
+            ));
+        }
+        // Energy kept accumulating underneath the blackout…
+        assert!(node.energy() > e0);
+        // …and the third read succeeds.
+        assert!(node.try_step(&model, &load, Seconds(0.1)).is_ok());
+        assert!(!node.telemetry_down());
+    }
+
+    #[test]
+    fn transient_msr_fault_denies_exactly_one_write() {
+        let (model, mut node) = setup();
+        let _ = model;
+        node.inject(crate::faults::FaultKind::TransientMsrFault);
+        assert!(matches!(
+            node.set_power_limit(Watts(200.0)),
+            Err(SimHwError::MsrNotAllowed { write: true, .. })
+        ));
+        node.set_power_limit(Watts(200.0)).unwrap();
+    }
+
+    #[test]
+    fn suspect_marking_never_resurrects_the_dead() {
+        let (_, mut node) = setup();
+        node.mark_suspect();
+        assert_eq!(node.health(), crate::faults::NodeHealth::Suspect);
+        node.mark_healthy();
+        assert_eq!(node.health(), crate::faults::NodeHealth::Healthy);
+        node.inject(crate::faults::FaultKind::NodeDeath);
+        node.mark_suspect();
+        node.mark_healthy();
+        assert!(node.is_dead());
     }
 }

@@ -107,7 +107,8 @@ mod tests {
 
     #[test]
     fn uneven_step_still_tops_out_at_max() {
-        let l = PStateLadder::new(Hertz::from_ghz(1.0), Hertz::from_ghz(1.25), Hertz(100e6)).unwrap();
+        let l =
+            PStateLadder::new(Hertz::from_ghz(1.0), Hertz::from_ghz(1.25), Hertz(100e6)).unwrap();
         assert_eq!(l.max(), Hertz::from_ghz(1.25));
         assert_eq!(l.len(), 4); // 1.0, 1.1, 1.2, 1.25
     }
@@ -137,7 +138,9 @@ mod tests {
 
     #[test]
     fn invalid_ladders_rejected() {
-        assert!(PStateLadder::new(Hertz::from_ghz(2.6), Hertz::from_ghz(1.2), Hertz(100e6)).is_err());
+        assert!(
+            PStateLadder::new(Hertz::from_ghz(2.6), Hertz::from_ghz(1.2), Hertz(100e6)).is_err()
+        );
         assert!(PStateLadder::new(Hertz::from_ghz(1.2), Hertz::from_ghz(2.6), Hertz(0.0)).is_err());
     }
 }

@@ -17,12 +17,7 @@ use powerstack::simhw::{quartz_spec, Node, NodeId, PowerModel, Watts};
 fn main() {
     let spec = quartz_spec();
     let model = PowerModel::new(spec.clone()).expect("valid spec");
-    let config = KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P75,
-        Imbalance::TwoX,
-    );
+    let config = KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX);
 
     let load = KernelLoad::new(config, &spec);
     let used = load.used_power(&model, 1.0);

@@ -17,12 +17,7 @@ fn main() {
     //  - "wasteful": 75% of its ranks poll at the barrier — it *draws* far
     //    more power than it *needs*;
     //  - "hungry": balanced near-ridge compute — every watt buys time.
-    let wasteful = KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P75,
-        Imbalance::TwoX,
-    );
+    let wasteful = KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::TwoX);
     let hungry = KernelConfig::balanced_ymm(8.0);
     let host_eps = [0.97, 1.0, 1.0, 1.04]; // manufacturing variation
 

@@ -1,0 +1,218 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Exposes the API surface this workspace's benches use (`Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!`) and runs each bench body a handful of times with
+//! wall-clock timing — a smoke check, not a statistical harness.
+//!
+//! When the harness binary is invoked by `cargo test` (no `--bench` flag)
+//! the benches are skipped entirely so test runs stay fast.
+
+use std::time::Instant;
+
+/// Unit attached to throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark's identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from a parameter value alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to bench closures; runs the measured routine.
+pub struct Bencher {
+    samples: usize,
+    last_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over a few samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.last_nanos = start.elapsed().as_nanos() / self.samples.max(1) as u128;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    harness: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the per-benchmark sample count (acknowledged, loosely honored).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.harness.samples = n.clamp(1, 20);
+        self
+    }
+
+    /// Declare throughput for subsequent benches in this group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark that takes an input by reference.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.harness.samples,
+            last_nanos: 0,
+        };
+        f(&mut b, input);
+        self.report(&id.label, b.last_nanos);
+        self
+    }
+
+    /// Run a benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.harness.samples,
+            last_nanos: 0,
+        };
+        f(&mut b);
+        self.report(&id.into(), b.last_nanos);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+
+    fn report(&self, label: &str, nanos: u128) {
+        let per_sec = |count: u64| {
+            if nanos == 0 {
+                f64::INFINITY
+            } else {
+                count as f64 * 1e9 / nanos as f64
+            }
+        };
+        match self.throughput {
+            Some(Throughput::Elements(n)) => println!(
+                "bench {}/{label}: {nanos} ns/iter ({:.3e} elem/s)",
+                self.name,
+                per_sec(n)
+            ),
+            Some(Throughput::Bytes(n)) => println!(
+                "bench {}/{label}: {nanos} ns/iter ({:.3e} B/s)",
+                self.name,
+                per_sec(n)
+            ),
+            None => println!("bench {}/{label}: {nanos} ns/iter", self.name),
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { samples: 3 }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            harness: self,
+        }
+    }
+}
+
+/// Re-export for bench files that import it from criterion rather than std.
+pub use std::hint::black_box;
+
+/// True when the harness binary was invoked to actually run benches
+/// (`cargo bench` passes `--bench`); false under `cargo test`.
+pub fn should_run_benches() -> bool {
+    std::env::args().any(|a| a == "--bench")
+}
+
+/// Collect bench functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups (only under `cargo bench`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if !$crate::should_run_benches() {
+                println!("criterion shim: skipping benches (no --bench flag)");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        let mut ran = 0usize;
+        g.bench_with_input(BenchmarkId::new("f", 1), &3u64, |b, x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", "2x").label, "f/2x");
+        assert_eq!(BenchmarkId::from_parameter(7).label, "7");
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline stand-in for `crossbeam` (the `thread::scope` subset).
+//!
+//! Built on `std::thread::scope` (stable since 1.63), re-shaped to the
+//! crossbeam 0.8 calling convention: the spawn closure receives a `&Scope`
+//! argument and `scope` returns a `Result`. One behavioural difference:
+//! a panicking child makes `scope` itself panic (std semantics) instead of
+//! returning `Err` — every call site in this workspace immediately
+//! `.expect()`s the result, so the observable behaviour is identical.
+
+/// Scoped-thread spawning.
+pub mod thread {
+    use std::any::Any;
+
+    /// A scope handle passed to spawned closures (crossbeam convention).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+        fn clone(&self) -> Self {
+            *self
+        }
+    }
+    impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope handle so
+        /// it can spawn further threads, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = *self;
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Run `f` with a scope; all threads spawned in it are joined before
+    /// this returns.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_slots() {
+        let mut slots = vec![None; 8];
+        super::thread::scope(|scope| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                scope.spawn(move |_| {
+                    *slot = Some(i * i);
+                });
+            }
+        })
+        .expect("scope");
+        assert_eq!(slots[7], Some(49));
+        assert!(slots.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn nested_spawn_through_handle() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    flag.store(true, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("scope");
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -13,12 +13,7 @@ fn mix() -> Vec<(String, KernelConfig, usize)> {
     vec![
         (
             "wasteful".into(),
-            KernelConfig::new(
-                8.0,
-                VectorWidth::Ymm,
-                WaitingFraction::P50,
-                Imbalance::TwoX,
-            ),
+            KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX),
             3,
         ),
         ("hungry".into(), KernelConfig::balanced_ymm(16.0), 3),
@@ -111,8 +106,18 @@ fn measured_characterization_matches_analytic() {
     for config in [
         KernelConfig::balanced_ymm(4.0),
         KernelConfig::new(1.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX),
-        KernelConfig::new(16.0, VectorWidth::Ymm, WaitingFraction::P75, Imbalance::ThreeX),
-        KernelConfig::new(0.25, VectorWidth::Xmm, WaitingFraction::P25, Imbalance::TwoX),
+        KernelConfig::new(
+            16.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P75,
+            Imbalance::ThreeX,
+        ),
+        KernelConfig::new(
+            0.25,
+            VectorWidth::Xmm,
+            WaitingFraction::P25,
+            Imbalance::TwoX,
+        ),
     ] {
         let analytic = JobChar::analytic(config, &model, &[0.97, 1.03]);
         let measured = JobChar::measured(config, &model, &[0.97, 1.03], 150);
@@ -143,7 +148,13 @@ fn online_mode_is_no_worse_than_emulated() {
     let coordinator = Coordinator::new(&cluster);
     let budget = Watts(9.0 * 210.0);
     let policy = policies::by_kind(PolicyKind::MixedAdaptive);
-    let emulated = coordinator.run_mix(&mix(), policy.as_ref(), budget, 40, CoordinatorMode::Emulated);
+    let emulated = coordinator.run_mix(
+        &mix(),
+        policy.as_ref(),
+        budget,
+        40,
+        CoordinatorMode::Emulated,
+    );
     let online = coordinator.run_mix(&mix(), policy.as_ref(), budget, 40, CoordinatorMode::Online);
     assert!(online.total_energy() <= emulated.total_energy() * 1.03);
     assert!(online.mean_elapsed() <= emulated.mean_elapsed() * 1.03);

@@ -40,7 +40,10 @@ fn headline_claims_hold() {
             "{mix}: Precharacterized must fit the max budget"
         );
     }
-    assert!(over_at_min >= 5, "only {over_at_min}/6 mixes over budget at min");
+    assert!(
+        over_at_min >= 5,
+        "only {over_at_min}/6 mixes over budget at min"
+    );
 
     for c in &grid.cells {
         if c.policy != PolicyKind::Precharacterized {
@@ -59,10 +62,18 @@ fn headline_claims_hold() {
     // budget than the siloed JobAdaptive (which strands power in low-power
     // jobs' silos) for mixes with cross-job imbalance in needs.
     let wasteful_mixed = grid
-        .cell(MixKind::WastefulPower, BudgetLevel::Ideal, PolicyKind::MixedAdaptive)
+        .cell(
+            MixKind::WastefulPower,
+            BudgetLevel::Ideal,
+            PolicyKind::MixedAdaptive,
+        )
         .pct_of_budget;
     let wasteful_job = grid
-        .cell(MixKind::WastefulPower, BudgetLevel::Ideal, PolicyKind::JobAdaptive)
+        .cell(
+            MixKind::WastefulPower,
+            BudgetLevel::Ideal,
+            PolicyKind::JobAdaptive,
+        )
         .pct_of_budget;
     assert!(
         wasteful_mixed > wasteful_job + 1.0,
@@ -71,7 +82,11 @@ fn headline_claims_hold() {
 
     // Marker (a): at the max budget, application-aware policies draw *less*
     // power than the static baseline (the runtime trims to needed power).
-    for mix in [MixKind::WastefulPower, MixKind::HighImbalance, MixKind::LowPower] {
+    for mix in [
+        MixKind::WastefulPower,
+        MixKind::HighImbalance,
+        MixKind::LowPower,
+    ] {
         let static_pct = grid
             .cell(mix, BudgetLevel::Max, PolicyKind::StaticCaps)
             .pct_of_budget;
@@ -93,18 +108,29 @@ fn headline_claims_hold() {
 
     // Takeaway 1+2: energy savings grow with the budget for the
     // application-aware policies on slack-heavy mixes.
-    for mix in [MixKind::WastefulPower, MixKind::LowPower, MixKind::HighImbalance] {
+    for mix in [
+        MixKind::WastefulPower,
+        MixKind::LowPower,
+        MixKind::HighImbalance,
+    ] {
         let e_min = savings(mix, BudgetLevel::Min, PolicyKind::MixedAdaptive).energy_pct;
         let e_max = savings(mix, BudgetLevel::Max, PolicyKind::MixedAdaptive).energy_pct;
         assert!(
             e_max > e_min + 2.0,
             "{mix}: energy savings should grow with budget ({e_min:.1}% → {e_max:.1}%)"
         );
-        assert!(e_max > 5.0, "{mix}: expect substantial savings at max, got {e_max:.1}%");
+        assert!(
+            e_max > 5.0,
+            "{mix}: expect substantial savings at max, got {e_max:.1}%"
+        );
     }
 
     // Marker (d): large energy savings at the max budget for WastefulPower.
-    let d = savings(MixKind::WastefulPower, BudgetLevel::Max, PolicyKind::MixedAdaptive);
+    let d = savings(
+        MixKind::WastefulPower,
+        BudgetLevel::Max,
+        PolicyKind::MixedAdaptive,
+    );
     assert!(
         d.energy_pct > 5.0,
         "marker (d): WastefulPower @ max energy savings {:.1}%",
@@ -114,8 +140,16 @@ fn headline_claims_hold() {
     // Marker (c): MinimizeWaste outperforms JobAdaptive in time savings on
     // NeedUsedPower at the ideal budget (the mix where observed power data
     // is as good as performance-aware data, and cross-job sharing wins).
-    let mw = savings(MixKind::NeedUsedPower, BudgetLevel::Ideal, PolicyKind::MinimizeWaste);
-    let ja = savings(MixKind::NeedUsedPower, BudgetLevel::Ideal, PolicyKind::JobAdaptive);
+    let mw = savings(
+        MixKind::NeedUsedPower,
+        BudgetLevel::Ideal,
+        PolicyKind::MinimizeWaste,
+    );
+    let ja = savings(
+        MixKind::NeedUsedPower,
+        BudgetLevel::Ideal,
+        PolicyKind::JobAdaptive,
+    );
     assert!(
         mw.time_pct > ja.time_pct + 0.5,
         "marker (c): MinimizeWaste {:.1}% vs JobAdaptive {:.1}%",
@@ -177,6 +211,12 @@ fn headline_claims_hold() {
         .filter(|c| c.policy == PolicyKind::MixedAdaptive)
         .map(|c| c.savings.unwrap().energy_pct)
         .fold(f64::NEG_INFINITY, f64::max);
-    assert!(best_time > 3.0, "best MixedAdaptive time savings {best_time:.1}%");
-    assert!(best_energy > 7.0, "best MixedAdaptive energy savings {best_energy:.1}%");
+    assert!(
+        best_time > 3.0,
+        "best MixedAdaptive time savings {best_time:.1}%"
+    );
+    assert!(
+        best_energy > 7.0,
+        "best MixedAdaptive energy savings {best_energy:.1}%"
+    );
 }

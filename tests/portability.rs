@@ -4,23 +4,14 @@
 //! unchanged on a different part — verified here on a Skylake-SP-class
 //! node description.
 
-use powerstack::core::{
-    evaluate_mix, policies, JobChar, JobSetup, PolicyCtx, PolicyKind,
-};
-use powerstack::kernel::{
-    Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction,
-};
+use powerstack::core::{evaluate_mix, policies, JobChar, JobSetup, PolicyCtx, PolicyKind};
+use powerstack::kernel::{Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction};
 use powerstack::runtime::{Agent, Controller, JobPlatform, PowerBalancerAgent};
 use powerstack::simhw::machines::skylake_sp_spec;
 use powerstack::simhw::{LoadModel, Node, NodeId, PowerModel, Watts};
 
 fn config() -> KernelConfig {
-    KernelConfig::new(
-        8.0,
-        VectorWidth::Ymm,
-        WaitingFraction::P50,
-        Imbalance::TwoX,
-    )
+    KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX)
 }
 
 #[test]
@@ -77,10 +68,7 @@ fn policies_keep_their_ordering_on_the_other_part() {
         Imbalance::ThreeX,
     );
     let hungry = KernelConfig::balanced_ymm(8.0);
-    let setups = vec![
-        JobSetup::uniform(wasteful, 5),
-        JobSetup::uniform(hungry, 5),
-    ];
+    let setups = vec![JobSetup::uniform(wasteful, 5), JobSetup::uniform(hungry, 5)];
     let chars: Vec<JobChar> = setups
         .iter()
         .map(|s| JobChar::analytic(s.config, &model, &s.host_eps))
