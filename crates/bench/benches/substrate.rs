@@ -28,6 +28,52 @@ fn bench_pcu_solve(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_power_lut(c: &mut Criterion) {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let classes = [
+        pmstack_simhw::CoreClass {
+            count: 34,
+            kappa: 3.0,
+            freq: pmstack_simhw::Hertz(2.1e9),
+        },
+        pmstack_simhw::CoreClass {
+            count: 2,
+            kappa: 0.4,
+            freq: pmstack_simhw::Hertz(1.4e9),
+        },
+    ];
+    let mut g = c.benchmark_group("power_lut");
+    g.bench_function("node_power_36_cores", |b| {
+        b.iter(|| black_box(model.node_power(1.02, &classes)))
+    });
+    g.bench_function("freq_for_power_closed_form", |b| {
+        b.iter(|| black_box(model.freq_for_power(1.02, 36, 3.0, Watts(185.0))))
+    });
+    g.bench_function("cap_to_freq_table", |b| {
+        b.iter(|| black_box(model.cap_to_freq(1.02, 36, 3.0, Watts(185.0))))
+    });
+    g.finish();
+}
+
+fn bench_exec_pool(c: &mut Criterion) {
+    let items: Vec<u64> = (0..90).collect();
+    let work = |&x: &u64| -> u64 {
+        let mut acc = x;
+        for _ in 0..5_000 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+        }
+        acc
+    };
+    let mut g = c.benchmark_group("exec");
+    g.bench_function("par_map_90_cells", |b| {
+        b.iter(|| black_box(pmstack_exec::par_map(&items, work)))
+    });
+    g.bench_function("sequential_90_cells", |b| {
+        b.iter(|| pmstack_exec::sequential_scope(|| black_box(pmstack_exec::par_map(&items, work))))
+    });
+    g.finish();
+}
+
 fn bench_node_step(c: &mut Criterion) {
     let spec = quartz_spec();
     let model = PowerModel::new(spec.clone()).unwrap();
@@ -125,6 +171,8 @@ fn bench_kmeans(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_pcu_solve,
+    bench_power_lut,
+    bench_exec_pool,
     bench_node_step,
     bench_characterization,
     bench_balancer_step,

@@ -16,6 +16,97 @@ use pmstack_kernel::{KernelConfig, KernelLoad};
 use pmstack_runtime::{Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
 use pmstack_simhw::{Node, NodeId, PowerModel, Watts};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Mutex, OnceLock};
+
+/// Memo key for characterization results: the kernel configuration and the
+/// host efficiency factors by f64 bit pattern, a fingerprint of the machine
+/// spec, and the iteration count for measured runs (`None` = analytic).
+///
+/// Both characterization paths are pure functions of exactly these inputs —
+/// the analytic one by construction, the measured one because the runtime
+/// agents are deterministic and [`JobChar::measured`] takes no jitter — so
+/// results can be shared across every grid cell that characterizes the same
+/// job on the same hosts (in a 90-cell evaluation grid each (mix, job)
+/// pair recurs once per budget level × policy).
+#[derive(PartialEq, Eq, Hash)]
+struct CharKey {
+    intensity: u64,
+    vector: pmstack_kernel::VectorWidth,
+    waiting: pmstack_kernel::WaitingFraction,
+    imbalance: pmstack_kernel::Imbalance,
+    bytes_per_rank: u64,
+    config_iterations: usize,
+    eps: Vec<u64>,
+    spec_fp: u64,
+    measured_iterations: Option<usize>,
+}
+
+impl CharKey {
+    fn new(
+        config: &KernelConfig,
+        model: &PowerModel,
+        host_eps: &[f64],
+        measured_iterations: Option<usize>,
+    ) -> Self {
+        let spec = model.spec();
+        let mut h = DefaultHasher::new();
+        spec.name.hash(&mut h);
+        spec.sockets_per_node.hash(&mut h);
+        spec.cores_per_socket.hash(&mut h);
+        spec.cores_used_per_node.hash(&mut h);
+        for v in [
+            spec.f_min.value(),
+            spec.f_base.value(),
+            spec.f_turbo.value(),
+            spec.f_step.value(),
+            spec.tdp_per_socket.value(),
+            spec.min_rapl_per_socket.value(),
+            spec.alpha,
+            spec.uncore_per_socket.value(),
+            spec.leak_per_core.value(),
+            spec.dram_bw_bytes_per_s,
+            spec.poll_freq_floor.value(),
+        ] {
+            v.to_bits().hash(&mut h);
+        }
+        Self {
+            intensity: config.intensity.to_bits(),
+            vector: config.vector,
+            waiting: config.waiting,
+            imbalance: config.imbalance,
+            bytes_per_rank: config.bytes_per_rank.to_bits(),
+            config_iterations: config.iterations,
+            eps: host_eps.iter().map(|e| e.to_bits()).collect(),
+            spec_fp: h.finish(),
+            measured_iterations,
+        }
+    }
+}
+
+/// Process-wide characterization memo. Entries are complete [`JobChar`]s;
+/// lookups clone (a host vector copy, orders of magnitude cheaper than
+/// re-characterizing — especially for measured runs, which execute the
+/// monitor and balancer agents end to end).
+static CHAR_CACHE: OnceLock<Mutex<HashMap<CharKey, JobChar>>> = OnceLock::new();
+
+fn char_cached(key: CharKey, compute: impl FnOnce() -> JobChar) -> JobChar {
+    let cache = CHAR_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().expect("char cache poisoned").get(&key) {
+        return hit.clone();
+    }
+    // Compute outside the lock: measured characterization is slow and other
+    // threads should not serialize behind it.
+    let fresh = compute();
+    cache
+        .lock()
+        .expect("char cache poisoned")
+        .entry(key)
+        .or_insert(fresh)
+        .clone()
+}
 
 /// How characterization numbers were produced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,29 +143,57 @@ impl JobChar {
     /// inefficient node's *used* power is capped by what it can draw there;
     /// *needed* can never exceed *used*.
     pub fn analytic(config: KernelConfig, model: &PowerModel, host_eps: &[f64]) -> Self {
-        use pmstack_simhw::LoadModel;
-        let load = KernelLoad::new(config, model.spec());
-        let tdp = model.spec().tdp_per_node();
-        let hosts = host_eps
-            .iter()
-            .map(|&eps| {
-                let used = load.operating_point(model, eps, tdp).power;
-                HostChar {
-                    used,
-                    needed: load.needed_power(model, eps).min(used),
-                }
-            })
-            .collect();
-        Self {
-            hosts,
-            source: CharacterizationSource::Analytic,
-        }
+        char_cached(CharKey::new(&config, model, host_eps, None), || {
+            use pmstack_simhw::LoadModel;
+            let load = KernelLoad::shared(config, model.spec());
+            let tdp = model.spec().tdp_per_node();
+            let hosts = host_eps
+                .iter()
+                .map(|&eps| {
+                    let used = load.operating_point(model, eps, tdp).power;
+                    HostChar {
+                        used,
+                        needed: load.needed_power(model, eps).min(used),
+                    }
+                })
+                .collect();
+            Self {
+                hosts,
+                source: CharacterizationSource::Analytic,
+            }
+        })
     }
 
     /// Measured characterization: run the monitor agent uncapped for the
     /// used power, then the power balancer under a per-node TDP budget for
     /// the needed power — exactly the paper's §IV-B procedure.
     pub fn measured(
+        config: KernelConfig,
+        model: &PowerModel,
+        host_eps: &[f64],
+        iterations: usize,
+    ) -> Self {
+        char_cached(
+            CharKey::new(&config, model, host_eps, Some(iterations)),
+            || Self::measured_uncached(config, model, host_eps, iterations),
+        )
+    }
+
+    /// Measured characterization for a batch of jobs, fanned out over the
+    /// work-stealing pool (each item is two full agent runs, the most
+    /// expensive characterization unit in the stack). Results are in input
+    /// order and land in the same memo the scalar constructors use.
+    pub fn measured_batch(
+        jobs: &[(KernelConfig, Vec<f64>)],
+        model: &PowerModel,
+        iterations: usize,
+    ) -> Vec<Self> {
+        pmstack_exec::par_map(jobs, |(config, host_eps)| {
+            Self::measured(*config, model, host_eps, iterations)
+        })
+    }
+
+    fn measured_uncached(
         config: KernelConfig,
         model: &PowerModel,
         host_eps: &[f64],
@@ -212,6 +331,36 @@ mod tests {
         assert_eq!(c.total_used(), Watts(420.0));
         assert_eq!(c.total_needed(), Watts(370.0));
         assert_eq!(c.num_hosts(), 2);
+    }
+
+    #[test]
+    fn characterization_memo_hits_are_identical() {
+        let m = model();
+        let config = KernelConfig::balanced_ymm(8.0);
+        let a = JobChar::analytic(config, &m, &[0.94, 1.0]);
+        let b = JobChar::analytic(config, &m, &[0.94, 1.0]);
+        assert_eq!(a, b);
+        // Different hosts key differently.
+        let c = JobChar::analytic(config, &m, &[0.94, 1.01]);
+        assert_ne!(a.hosts, c.hosts);
+        // Measured results memoize on iteration count too.
+        let m1 = JobChar::measured(config, &m, &[1.0], 40);
+        let m2 = JobChar::measured(config, &m, &[1.0], 40);
+        assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn measured_batch_matches_scalar_measured() {
+        let m = model();
+        let jobs = vec![
+            (KernelConfig::balanced_ymm(8.0), vec![1.0]),
+            (KernelConfig::balanced_ymm(0.5), vec![0.97, 1.03]),
+        ];
+        let batch = JobChar::measured_batch(&jobs, &m, 40);
+        assert_eq!(batch.len(), 2);
+        for ((config, eps), got) in jobs.iter().zip(&batch) {
+            assert_eq!(*got, JobChar::measured(*config, &m, eps, 40));
+        }
     }
 
     #[test]

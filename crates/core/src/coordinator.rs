@@ -217,10 +217,9 @@ impl Coordinator {
         }
 
         // Characterize (pre-characterization data, §IV-B) and allocate.
-        let chars: Vec<JobChar> = setups
-            .iter()
-            .map(|s| JobChar::analytic(s.config, &self.model, &s.host_eps))
-            .collect();
+        let chars: Vec<JobChar> = pmstack_exec::par_map(&setups, |s| {
+            JobChar::analytic(s.config, &self.model, &s.host_eps)
+        });
         let allocation = policy.allocate(&ctx, &chars);
         validate_shape(&allocation, &grants)?;
         for (j, id) in ids.iter().enumerate() {
@@ -380,8 +379,10 @@ impl Coordinator {
         }
     }
 
-    /// Run every job of the mix for `iterations`, in parallel, under the
-    /// given allocation and per-job fault plans (platform-local indices).
+    /// Run every job of the mix for `iterations`, fanned out over the
+    /// work-stealing pool, under the given allocation and per-job fault
+    /// plans (platform-local indices). Each job derives its jitter seed from
+    /// its mix position, so results are independent of scheduling order.
     /// Returns the reports plus each job's per-host liveness at phase end.
     fn execute_phase(
         &self,
@@ -391,45 +392,33 @@ impl Coordinator {
         iterations: usize,
         plans: &[FaultPlan],
     ) -> (Vec<JobReport>, Vec<Vec<bool>>) {
-        let mut slots: Vec<Option<(JobReport, Vec<bool>)>> =
-            (0..setups.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (j, slot) in slots.iter_mut().enumerate() {
-                let setup = &setups[j];
-                let host_ids = &grants[j];
-                let caps = allocation.jobs[j].clone();
-                let plan = plans[j].clone();
-                let model = &self.model;
-                let jitter = self.jitter_sigma;
-                let seed = self.seed.wrapping_add(j as u64);
-                scope.spawn(move |_| {
-                    let nodes: Vec<Node> = host_ids
-                        .iter()
-                        .zip(&setup.host_eps)
-                        .map(|(&id, &eps)| {
-                            Node::new(pmstack_simhw::NodeId(id), model, eps)
-                                .expect("eps sampled from a valid profile")
-                        })
-                        .collect();
-                    let mut platform =
-                        JobPlatform::new(model.clone(), nodes, setup.config).with_fault_plan(plan);
-                    if jitter > 0.0 {
-                        platform = platform.with_jitter(jitter, seed);
-                    }
-                    let mut controller = Controller::new(platform, FixedAllocationAgent::new(caps));
-                    let report = controller.run(iterations);
-                    let alive: Vec<bool> = (0..report.hosts.len())
-                        .map(|h| controller.platform().is_host_alive(h))
-                        .collect();
-                    *slot = Some((report, alive));
-                });
+        let results = pmstack_exec::par_map_indexed(setups, |j, setup| {
+            let host_ids = &grants[j];
+            let caps = allocation.jobs[j].clone();
+            let plan = plans[j].clone();
+            let model = &self.model;
+            let nodes: Vec<Node> = host_ids
+                .iter()
+                .zip(&setup.host_eps)
+                .map(|(&id, &eps)| {
+                    Node::new(pmstack_simhw::NodeId(id), model, eps)
+                        .expect("eps sampled from a valid profile")
+                })
+                .collect();
+            let mut platform =
+                JobPlatform::new(model.clone(), nodes, setup.config).with_fault_plan(plan);
+            if self.jitter_sigma > 0.0 {
+                platform =
+                    platform.with_jitter(self.jitter_sigma, self.seed.wrapping_add(j as u64));
             }
-        })
-        .expect("job thread panicked");
-        slots
-            .into_iter()
-            .map(|s| s.expect("every job produced a report"))
-            .unzip()
+            let mut controller = Controller::new(platform, FixedAllocationAgent::new(caps));
+            let report = controller.run(iterations);
+            let alive: Vec<bool> = (0..report.hosts.len())
+                .map(|h| controller.platform().is_host_alive(h))
+                .collect();
+            (report, alive)
+        });
+        results.into_iter().unzip()
     }
 }
 

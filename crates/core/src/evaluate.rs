@@ -151,6 +151,12 @@ pub fn apply_job_runtime(
 /// Evaluate a mix: jobs, their allocations, `iterations` bulk-synchronous
 /// iterations each, with per-iteration jitter of relative magnitude
 /// `jitter_sigma` (0 disables) drawn from a seeded generator.
+///
+/// Each job's jitter stream is seeded explicitly from `(seed, job index)`
+/// rather than drawn from one generator threaded through the jobs in order,
+/// so the result is independent of evaluation order — the jobs fan out over
+/// the work-stealing pool and a parallel run is bit-identical to a
+/// sequential one.
 pub fn evaluate_mix(
     model: &PowerModel,
     setups: &[JobSetup],
@@ -164,13 +170,28 @@ pub fn evaluate_mix(
         alloc.jobs.len(),
         "allocation and mix shape mismatch"
     );
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let jobs = setups
-        .iter()
-        .zip(&alloc.jobs)
-        .map(|(setup, caps)| evaluate_job(model, setup, caps, iterations, jitter_sigma, &mut rng))
-        .collect();
+    let jobs = pmstack_exec::par_map_indexed(setups, |j, setup| {
+        evaluate_job(
+            model,
+            setup,
+            &alloc.jobs[j],
+            iterations,
+            jitter_sigma,
+            job_jitter_seed(seed, j as u64),
+        )
+    });
     MixEvaluation { jobs }
+}
+
+/// Derive job `j`'s jitter seed from the mix seed — a splitmix64 finalizer
+/// so adjacent (seed, job) pairs decorrelate fully.
+fn job_jitter_seed(seed: u64, job: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(job.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 fn evaluate_job(
@@ -179,14 +200,15 @@ fn evaluate_job(
     caps: &[Watts],
     iterations: usize,
     jitter_sigma: f64,
-    rng: &mut ChaCha8Rng,
+    seed: u64,
 ) -> JobOutcome {
     assert_eq!(
         setup.host_eps.len(),
         caps.len(),
         "allocation and job host-count mismatch"
     );
-    let load = KernelLoad::new(setup.config, model.spec());
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let load = KernelLoad::shared(setup.config, model.spec());
     let mut host_power = Vec::with_capacity(caps.len());
     let mut slowest = Seconds::ZERO;
     for (&eps, &cap) in setup.host_eps.iter().zip(caps) {
@@ -258,6 +280,56 @@ mod tests {
         let a = eval_under(&StaticCaps, &setups, 4.0 * 180.0);
         let b = eval_under(&StaticCaps, &setups, 4.0 * 180.0);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_sequential() {
+        // Jittered, multi-job: per-job explicit seeding must make the
+        // pooled fan-out agree with the forced-sequential reference exactly.
+        let m = model();
+        let setups: Vec<JobSetup> = [8.0, 0.5, 16.0, 2.0, 0.25, 4.0]
+            .iter()
+            .map(|&i| JobSetup::uniform(KernelConfig::balanced_ymm(i), 3))
+            .collect();
+        let chars: Vec<JobChar> = setups
+            .iter()
+            .map(|s| JobChar::analytic(s.config, &m, &s.host_eps))
+            .collect();
+        let alloc = StaticCaps.allocate(&ctx(18.0 * 190.0), &chars);
+        let par = evaluate_mix(&m, &setups, &alloc, 50, 0.02, 11);
+        let seq =
+            pmstack_exec::sequential_scope(|| evaluate_mix(&m, &setups, &alloc, 50, 0.02, 11));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn job_jitter_streams_depend_only_on_seed_and_index() {
+        // Identical jobs at different indices decorrelate; a job's stream
+        // does not depend on what the *other* jobs of the mix are — the
+        // property that makes order of evaluation irrelevant.
+        let m = model();
+        let job = JobSetup::uniform(KernelConfig::balanced_ymm(8.0), 2);
+        let chars: Vec<JobChar> =
+            std::iter::repeat_with(|| JobChar::analytic(job.config, &m, &job.host_eps))
+                .take(2)
+                .collect();
+        let alloc = StaticCaps.allocate(&ctx(4.0 * 190.0), &chars);
+        let eval = evaluate_mix(&m, &[job.clone(), job.clone()], &alloc, 60, 0.02, 9);
+        assert_ne!(
+            eval.jobs[0].iteration_times, eval.jobs[1].iteration_times,
+            "same config at different indices must draw distinct jitter"
+        );
+        // Replacing job 1 with a different workload leaves job 0's stream
+        // untouched (with one threaded generator it would survive only by
+        // accident of draw counts).
+        let other = JobSetup::uniform(KernelConfig::balanced_ymm(0.5), 2);
+        let chars2 = vec![
+            JobChar::analytic(job.config, &m, &job.host_eps),
+            JobChar::analytic(other.config, &m, &other.host_eps),
+        ];
+        let alloc2 = StaticCaps.allocate(&ctx(4.0 * 190.0), &chars2);
+        let eval2 = evaluate_mix(&m, &[job, other], &alloc2, 60, 0.02, 9);
+        assert_eq!(eval.jobs[0].iteration_times, eval2.jobs[0].iteration_times);
     }
 
     #[test]

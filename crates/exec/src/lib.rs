@@ -1,0 +1,312 @@
+//! # pmstack-exec — the work-stealing parallel-execution substrate
+//!
+//! GEOPM runs as a tree of concurrent per-node agents and SLURM-style
+//! managers batch per-node control asynchronously; the simulation of them
+//! should exploit the same concurrency. This crate provides the one
+//! primitive the rest of the stack builds on: a scoped, work-stealing
+//! worker pool with a [`par_map`] / [`par_map_indexed`] API.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results are always returned in input order, and the
+//!    caller decides all randomness (per-item seeds), so a parallel run is
+//!    bit-identical to a sequential one regardless of scheduling. The
+//!    [`sequential_scope`] helper forces every `par_map` reached from the
+//!    current call stack onto one thread, which the determinism tests use
+//!    to compare against.
+//! 2. **No nested oversubscription.** A task running inside the pool that
+//!    itself calls `par_map` runs that inner map inline: the outer fan-out
+//!    already owns the hardware. This keeps the grid (90 cells, each of
+//!    which evaluates jobs that would *also* like to parallelize) from
+//!    spawning quadratically many threads.
+//! 3. **Work stealing.** Items are block-distributed across workers; an
+//!    idle worker steals the back half of a victim's queue. Cell costs in
+//!    the evaluation grid vary by policy and budget level, so static
+//!    partitioning alone leaves workers idle.
+//!
+//! The pool is sized by [`std::thread::available_parallelism`], overridable
+//! with the `PMSTACK_THREADS` environment variable (`PMSTACK_THREADS=1`
+//! forces sequential execution everywhere).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+thread_local! {
+    /// True while the current thread is a pool worker or inside a
+    /// [`sequential_scope`]; `par_map` calls on such a thread run inline.
+    static INLINE_ONLY: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Number of workers a fresh pool would use: the `PMSTACK_THREADS`
+/// environment variable when set (clamped to at least 1), otherwise
+/// [`std::thread::available_parallelism`].
+pub fn workers() -> usize {
+    match std::env::var("PMSTACK_THREADS") {
+        Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    }
+}
+
+/// True when a `par_map` issued from the current thread would run inline
+/// (inside a pool worker, inside [`sequential_scope`], or on a
+/// single-hardware-thread host).
+pub fn is_inline() -> bool {
+    INLINE_ONLY.with(|f| f.get()) || workers() <= 1
+}
+
+/// Run `f` with every [`par_map`] reached from this call stack forced onto
+/// the calling thread, in input order — the reference execution the
+/// determinism property tests compare the parallel pool against.
+pub fn sequential_scope<R>(f: impl FnOnce() -> R) -> R {
+    INLINE_ONLY.with(|flag| {
+        let prev = flag.replace(true);
+        let out = f();
+        flag.set(prev);
+        out
+    })
+}
+
+/// Map `f` over `items` on the work-stealing pool, returning results in
+/// input order. Falls back to a plain sequential map when the pool would
+/// not help (one worker, one item, or already inside the pool).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Like [`par_map`], but `f` also receives the item's index — the hook the
+/// stack uses to derive deterministic per-item seeds.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let w = workers().min(n);
+    if w <= 1 || is_inline() {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    // Block-distribute item indices; workers drain their own block from the
+    // front and steal the back half of a victim's remaining block.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..w)
+        .map(|k| {
+            let lo = k * n / w;
+            let hi = (k + 1) * n / w;
+            Mutex::new((lo..hi).collect())
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for me in 0..w {
+            let queues = &queues;
+            let slots = &slots;
+            let f = &f;
+            scope.spawn(move |_| {
+                INLINE_ONLY.with(|flag| flag.set(true));
+                loop {
+                    // Own queue first (front: preserves block locality)…
+                    let mine = queues[me].lock().expect("queue poisoned").pop_front();
+                    let idx = match mine {
+                        Some(i) => i,
+                        // …then steal the back half of the first non-empty
+                        // victim, keeping one item for the victim itself.
+                        None => match steal(queues, me) {
+                            Some(i) => i,
+                            None => break,
+                        },
+                    };
+                    let out = f(idx, &items[idx]);
+                    *slots[idx].lock().expect("slot poisoned") = Some(out);
+                }
+            });
+        }
+    })
+    .expect("pool worker panicked");
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .expect("every item mapped")
+        })
+        .collect()
+}
+
+/// Steal work for worker `me`: move the back half of the first non-empty
+/// victim queue (scanning round-robin from `me + 1`) onto `me`'s queue and
+/// return one stolen index to run immediately.
+fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    let w = queues.len();
+    for off in 1..w {
+        let victim = (me + off) % w;
+        let mut stolen: VecDeque<usize> = {
+            let mut q = queues[victim].lock().expect("queue poisoned");
+            let keep = q.len().div_ceil(2);
+            if q.len() <= keep && q.len() <= 1 {
+                continue;
+            }
+            q.split_off(keep)
+        };
+        let first = stolen.pop_front();
+        if !stolen.is_empty() {
+            let mut mine = queues[me].lock().expect("queue poisoned");
+            debug_assert!(mine.is_empty());
+            *mine = stolen;
+        }
+        if first.is_some() {
+            return first;
+        }
+    }
+    // Nothing left anywhere with >1 item; drain stragglers (queues holding
+    // exactly one item whose owner is busy with a long task).
+    for off in 1..w {
+        let victim = (me + off) % w;
+        if let Some(i) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Apply `f` to each element of `items` in parallel, in place. The slice is
+/// split into one contiguous chunk per worker (no stealing: mutable access
+/// precludes moving items between workers without extra synchronization,
+/// and the callers — per-node hardware stepping — are uniform-cost).
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let w = workers().min(n);
+    if w <= 1 || INLINE_ONLY.with(|fl| fl.get()) {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(w);
+    crossbeam::thread::scope(|scope| {
+        for (k, block) in items.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                INLINE_ONLY.with(|flag| flag.set(true));
+                for (j, item) in block.iter_mut().enumerate() {
+                    f(k * chunk + j, item);
+                }
+            });
+        }
+    })
+    .expect("pool worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * x);
+        assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_indexed_passes_true_indices() {
+        let items = vec!["a"; 257];
+        let out = par_map_indexed(&items, |i, _| i);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_work() {
+        let none: Vec<u32> = vec![];
+        assert!(par_map(&none, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_scope() {
+        let items: Vec<u64> = (0..500).collect();
+        // A mildly irregular cost profile so stealing actually happens on
+        // multi-core hosts.
+        let f = |&x: &u64| -> u64 {
+            let mut acc = x;
+            for _ in 0..(x % 97) {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            acc
+        };
+        let par = par_map(&items, f);
+        let seq = sequential_scope(|| par_map(&items, f));
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline() {
+        let outer: Vec<usize> = (0..8).collect();
+        let depth_hits = AtomicUsize::new(0);
+        let out = par_map(&outer, |&i| {
+            // Inside a worker (or on a 1-core host) this must not spawn.
+            assert!(workers() <= 1 || is_inline());
+            let inner: Vec<usize> = (0..4).collect();
+            depth_hits.fetch_add(1, Ordering::Relaxed);
+            par_map(&inner, |&j| i * 10 + j)
+        });
+        assert_eq!(depth_hits.load(Ordering::Relaxed), 8);
+        assert_eq!(out[3], vec![30, 31, 32, 33]);
+    }
+
+    #[test]
+    fn sequential_scope_restores_flag() {
+        assert!(!INLINE_ONLY.with(|f| f.get()));
+        sequential_scope(|| {
+            assert!(is_inline());
+        });
+        assert!(!INLINE_ONLY.with(|f| f.get()));
+    }
+
+    #[test]
+    fn par_for_each_mut_touches_every_item_once() {
+        let mut items = vec![0u64; 1003];
+        par_for_each_mut(&mut items, |i, x| *x = i as u64 + 1);
+        for (i, x) in items.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn steal_leaves_no_item_behind_under_imbalance() {
+        // Front-loaded cost: worker 0's block is 100x the others', so on a
+        // multi-core host the rest must steal to finish.
+        let items: Vec<u64> = (0..256).collect();
+        let out = par_map(&items, |&x| {
+            let spin = if x < 32 { 20_000 } else { 200 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            std::hint::black_box(acc);
+            x + 1
+        });
+        assert_eq!(out, (1..=256).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn workers_is_at_least_one() {
+        assert!(workers() >= 1);
+    }
+}

@@ -1,4 +1,13 @@
 //! The policy × mix × budget evaluation grid (Figs. 7 and 8).
+//!
+//! All 90 (mix, level, policy) cells are independent once each mix's
+//! placement, characterization, and budget ladder are known, so the grid
+//! fans the cells out over the [`pmstack_exec`] work-stealing pool: a
+//! per-mix preparation stage, then one pool task per cell, then an ordered
+//! assembly that attaches the Fig. 8 savings rows against each cell's
+//! same-(mix, level) `StaticCaps` baseline. Every cell derives its jitter
+//! seed from its own coordinates, so the parallel grid is bit-identical to
+//! a forced-sequential one ([`pmstack_exec::sequential_scope`]).
 
 use crate::budgets::{BudgetLevel, MixBudgets};
 use crate::mixes::{self, MixKind, WorkloadMix};
@@ -11,6 +20,9 @@ use pmstack_core::{
 };
 use pmstack_simhw::{Joules, Seconds, Watts};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// One evaluated (mix, budget level, policy) cell.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,10 +56,35 @@ pub struct GridCell {
 }
 
 /// The whole grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EvaluationGrid {
     /// Every evaluated cell.
     pub cells: Vec<GridCell>,
+    /// Keyed lookup index, built on first [`Self::cell`] call; identity is
+    /// carried entirely by `cells`.
+    index: OnceLock<HashMap<(MixKind, BudgetLevel, PolicyKind), usize>>,
+}
+
+impl PartialEq for EvaluationGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.cells == other.cells
+    }
+}
+
+/// Wall-clock breakdown of one grid run, for the `repro grid --time`
+/// instrumentation and `BENCH_grid.json`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridTiming {
+    /// Per-mix preparation (placement, characterization, budget ladders).
+    pub prep_secs: f64,
+    /// The 90-cell policy-evaluation fan-out.
+    pub eval_secs: f64,
+    /// Ordered assembly and savings attribution.
+    pub assemble_secs: f64,
+    /// End-to-end grid time.
+    pub total_secs: f64,
+    /// Pool width the run had available.
+    pub workers: usize,
 }
 
 /// Parameters of a grid run.
@@ -82,39 +119,116 @@ impl GridParams {
     }
 }
 
+/// The cell emission order within one (mix, level) group — baseline first
+/// so its savings reference is adjacent.
+const POLICY_ORDER: [PolicyKind; 5] = [
+    PolicyKind::StaticCaps,
+    PolicyKind::Precharacterized,
+    PolicyKind::MinimizeWaste,
+    PolicyKind::JobAdaptive,
+    PolicyKind::MixedAdaptive,
+];
+
+/// Everything a mix's cells share: its placement, characterization, and
+/// budget ladder.
+struct MixPrep {
+    kind: MixKind,
+    mix: WorkloadMix,
+    setups: Vec<JobSetup>,
+    chars: Vec<JobChar>,
+    budgets: MixBudgets,
+}
+
 impl EvaluationGrid {
-    /// Evaluate all six mixes at all three levels under all five policies,
-    /// mixes in parallel.
+    /// Evaluate all six mixes at all three levels under all five policies —
+    /// all 90 cells fanned out over the work-stealing pool.
     pub fn run(testbed: &Testbed, params: GridParams) -> Self {
+        Self::run_timed(testbed, params).0
+    }
+
+    /// [`Self::run`], plus the per-phase wall-clock breakdown.
+    pub fn run_timed(testbed: &Testbed, params: GridParams) -> (Self, GridTiming) {
+        let t_total = Instant::now();
         let kinds = MixKind::all();
-        let mut per_mix: Vec<Option<Vec<GridCell>>> = (0..kinds.len()).map(|_| None).collect();
-        crossbeam::thread::scope(|scope| {
-            for (kind, slot) in kinds.iter().zip(per_mix.iter_mut()) {
-                scope.spawn(move |_| {
-                    *slot = Some(run_mix(testbed, *kind, params));
-                });
+        let preps = pmstack_exec::par_map(&kinds, |&kind| prep_mix(testbed, kind, params));
+        let prep_secs = t_total.elapsed().as_secs_f64();
+
+        // One pool task per (mix, level, policy) cell; costs vary by policy
+        // and budget level, which is what the pool's stealing absorbs.
+        let t_eval = Instant::now();
+        let work: Vec<(usize, BudgetLevel, PolicyKind)> = (0..preps.len())
+            .flat_map(|m| {
+                BudgetLevel::all()
+                    .into_iter()
+                    .flat_map(move |level| POLICY_ORDER.into_iter().map(move |p| (m, level, p)))
+            })
+            .collect();
+        let evals = pmstack_exec::par_map(&work, |&(m, level, policy)| {
+            eval_cell(testbed, &preps[m], level, policy, params)
+        });
+        let eval_secs = t_eval.elapsed().as_secs_f64();
+
+        let t_asm = Instant::now();
+        let levels = BudgetLevel::all();
+        let mut cells = Vec::with_capacity(work.len());
+        for (m, prep) in preps.iter().enumerate() {
+            for (li, &level) in levels.iter().enumerate() {
+                let base = (m * levels.len() + li) * POLICY_ORDER.len();
+                let group = &evals[base..base + POLICY_ORDER.len()];
+                assemble_level(prep.kind, level, prep.budgets.get(level), group, &mut cells);
             }
-        })
-        .expect("mix evaluation thread panicked");
+        }
+        let timing = GridTiming {
+            prep_secs,
+            eval_secs,
+            assemble_secs: t_asm.elapsed().as_secs_f64(),
+            total_secs: t_total.elapsed().as_secs_f64(),
+            workers: pmstack_exec::workers(),
+        };
+        (Self::from_cells(cells), timing)
+    }
+
+    fn from_cells(cells: Vec<GridCell>) -> Self {
         Self {
-            cells: per_mix
-                .into_iter()
-                .flat_map(|c| c.expect("every mix evaluated"))
-                .collect(),
+            cells,
+            index: OnceLock::new(),
         }
     }
 
-    /// Look up one cell.
+    /// Look up one cell — O(1) via an index built on first use.
     pub fn cell(&self, mix: MixKind, level: BudgetLevel, policy: PolicyKind) -> &GridCell {
-        self.cells
-            .iter()
-            .find(|c| c.mix == mix && c.level == level && c.policy == policy)
-            .expect("grid covers the full cross product")
+        let index = self.index.get_or_init(|| {
+            self.cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| ((c.mix, c.level, c.policy), i))
+                .collect()
+        });
+        let i = *index
+            .get(&(mix, level, policy))
+            .expect("grid covers the full cross product");
+        &self.cells[i]
     }
 }
 
-/// Evaluate one mix at all levels under all policies.
+/// Evaluate one mix at all levels under all policies — same cells, same
+/// order as the corresponding slice of [`EvaluationGrid::run`].
 pub fn run_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> Vec<GridCell> {
+    let prep = prep_mix(testbed, kind, params);
+    let mut cells = Vec::new();
+    for level in BudgetLevel::all() {
+        let evals: Vec<MixEvaluation> = POLICY_ORDER
+            .iter()
+            .map(|&policy| eval_cell(testbed, &prep, level, policy, params))
+            .collect();
+        assemble_level(kind, level, prep.budgets.get(level), &evals, &mut cells);
+    }
+    cells
+}
+
+/// Build a mix's shared inputs: placement, per-job characterization, and
+/// the Table III budget ladder.
+fn prep_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> MixPrep {
     let mix = mixes::build_scaled(kind, params.nodes_per_job);
     let setups = testbed.place(&mix);
     let chars: Vec<JobChar> = setups
@@ -122,87 +236,79 @@ pub fn run_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> Vec<Grid
         .map(|s| JobChar::analytic(s.config, testbed.model(), &s.host_eps))
         .collect();
     let budgets = MixBudgets::from_characterization(&chars);
-    let spec = testbed.model().spec();
-
-    let mut cells = Vec::new();
-    for level in BudgetLevel::all() {
-        let budget = budgets.get(level);
-        let ctx = PolicyCtx {
-            system_budget: budget,
-            min_node: spec.min_rapl_per_node(),
-            tdp_node: spec.tdp_per_node(),
-        };
-        // Baseline first so the savings rows can reference it.
-        let baseline = eval_policy(
-            testbed,
-            &mix,
-            &setups,
-            &chars,
-            &ctx,
-            PolicyKind::StaticCaps,
-            level,
-            params,
-        );
-        let mut level_cells = vec![cell_from(
-            kind,
-            level,
-            PolicyKind::StaticCaps,
-            budget,
-            &baseline,
-            None,
-        )];
-        for policy in [
-            PolicyKind::Precharacterized,
-            PolicyKind::MinimizeWaste,
-            PolicyKind::JobAdaptive,
-            PolicyKind::MixedAdaptive,
-        ] {
-            let eval = eval_policy(testbed, &mix, &setups, &chars, &ctx, policy, level, params);
-            let savings = (policy != PolicyKind::Precharacterized).then(|| {
-                SavingsRow::from_absolute(
-                    baseline.mean_elapsed().value(),
-                    eval.mean_elapsed().value(),
-                    time_ci_frac(&eval),
-                    baseline.total_energy().value(),
-                    eval.total_energy().value(),
-                    baseline.flops_per_watt(),
-                    eval.flops_per_watt(),
-                )
-            });
-            level_cells.push(cell_from(kind, level, policy, budget, &eval, savings));
-        }
-        cells.extend(level_cells);
+    MixPrep {
+        kind,
+        mix,
+        setups,
+        chars,
+        budgets,
     }
-    cells
 }
 
-#[allow(clippy::too_many_arguments)]
-fn eval_policy(
+/// Evaluate one independent (mix, level, policy) cell.
+fn eval_cell(
     testbed: &Testbed,
-    mix: &WorkloadMix,
-    setups: &[JobSetup],
-    chars: &[JobChar],
-    ctx: &PolicyCtx,
-    policy: PolicyKind,
+    prep: &MixPrep,
     level: BudgetLevel,
+    policy: PolicyKind,
     params: GridParams,
 ) -> MixEvaluation {
+    let spec = testbed.model().spec();
+    let ctx = PolicyCtx {
+        system_budget: prep.budgets.get(level),
+        min_node: spec.min_rapl_per_node(),
+        tdp_node: spec.tdp_per_node(),
+    };
     let policy_impl = policies::by_kind(policy);
-    let mut alloc = policy_impl.allocate(ctx, chars);
+    let mut alloc = policy_impl.allocate(&ctx, &prep.chars);
     // Application-aware policies run their jobs under the power balancer
     // at execution time; model its steady-state effect on the allocation.
     if policy_impl.application_aware() {
-        alloc = apply_job_runtime(&alloc, chars, ctx);
+        alloc = apply_job_runtime(&alloc, &prep.chars, &ctx);
     }
-    let seed = cell_seed(mix.kind, level, policy);
+    let seed = cell_seed(prep.mix.kind, level, policy);
     evaluate_mix(
         testbed.model(),
-        setups,
+        &prep.setups,
         &alloc,
         params.iterations,
         params.jitter_sigma,
         seed,
     )
+}
+
+/// Turn one (mix, level) group of evaluations (in [`POLICY_ORDER`]) into
+/// grid cells with savings attributed against the `StaticCaps` baseline.
+fn assemble_level(
+    kind: MixKind,
+    level: BudgetLevel,
+    budget: Watts,
+    evals: &[MixEvaluation],
+    out: &mut Vec<GridCell>,
+) {
+    let baseline = &evals[0];
+    out.push(cell_from(
+        kind,
+        level,
+        PolicyKind::StaticCaps,
+        budget,
+        baseline,
+        None,
+    ));
+    for (policy, eval) in POLICY_ORDER.iter().zip(evals).skip(1) {
+        let savings = (*policy != PolicyKind::Precharacterized).then(|| {
+            SavingsRow::from_absolute(
+                baseline.mean_elapsed().value(),
+                eval.mean_elapsed().value(),
+                time_ci_frac(eval),
+                baseline.total_energy().value(),
+                eval.total_energy().value(),
+                baseline.flops_per_watt(),
+                eval.flops_per_watt(),
+            )
+        });
+        out.push(cell_from(kind, level, *policy, budget, eval, savings));
+    }
 }
 
 fn cell_from(

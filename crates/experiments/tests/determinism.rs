@@ -1,0 +1,101 @@
+//! Satellite of the work-stealing substrate: the parallel grid must be
+//! bit-identical to a forced single-thread run, cell for cell. Every jitter
+//! stream is derived from explicit (mix, level, policy, job) seeds, so the
+//! fanout order — and the number of workers — must not matter.
+
+use pmstack_experiments::grid::{run_mix, EvaluationGrid, GridParams};
+use pmstack_experiments::mixes::MixKind;
+use pmstack_experiments::Testbed;
+
+fn assert_cells_identical(
+    a: &pmstack_experiments::grid::GridCell,
+    b: &pmstack_experiments::grid::GridCell,
+) {
+    assert_eq!(a.mix, b.mix);
+    assert_eq!(a.level, b.level);
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(
+        a.total_power.value().to_bits(),
+        b.total_power.value().to_bits(),
+        "{} {} {}: total_power differs",
+        a.mix,
+        a.level,
+        a.policy
+    );
+    assert_eq!(
+        a.mean_elapsed.value().to_bits(),
+        b.mean_elapsed.value().to_bits(),
+        "{} {} {}: mean_elapsed differs",
+        a.mix,
+        a.level,
+        a.policy
+    );
+    assert_eq!(
+        a.energy.value().to_bits(),
+        b.energy.value().to_bits(),
+        "{} {} {}: energy differs",
+        a.mix,
+        a.level,
+        a.policy
+    );
+    assert_eq!(
+        a.edp.to_bits(),
+        b.edp.to_bits(),
+        "{} {} {}: edp differs",
+        a.mix,
+        a.level,
+        a.policy
+    );
+}
+
+/// The full 90-cell grid evaluated on the pool equals the same grid
+/// evaluated inline on one thread, bit for bit.
+#[test]
+fn parallel_grid_matches_sequential_cell_for_cell() {
+    let testbed = Testbed::new(400, 7);
+    let params = GridParams::fast();
+
+    let parallel = EvaluationGrid::run(&testbed, params);
+    let sequential = pmstack_exec::sequential_scope(|| EvaluationGrid::run(&testbed, params));
+
+    assert_eq!(parallel.cells.len(), sequential.cells.len());
+    for (a, b) in parallel.cells.iter().zip(&sequential.cells) {
+        assert_cells_identical(a, b);
+    }
+}
+
+/// `run_mix` emits exactly the cells of the corresponding grid slice, in
+/// the same order and with the same numbers.
+#[test]
+fn run_mix_is_a_slice_of_the_grid() {
+    let testbed = Testbed::new(400, 7);
+    let params = GridParams::fast();
+
+    let grid = EvaluationGrid::run(&testbed, params);
+    for kind in [MixKind::NeedUsedPower, MixKind::RandomLarge] {
+        let standalone = run_mix(&testbed, kind, params);
+        let slice: Vec<_> = grid.cells.iter().filter(|c| c.mix == kind).collect();
+        assert_eq!(standalone.len(), slice.len());
+        for (a, b) in standalone.iter().zip(slice) {
+            assert_cells_identical(a, b);
+        }
+    }
+}
+
+/// The keyed lookup agrees with a linear scan for every cell.
+#[test]
+fn keyed_cell_lookup_matches_linear_scan() {
+    let testbed = Testbed::new(400, 7);
+    let grid = EvaluationGrid::run(&testbed, GridParams::fast());
+    for c in &grid.cells {
+        let found = grid.cell(c.mix, c.level, c.policy);
+        assert_eq!(
+            found.total_power.value().to_bits(),
+            c.total_power.value().to_bits()
+        );
+        assert_eq!(
+            found.mean_elapsed.value().to_bits(),
+            c.mean_elapsed.value().to_bits()
+        );
+    }
+}

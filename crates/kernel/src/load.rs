@@ -21,23 +21,214 @@ use crate::perf::PerfModel;
 use pmstack_simhw::power::{CoreClass, OperatingPoint};
 use pmstack_simhw::{Hertz, Joules, LoadModel, MachineSpec, PowerModel, Seconds, Watts};
 use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Precomputed operating-point curves for one (kernel, machine) binding.
+///
+/// Every hot query the stack makes of a [`KernelLoad`] reduces to
+/// `static_power(ε) + D·ε` for some dynamic coefficient `D = Σ count·κ·φ(f)`
+/// that does **not** depend on ε — so D can be tabulated once per binding
+/// and each per-node query becomes a binary search plus two FLOPs, with no
+/// `powf` in the loop. Coefficients are computed with the exact closed-form
+/// `φ`, so table-driven answers at ladder steps are bit-identical to the
+/// direct scans they replace (see the `table_*_matches_scan` tests).
+#[derive(Debug, Clone)]
+struct OpTables {
+    /// The machine the tables were built for; queries against a different
+    /// spec fall back to the direct scans.
+    spec: MachineSpec,
+    /// D at (turbo, turbo) — the uncapped draw.
+    d_used: f64,
+    /// D at (turbo, spin floor) — the zero-loss minimum.
+    d_needed: f64,
+    /// Stage-2 demotion candidates, ascending trail frequency:
+    /// `(trail, D(turbo, trail))` for ladder steps in `[floor, turbo)`.
+    stage2: Vec<(Hertz, f64)>,
+    /// Stage-3 throttle candidates, ascending lead frequency:
+    /// `(lead, D(lead, min(lead, floor)))` for ladder steps below turbo.
+    stage3: Vec<(Hertz, f64)>,
+    /// Dense monotone curve `lead → D(lead, min(lead, floor))` over the φ
+    /// table's knots (ladder steps are exact knots), for the continuous
+    /// queries: `node_power_at` interpolates it forward and
+    /// `achieved_frequency` inverts it.
+    dense_freqs: Vec<f64>,
+    dense_d: Vec<f64>,
+}
+
+impl OpTables {
+    /// Interpolated dense coefficient at `lead` Hz; `None` outside the
+    /// tabulated range.
+    fn dense_lookup(&self, x: f64) -> Option<f64> {
+        if !(self.dense_freqs[0]..=*self.dense_freqs.last()?).contains(&x) {
+            return None;
+        }
+        let hi = self.dense_freqs.partition_point(|&k| k <= x);
+        if hi == self.dense_freqs.len() {
+            return Some(*self.dense_d.last()?);
+        }
+        let (f0, f1) = (self.dense_freqs[hi - 1], self.dense_freqs[hi]);
+        let (d0, d1) = (self.dense_d[hi - 1], self.dense_d[hi]);
+        Some(d0 + (x - f0) / (f1 - f0) * (d1 - d0))
+    }
+}
+
+/// Cache key for [`KernelLoad::shared`]: the kernel configuration (f64
+/// fields by bit pattern) plus a fingerprint of the machine spec.
+#[derive(PartialEq, Eq, Hash)]
+struct LoadKey {
+    intensity: u64,
+    vector: crate::config::VectorWidth,
+    waiting: crate::config::WaitingFraction,
+    imbalance: crate::config::Imbalance,
+    bytes_per_rank: u64,
+    iterations: usize,
+    spec_fp: u64,
+}
+
+impl LoadKey {
+    fn new(config: &KernelConfig, spec: &MachineSpec) -> Self {
+        let mut h = DefaultHasher::new();
+        spec.name.hash(&mut h);
+        spec.sockets_per_node.hash(&mut h);
+        spec.cores_per_socket.hash(&mut h);
+        spec.cores_used_per_node.hash(&mut h);
+        for v in [
+            spec.f_min.value(),
+            spec.f_base.value(),
+            spec.f_turbo.value(),
+            spec.f_step.value(),
+            spec.tdp_per_socket.value(),
+            spec.min_rapl_per_socket.value(),
+            spec.alpha,
+            spec.uncore_per_socket.value(),
+            spec.leak_per_core.value(),
+            spec.dram_bw_bytes_per_s,
+            spec.poll_freq_floor.value(),
+        ] {
+            v.to_bits().hash(&mut h);
+        }
+        Self {
+            intensity: config.intensity.to_bits(),
+            vector: config.vector,
+            waiting: config.waiting,
+            imbalance: config.imbalance,
+            bytes_per_rank: config.bytes_per_rank.to_bits(),
+            iterations: config.iterations,
+            spec_fp: h.finish(),
+        }
+    }
+}
+
+/// Process-wide memo of (config, machine) → built load, so the grid's ~800
+/// re-bindings of the same few dozen kernel configurations each pay the
+/// table construction cost exactly once.
+static LOAD_CACHE: OnceLock<Mutex<HashMap<LoadKey, Arc<KernelLoad>>>> = OnceLock::new();
 
 /// A kernel configuration bound to a machine, usable as a
 /// [`LoadModel`] by the simulated nodes.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelLoad {
     perf: PerfModel,
     poll_floor: Hertz,
     f_turbo: Hertz,
+    /// Lazily-built operating-point tables (see [`OpTables`]); identity is
+    /// carried entirely by the fields above.
+    tables: OnceLock<OpTables>,
+}
+
+impl PartialEq for KernelLoad {
+    fn eq(&self, other: &Self) -> bool {
+        self.perf == other.perf
+            && self.poll_floor == other.poll_floor
+            && self.f_turbo == other.f_turbo
+    }
 }
 
 impl KernelLoad {
-    /// Bind `config` to the machine described by `spec`.
+    /// Bind `config` to the machine described by `spec`. Delegates to the
+    /// process-wide cache so repeated bindings of one configuration share
+    /// their precomputed operating-point tables.
     pub fn new(config: KernelConfig, spec: &MachineSpec) -> Self {
+        Self::shared(config, spec).as_ref().clone()
+    }
+
+    /// The cached form of [`Self::new`]: one [`Arc`]'d load per distinct
+    /// (config, machine) pair, with operating-point tables pre-built.
+    pub fn shared(config: KernelConfig, spec: &MachineSpec) -> Arc<KernelLoad> {
+        let key = LoadKey::new(&config, spec);
+        let cache = LOAD_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().expect("load cache poisoned");
+        map.entry(key)
+            .or_insert_with(|| {
+                let load = Self::build(config, spec);
+                // Pre-build the tables so every clone handed out by `new`
+                // inherits them instead of rebuilding per instance.
+                if let Ok(model) = PowerModel::new(spec.clone()) {
+                    let _ = load.optabs(&model);
+                }
+                Arc::new(load)
+            })
+            .clone()
+    }
+
+    /// The raw, uncached constructor.
+    fn build(config: KernelConfig, spec: &MachineSpec) -> Self {
         Self {
             perf: PerfModel::new(config, spec),
             poll_floor: spec.poll_freq_floor,
             f_turbo: spec.f_turbo,
+            tables: OnceLock::new(),
+        }
+    }
+
+    /// The operating-point tables for `model`, or `None` when `model`'s
+    /// spec differs from the one the tables were built against (callers
+    /// fall back to the direct scans).
+    fn optabs(&self, model: &PowerModel) -> Option<&OpTables> {
+        let t = self.tables.get_or_init(|| self.build_tables(model));
+        (&t.spec == model.spec()).then_some(t)
+    }
+
+    fn build_tables(&self, model: &PowerModel) -> OpTables {
+        let spec = model.spec().clone();
+        let ladder = spec.pstates();
+        let d = |lead: Hertz, trail: Hertz| model.dynamic_coefficient(&self.classes(lead, trail));
+        let stage2 = ladder
+            .steps()
+            .iter()
+            .copied()
+            .filter(|&t| t < self.f_turbo && t >= self.poll_floor)
+            .map(|t| (t, d(self.f_turbo, t)))
+            .collect();
+        let stage3: Vec<(Hertz, f64)> = ladder
+            .steps()
+            .iter()
+            .copied()
+            .filter(|&l| l < self.f_turbo)
+            .map(|l| (l, d(l, l.min(self.poll_floor))))
+            .collect();
+        let (dense_freqs, dense_d): (Vec<f64>, Vec<f64>) = model
+            .lut()
+            .knots()
+            .iter()
+            .copied()
+            .filter(|&f| f >= spec.f_min.value() - 1e-3 && f <= self.f_turbo.value() + 1e-3)
+            .map(|f| {
+                let lead = Hertz(f);
+                (f, d(lead, lead.min(self.poll_floor)))
+            })
+            .unzip();
+        OpTables {
+            spec,
+            d_used: d(self.f_turbo, self.f_turbo),
+            d_needed: d(self.f_turbo, self.poll_floor),
+            stage2,
+            stage3,
+            dense_freqs,
+            dense_d,
         }
     }
 
@@ -62,17 +253,18 @@ impl KernelLoad {
         (lead - (lead - trail) * idle_frac).max(trail)
     }
 
-    /// Node power with critical cores at `lead` and fully-waiting cores at
-    /// `trail`; common cores sit between the two, trailing in proportion to
-    /// their pause-idle duty cycle.
-    pub fn power(&self, model: &PowerModel, eps: f64, lead: Hertz, trail: Hertz) -> Watts {
+    /// The three core classes at a (lead, trail) operating point — the one
+    /// place the kernel translates its composition into the power model's
+    /// vocabulary; [`Self::power`] and the tables both go through it so
+    /// their dynamic coefficients are computed identically.
+    fn classes(&self, lead: Hertz, trail: Hertz) -> [CoreClass; 3] {
         let comp = self.perf.composition();
         let coeffs = self.perf.coeffs();
         let f_common = self.common_freq(lead, trail);
         let common_frac = self.perf.common_compute_fraction(lead, f_common);
         let kappa_common =
             common_frac * coeffs.kappa_compute + (1.0 - common_frac) * coeffs.kappa_poll;
-        let classes = [
+        [
             CoreClass {
                 count: comp.critical,
                 kappa: coeffs.kappa_compute,
@@ -88,30 +280,74 @@ impl KernelLoad {
                 kappa: coeffs.kappa_poll,
                 freq: trail,
             },
-        ];
-        model.node_power(eps, &classes)
+        ]
+    }
+
+    /// Node power with critical cores at `lead` and fully-waiting cores at
+    /// `trail`; common cores sit between the two, trailing in proportion to
+    /// their pause-idle duty cycle.
+    pub fn power(&self, model: &PowerModel, eps: f64, lead: Hertz, trail: Hertz) -> Watts {
+        model.node_power(eps, &self.classes(lead, trail))
     }
 
     /// Power of an unconstrained node: everything (including spin loops)
     /// races at the turbo ceiling. This is what the GEOPM *monitor* agent
     /// observes (Fig. 4).
     pub fn used_power(&self, model: &PowerModel, eps: f64) -> Watts {
-        self.power(model, eps, self.f_turbo, self.f_turbo)
+        match self.optabs(model) {
+            Some(t) => model.static_power(eps) + Watts(t.d_used * eps),
+            None => self.power(model, eps, self.f_turbo, self.f_turbo),
+        }
     }
 
     /// Minimum power at which the node loses no performance: critical cores
     /// at turbo, trailing cores demoted to the spin floor. This is what the
     /// *power balancer* characterization converges to (Fig. 5).
     pub fn needed_power(&self, model: &PowerModel, eps: f64) -> Watts {
-        self.power(model, eps, self.f_turbo, self.poll_floor)
+        match self.optabs(model) {
+            Some(t) => model.static_power(eps) + Watts(t.d_needed * eps),
+            None => self.power(model, eps, self.f_turbo, self.poll_floor),
+        }
     }
 
     /// The *continuous* achieved lead frequency under `cap` — the
     /// time-average a frequency counter reports while RAPL dithers between
     /// adjacent p-states. Used by the hardware-variation screen (Fig. 6),
     /// where the quantized ladder would hide the variation signal.
+    ///
+    /// Solved by inverting the precomputed monotone power curve; differs
+    /// from the reference bisection only by the curve's interpolation
+    /// error, well under one ladder step.
     pub fn achieved_frequency(&self, model: &PowerModel, eps: f64, cap: Watts) -> Hertz {
         if self.needed_power(model, eps) <= cap {
+            return self.f_turbo;
+        }
+        let Some(t) = self.optabs(model) else {
+            return self.achieved_frequency_bisect(model, eps, cap);
+        };
+        // P(lead) = static(ε) + D(lead)·ε, so invert D at the target.
+        let d_target = (cap - model.static_power(eps)).value() / eps;
+        if t.dense_d[0] >= d_target {
+            return Hertz(t.dense_freqs[0]);
+        }
+        let hi = t.dense_d.partition_point(|&d| d <= d_target);
+        if hi >= t.dense_d.len() {
+            return self.f_turbo;
+        }
+        let (d0, d1) = (t.dense_d[hi - 1], t.dense_d[hi]);
+        let (f0, f1) = (t.dense_freqs[hi - 1], t.dense_freqs[hi]);
+        let s = if d1 > d0 {
+            (d_target - d0) / (d1 - d0)
+        } else {
+            0.0
+        };
+        Hertz(f0 + s * (f1 - f0))
+    }
+
+    /// Reference bisection for [`Self::achieved_frequency`]; the fallback
+    /// when tables don't apply and the oracle its tests compare against.
+    fn achieved_frequency_bisect(&self, model: &PowerModel, eps: f64, cap: Watts) -> Hertz {
+        if self.power(model, eps, self.f_turbo, self.poll_floor) <= cap {
             return self.f_turbo;
         }
         let spec = model.spec();
@@ -142,19 +378,14 @@ impl KernelLoad {
     }
 }
 
-impl LoadModel for KernelLoad {
-    fn node_power_at(&self, model: &PowerModel, eps: f64, lead: Hertz) -> Watts {
-        if lead >= self.f_turbo {
-            self.used_power(model, eps)
-        } else {
-            self.power(model, eps, lead, lead.min(self.poll_floor))
-        }
-    }
-
-    fn operating_point(&self, model: &PowerModel, eps: f64, cap: Watts) -> OperatingPoint {
+impl KernelLoad {
+    /// Reference ladder scan for [`LoadModel::operating_point`]; the
+    /// fallback when tables don't apply and the oracle the table path is
+    /// tested bit-identical against.
+    fn operating_point_scan(&self, model: &PowerModel, eps: f64, cap: Watts) -> OperatingPoint {
         let slack = Watts(1e-9);
         // Stage 1: everything at turbo.
-        let p_uncapped = self.used_power(model, eps);
+        let p_uncapped = self.power(model, eps, self.f_turbo, self.f_turbo);
         if p_uncapped <= cap + slack {
             return OperatingPoint {
                 lead: self.f_turbo,
@@ -202,6 +433,67 @@ impl LoadModel for KernelLoad {
             lead,
             trail,
             power: self.power(model, eps, lead, trail),
+        }
+    }
+}
+
+impl LoadModel for KernelLoad {
+    fn node_power_at(&self, model: &PowerModel, eps: f64, lead: Hertz) -> Watts {
+        if lead >= self.f_turbo {
+            return self.used_power(model, eps);
+        }
+        if let Some(t) = self.optabs(model) {
+            if let Some(d) = t.dense_lookup(lead.value()) {
+                return model.static_power(eps) + Watts(d * eps);
+            }
+        }
+        self.power(model, eps, lead, lead.min(self.poll_floor))
+    }
+
+    /// Table-driven PCU resolution: the same three stages as
+    /// [`Self::operating_point_scan`], but each stage is one binary search
+    /// over a precomputed monotone coefficient array. Power at every
+    /// candidate is `static(ε) + D·ε` with D computed exactly once at table
+    /// build, so the chosen point and its power are bit-identical to the
+    /// scan's.
+    fn operating_point(&self, model: &PowerModel, eps: f64, cap: Watts) -> OperatingPoint {
+        let Some(t) = self.optabs(model) else {
+            return self.operating_point_scan(model, eps, cap);
+        };
+        if t.stage3.is_empty() {
+            // Degenerate ladder (f_min == f_turbo): scan handles it.
+            return self.operating_point_scan(model, eps, cap);
+        }
+        let slack = Watts(1e-9);
+        let stat = model.static_power(eps);
+        let fits = |d: f64| stat + Watts(d * eps) <= cap + slack;
+        // Stage 1: everything at turbo.
+        if fits(t.d_used) {
+            return OperatingPoint {
+                lead: self.f_turbo,
+                trail: self.f_turbo,
+                power: stat + Watts(t.d_used * eps),
+            };
+        }
+        // Stage 2: highest fitting trail (D ascends with trail, so fitting
+        // entries are a prefix).
+        let c = t.stage2.partition_point(|&(_, d)| fits(d));
+        if c > 0 {
+            let (trail, d) = t.stage2[c - 1];
+            return OperatingPoint {
+                lead: self.f_turbo,
+                trail,
+                power: stat + Watts(d * eps),
+            };
+        }
+        // Stage 3: highest fitting lead, bottoming out at the minimum
+        // p-state when nothing fits.
+        let c = t.stage3.partition_point(|&(_, d)| fits(d));
+        let (lead, d) = t.stage3[c.max(1) - 1];
+        OperatingPoint {
+            lead,
+            trail: lead.min(self.poll_floor),
+            power: stat + Watts(d * eps),
         }
     }
 }
@@ -328,5 +620,69 @@ mod tests {
     fn inefficient_node_needs_more_power() {
         let (model, load) = setup(8.0, WaitingFraction::P0, Imbalance::Balanced);
         assert!(load.needed_power(&model, 1.07) > load.needed_power(&model, 0.94));
+    }
+
+    #[test]
+    fn table_operating_point_matches_scan_bit_for_bit() {
+        // The table path must be indistinguishable from the ladder scan it
+        // replaced: same chosen p-states, same power to the last bit, for
+        // every stage of the PCU resolution.
+        for &(w, k) in &[
+            (WaitingFraction::P0, Imbalance::Balanced),
+            (WaitingFraction::P25, Imbalance::TwoX),
+            (WaitingFraction::P50, Imbalance::TwoX),
+            (WaitingFraction::P75, Imbalance::ThreeX),
+        ] {
+            for intensity in [0.25, 1.0, 8.0, 32.0] {
+                let (model, load) = setup(intensity, w, k);
+                for eps in [0.94, 1.0, 1.07] {
+                    for cap_dw in 0..=60 {
+                        let cap = Watts(120.0 + 2.0 * cap_dw as f64);
+                        let table = load.operating_point(&model, eps, cap);
+                        let scan = load.operating_point_scan(&model, eps, cap);
+                        assert_eq!(table.lead, scan.lead, "lead at {cap}, eps {eps}");
+                        assert_eq!(table.trail, scan.trail, "trail at {cap}, eps {eps}");
+                        assert_eq!(
+                            table.power.value().to_bits(),
+                            scan.power.value().to_bits(),
+                            "power at {cap}, eps {eps}: {} vs {}",
+                            table.power,
+                            scan.power
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_achieved_frequency_matches_bisection() {
+        // The curve inversion may differ from the 48-step bisection only by
+        // the dense table's interpolation error — far under one p-state.
+        let (model, load) = setup(8.0, WaitingFraction::P50, Imbalance::TwoX);
+        for eps in [0.94, 1.0, 1.07] {
+            for cap_w in (136..=240).step_by(4) {
+                let cap = Watts(cap_w as f64);
+                let fast = load.achieved_frequency(&model, eps, cap);
+                let slow = load.achieved_frequency_bisect(&model, eps, cap);
+                assert!(
+                    (fast.value() - slow.value()).abs() < 5e6,
+                    "cap {cap}, eps {eps}: table {fast} vs bisect {slow}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_loads_are_cached_and_equal() {
+        let spec = quartz_spec();
+        let config = KernelConfig::balanced_ymm(4.0);
+        let a = KernelLoad::shared(config, &spec);
+        let b = KernelLoad::shared(config, &spec);
+        assert!(Arc::ptr_eq(&a, &b), "same key must hit the cache");
+        assert_eq!(*a, KernelLoad::new(config, &spec));
+        // A different configuration gets its own entry.
+        let c = KernelLoad::shared(KernelConfig::balanced_ymm(2.0), &spec);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 }

@@ -8,11 +8,17 @@
 use pmstack_kernel::{KernelConfig, KernelLoad};
 use pmstack_simhw::power::OperatingPoint;
 use pmstack_simhw::{
-    FaultPlan, Hertz, Joules, Node, NodeHealth, PowerModel, Seconds, SimHwError, Watts,
+    FaultPlan, Hertz, Joules, Node, NodeHealth, NodePowerSample, PowerModel, Seconds, SimHwError,
+    Watts,
 };
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// Jobs with at least this many hosts fan node stepping out across the
+/// work-stealing pool; below it, the spawn overhead dwarfs the per-node
+/// stepping cost.
+const PAR_STEP_THRESHOLD: usize = 64;
 
 /// The observable outcome of one bulk-synchronous iteration.
 #[derive(Debug, Clone, PartialEq)]
@@ -278,27 +284,46 @@ impl JobPlatform {
         }
         let elapsed = compute.iter().copied().fold(Seconds::ZERO, Seconds::max);
 
+        // Advance RAPL state (energy counters + enforcement filters) on
+        // every live host through the iteration at its operating-point
+        // power; the fallible read surfaces telemetry dropouts. Each node's
+        // step touches only its own state, so large jobs fan the stepping
+        // out across the pool (the per-node cost is small, so tiny jobs
+        // stay on one thread).
+        let model = &self.model;
+        let load = &self.load;
+        // Limits are observed at the iteration's start, before stepping
+        // advances the enforcement filters.
+        let host_limit: Vec<Watts> = self.nodes.iter().map(|n| n.enforced_limit()).collect();
+        let mut steps: Vec<(&mut Node, Option<Result<NodePowerSample, SimHwError>>)> =
+            self.nodes.iter_mut().map(|node| (node, None)).collect();
+        let step_one = |host: usize, entry: &mut (&mut Node, Option<_>)| {
+            if ops[host].is_some() {
+                entry.1 = Some(entry.0.try_step(model, load, elapsed));
+            }
+        };
+        if n >= PAR_STEP_THRESHOLD {
+            pmstack_exec::par_for_each_mut(&mut steps, step_one);
+        } else {
+            for (host, entry) in steps.iter_mut().enumerate() {
+                step_one(host, entry);
+            }
+        }
+
         let mut host_power = Vec::with_capacity(n);
         let mut host_lead = Vec::with_capacity(n);
-        let mut host_limit = Vec::with_capacity(n);
         let mut host_alive = Vec::with_capacity(n);
         let mut host_fresh = Vec::with_capacity(n);
-        for (host, op) in ops.iter().enumerate() {
-            let node = &mut self.nodes[host];
+        for (host, ((_node, step), op)) in steps.iter().zip(&ops).enumerate() {
             let Some(op) = op else {
-                host_limit.push(node.enforced_limit());
                 host_power.push(Watts::ZERO);
                 host_lead.push(Hertz(0.0));
                 host_alive.push(false);
                 host_fresh.push(false);
                 continue;
             };
-            host_limit.push(node.enforced_limit());
             host_alive.push(true);
-            // Advance RAPL state (energy counters + enforcement filters)
-            // through the iteration at the operating-point power; the
-            // fallible read surfaces telemetry dropouts.
-            match node.try_step(&self.model, &self.load, elapsed) {
+            match step.as_ref().expect("live host stepped") {
                 Ok(sample) => {
                     self.last_power[host] = sample.power;
                     self.last_lead[host] = op.lead;
@@ -315,6 +340,7 @@ impl JobPlatform {
                 }
             }
         }
+        drop(steps);
         self.elapsed += elapsed;
         IterationOutcome {
             elapsed,

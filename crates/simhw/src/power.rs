@@ -114,11 +114,132 @@ impl MachineSpec {
     }
 }
 
+/// A monotone frequency ↔ power-law lookup table: `φ(f) = (f/f_base)^α`
+/// tabulated over the p-state range (ladder steps are exact knots, each
+/// 100 MHz interval subdivided), with linear interpolation between knots.
+///
+/// This removes `powf` from per-host per-iteration hot loops: forward
+/// lookups serve [`PowerModel::phi_fast`] and the kernel's operating-point
+/// tables; the inverse serves [`PowerModel::cap_to_freq`]. Interpolation
+/// error is bounded by the knot spacing (tested: < 0.1 W of node power
+/// across the ladder, see `lut_power_error_is_below_a_tenth_watt`).
+#[derive(Debug, Clone)]
+pub struct PhiTable {
+    /// Knot frequencies in Hz, ascending; ladder steps appear exactly.
+    freqs: Vec<f64>,
+    /// `φ` at each knot, computed once with `powf` (ascending, since α > 1).
+    phis: Vec<f64>,
+}
+
+/// Sub-steps per 100 MHz p-state interval in the φ table. With α ≈ 2.4 the
+/// curvature error of linear interpolation over `f_step / 8` is below
+/// 10 mW of node power — two orders under the 0.1 W accuracy budget.
+const PHI_REFINE: usize = 8;
+
+impl PhiTable {
+    /// Tabulate `spec`'s power law over `[min(f_min, poll_floor), f_turbo]`.
+    fn build(spec: &MachineSpec) -> Self {
+        let mut anchors: Vec<f64> = Vec::new();
+        // Extend below the ladder when the spin floor sits under f_min, so
+        // trailing-core frequencies stay inside the table.
+        let lo = spec.f_min.value().min(spec.poll_freq_floor.value());
+        let mut f = lo;
+        while f < spec.f_min.value() - 1e-3 {
+            anchors.push(f);
+            f += spec.f_step.value();
+        }
+        anchors.extend(
+            spec.pstates()
+                .steps()
+                .iter()
+                .map(|h| h.value())
+                .filter(|&s| s > lo - 1e-3),
+        );
+        let mut freqs = Vec::with_capacity(anchors.len() * PHI_REFINE);
+        for pair in anchors.windows(2) {
+            for j in 0..PHI_REFINE {
+                freqs.push(pair[0] + (pair[1] - pair[0]) * j as f64 / PHI_REFINE as f64);
+            }
+        }
+        freqs.push(*anchors.last().expect("spec has at least one p-state"));
+        let phis = freqs
+            .iter()
+            .map(|&f| (f / spec.f_base.value()).powf(spec.alpha))
+            .collect();
+        Self { freqs, phis }
+    }
+
+    /// The knot frequencies in Hz, ascending — exposed so per-workload
+    /// tables (the kernel's operating-point curves) can align their knots
+    /// with the φ table's and inherit its exact-at-ladder-step property.
+    pub fn knots(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Lowest tabulated frequency.
+    pub fn min_freq(&self) -> Hertz {
+        Hertz(self.freqs[0])
+    }
+
+    /// Highest tabulated frequency.
+    pub fn max_freq(&self) -> Hertz {
+        Hertz(*self.freqs.last().expect("table is non-empty"))
+    }
+
+    /// Interpolated `φ(f)`; `None` outside the tabulated range (callers
+    /// fall back to the closed form).
+    pub fn phi_at(&self, f: Hertz) -> Option<f64> {
+        let x = f.value();
+        if !(self.freqs[0]..=*self.freqs.last().unwrap()).contains(&x) {
+            return None;
+        }
+        let hi = self.freqs.partition_point(|&k| k <= x);
+        if hi == self.freqs.len() {
+            return Some(*self.phis.last().unwrap());
+        }
+        // freqs[hi-1] <= x < freqs[hi]; exact-knot queries interpolate with
+        // t = 0 and return the knot's powf value bit-for-bit.
+        let (f0, f1) = (self.freqs[hi - 1], self.freqs[hi]);
+        let (p0, p1) = (self.phis[hi - 1], self.phis[hi]);
+        let t = (x - f0) / (f1 - f0);
+        Some(p0 + t * (p1 - p0))
+    }
+
+    /// Inverse lookup: the frequency at which `φ` reaches `phi`, by binary
+    /// search over the monotone knots plus linear interpolation. Clamps to
+    /// the table ends (`None` only for non-finite input).
+    pub fn freq_for_phi(&self, phi: f64) -> Option<Hertz> {
+        if !phi.is_finite() {
+            return None;
+        }
+        if phi <= self.phis[0] {
+            return Some(Hertz(self.freqs[0]));
+        }
+        if phi >= *self.phis.last().unwrap() {
+            return Some(self.max_freq());
+        }
+        let hi = self.phis.partition_point(|&p| p <= phi);
+        let (p0, p1) = (self.phis[hi - 1], self.phis[hi]);
+        let (f0, f1) = (self.freqs[hi - 1], self.freqs[hi]);
+        let t = (phi - p0) / (p1 - p0);
+        Some(Hertz(f0 + t * (f1 - f0)))
+    }
+}
+
 /// The node power model. Thin by design: all workload knowledge arrives as
 /// activity coefficients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PowerModel {
     spec: MachineSpec,
+    /// Lazily-built φ lookup table (hot paths only; the closed form stays
+    /// authoritative for calibration-grade queries).
+    lut: std::sync::OnceLock<PhiTable>,
+}
+
+impl PartialEq for PowerModel {
+    fn eq(&self, other: &Self) -> bool {
+        self.spec == other.spec
+    }
 }
 
 /// One class of cores: `count` cores running with activity `kappa` at
@@ -137,7 +258,10 @@ impl PowerModel {
     /// Build a model over a validated spec.
     pub fn new(spec: MachineSpec) -> Result<Self> {
         spec.validate()?;
-        Ok(Self { spec })
+        Ok(Self {
+            spec,
+            lut: std::sync::OnceLock::new(),
+        })
     }
 
     /// The machine description.
@@ -145,10 +269,35 @@ impl PowerModel {
         &self.spec
     }
 
-    /// The frequency power-law factor `φ(f) = (f / f_base)^α`.
+    /// The frequency power-law factor `φ(f) = (f / f_base)^α`, closed form.
     #[inline]
     pub fn phi(&self, f: Hertz) -> f64 {
         (f.value() / self.spec.f_base.value()).powf(self.spec.alpha)
+    }
+
+    /// The φ lookup table, built on first use.
+    pub fn lut(&self) -> &PhiTable {
+        self.lut.get_or_init(|| PhiTable::build(&self.spec))
+    }
+
+    /// Table-interpolated `φ(f)`: bit-identical to [`Self::phi`] at p-state
+    /// ladder knots, within the 0.1 W node-power accuracy budget between
+    /// them, and falling back to the closed form outside the table.
+    #[inline]
+    pub fn phi_fast(&self, f: Hertz) -> f64 {
+        self.lut().phi_at(f).unwrap_or_else(|| self.phi(f))
+    }
+
+    /// The workload-dependent dynamic-power coefficient `Σ count·κ·φ(f)`
+    /// of a set of core classes, in Watts at ε = 1. Factored out so callers
+    /// (the kernel's operating-point tables) can precompute it per ladder
+    /// step and reproduce [`Self::node_power`] bit-for-bit as
+    /// `static_power(ε) + Watts(coefficient · ε)`.
+    pub fn dynamic_coefficient(&self, classes: &[CoreClass]) -> f64 {
+        classes
+            .iter()
+            .map(|c| c.count as f64 * c.kappa * self.phi(c.freq))
+            .sum()
     }
 
     /// Static node power: uncore plus leakage for the used cores, with the
@@ -165,10 +314,7 @@ impl PowerModel {
             classes.iter().map(|c| c.count).sum::<usize>() <= self.spec.cores_used_per_node,
             "core classes exceed usable cores"
         );
-        let dynamic: f64 = classes
-            .iter()
-            .map(|c| c.count as f64 * c.kappa * self.phi(c.freq))
-            .sum();
+        let dynamic = self.dynamic_coefficient(classes);
         self.static_power(eps) + Watts(dynamic * eps)
     }
 
@@ -194,6 +340,29 @@ impl PowerModel {
             return None;
         }
         Some(Hertz(f))
+    }
+
+    /// Table-driven analogue of [`Self::freq_for_power`]: the frequency at
+    /// which `count` cores of activity `kappa` draw exactly `budget`, found
+    /// by inverse lookup in the φ table instead of `powf(1/α)`. Same `None`
+    /// contract (budget below the minimum p-state's draw or above the turbo
+    /// ceiling's); the answer differs from the closed form only by the
+    /// interpolation error, which is under the ladder's 100 MHz quantum.
+    pub fn cap_to_freq(&self, eps: f64, count: usize, kappa: f64, budget: Watts) -> Option<Hertz> {
+        let dyn_budget = (budget - self.static_power(eps)).value() / eps;
+        if dyn_budget <= 0.0 || count == 0 || kappa <= 0.0 {
+            return None;
+        }
+        let phi = dyn_budget / (count as f64 * kappa);
+        let lut = self.lut();
+        // Mirror freq_for_power's range contract on the *ladder* range, not
+        // the (possibly wider) table range.
+        let phi_min = lut.phi_at(self.spec.f_min)?;
+        let phi_max = lut.phi_at(self.spec.f_turbo)?;
+        if phi < phi_min || phi > phi_max {
+            return None;
+        }
+        lut.freq_for_phi(phi)
     }
 }
 
@@ -340,6 +509,81 @@ mod tests {
             p.value() > 215.0 && p.value() < 240.0,
             "expected ~232 W, got {p}"
         );
+    }
+
+    #[test]
+    fn lut_is_exact_at_ladder_knots() {
+        let m = model();
+        for &step in m.spec().pstates().steps() {
+            assert_eq!(
+                m.phi_fast(step).to_bits(),
+                m.phi(step).to_bits(),
+                "phi_fast must be bit-identical to phi at ladder step {step}"
+            );
+        }
+        // The spin-poll floor is also an anchor when it sits off-ladder.
+        let floor = m.spec().poll_freq_floor;
+        assert!((m.phi_fast(floor) - m.phi(floor)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lut_power_error_is_below_a_tenth_watt() {
+        // Sweep the whole tabulated range at 1 MHz resolution and translate
+        // the φ interpolation error into node power for the hottest
+        // plausible workload (34 cores, κ = 3, ε = 1.07): the worst case
+        // for absolute error. The budget is 0.1 W per node.
+        let m = model();
+        let (lo, hi) = (m.lut().min_freq().value(), m.lut().max_freq().value());
+        let per_phi = 34.0 * 3.0 * 1.07; // dP/dφ in Watts
+        let mut worst = 0.0f64;
+        let mut f = lo;
+        while f <= hi {
+            let err = (m.phi_fast(Hertz(f)) - m.phi(Hertz(f))).abs() * per_phi;
+            worst = worst.max(err);
+            f += 1e6;
+        }
+        assert!(
+            worst < 0.1,
+            "worst LUT node-power error {worst} W exceeds 0.1 W"
+        );
+    }
+
+    #[test]
+    fn lut_inverse_roundtrips_within_interpolation_error() {
+        let m = model();
+        let lut = m.lut();
+        let mut f = lut.min_freq().value();
+        while f <= lut.max_freq().value() {
+            let phi = m.phi_fast(Hertz(f));
+            let back = lut.freq_for_phi(phi).unwrap().value();
+            assert!(
+                (back - f).abs() < 1e6,
+                "inverse lookup at {f} Hz came back {back} Hz"
+            );
+            f += 7.3e6;
+        }
+    }
+
+    #[test]
+    fn cap_to_freq_matches_closed_form_inversion() {
+        let m = model();
+        for cap_w in [150.0, 170.0, 190.0, 210.0, 230.0] {
+            let closed = m.freq_for_power(1.0, 34, 2.7, Watts(cap_w));
+            let lut = m.cap_to_freq(1.0, 34, 2.7, Watts(cap_w));
+            match (closed, lut) {
+                (Some(a), Some(b)) => assert!(
+                    (a.value() - b.value()).abs() < 5e6,
+                    "cap {cap_w} W: closed form {a} vs LUT {b}"
+                ),
+                // Both out of ladder range is consistent too.
+                (None, None) => {}
+                (a, b) => panic!("cap {cap_w} W: closed form {a:?} vs LUT {b:?}"),
+            }
+        }
+        // Out-of-range contract matches freq_for_power.
+        assert!(m.cap_to_freq(1.0, 34, 2.5, Watts(10.0)).is_none());
+        assert!(m.cap_to_freq(1.0, 34, 2.5, Watts(10_000.0)).is_none());
+        assert!(m.cap_to_freq(1.0, 0, 2.5, Watts(200.0)).is_none());
     }
 
     #[test]

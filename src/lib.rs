@@ -10,6 +10,7 @@
 //!
 //! | module | crate | role |
 //! |---|---|---|
+//! | [`exec`] | `pmstack-exec` | work-stealing parallel-execution substrate (`par_map`), deterministic by construction |
 //! | [`simhw`] | `pmstack-simhw` | simulated hardware: MSR/RAPL devices, power-frequency models, manufacturing variation, nodes, clusters |
 //! | [`kernel`] | `pmstack-kernel` | the arithmetic-intensity synthetic benchmark: analytic model + native executable kernel |
 //! | [`runtime`] | `pmstack-runtime` | the job runtime: platform IO, monitor/governor/balancer agents, reports, RM endpoint |
@@ -49,6 +50,7 @@
 
 pub use pmstack_analysis as analysis;
 pub use pmstack_core as core;
+pub use pmstack_exec as exec;
 pub use pmstack_experiments as experiments;
 pub use pmstack_kernel as kernel;
 pub use pmstack_rm as rm;
