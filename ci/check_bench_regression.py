@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Bench regression guard for the CI bench-smoke job.
+
+Compares the fresh fast-grid timing (bench-out/BENCH_grid.json, written by
+`repro grid --fast --time`) against the committed baseline (BENCH_grid.json,
+key optimized.grid_fast_secs) and fails when the fresh run is more than 2x
+slower. Shared CI runners are noisy and the fast grid is only a few
+milliseconds, so the threshold never drops below an absolute floor.
+
+Usage: check_bench_regression.py [fresh.json] [baseline.json]
+"""
+
+import json
+import sys
+
+# Below this many seconds a 2x ratio is indistinguishable from scheduler
+# noise on a shared runner; the guard only engages above it.
+NOISE_FLOOR_SECS = 0.25
+MAX_SLOWDOWN = 2.0
+
+
+def main() -> int:
+    fresh_path = sys.argv[1] if len(sys.argv) > 1 else "bench-out/BENCH_grid.json"
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_grid.json"
+
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+    with open(base_path) as f:
+        base = json.load(f)
+
+    fresh_secs = float(fresh["total_secs"])
+    base_secs = float(base["optimized"]["grid_fast_secs"])
+    limit = max(MAX_SLOWDOWN * base_secs, NOISE_FLOOR_SECS)
+
+    print(f"fresh fast-grid:    {fresh_secs:.4f} s  ({fresh_path})")
+    print(f"committed baseline: {base_secs:.4f} s  ({base_path})")
+    print(f"allowed:            {limit:.4f} s  (max of {MAX_SLOWDOWN}x baseline and "
+          f"{NOISE_FLOOR_SECS}s noise floor)")
+
+    if fresh_secs > limit:
+        print(f"REGRESSION: fast grid took {fresh_secs:.4f} s, "
+              f"{fresh_secs / base_secs:.1f}x the committed baseline")
+        return 1
+    print("ok: within the regression budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

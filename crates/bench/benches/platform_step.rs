@@ -1,0 +1,66 @@
+//! The columnar hot loop in isolation: one `run_iteration_into` across a
+//! platform of 64 and 900 hosts, with the steady-state caches armed and
+//! disarmed. The disarmed rows are the cost of a full per-iteration
+//! resolve-and-step pass; the armed rows are what a settled fleet pays.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use pmstack_runtime::{IterationBuffers, JobPlatform};
+use pmstack_simhw::{quartz_spec, Node, NodeId, PowerModel, Watts};
+use std::hint::black_box;
+
+fn demo_config() -> KernelConfig {
+    KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX)
+}
+
+fn platform(hosts: usize, fast_forward: bool) -> JobPlatform {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes: Vec<Node> = (0..hosts)
+        .map(|i| Node::new(NodeId(i), &model, 0.95 + 0.1 * (i as f64 / hosts as f64)).unwrap())
+        .collect();
+    let mut p = JobPlatform::new(model, nodes, demo_config());
+    p.set_fast_forward(fast_forward);
+    for h in 0..hosts {
+        p.set_host_limit(h, Watts(185.0)).unwrap();
+    }
+    p
+}
+
+fn bench_platform_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("platform_step");
+    for &hosts in &[64usize, 900] {
+        // Disarmed: every iteration re-resolves every operating point and
+        // steps every column — the reference cost of the columnar loop.
+        let mut p = platform(hosts, false);
+        let mut bufs = IterationBuffers::new();
+        p.run_iteration_into(&mut bufs); // warm allocations
+        g.bench_function(format!("full_resolve/{hosts}_hosts"), |b| {
+            b.iter(|| {
+                p.run_iteration_into(&mut bufs);
+                black_box(bufs.outcome().elapsed)
+            })
+        });
+
+        // Armed: let enforcement settle to its bitwise fixed point first,
+        // then measure the steady-state replay.
+        let mut p = platform(hosts, true);
+        let mut bufs = IterationBuffers::new();
+        for _ in 0..400 {
+            p.run_iteration_into(&mut bufs);
+        }
+        assert!(
+            p.steady_state_active(),
+            "fleet must settle before the fast-forward rows mean anything"
+        );
+        g.bench_function(format!("fast_forward/{hosts}_hosts"), |b| {
+            b.iter(|| {
+                p.run_iteration_into(&mut bufs);
+                black_box(bufs.outcome().elapsed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_platform_step);
+criterion_main!(benches);

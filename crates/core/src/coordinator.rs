@@ -111,6 +111,7 @@ pub struct Coordinator {
     jitter_sigma: f64,
     seed: u64,
     fault_plan: FaultPlan,
+    fast_forward: bool,
 }
 
 impl Coordinator {
@@ -122,7 +123,17 @@ impl Coordinator {
             jitter_sigma: 0.0,
             seed: 0,
             fault_plan: FaultPlan::none(),
+            fast_forward: true,
         }
+    }
+
+    /// Enable or disable the steady-state fast-forward path in the job
+    /// platforms (on by default). Disabling forces every iteration through
+    /// the full resolve-and-step pipeline — the reference execution the
+    /// determinism suite compares the cached paths against.
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
+        self
     }
 
     /// Enable per-iteration jitter in the job platforms.
@@ -407,6 +418,7 @@ impl Coordinator {
                 .collect();
             let mut platform =
                 JobPlatform::new(model.clone(), nodes, setup.config).with_fault_plan(plan);
+            platform.set_fast_forward(self.fast_forward);
             if self.jitter_sigma > 0.0 {
                 platform =
                     platform.with_jitter(self.jitter_sigma, self.seed.wrapping_add(j as u64));

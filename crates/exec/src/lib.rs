@@ -44,11 +44,16 @@ thread_local! {
 /// Number of workers a fresh pool would use: the `PMSTACK_THREADS`
 /// environment variable when set (clamped to at least 1), otherwise
 /// [`std::thread::available_parallelism`].
+///
+/// Resolved once per process: `available_parallelism` re-reads the cgroup
+/// quota files on every call on Linux, which is far too expensive for the
+/// per-iteration call sites in the simulation hot loop.
 pub fn workers() -> usize {
-    match std::env::var("PMSTACK_THREADS") {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(|| match std::env::var("PMSTACK_THREADS") {
         Ok(v) => v.trim().parse::<usize>().unwrap_or(1).max(1),
         Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    })
 }
 
 /// True when a `par_map` issued from the current thread would run inline

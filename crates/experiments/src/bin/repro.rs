@@ -8,16 +8,18 @@
 //! ```
 
 use pmstack_experiments::grid::{EvaluationGrid, GridParams};
-use pmstack_experiments::{export, figures, resilience, tables, Testbed};
+use pmstack_experiments::{export, figures, replicates, resilience, tables, Testbed};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro <artifact> [--fast] [--faults] [--time] [--out DIR]\n\
+        "usage: repro <artifact> [--fast] [--faults] [--time] [--replicates N] [--out DIR]\n\
          artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep faults\n\
          (--faults is shorthand for the `faults` artifact: the five policies\n\
           under one fixed fault plan, online mode;\n\
+          --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
+          replicate sweep: N jittered + 1 clean full-stack run per policy;\n\
           --time prints the grid's per-phase wall-clock breakdown and, with\n\
-          --out, writes BENCH_grid.json)"
+          --out, writes BENCH_grid.json / BENCH_sweep.json)"
     );
     std::process::exit(2);
 }
@@ -30,11 +32,20 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .map(|i| args.get(i + 1).unwrap_or_else(|| usage()).into());
+    let replicates_n: Option<usize> = args.iter().position(|a| a == "--replicates").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    });
     let artifacts: Vec<&str> = args
         .iter()
         .enumerate()
         .filter(|(i, a)| {
-            !a.starts_with("--") && args.get(i.wrapping_sub(1)).map(String::as_str) != Some("--out")
+            !a.starts_with("--")
+                && !matches!(
+                    args.get(i.wrapping_sub(1)).map(String::as_str),
+                    Some("--out") | Some("--replicates")
+                )
         })
         .map(|(_, a)| a.as_str())
         .collect();
@@ -123,11 +134,52 @@ fn main() {
     if let Some(tb) = &testbed {
         emit("fig6", figures::fig6(tb));
         if artifact == "all" || artifact == "sweep" {
-            let (npj, steps) = if fast { (6, 10) } else { (25, 20) };
-            emit(
-                "sweep",
-                figures::fig_sweep(tb, pmstack_experiments::MixKind::WastefulPower, npj, steps),
-            );
+            if let Some(n) = replicates_n {
+                let rp = if fast {
+                    replicates::ReplicateParams::fast(n)
+                } else {
+                    replicates::ReplicateParams::default_scale(n)
+                };
+                eprintln!(
+                    "[repro] replicate sweep: 5 policies x ({n} jittered + 1 clean) full-stack \
+                     runs (9 jobs x {} nodes, {} iterations)…",
+                    rp.nodes_per_job, rp.iterations
+                );
+                let sweep = replicates::run_sweep(pmstack_experiments::MixKind::WastefulPower, rp);
+                eprintln!(
+                    "[repro] sweep timing: {:.3}s wall for {} node iterations ({:.2e} node-iters/s)",
+                    sweep.wall_secs,
+                    sweep.node_iterations,
+                    sweep.throughput(),
+                );
+                emit("sweep", replicates::render(&sweep));
+                if timed {
+                    if let Some(dir) = &out_dir {
+                        let json = format!(
+                            "{{\n  \"benchmark\": \"replicate_sweep\",\n  \"mix\": \"{}\",\n  \
+                             \"replicates\": {},\n  \"nodes_per_job\": {},\n  \
+                             \"iterations\": {},\n  \"node_iterations\": {},\n  \
+                             \"wall_secs\": {:.6},\n  \"node_iters_per_sec\": {:.1}\n}}\n",
+                            sweep.mix,
+                            rp.replicates,
+                            rp.nodes_per_job,
+                            rp.iterations,
+                            sweep.node_iterations,
+                            sweep.wall_secs,
+                            sweep.throughput(),
+                        );
+                        std::fs::write(dir.join("BENCH_sweep.json"), json)
+                            .expect("write BENCH_sweep.json");
+                        eprintln!("[repro] wrote {}", dir.join("BENCH_sweep.json").display());
+                    }
+                }
+            } else {
+                let (npj, steps) = if fast { (6, 10) } else { (25, 20) };
+                emit(
+                    "sweep",
+                    figures::fig_sweep(tb, pmstack_experiments::MixKind::WastefulPower, npj, steps),
+                );
+            }
         }
     }
     if artifact == "all" || artifact == "faults" {

@@ -12,6 +12,9 @@
 //! * [`facility`] — the facility-scale year simulation behind Fig. 1.
 //! * [`export`] — CSV export of the evaluation grid.
 //! * [`sweep`] — continuous budget sweeps locating policy crossovers.
+//! * [`replicates`] — Fig. 8-style jitter-seed replicate sweeps through the
+//!   full stack (`repro sweep --replicates N`), the volume workload the
+//!   columnar hot loop is benchmarked on.
 //! * [`resilience`] — the five policies under one fixed fault plan
 //!   (node deaths, telemetry dropout, stuck RAPL): graceful degradation
 //!   across the whole stack (`repro faults`).
@@ -35,6 +38,7 @@ pub mod facility;
 pub mod figures;
 pub mod grid;
 pub mod mixes;
+pub mod replicates;
 pub mod resilience;
 pub mod sweep;
 pub mod tables;

@@ -99,3 +99,110 @@ fn keyed_cell_lookup_matches_linear_scan() {
         );
     }
 }
+
+/// Full-stack fast-forward determinism: a coordinator run with the
+/// steady-state caches enabled is bit-identical to the same run forced
+/// through the full resolve-and-step pipeline every iteration — clean,
+/// jittered, and under a fault plan.
+#[test]
+fn coordinator_fast_forward_matches_full_pipeline() {
+    use pmstack_core::policies::by_kind;
+    use pmstack_core::{Coordinator, CoordinatorMode, MixRun, PolicyKind};
+    use pmstack_experiments::mixes::build_scaled;
+    use pmstack_simhw::{quartz_spec, Cluster, FaultPlan, VariationProfile, Watts};
+
+    let workload = build_scaled(MixKind::NeedUsedPower, 3);
+    let total = workload.total_nodes();
+    let cluster = Cluster::builder(quartz_spec())
+        .nodes(total)
+        .variation(VariationProfile::quartz())
+        .seed(11)
+        .build()
+        .unwrap();
+    let budget = Watts(185.0 * total as f64);
+    let policy = by_kind(PolicyKind::JobAdaptive);
+
+    let assert_runs_identical = |a: &MixRun, b: &MixRun| {
+        assert_eq!(a.reports.len(), b.reports.len());
+        for (ra, rb) in a.reports.iter().zip(&b.reports) {
+            assert_eq!(ra.elapsed.value().to_bits(), rb.elapsed.value().to_bits());
+            assert_eq!(ra.energy.value().to_bits(), rb.energy.value().to_bits());
+            assert_eq!(ra.iteration_times.len(), rb.iteration_times.len());
+            for (ta, tb) in ra.iteration_times.iter().zip(&rb.iteration_times) {
+                assert_eq!(ta.value().to_bits(), tb.value().to_bits());
+            }
+            for (ha, hb) in ra.hosts.iter().zip(&rb.hosts) {
+                assert_eq!(ha.energy.value().to_bits(), hb.energy.value().to_bits());
+                assert_eq!(
+                    ha.final_limit.value().to_bits(),
+                    hb.final_limit.value().to_bits()
+                );
+                assert_eq!(
+                    ha.mean_epoch.value().to_bits(),
+                    hb.mean_epoch.value().to_bits()
+                );
+            }
+        }
+    };
+
+    // Clean: the fast-forward replay engages once enforcement settles.
+    let base = Coordinator::new(&cluster);
+    let with_ff = base.run_mix(
+        &workload.jobs,
+        policy.as_ref(),
+        budget,
+        120,
+        CoordinatorMode::Emulated,
+    );
+    let without_ff = Coordinator::new(&cluster).with_fast_forward(false).run_mix(
+        &workload.jobs,
+        policy.as_ref(),
+        budget,
+        120,
+        CoordinatorMode::Emulated,
+    );
+    assert_runs_identical(&with_ff, &without_ff);
+
+    // Jittered: only the settled operating-point cache can engage.
+    let with_ff = Coordinator::new(&cluster).with_jitter(0.01, 23).run_mix(
+        &workload.jobs,
+        policy.as_ref(),
+        budget,
+        120,
+        CoordinatorMode::Emulated,
+    );
+    let without_ff = Coordinator::new(&cluster)
+        .with_jitter(0.01, 23)
+        .with_fast_forward(false)
+        .run_mix(
+            &workload.jobs,
+            policy.as_ref(),
+            budget,
+            120,
+            CoordinatorMode::Emulated,
+        );
+    assert_runs_identical(&with_ff, &without_ff);
+
+    // Faulted: every cache must disarm exactly at the event boundaries.
+    let plan = FaultPlan::randomized(5, total, 120, 4);
+    let with_ff = Coordinator::new(&cluster)
+        .with_fault_plan(plan.clone())
+        .run_mix(
+            &workload.jobs,
+            policy.as_ref(),
+            budget,
+            120,
+            CoordinatorMode::Emulated,
+        );
+    let without_ff = Coordinator::new(&cluster)
+        .with_fault_plan(plan)
+        .with_fast_forward(false)
+        .run_mix(
+            &workload.jobs,
+            policy.as_ref(),
+            budget,
+            120,
+            CoordinatorMode::Emulated,
+        );
+    assert_runs_identical(&with_ff, &without_ff);
+}

@@ -7,7 +7,7 @@
 
 use crate::agent::Agent;
 use crate::endpoint::EndpointRuntime;
-use crate::platform::JobPlatform;
+use crate::platform::{IterationBuffers, JobPlatform};
 use crate::report::{HostReport, JobReport};
 use pmstack_simhw::{Joules, Seconds, Watts};
 
@@ -62,18 +62,22 @@ impl<A: Agent> Controller<A> {
         let tail_start = iterations - (iterations / 4).max(1).min(iterations);
         let mut tail_limit_sums = vec![Watts::ZERO; n];
         let mut tail_count = 0usize;
+        let mut bufs = IterationBuffers::new();
+        let mut limits_buf = Vec::with_capacity(n);
 
         for iter in 0..iterations {
-            let outcome = self.platform.run_iteration();
+            self.platform.run_iteration_into(&mut bufs);
+            let outcome = bufs.outcome();
             elapsed += outcome.elapsed;
             iteration_times.push(outcome.elapsed);
             for (h, t) in outcome.host_compute_time.iter().enumerate() {
                 epoch_sums[h] += *t;
             }
-            self.mark_host_trust(&outcome);
-            self.agent.adjust(&mut self.platform, &outcome);
+            Self::mark_host_trust(&mut self.platform, outcome);
+            self.agent.adjust(&mut self.platform, outcome);
             if iter >= tail_start {
-                for (h, l) in self.platform.host_limits().iter().enumerate() {
+                self.platform.host_limits_into(&mut limits_buf);
+                for (h, l) in limits_buf.iter().enumerate() {
                     tail_limit_sums[h] += *l;
                 }
                 tail_count += 1;
@@ -93,7 +97,7 @@ impl<A: Agent> Controller<A> {
                 let energy = energy_end[h] - energy_start[h];
                 HostReport {
                     host: h,
-                    eps: self.platform.nodes()[h].eps(),
+                    eps: self.platform.host_eps(h),
                     avg_power: if elapsed.value() > 0.0 {
                         energy / elapsed
                     } else {
@@ -134,6 +138,8 @@ impl<A: Agent> Controller<A> {
         let mut flops = 0.0;
         let mut limit_sums = vec![Watts::ZERO; n];
         let mut limit_count = 0usize;
+        let mut bufs = IterationBuffers::new();
+        let mut limits_buf = Vec::with_capacity(n);
 
         for (p, phase) in workload.phases.iter().enumerate() {
             self.platform.set_config(phase.config);
@@ -141,15 +147,17 @@ impl<A: Agent> Controller<A> {
                 self.agent.on_phase_change(&mut self.platform);
             }
             for _ in 0..phase.iterations {
-                let outcome = self.platform.run_iteration();
+                self.platform.run_iteration_into(&mut bufs);
+                let outcome = bufs.outcome();
                 elapsed += outcome.elapsed;
                 iteration_times.push(outcome.elapsed);
                 for (h, t) in outcome.host_compute_time.iter().enumerate() {
                     epoch_sums[h] += *t;
                 }
-                self.mark_host_trust(&outcome);
-                self.agent.adjust(&mut self.platform, &outcome);
-                for (h, l) in self.platform.host_limits().iter().enumerate() {
+                Self::mark_host_trust(&mut self.platform, outcome);
+                self.agent.adjust(&mut self.platform, outcome);
+                self.platform.host_limits_into(&mut limits_buf);
+                for (h, l) in limits_buf.iter().enumerate() {
                     limit_sums[h] += *l;
                 }
                 limit_count += 1;
@@ -169,7 +177,7 @@ impl<A: Agent> Controller<A> {
                 let energy = energy_end[h] - energy_start[h];
                 HostReport {
                     host: h,
-                    eps: self.platform.nodes()[h].eps(),
+                    eps: self.platform.host_eps(h),
                     avg_power: if elapsed.value() > 0.0 {
                         energy / elapsed
                     } else {
@@ -195,16 +203,17 @@ impl<A: Agent> Controller<A> {
     /// Propagate the iteration's telemetry quality into host health: hosts
     /// with stale readings become suspect (agents hold their last-known
     /// caps there), hosts with fresh readings are cleared again. Death is
-    /// recorded by the hardware layer itself.
-    fn mark_host_trust(&mut self, outcome: &crate::platform::IterationOutcome) {
+    /// recorded by the hardware layer itself. (Associated function so the
+    /// borrowed outcome can live in the caller's iteration buffers.)
+    fn mark_host_trust(platform: &mut JobPlatform, outcome: &crate::platform::IterationOutcome) {
         for h in 0..outcome.host_alive.len() {
             if !outcome.host_alive[h] {
                 continue;
             }
             if outcome.host_fresh[h] {
-                self.platform.mark_host_healthy(h);
+                platform.mark_host_healthy(h);
             } else {
-                self.platform.mark_host_suspect(h);
+                platform.mark_host_suspect(h);
             }
         }
     }

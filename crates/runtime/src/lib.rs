@@ -38,6 +38,6 @@ pub use agent::Agent;
 pub use agents::{FrequencyGovernorAgent, MonitorAgent, PowerBalancerAgent, PowerGovernorAgent};
 pub use controller::Controller;
 pub use endpoint::{Endpoint, EndpointRm, EndpointRuntime};
-pub use platform::{IterationOutcome, JobPlatform};
+pub use platform::{IterationBuffers, IterationOutcome, JobPlatform};
 pub use report::{HostReport, JobReport};
 pub use trace::{Trace, TraceRecord, Tracer};

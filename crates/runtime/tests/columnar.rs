@@ -1,0 +1,384 @@
+//! Property tests pinning the columnar platform to the seed semantics.
+//!
+//! The reference below is a line-for-line transcription of the pre-columnar
+//! `JobPlatform::run_iteration`: per-`Node` virtual stepping, a fresh
+//! operating-point resolve per host per iteration, and `Vec`s collected per
+//! call. The columnar bank, the settled operating-point cache, and the
+//! steady-state fast-forward replay must all be *bit-identical* to it — for
+//! every observable of every iteration, over random fault plans, jitter
+//! seeds, and limit/cap schedules.
+
+use pmstack_kernel::{Imbalance, KernelConfig, KernelLoad, VectorWidth, WaitingFraction};
+use pmstack_runtime::{IterationBuffers, JobPlatform};
+use pmstack_simhw::{
+    quartz_spec, FaultEvent, FaultKind, FaultPlan, Hertz, Joules, Node, NodeId, PowerModel,
+    Seconds, Watts,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// One iteration's observables, bit-comparable.
+#[derive(Debug, Clone, PartialEq)]
+struct Observed {
+    elapsed: u64,
+    compute: Vec<u64>,
+    power: Vec<u64>,
+    lead: Vec<u64>,
+    limit: Vec<u64>,
+    alive: Vec<bool>,
+    fresh: Vec<bool>,
+}
+
+/// The seed's per-node iteration loop, kept as the oracle.
+struct Reference {
+    model: PowerModel,
+    load: KernelLoad,
+    nodes: Vec<Node>,
+    plan: FaultPlan,
+    sigma: f64,
+    rng: ChaCha8Rng,
+    iteration: u64,
+    last_power: Vec<Watts>,
+    last_lead: Vec<Hertz>,
+}
+
+impl Reference {
+    fn new(config: KernelConfig, eps: &[f64], plan: FaultPlan, sigma: f64, seed: u64) -> Self {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let load = KernelLoad::new(config, model.spec());
+        let nodes: Vec<Node> = eps
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let n = nodes.len();
+        Self {
+            model,
+            load,
+            nodes,
+            plan,
+            sigma,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            iteration: 0,
+            last_power: vec![Watts::ZERO; n],
+            last_lead: vec![Hertz(0.0); n],
+        }
+    }
+
+    fn draw_jitter(&mut self) -> f64 {
+        if self.sigma == 0.0 {
+            return 1.0;
+        }
+        let u: f64 = self.rng.gen::<f64>() + self.rng.gen::<f64>() - 1.0;
+        (1.0 + u * self.sigma * 1.7).max(0.5)
+    }
+
+    fn run_iteration(&mut self) -> Observed {
+        let events: Vec<FaultEvent> = self
+            .plan
+            .events()
+            .iter()
+            .filter(|e| e.at_iteration == self.iteration)
+            .copied()
+            .collect();
+        for ev in events {
+            if let Some(node) = self.nodes.get_mut(ev.host) {
+                node.inject(ev.kind);
+            }
+        }
+        self.iteration += 1;
+
+        let n = self.nodes.len();
+        let mut ops = Vec::with_capacity(n);
+        let mut compute = Vec::with_capacity(n);
+        for host in 0..n {
+            if self.nodes[host].is_dead() {
+                ops.push(None);
+                compute.push(Seconds::ZERO);
+                continue;
+            }
+            let op = self.nodes[host].operating_point(&self.model, &self.load);
+            let jitter = self.draw_jitter();
+            compute.push(Seconds(self.load.iteration_time(&op).value() * jitter));
+            ops.push(Some(op));
+        }
+        let elapsed = compute.iter().copied().fold(Seconds::ZERO, Seconds::max);
+        let limits: Vec<Watts> = self.nodes.iter().map(|n| n.enforced_limit()).collect();
+
+        let mut power = Vec::with_capacity(n);
+        let mut lead = Vec::with_capacity(n);
+        let mut alive = Vec::with_capacity(n);
+        let mut fresh = Vec::with_capacity(n);
+        for host in 0..n {
+            let Some(op) = ops[host] else {
+                power.push(Watts::ZERO);
+                lead.push(Hertz(0.0));
+                alive.push(false);
+                fresh.push(false);
+                continue;
+            };
+            alive.push(true);
+            match self.nodes[host].try_step(&self.model, &self.load, elapsed) {
+                Ok(sample) => {
+                    self.last_power[host] = sample.power;
+                    self.last_lead[host] = op.lead;
+                    power.push(sample.power);
+                    lead.push(op.lead);
+                    fresh.push(true);
+                }
+                Err(_) => {
+                    power.push(self.last_power[host]);
+                    lead.push(self.last_lead[host]);
+                    fresh.push(false);
+                }
+            }
+        }
+        Observed {
+            elapsed: elapsed.value().to_bits(),
+            compute: compute.iter().map(|t| t.value().to_bits()).collect(),
+            power: power.iter().map(|p| p.value().to_bits()).collect(),
+            lead: lead.iter().map(|f| f.value().to_bits()).collect(),
+            limit: limits.iter().map(|l| l.value().to_bits()).collect(),
+            alive,
+            fresh,
+        }
+    }
+
+    fn energies(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.energy().value().to_bits())
+            .collect()
+    }
+}
+
+fn observe(bufs: &IterationBuffers) -> Observed {
+    let o = bufs.outcome();
+    Observed {
+        elapsed: o.elapsed.value().to_bits(),
+        compute: o
+            .host_compute_time
+            .iter()
+            .map(|t| t.value().to_bits())
+            .collect(),
+        power: o.host_power.iter().map(|p| p.value().to_bits()).collect(),
+        lead: o.host_lead.iter().map(|f| f.value().to_bits()).collect(),
+        limit: o.host_limit.iter().map(|l| l.value().to_bits()).collect(),
+        alive: o.host_alive.clone(),
+        fresh: o.host_fresh.clone(),
+    }
+}
+
+fn build_platform(
+    config: KernelConfig,
+    eps: &[f64],
+    plan: FaultPlan,
+    sigma: f64,
+    seed: u64,
+    fast_forward: bool,
+) -> JobPlatform {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes = eps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+        .collect();
+    let mut p = JobPlatform::new(model, nodes, config)
+        .with_fault_plan(plan)
+        .with_jitter(sigma, seed);
+    p.set_fast_forward(fast_forward);
+    p
+}
+
+/// A scheduled control write: at iteration `at`, set host `host`'s limit
+/// (and possibly a frequency cap).
+#[derive(Debug, Clone)]
+struct ControlWrite {
+    at: u64,
+    host: usize,
+    limit: f64,
+    cap_ghz: Option<f64>,
+}
+
+fn arb_kind() -> impl Strategy<Value = FaultKind> {
+    prop_oneof![
+        Just(FaultKind::NodeDeath),
+        (100.0f64..260.0).prop_map(|w| FaultKind::StuckRapl { pinned_w: w }),
+        (1u32..5).prop_map(|iterations| FaultKind::TelemetryDropout { iterations }),
+        Just(FaultKind::TransientMsrFault),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = KernelConfig> {
+    (
+        0.5f64..24.0,
+        prop_oneof![
+            Just(WaitingFraction::P0),
+            Just(WaitingFraction::P50),
+            Just(WaitingFraction::P75)
+        ],
+    )
+        .prop_map(|(i, w)| {
+            let k = if w == WaitingFraction::P0 {
+                Imbalance::Balanced
+            } else {
+                Imbalance::TwoX
+            };
+            KernelConfig::new(i, VectorWidth::Ymm, w, k)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Columnar stepping — with fast-forward both armed and disarmed — is
+    /// bit-identical to the seed's per-node loop for every observable of
+    /// every iteration, over random fault plans, jitter seeds, and
+    /// limit/cap schedules.
+    #[test]
+    fn columnar_matches_seed_semantics(
+        config in arb_config(),
+        eps in prop::collection::vec(0.92f64..1.08, 1..5),
+        sigma in prop_oneof![Just(0.0), 0.002f64..0.02],
+        seed in 0u64..u64::MAX,
+        faults in prop::collection::vec((0u64..50, 0usize..5, arb_kind()), 0..4),
+        writes in prop::collection::vec(
+            (
+                0u64..50,
+                0usize..5,
+                120.0f64..260.0,
+                prop_oneof![Just(None), (1.2f64..2.6).prop_map(Some)],
+            ),
+            0..4,
+        ),
+    ) {
+        let n = eps.len();
+        let plan = FaultPlan::scripted(
+            faults
+                .iter()
+                .map(|&(at_iteration, host, kind)| FaultEvent {
+                    at_iteration,
+                    host: host % n,
+                    kind,
+                })
+                .collect(),
+        );
+        let writes: Vec<ControlWrite> = writes
+            .iter()
+            .map(|&(at, host, limit, cap_ghz)| ControlWrite {
+                at,
+                host: host % n,
+                limit,
+                cap_ghz,
+            })
+            .collect();
+
+        let mut reference = Reference::new(config, &eps, plan.clone(), sigma, seed);
+        let mut fast = build_platform(config, &eps, plan.clone(), sigma, seed, true);
+        let mut slow = build_platform(config, &eps, plan, sigma, seed, false);
+        let mut fast_bufs = IterationBuffers::new();
+        let mut slow_bufs = IterationBuffers::new();
+
+        for iter in 0..50u64 {
+            fast.run_iteration_into(&mut fast_bufs);
+            slow.run_iteration_into(&mut slow_bufs);
+            let expected = reference.run_iteration();
+            prop_assert_eq!(&observe(&fast_bufs), &expected, "fast-forward path, iteration {}", iter);
+            prop_assert_eq!(&observe(&slow_bufs), &expected, "reference path, iteration {}", iter);
+
+            for w in writes.iter().filter(|w| w.at == iter) {
+                let _ = fast.set_host_limit(w.host, Watts(w.limit));
+                let _ = slow.set_host_limit(w.host, Watts(w.limit));
+                let _ = reference.nodes[w.host].set_power_limit(Watts(w.limit));
+                if let Some(ghz) = w.cap_ghz {
+                    let cap = Some(Hertz(ghz * 1e9));
+                    let _ = fast.set_host_freq_cap(w.host, cap);
+                    let _ = slow.set_host_freq_cap(w.host, cap);
+                    let _ = reference.nodes[w.host].set_freq_cap(cap);
+                }
+            }
+        }
+
+        let expected_energy = reference.energies();
+        let fast_energy: Vec<u64> = fast.host_energy().iter().map(|e| e.value().to_bits()).collect();
+        let slow_energy: Vec<u64> = slow.host_energy().iter().map(|e| e.value().to_bits()).collect();
+        prop_assert_eq!(&fast_energy, &expected_energy);
+        prop_assert_eq!(&slow_energy, &expected_energy);
+    }
+}
+
+/// Deterministic long run: the fast-forward replay must actually engage and
+/// stay bit-identical to the seed loop through capture, replay, a mid-run
+/// control write (which disarms it), and re-capture.
+#[test]
+fn fast_forward_replay_is_bit_identical_over_long_run() {
+    let config = KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX);
+    let eps = [0.97, 1.0, 1.04];
+    let mut reference = Reference::new(config, &eps, FaultPlan::none(), 0.0, 7);
+    let mut p = build_platform(config, &eps, FaultPlan::none(), 0.0, 7, true);
+    let mut bufs = IterationBuffers::new();
+
+    // Cap hard enough that the enforcement filter has real work to do.
+    for h in 0..eps.len() {
+        p.set_host_limit(h, Watts(180.0)).unwrap();
+        reference.nodes[h].set_power_limit(Watts(180.0)).unwrap();
+    }
+
+    let mut engaged = false;
+    for iter in 0..400 {
+        if iter == 250 {
+            assert!(
+                p.steady_state_active(),
+                "fast-forward should be armed once the filters settle"
+            );
+            engaged = true;
+            p.set_host_limit(1, Watts(200.0)).unwrap();
+            reference.nodes[1].set_power_limit(Watts(200.0)).unwrap();
+            assert!(
+                !p.steady_state_active(),
+                "control writes must disarm replay"
+            );
+        }
+        p.run_iteration_into(&mut bufs);
+        let expected = reference.run_iteration();
+        assert_eq!(observe(&bufs), expected, "iteration {iter}");
+    }
+    assert!(engaged);
+    assert!(
+        p.steady_state_active(),
+        "replay should re-arm after the new limit settles"
+    );
+    let energies: Vec<u64> = p
+        .host_energy()
+        .iter()
+        .map(|e| e.value().to_bits())
+        .collect();
+    assert_eq!(energies, reference.energies());
+}
+
+/// The bank's operating-point resolve (used by the platform) agrees with the
+/// node's own resolve under frequency caps.
+#[test]
+fn platform_operating_point_matches_node_resolve() {
+    let config = KernelConfig::balanced_ymm(8.0);
+    let eps = [1.0, 1.03];
+    let mut p = build_platform(config, &eps, FaultPlan::none(), 0.0, 0, true);
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let load = KernelLoad::new(config, model.spec());
+    let mut nodes: Vec<Node> = eps
+        .iter()
+        .enumerate()
+        .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+        .collect();
+    p.set_host_freq_cap(0, Some(Hertz(1.9e9))).unwrap();
+    nodes[0].set_freq_cap(Some(Hertz(1.9e9))).unwrap();
+    for h in 0..eps.len() {
+        let got = p.host_operating_point(h).unwrap();
+        let want = nodes[h].operating_point(&model, &load);
+        assert_eq!(got.lead.value().to_bits(), want.lead.value().to_bits());
+        assert_eq!(got.trail.value().to_bits(), want.trail.value().to_bits());
+        assert_eq!(got.power.value().to_bits(), want.power.value().to_bits());
+    }
+    let _ = Joules::ZERO; // keep the unit import honest if fields change
+}

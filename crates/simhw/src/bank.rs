@@ -1,0 +1,690 @@
+//! Columnar (struct-of-arrays) hot-path storage for a fleet of [`Node`]s.
+//!
+//! The per-[`Node`] stepping path pays, on every node every iteration, a PL1
+//! register decode (two `HashMap` loads), an energy-counter store (a
+//! `HashMap` insert), and an `exp()` per package. None of that state changes
+//! between control writes, so [`NodeBank`] hoists it into parallel columns:
+//!
+//! * **hot columns** — energy, enforced limit, last frequency, telemetry
+//!   blackout countdown, MSR glitch flag. These are *authoritative* between
+//!   control operations; the backing `Node`s go stale and are lazily
+//!   re-synchronized by [`NodeBank::nodes`].
+//! * **control mirrors** — enforcement target/τ, programmed limit, frequency
+//!   cap, health, efficiency. Refreshed from the `Node` after every control
+//!   operation, which is routed flush → `Node` method → refresh so the
+//!   `Node` keeps full authority over fault semantics (stuck RAPL, glitch
+//!   consumption, dead-node rejection).
+//!
+//! [`NodeBank::step_all`] replays exactly the arithmetic of
+//! [`RaplPackage::advance`] over the columns — same operand values, same
+//! operation order — so a bank-stepped fleet is bit-identical to a fleet
+//! stepped through [`Node::try_step`] (property-tested in
+//! `pmstack-runtime/tests/columnar.rs`). It additionally reports whether the
+//! enforcement filters reached a bitwise fixed point, which is what arms the
+//! runtime's steady-state fast-forward.
+
+use crate::error::Result;
+use crate::faults::{FaultKind, NodeHealth};
+use crate::node::Node;
+use crate::power::{LoadModel, OperatingPoint, PowerModel};
+use crate::units::{Hertz, Joules, Seconds, Watts};
+
+/// Outcome of one host's step inside [`NodeBank::step_all`], mirroring the
+/// three ways [`Node::try_step`] can go.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HostStep {
+    /// The host was not stepped (no operating point supplied — dead host).
+    Skipped,
+    /// Hardware advanced and telemetry read back cleanly.
+    Fresh,
+    /// Hardware advanced but the telemetry read failed (blackout or
+    /// transient MSR fault) — the caller must fall back on stale data.
+    Stale,
+}
+
+/// Struct-of-arrays storage for a fleet of nodes with batched stepping.
+///
+/// Per-(host, socket) columns use index `host * sockets + socket`.
+#[derive(Debug, Clone)]
+pub struct NodeBank {
+    nodes: Vec<Node>,
+    sockets: usize,
+    /// True while the backing `Node`s agree with the hot columns.
+    hot_synced: bool,
+
+    // Hot columns, per (host, socket): authoritative between control ops.
+    energy: Vec<Joules>,
+    enforced: Vec<Watts>,
+
+    // Control mirrors, per (host, socket): refreshed after control ops.
+    target: Vec<Watts>,
+    tau: Vec<f64>,
+    enabled: Vec<bool>,
+    pkg_max: Vec<Watts>,
+
+    // Hot columns, per host.
+    last_freq: Vec<Hertz>,
+    telemetry_down: Vec<u32>,
+    msr_glitch: Vec<bool>,
+
+    // Control mirrors, per host.
+    eps: Vec<f64>,
+    health: Vec<NodeHealth>,
+    freq_cap: Vec<Option<Hertz>>,
+    programmed: Vec<Watts>,
+}
+
+impl NodeBank {
+    /// Build a bank over `nodes`. All nodes must have the same socket count
+    /// (true of any cluster built from one machine spec).
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        let sockets = nodes.first().map_or(0, |n| n.packages().len());
+        debug_assert!(
+            nodes.iter().all(|n| n.packages().len() == sockets),
+            "NodeBank requires a homogeneous socket count"
+        );
+        let n = nodes.len();
+        let mut bank = Self {
+            nodes,
+            sockets,
+            hot_synced: true,
+            energy: vec![Joules::ZERO; n * sockets],
+            enforced: vec![Watts(0.0); n * sockets],
+            target: vec![Watts(0.0); n * sockets],
+            tau: vec![1.0; n * sockets],
+            enabled: vec![true; n * sockets],
+            pkg_max: vec![Watts(0.0); n * sockets],
+            last_freq: vec![Hertz(0.0); n],
+            telemetry_down: vec![0; n],
+            msr_glitch: vec![false; n],
+            eps: vec![1.0; n],
+            health: vec![NodeHealth::Healthy; n],
+            freq_cap: vec![None; n],
+            programmed: vec![Watts(0.0); n],
+        };
+        for h in 0..n {
+            bank.refresh_node(h);
+        }
+        bank
+    }
+
+    /// Number of hosts in the bank.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the bank holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Sockets per host.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// The host's efficiency factor ε.
+    pub fn eps(&self, h: usize) -> f64 {
+        self.eps[h]
+    }
+
+    /// The host's observed health.
+    pub fn health(&self, h: usize) -> NodeHealth {
+        self.health[h]
+    }
+
+    /// True unless the host is fail-stop dead.
+    pub fn is_alive(&self, h: usize) -> bool {
+        self.health[h] != NodeHealth::Dead
+    }
+
+    /// The host's programmed frequency cap, if any.
+    pub fn freq_cap(&self, h: usize) -> Option<Hertz> {
+        self.freq_cap[h]
+    }
+
+    /// The most recent lead frequency the host resolved.
+    pub fn last_freq(&self, h: usize) -> Hertz {
+        self.last_freq[h]
+    }
+
+    /// The host's programmed node-level limit (sum over sockets), matching
+    /// [`Node::power_limit`].
+    pub fn power_limit(&self, h: usize) -> Watts {
+        self.programmed[h]
+    }
+
+    /// The limit the host's enforcement loops currently hold (sum over
+    /// sockets), bit-identical to [`Node::enforced_limit`].
+    pub fn enforced_limit(&self, h: usize) -> Watts {
+        let s = self.sockets;
+        (h * s..(h + 1) * s)
+            .map(|i| {
+                if self.enabled[i] {
+                    self.enforced[i]
+                } else {
+                    self.pkg_max[i]
+                }
+            })
+            .sum()
+    }
+
+    /// Cumulative exact host energy (sum over sockets), bit-identical to
+    /// [`Node::energy`].
+    pub fn energy(&self, h: usize) -> Joules {
+        let s = self.sockets;
+        (h * s..(h + 1) * s).map(|i| self.energy[i]).sum()
+    }
+
+    /// The operating point the host settles on right now, replicating
+    /// [`Node::operating_point`] (PCU resolution under the enforced limit,
+    /// clamped by any software frequency cap).
+    pub fn operating_point<L: LoadModel + ?Sized>(
+        &self,
+        h: usize,
+        model: &PowerModel,
+        load: &L,
+    ) -> OperatingPoint {
+        let op = load.operating_point(model, self.eps[h], self.enforced_limit(h));
+        match self.freq_cap[h] {
+            Some(cap_f) if op.lead > cap_f => OperatingPoint {
+                lead: cap_f,
+                trail: op.trail.min(cap_f),
+                power: load.node_power_at(model, self.eps[h], cap_f),
+            },
+            _ => op,
+        }
+    }
+
+    /// True when no host has a pending telemetry blackout or MSR glitch —
+    /// i.e. the hot flags hold no one-shot state a fast-forwarded iteration
+    /// could consume differently from a stepped one.
+    pub fn quiescent(&self) -> bool {
+        self.telemetry_down.iter().all(|&t| t == 0) && self.msr_glitch.iter().all(|&g| !g)
+    }
+
+    /// Program a node-level power limit (routed through
+    /// [`Node::set_power_limit`], so stuck-RAPL latching, glitch consumption
+    /// and dead-node rejection behave exactly as on the per-node path).
+    pub fn set_power_limit(&mut self, h: usize, limit: Watts) -> Result<()> {
+        self.with_node_mut(h, |n| n.set_power_limit(limit))
+    }
+
+    /// Program or release a frequency cap (routed through
+    /// [`Node::set_freq_cap`]).
+    pub fn set_freq_cap(&mut self, h: usize, cap: Option<Hertz>) -> Result<()> {
+        self.with_node_mut(h, |n| n.set_freq_cap(cap))
+    }
+
+    /// Apply an injected fault (routed through [`Node::inject`]).
+    pub fn inject(&mut self, h: usize, kind: FaultKind) {
+        self.with_node_mut(h, |n| n.inject(kind));
+    }
+
+    /// Mark the host suspect. Health is not hot state, so this bypasses the
+    /// flush/refresh roundtrip — it is called every iteration by trust
+    /// tracking.
+    pub fn mark_suspect(&mut self, h: usize) {
+        self.nodes[h].mark_suspect();
+        self.health[h] = self.nodes[h].health();
+    }
+
+    /// Clear a suspect marking (dead hosts stay dead).
+    pub fn mark_healthy(&mut self, h: usize) {
+        self.nodes[h].mark_healthy();
+        self.health[h] = self.nodes[h].health();
+    }
+
+    /// Advance every host with an operating point by `dt`, replaying exactly
+    /// the arithmetic of [`Node::try_step`] over the columns:
+    ///
+    /// * energy accumulates at `op.power / sockets` per package;
+    /// * each enforcement filter settles one `alpha` step toward its target;
+    /// * `last_freq` latches `op.lead`;
+    /// * telemetry blackouts count down and glitches are consumed, surfaced
+    ///   as [`HostStep::Stale`].
+    ///
+    /// `ops[h] == None` means "do not step host `h`" (the dead-host path).
+    /// Returns `true` when every stepped enforcement filter was already at
+    /// its bitwise fixed point — the steady-state signal the fast-forward
+    /// path keys on. `parallel` chunks the columns across the worker pool.
+    pub fn step_all(
+        &mut self,
+        dt: Seconds,
+        ops: &[Option<OperatingPoint>],
+        results: &mut [HostStep],
+        parallel: bool,
+    ) -> bool {
+        let n = self.nodes.len();
+        assert_eq!(ops.len(), n, "one operating point slot per host");
+        assert_eq!(results.len(), n, "one result slot per host");
+        self.hot_synced = false;
+        let s = self.sockets;
+        let workers = pmstack_exec::workers();
+        if !parallel || workers <= 1 || n < 2 {
+            let mut chunk = StepChunk {
+                base: 0,
+                energy: &mut self.energy,
+                enforced: &mut self.enforced,
+                last_freq: &mut self.last_freq,
+                telemetry_down: &mut self.telemetry_down,
+                msr_glitch: &mut self.msr_glitch,
+                results,
+                settled: true,
+            };
+            step_chunk(&mut chunk, s, dt, ops, &self.target, &self.tau);
+            return chunk.settled;
+        }
+
+        let chunk_hosts = n.div_ceil(workers);
+        let mut chunks: Vec<StepChunk<'_>> = Vec::with_capacity(workers);
+        let (mut energy, mut enforced) = (&mut self.energy[..], &mut self.enforced[..]);
+        let (mut last_freq, mut telemetry_down, mut msr_glitch, mut results) = (
+            &mut self.last_freq[..],
+            &mut self.telemetry_down[..],
+            &mut self.msr_glitch[..],
+            results,
+        );
+        let mut base = 0;
+        while base < n {
+            let take = chunk_hosts.min(n - base);
+            let (ea, et) = energy.split_at_mut(take * s);
+            let (fa, ft) = enforced.split_at_mut(take * s);
+            let (la, lt) = last_freq.split_at_mut(take);
+            let (ta, tt) = telemetry_down.split_at_mut(take);
+            let (ma, mt) = msr_glitch.split_at_mut(take);
+            let (ra, rt) = results.split_at_mut(take);
+            energy = et;
+            enforced = ft;
+            last_freq = lt;
+            telemetry_down = tt;
+            msr_glitch = mt;
+            results = rt;
+            chunks.push(StepChunk {
+                base,
+                energy: ea,
+                enforced: fa,
+                last_freq: la,
+                telemetry_down: ta,
+                msr_glitch: ma,
+                results: ra,
+                settled: true,
+            });
+            base += take;
+        }
+        let (target, tau) = (&self.target, &self.tau);
+        pmstack_exec::par_for_each_mut(&mut chunks, |_, chunk| {
+            step_chunk(chunk, s, dt, ops, target, tau);
+        });
+        chunks.iter().all(|c| c.settled)
+    }
+
+    /// Fast-forward energy accumulation: add `deltas[h]` to every package of
+    /// every live host. `deltas[h]` must be the per-package energy of one
+    /// iteration (`per_socket_power * dt`, the exact product
+    /// [`NodeBank::step_all`] would have added), so `k` calls are
+    /// bit-identical to `k` stepped iterations of a settled fleet.
+    pub fn replay_energy(&mut self, deltas: &[Joules]) {
+        debug_assert_eq!(deltas.len(), self.nodes.len());
+        self.hot_synced = false;
+        let s = self.sockets;
+        for (h, &delta) in deltas.iter().enumerate() {
+            if self.health[h] == NodeHealth::Dead {
+                continue;
+            }
+            for e in &mut self.energy[h * s..(h + 1) * s] {
+                *e += delta;
+            }
+        }
+    }
+
+    /// The backing nodes, re-synchronized from the hot columns first. Use
+    /// for read paths that want full `Node` views; control operations must
+    /// go through the bank so the columns stay authoritative.
+    pub fn nodes(&mut self) -> &[Node] {
+        self.flush_all();
+        &self.nodes
+    }
+
+    /// One backing node, re-synchronized from the hot columns first.
+    pub fn node(&mut self, h: usize) -> &Node {
+        self.flush_node(h);
+        &self.nodes[h]
+    }
+
+    /// Tear the bank down into its (synchronized) nodes.
+    pub fn into_nodes(mut self) -> Vec<Node> {
+        self.flush_all();
+        self.nodes
+    }
+
+    /// Route a control operation through the backing `Node`: flush the hot
+    /// columns into it, run the operation, then refresh every mirror.
+    fn with_node_mut<T>(&mut self, h: usize, f: impl FnOnce(&mut Node) -> T) -> T {
+        self.flush_node(h);
+        let out = f(&mut self.nodes[h]);
+        self.refresh_node(h);
+        out
+    }
+
+    fn flush_all(&mut self) {
+        if self.hot_synced {
+            return;
+        }
+        for h in 0..self.nodes.len() {
+            self.flush_node(h);
+        }
+        self.hot_synced = true;
+    }
+
+    fn flush_node(&mut self, h: usize) {
+        let s = self.sockets;
+        for k in 0..s {
+            let i = h * s + k;
+            let (e, f) = (self.energy[i], self.enforced[i]);
+            self.nodes[h].packages_mut()[k].set_hot_state(e, f);
+        }
+        let (lf, td, mg) = (
+            self.last_freq[h],
+            self.telemetry_down[h],
+            self.msr_glitch[h],
+        );
+        self.nodes[h].set_hot_flags(lf, td, mg);
+    }
+
+    fn refresh_node(&mut self, h: usize) {
+        let s = self.sockets;
+        let node = &self.nodes[h];
+        for (k, pkg) in node.packages().iter().enumerate() {
+            let i = h * s + k;
+            let (e, f) = pkg.hot_state();
+            self.energy[i] = e;
+            self.enforced[i] = f;
+            let (target, tau) = pkg.enforcement_params();
+            self.target[i] = target;
+            self.tau[i] = tau;
+            self.enabled[i] = pkg.limit_enabled();
+            self.pkg_max[i] = pkg.max_limit();
+        }
+        let (lf, td, mg) = node.hot_flags();
+        self.last_freq[h] = lf;
+        self.telemetry_down[h] = td;
+        self.msr_glitch[h] = mg;
+        self.eps[h] = node.eps();
+        self.health[h] = node.health();
+        self.freq_cap[h] = node.freq_cap();
+        self.programmed[h] = node.power_limit();
+    }
+}
+
+/// One worker's disjoint view of the hot columns.
+struct StepChunk<'a> {
+    base: usize,
+    energy: &'a mut [Joules],
+    enforced: &'a mut [Watts],
+    last_freq: &'a mut [Hertz],
+    telemetry_down: &'a mut [u32],
+    msr_glitch: &'a mut [bool],
+    results: &'a mut [HostStep],
+    settled: bool,
+}
+
+/// Step every host of one chunk. `alpha` is memoized on τ: every package
+/// sharing a time window (the common case — all of them) reuses one `exp()`
+/// per chunk instead of paying one per package per host.
+fn step_chunk(
+    chunk: &mut StepChunk<'_>,
+    sockets: usize,
+    dt: Seconds,
+    ops: &[Option<OperatingPoint>],
+    target: &[Watts],
+    tau: &[f64],
+) {
+    let mut memo_tau = f64::NAN;
+    let mut memo_alpha = 0.0;
+    for i in 0..chunk.results.len() {
+        let h = chunk.base + i;
+        let Some(op) = ops[h] else {
+            chunk.results[i] = HostStep::Skipped;
+            continue;
+        };
+        chunk.last_freq[i] = op.lead;
+        let per_socket = op.power / sockets as f64;
+        for k in 0..sockets {
+            let gi = h * sockets + k;
+            let li = i * sockets + k;
+            chunk.energy[li] += per_socket * dt;
+            let t = tau[gi];
+            if t != memo_tau {
+                memo_alpha = 1.0 - (-dt.value() / t).exp();
+                memo_tau = t;
+            }
+            let held = chunk.enforced[li];
+            let next = held + (target[gi] - held) * memo_alpha;
+            if next.value().to_bits() != held.value().to_bits() {
+                chunk.settled = false;
+            }
+            chunk.enforced[li] = next;
+        }
+        chunk.results[i] = if chunk.telemetry_down[i] > 0 {
+            chunk.telemetry_down[i] -= 1;
+            HostStep::Stale
+        } else if std::mem::take(&mut chunk.msr_glitch[i]) {
+            HostStep::Stale
+        } else {
+            HostStep::Fresh
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeId;
+    use crate::power::CoreClass;
+    use crate::quartz::quartz_spec;
+
+    struct FlatLoad {
+        kappa: f64,
+    }
+
+    impl LoadModel for FlatLoad {
+        fn node_power_at(&self, model: &PowerModel, eps: f64, lead: Hertz) -> Watts {
+            model.node_power(
+                eps,
+                &[CoreClass {
+                    count: model.spec().cores_used_per_node,
+                    kappa: self.kappa,
+                    freq: lead,
+                }],
+            )
+        }
+    }
+
+    fn fleet(n: usize) -> (PowerModel, Vec<Node>) {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = (0..n)
+            .map(|i| Node::new(NodeId(i), &model, 0.9 + 0.02 * i as f64).unwrap())
+            .collect();
+        (model, nodes)
+    }
+
+    /// Step the reference fleet and the bank in lockstep, asserting every
+    /// observable is bit-identical after each iteration.
+    fn assert_lockstep(
+        model: &PowerModel,
+        load: &FlatLoad,
+        reference: &mut [Node],
+        bank: &mut NodeBank,
+        dt: Seconds,
+        iterations: usize,
+    ) {
+        let n = reference.len();
+        let mut ops = vec![None; n];
+        let mut results = vec![HostStep::Skipped; n];
+        for _ in 0..iterations {
+            for (h, node) in reference.iter().enumerate() {
+                ops[h] = (!node.is_dead()).then(|| bank.operating_point(h, model, load));
+            }
+            bank.step_all(dt, &ops, &mut results, false);
+            for node in reference.iter_mut() {
+                let _ = node.try_step(model, load, dt);
+            }
+            for (h, node) in reference.iter().enumerate() {
+                assert_eq!(
+                    bank.energy(h).value().to_bits(),
+                    node.energy().value().to_bits(),
+                    "energy diverged on host {h}"
+                );
+                assert_eq!(
+                    bank.enforced_limit(h).value().to_bits(),
+                    node.enforced_limit().value().to_bits(),
+                    "enforced limit diverged on host {h}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bank_steps_bit_identically_to_nodes() {
+        let (model, mut reference) = fleet(5);
+        let load = FlatLoad { kappa: 2.7 };
+        let mut bank = NodeBank::from_nodes(reference.clone());
+        for h in 0..reference.len() {
+            reference[h]
+                .set_power_limit(Watts(170.0 + 10.0 * h as f64))
+                .unwrap();
+            bank.set_power_limit(h, Watts(170.0 + 10.0 * h as f64))
+                .unwrap();
+        }
+        reference[2]
+            .set_freq_cap(Some(Hertz::from_ghz(1.9)))
+            .unwrap();
+        bank.set_freq_cap(2, Some(Hertz::from_ghz(1.9))).unwrap();
+        assert_lockstep(&model, &load, &mut reference, &mut bank, Seconds(0.2), 40);
+    }
+
+    #[test]
+    fn bank_replicates_fault_semantics() {
+        let (model, mut reference) = fleet(4);
+        let load = FlatLoad { kappa: 2.5 };
+        let mut bank = NodeBank::from_nodes(reference.clone());
+        for (h, kind) in [
+            (0, FaultKind::NodeDeath),
+            (1, FaultKind::StuckRapl { pinned_w: 140.0 }),
+            (2, FaultKind::TelemetryDropout { iterations: 3 }),
+            (3, FaultKind::TransientMsrFault),
+        ] {
+            reference[h].inject(kind);
+            bank.inject(h, kind);
+        }
+        assert!(!bank.is_alive(0));
+        assert!(!bank.quiescent());
+        // The stuck write latched the pinned value on both sides.
+        assert_eq!(
+            bank.power_limit(1).value().to_bits(),
+            reference[1].power_limit().value().to_bits()
+        );
+        assert_lockstep(&model, &load, &mut reference, &mut bank, Seconds(0.2), 6);
+        assert!(bank.quiescent(), "dropout and glitch should be consumed");
+    }
+
+    #[test]
+    fn parallel_and_sequential_stepping_agree() {
+        let (model, nodes) = fleet(9);
+        let load = FlatLoad { kappa: 2.6 };
+        let mut seq = NodeBank::from_nodes(nodes.clone());
+        let mut par = NodeBank::from_nodes(nodes);
+        for h in 0..seq.len() {
+            seq.set_power_limit(h, Watts(180.0)).unwrap();
+            par.set_power_limit(h, Watts(180.0)).unwrap();
+        }
+        let mut results_a = vec![HostStep::Skipped; seq.len()];
+        let mut results_b = vec![HostStep::Skipped; par.len()];
+        let mut ops = vec![None; seq.len()];
+        for _ in 0..10 {
+            for h in 0..seq.len() {
+                ops[h] = Some(seq.operating_point(h, &model, &load));
+            }
+            let sa = seq.step_all(Seconds(0.2), &ops, &mut results_a, false);
+            let sb = par.step_all(Seconds(0.2), &ops, &mut results_b, true);
+            assert_eq!(sa, sb);
+            assert_eq!(results_a, results_b);
+        }
+        for h in 0..seq.len() {
+            assert_eq!(
+                seq.energy(h).value().to_bits(),
+                par.energy(h).value().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn settles_to_bitwise_fixed_point_and_replays_energy() {
+        let (model, nodes) = fleet(3);
+        let load = FlatLoad { kappa: 2.5 };
+        let mut bank = NodeBank::from_nodes(nodes);
+        for h in 0..bank.len() {
+            bank.set_power_limit(h, Watts(160.0)).unwrap();
+        }
+        let dt = Seconds(0.25);
+        let mut results = vec![HostStep::Skipped; bank.len()];
+        let mut ops = vec![None; bank.len()];
+        let mut settled = false;
+        for _ in 0..2000 {
+            for h in 0..bank.len() {
+                ops[h] = Some(bank.operating_point(h, &model, &load));
+            }
+            settled = bank.step_all(dt, &ops, &mut results, false);
+            if settled {
+                break;
+            }
+        }
+        assert!(settled, "enforcement must reach a bitwise fixed point");
+
+        // From steady state, replaying k energy deltas matches k real steps.
+        let mut stepped = bank.clone();
+        let deltas: Vec<Joules> = (0..bank.len())
+            .map(|h| {
+                let op = bank.operating_point(h, &model, &load);
+                op.power / bank.sockets() as f64 * dt
+            })
+            .collect();
+        for _ in 0..7 {
+            for h in 0..stepped.len() {
+                ops[h] = Some(stepped.operating_point(h, &model, &load));
+            }
+            stepped.step_all(dt, &ops, &mut results, false);
+            bank.replay_energy(&deltas);
+        }
+        for h in 0..bank.len() {
+            assert_eq!(
+                bank.energy(h).value().to_bits(),
+                stepped.energy(h).value().to_bits(),
+                "fast-forwarded energy diverged on host {h}"
+            );
+        }
+    }
+
+    #[test]
+    fn nodes_view_is_resynchronized() {
+        let (model, nodes) = fleet(2);
+        let load = FlatLoad { kappa: 2.5 };
+        let mut bank = NodeBank::from_nodes(nodes);
+        let mut results = vec![HostStep::Skipped; 2];
+        let ops: Vec<_> = (0..2)
+            .map(|h| Some(bank.operating_point(h, &model, &load)))
+            .collect();
+        for _ in 0..5 {
+            bank.step_all(Seconds(0.2), &ops, &mut results, false);
+        }
+        let expect: Vec<u64> = (0..2).map(|h| bank.energy(h).value().to_bits()).collect();
+        for (h, node) in bank.nodes().iter().enumerate() {
+            assert_eq!(node.energy().value().to_bits(), expect[h]);
+            // The energy-status MSR is brought up to date too.
+            assert!(node.packages()[0].read_energy_counter().unwrap() > 0);
+        }
+        let nodes = bank.into_nodes();
+        assert_eq!(nodes.len(), 2);
+    }
+}

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod bank;
 pub mod clock;
 pub mod cluster;
 pub mod error;
@@ -43,6 +44,7 @@ pub mod rapl;
 pub mod units;
 pub mod variation;
 
+pub use bank::{HostStep, NodeBank};
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::SimHwError;

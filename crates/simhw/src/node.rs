@@ -99,6 +99,29 @@ impl Node {
         &self.packages
     }
 
+    /// Mutable package access for the columnar bank's hot-state flush.
+    pub(crate) fn packages_mut(&mut self) -> &mut [RaplPackage] {
+        &mut self.packages
+    }
+
+    /// Hot node-level flags mirrored by the columnar bank:
+    /// `(last_freq, telemetry_down_for, msr_glitch)`.
+    pub(crate) fn hot_flags(&self) -> (Hertz, u32, bool) {
+        (self.last_freq, self.telemetry_down_for, self.msr_glitch)
+    }
+
+    /// Restore the hot node-level flags from the columnar bank.
+    pub(crate) fn set_hot_flags(
+        &mut self,
+        last_freq: Hertz,
+        telemetry_down_for: u32,
+        glitch: bool,
+    ) {
+        self.last_freq = last_freq;
+        self.telemetry_down_for = telemetry_down_for;
+        self.msr_glitch = glitch;
+    }
+
     /// Program a node-level power limit by splitting it evenly across
     /// sockets, clamped into each package's settable range. This is what the
     /// job runtime's platform layer does on the real system.

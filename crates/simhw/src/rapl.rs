@@ -234,11 +234,44 @@ impl RaplPackage {
         self.msrs
             .hw_store(address::PKG_ENERGY_STATUS, counts & 0xFFFF_FFFF);
 
-        let pl = self.limit();
-        let target = if pl.enabled { pl.limit } else { self.max_limit };
-        let tau = pl.time_window.value().max(1e-3);
+        let (target, tau) = self.enforcement_params();
         let alpha = 1.0 - (-dt.value() / tau).exp();
         self.enforced += (target - self.enforced) * alpha;
+    }
+
+    /// The per-step enforcement inputs `(target, tau)` exactly as
+    /// [`Self::advance`] decodes them from the PL1 register: the programmed
+    /// limit when enabled (else the package max), and the floored time
+    /// window. The columnar [`crate::bank::NodeBank`] caches these between
+    /// limit writes instead of re-decoding the MSR every step.
+    pub(crate) fn enforcement_params(&self) -> (Watts, f64) {
+        let pl = self.limit();
+        let target = if pl.enabled { pl.limit } else { self.max_limit };
+        (target, pl.time_window.value().max(1e-3))
+    }
+
+    /// Whether PL1 is currently enabled (drives the disabled-limit fallback
+    /// of [`Self::enforced_limit`]).
+    pub(crate) fn limit_enabled(&self) -> bool {
+        self.limit().enabled
+    }
+
+    /// Hot-state snapshot for the columnar bank: exact energy + the
+    /// enforcement filter's held limit.
+    pub(crate) fn hot_state(&self) -> (Joules, Watts) {
+        (self.energy_exact, self.enforced)
+    }
+
+    /// Restore hot state from the columnar bank and bring the energy-status
+    /// counter MSR up to date. Each per-step counter store overwrites the
+    /// previous one, so storing once from the final exact energy is
+    /// value-equivalent to the stores [`Self::advance`] would have made.
+    pub(crate) fn set_hot_state(&mut self, energy: Joules, enforced: Watts) {
+        self.energy_exact = energy;
+        self.enforced = enforced;
+        let counts = (self.energy_exact.value() / self.units.energy_j) as u64;
+        self.msrs
+            .hw_store(address::PKG_ENERGY_STATUS, counts & 0xFFFF_FFFF);
     }
 
     /// Read the raw 32-bit energy counter (what a tool like GEOPM samples).
