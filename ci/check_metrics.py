@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Observability liveness guard for the CI metrics job.
+
+Reads one or more `repro --metrics-out` JSON snapshots and fails when any
+of the named counters is zero or missing — a zero here means an
+optimization path (steady-state fast-forward, settled-ops cache,
+characterization/load memo) silently stopped engaging even though the
+code still produces correct numbers.
+
+Usage: check_metrics.py <snapshot.json> <counter>[,<counter>...]
+
+Every comma-separated counter must be present and nonzero.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__)
+        return 2
+    path, names = sys.argv[1], sys.argv[2].split(",")
+
+    with open(path) as f:
+        snap = json.load(f)
+    counters = snap.get("counters", {})
+
+    failed = False
+    for name in names:
+        value = counters.get(name, 0)
+        status = "ok" if value > 0 else "ZERO/MISSING"
+        print(f"{name:32s} {value:>12}  {status}")
+        if value <= 0:
+            failed = True
+
+    if failed:
+        print(f"FAIL: dead counter(s) in {path} — an optimization path "
+              "stopped engaging")
+        return 1
+    print(f"ok: all {len(names)} counters live in {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

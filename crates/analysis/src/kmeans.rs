@@ -120,6 +120,9 @@ pub fn kmeans_1d(samples: &[f64], k: usize) -> KMeansResult {
     for &a in &assignment {
         sizes[a] += 1;
     }
+    static KMEANS_ITERATIONS: pmstack_obs::StaticCounter =
+        pmstack_obs::StaticCounter::new("analysis.kmeans.iterations");
+    KMEANS_ITERATIONS.add(iterations as u64);
     KMeansResult {
         centroids: centroids_sorted,
         assignment,
@@ -135,9 +138,9 @@ mod tests {
     #[test]
     fn separates_three_obvious_modes() {
         let mut samples = Vec::new();
-        samples.extend(std::iter::repeat(1.6).take(50));
-        samples.extend(std::iter::repeat(1.8).take(90));
-        samples.extend(std::iter::repeat(2.0).take(60));
+        samples.extend(std::iter::repeat_n(1.6, 50));
+        samples.extend(std::iter::repeat_n(1.8, 90));
+        samples.extend(std::iter::repeat_n(2.0, 60));
         let r = kmeans_1d(&samples, 3);
         assert_eq!(r.sizes, vec![50, 90, 60]);
         assert!((r.centroids[0] - 1.6).abs() < 1e-9);

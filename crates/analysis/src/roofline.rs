@@ -159,8 +159,8 @@ mod tests {
             intensity: 32.0,
             gflops: 1400.0,
         };
-        assert!(!r.covered_by(&[mem.clone()], 0.05));
-        assert!(!r.covered_by(&[cpu.clone()], 0.05));
+        assert!(!r.covered_by(std::slice::from_ref(&mem), 0.05));
+        assert!(!r.covered_by(std::slice::from_ref(&cpu), 0.05));
         assert!(r.covered_by(&[mem, cpu], 0.05));
     }
 }

@@ -110,7 +110,7 @@ fn ablate_step4_weighting(c: &mut Criterion) {
     let model = PowerModel::new(quartz_spec()).unwrap();
     let jobs: Vec<JobChar> = [0.5, 4.0, 8.0, 16.0]
         .iter()
-        .map(|&i| JobChar::analytic(KernelConfig::balanced_ymm(i), &model, &vec![1.0; 25]))
+        .map(|&i| JobChar::analytic(KernelConfig::balanced_ymm(i), &model, &[1.0; 25]))
         .collect();
     let ctx = PolicyCtx {
         system_budget: Watts(100.0 * 225.0),

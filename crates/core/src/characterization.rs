@@ -93,10 +93,16 @@ impl CharKey {
 static CHAR_CACHE: OnceLock<Mutex<HashMap<CharKey, JobChar>>> = OnceLock::new();
 
 fn char_cached(key: CharKey, compute: impl FnOnce() -> JobChar) -> JobChar {
+    static MEMO_HIT: pmstack_obs::StaticCounter =
+        pmstack_obs::StaticCounter::new("core.char.memo_hit");
+    static MEMO_MISS: pmstack_obs::StaticCounter =
+        pmstack_obs::StaticCounter::new("core.char.memo_miss");
     let cache = CHAR_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
     if let Some(hit) = cache.lock().expect("char cache poisoned").get(&key) {
+        MEMO_HIT.inc();
         return hit.clone();
     }
+    MEMO_MISS.inc();
     // Compute outside the lock: measured characterization is slow and other
     // threads should not serialize behind it.
     let fresh = compute();

@@ -178,6 +178,7 @@ impl Coordinator {
         iterations: usize,
         mode: CoordinatorMode,
     ) -> Result<MixRun, CoordinatorError> {
+        let _span = pmstack_obs::span!("core.run_mix.secs");
         if mix.is_empty() {
             return Err(CoordinatorError::EmptyMix);
         }

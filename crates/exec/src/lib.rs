@@ -31,9 +31,22 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use pmstack_obs::{StaticCounter, StaticGauge};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Mutex;
+
+/// Observability: `par_map` invocations that actually spawned the pool.
+static PAR_MAP_CALLS: StaticCounter = StaticCounter::new("exec.par_map.calls");
+/// Observability: `par_map` invocations that ran inline (sequential path).
+static PAR_MAP_INLINE: StaticCounter = StaticCounter::new("exec.par_map.inline");
+/// Observability: tasks executed by pool workers (spawned path only).
+static TASKS_EXECUTED: StaticCounter = StaticCounter::new("exec.tasks.executed");
+/// Observability: tasks obtained by stealing (back-half moves + straggler
+/// drains) rather than from the worker's own block.
+static TASKS_STOLEN: StaticCounter = StaticCounter::new("exec.tasks.stolen");
+/// Observability: worker count of the most recent spawned pool.
+static POOL_WORKERS: StaticGauge = StaticGauge::new("exec.pool.workers");
 
 thread_local! {
     /// True while the current thread is a pool worker or inside a
@@ -95,11 +108,34 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_indexed_min_workers(items, 1, f)
+}
+
+/// Like [`par_map_indexed`], but spawns at least `min_workers` workers even
+/// when the host exposes fewer hardware threads (still capped by the item
+/// count, and still inline inside [`sequential_scope`] or a pool worker).
+///
+/// Coarse-grained callers — the replicate sweep fans out whole simulation
+/// runs of milliseconds each — use this to keep the work-stealing path (and
+/// its metrics) exercised on single-core hosts, where timesharing two
+/// workers costs nothing at that granularity.
+pub fn par_map_indexed_min_workers<T, R, F>(items: &[T], min_workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let n = items.len();
-    let w = workers().min(n);
-    if w <= 1 || is_inline() {
+    let w = workers().max(min_workers).min(n);
+    // Note: not `is_inline()` — that also folds in the single-core fallback,
+    // which `min_workers` exists to override. Only the thread-local flag
+    // (inside a worker or a `sequential_scope`) forces the inline path.
+    if w <= 1 || INLINE_ONLY.with(|flag| flag.get()) {
+        PAR_MAP_INLINE.inc();
         return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
     }
+    PAR_MAP_CALLS.inc();
+    POOL_WORKERS.set(w as f64);
 
     // Block-distribute item indices; workers drain their own block from the
     // front and steal the back half of a victim's remaining block.
@@ -131,6 +167,7 @@ where
                             None => break,
                         },
                     };
+                    TASKS_EXECUTED.inc();
                     let out = f(idx, &items[idx]);
                     *slots[idx].lock().expect("slot poisoned") = Some(out);
                 }
@@ -165,6 +202,9 @@ fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
             q.split_off(keep)
         };
         let first = stolen.pop_front();
+        if first.is_some() {
+            TASKS_STOLEN.add(1 + stolen.len() as u64);
+        }
         if !stolen.is_empty() {
             let mut mine = queues[me].lock().expect("queue poisoned");
             debug_assert!(mine.is_empty());
@@ -179,6 +219,7 @@ fn steal(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
     for off in 1..w {
         let victim = (me + off) % w;
         if let Some(i) = queues[victim].lock().expect("queue poisoned").pop_back() {
+            TASKS_STOLEN.inc();
             return Some(i);
         }
     }
@@ -313,5 +354,34 @@ mod tests {
     #[test]
     fn workers_is_at_least_one() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn min_workers_spawns_pool_even_on_one_core() {
+        pmstack_obs::enable();
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map_indexed_min_workers(&items, 2, |i, &x| x * 2 + i as u64);
+        let snap = pmstack_obs::snapshot();
+        pmstack_obs::disable();
+        assert_eq!(
+            out,
+            items.iter().map(|&x| x * 3).collect::<Vec<_>>(),
+            "min-workers pool must preserve input order and indices"
+        );
+        assert!(snap.counter("exec.par_map.calls") >= 1);
+        assert!(snap.counter("exec.tasks.executed") >= 64);
+        // Other tests may race their own pools while the recorder is on, so
+        // only assert the gauge saw a real pool (≥ the minimum we forced).
+        assert!(snap.gauge("exec.pool.workers").unwrap_or(0.0) >= 2.0);
+    }
+
+    #[test]
+    fn min_workers_still_inline_inside_sequential_scope() {
+        let items: Vec<u64> = (0..16).collect();
+        let out = sequential_scope(|| {
+            assert!(is_inline());
+            par_map_indexed_min_workers(&items, 4, |_, &x| x + 1)
+        });
+        assert_eq!(out, (1..=16).collect::<Vec<_>>());
     }
 }

@@ -4,62 +4,40 @@
 //! repro all              # everything, paper scale
 //! repro fig7 --fast      # one artifact at reduced scale
 //! repro all --out results/   # also write per-artifact text + grid CSV
-//! repro table3
+//! repro sweep --replicates 20 --metrics-out m.json
 //! ```
 
+use pmstack_experiments::cli::{self, Cli};
 use pmstack_experiments::grid::{EvaluationGrid, GridParams};
 use pmstack_experiments::{export, figures, replicates, resilience, tables, Testbed};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: repro <artifact> [--fast] [--faults] [--time] [--replicates N] [--out DIR]\n\
-         artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep faults\n\
-         (--faults is shorthand for the `faults` artifact: the five policies\n\
-          under one fixed fault plan, online mode;\n\
-          --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
-          replicate sweep: N jittered + 1 clean full-stack run per policy;\n\
-          --time prints the grid's per-phase wall-clock breakdown and, with\n\
-          --out, writes BENCH_grid.json / BENCH_sweep.json)"
-    );
-    std::process::exit(2);
-}
-
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
-    let timed = args.iter().any(|a| a == "--time");
-    let out_dir: Option<std::path::PathBuf> = args
-        .iter()
-        .position(|a| a == "--out")
-        .map(|i| args.get(i + 1).unwrap_or_else(|| usage()).into());
-    let replicates_n: Option<usize> = args.iter().position(|a| a == "--replicates").map(|i| {
-        args.get(i + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| usage())
-    });
-    let artifacts: Vec<&str> = args
-        .iter()
-        .enumerate()
-        .filter(|(i, a)| {
-            !a.starts_with("--")
-                && !matches!(
-                    args.get(i.wrapping_sub(1)).map(String::as_str),
-                    Some("--out") | Some("--replicates")
-                )
-        })
-        .map(|(_, a)| a.as_str())
-        .collect();
-    let artifact = match artifacts.as_slice() {
-        [] if args.iter().any(|a| a == "--faults") => "faults",
-        [] => "all",
-        [one] => one,
-        _ => usage(),
+    let cli = match cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(err) => {
+            eprintln!("repro: {err}\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
     };
-    if let Some(dir) = &out_dir {
+    run(&cli);
+}
+
+fn run(cli: &Cli) {
+    let artifact = cli.artifact.as_str();
+    // The recorder stays a single disabled branch unless metrics were
+    // asked for (--metrics-out) or the run prints the metrics summary
+    // (grid --time and sweep, per DESIGN.md §13).
+    let summarize = matches!(artifact, "sweep") || (artifact == "grid" && cli.timed);
+    let record = cli.metrics_out.is_some() || summarize;
+    if record {
+        pmstack_obs::enable();
+    }
+    if let Some(dir) = &cli.out_dir {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
 
-    let (screen_nodes, params) = if fast {
+    let (screen_nodes, params) = if cli.fast {
         (400, GridParams::fast())
     } else {
         (2000, GridParams::default())
@@ -84,7 +62,7 @@ fn main() {
             params.nodes_per_job, params.iterations
         );
         let tb = testbed.as_ref().expect("grid implies testbed");
-        if timed {
+        if cli.timed {
             let (g, t) = EvaluationGrid::run_timed(tb, params);
             grid_timing = Some(t);
             g
@@ -108,18 +86,12 @@ fn main() {
         if artifact == "all" || artifact == name {
             println!("{body}");
             println!("{}", "=".repeat(72));
-            if let Some(dir) = &out_dir {
+            if let Some(dir) = &cli.out_dir {
                 std::fs::write(dir.join(format!("{name}.txt")), &body)
                     .expect("write artifact file");
             }
         }
     };
-
-    match artifact {
-        "all" | "table1" | "table2" | "table3" | "fig1" | "fig2" | "fig3" | "fig4" | "fig5"
-        | "fig6" | "fig7" | "fig8" | "grid" | "sweep" | "faults" => {}
-        _ => usage(),
-    }
 
     emit("table1", tables::table1());
     emit("table2", tables::table2());
@@ -134,8 +106,8 @@ fn main() {
     if let Some(tb) = &testbed {
         emit("fig6", figures::fig6(tb));
         if artifact == "all" || artifact == "sweep" {
-            if let Some(n) = replicates_n {
-                let rp = if fast {
+            if let Some(n) = cli.replicates {
+                let rp = if cli.fast {
                     replicates::ReplicateParams::fast(n)
                 } else {
                     replicates::ReplicateParams::default_scale(n)
@@ -153,8 +125,8 @@ fn main() {
                     sweep.throughput(),
                 );
                 emit("sweep", replicates::render(&sweep));
-                if timed {
-                    if let Some(dir) = &out_dir {
+                if cli.timed {
+                    if let Some(dir) = &cli.out_dir {
                         let json = format!(
                             "{{\n  \"benchmark\": \"replicate_sweep\",\n  \"mix\": \"{}\",\n  \
                              \"replicates\": {},\n  \"nodes_per_job\": {},\n  \
@@ -174,7 +146,7 @@ fn main() {
                     }
                 }
             } else {
-                let (npj, steps) = if fast { (6, 10) } else { (25, 20) };
+                let (npj, steps) = if cli.fast { (6, 10) } else { (25, 20) };
                 emit(
                     "sweep",
                     figures::fig_sweep(tb, pmstack_experiments::MixKind::WastefulPower, npj, steps),
@@ -183,7 +155,7 @@ fn main() {
         }
     }
     if artifact == "all" || artifact == "faults" {
-        let rp = if fast {
+        let rp = if cli.fast {
             resilience::ResilienceParams::fast()
         } else {
             resilience::ResilienceParams::default_scale()
@@ -200,7 +172,7 @@ fn main() {
         if artifact == "grid" {
             println!("{}", export::grid_to_csv(g));
         }
-        if let Some(dir) = &out_dir {
+        if let Some(dir) = &cli.out_dir {
             std::fs::write(dir.join("grid.csv"), export::grid_to_csv(g)).expect("write grid CSV");
             eprintln!("[repro] wrote {}", dir.join("grid.csv").display());
             if let Some(t) = &grid_timing {
@@ -221,6 +193,22 @@ fn main() {
                 std::fs::write(dir.join("BENCH_grid.json"), json).expect("write BENCH_grid.json");
                 eprintln!("[repro] wrote {}", dir.join("BENCH_grid.json").display());
             }
+        }
+    }
+
+    if record {
+        let snap = pmstack_obs::snapshot();
+        if summarize {
+            println!("{}", snap.summary());
+        }
+        if let Some(path) = &cli.metrics_out {
+            std::fs::write(path, snap.to_json()).expect("write --metrics-out JSON");
+            let prom = path.with_extension(match path.extension() {
+                Some(ext) => format!("{}.prom", ext.to_string_lossy()),
+                None => "prom".to_string(),
+            });
+            std::fs::write(&prom, snap.to_prometheus()).expect("write --metrics-out Prometheus");
+            eprintln!("[repro] wrote {} and {}", path.display(), prom.display());
         }
     }
 }

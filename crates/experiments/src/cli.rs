@@ -1,0 +1,153 @@
+//! Strict argument parsing for the `repro` binary.
+//!
+//! Unknown flags are errors with a usage hint, not silently ignored — a
+//! typo like `--replicate 20` must fail loudly instead of quietly running
+//! the default artifact without replicates.
+
+use std::path::PathBuf;
+
+/// Every artifact `repro` can produce, in usage order.
+pub const ARTIFACTS: &[&str] = &[
+    "all", "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+    "fig8", "grid", "sweep", "faults",
+];
+
+/// Usage text printed alongside parse errors.
+pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [--replicates N] \
+     [--out DIR] [--metrics-out PATH]\n\
+     artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep faults\n\
+     (--faults is shorthand for the `faults` artifact: the five policies\n\
+      under one fixed fault plan, online mode;\n\
+      --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
+      replicate sweep: N jittered + 1 clean full-stack run per policy;\n\
+      --time prints the grid's per-phase wall-clock breakdown and, with\n\
+      --out, writes BENCH_grid.json / BENCH_sweep.json;\n\
+      --metrics-out PATH enables the observability recorder and writes the\n\
+      metrics snapshot as JSON to PATH plus Prometheus text to PATH.prom)";
+
+/// A parsed `repro` invocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Cli {
+    /// The artifact to produce (one of [`ARTIFACTS`]).
+    pub artifact: String,
+    /// `--fast`: reduced scale for quick checks.
+    pub fast: bool,
+    /// `--time`: print wall-clock breakdowns, write BENCH json with --out.
+    pub timed: bool,
+    /// `--out DIR`: also write per-artifact text files.
+    pub out_dir: Option<PathBuf>,
+    /// `--replicates N`: jittered replicates per policy for `sweep`.
+    pub replicates: Option<usize>,
+    /// `--metrics-out PATH`: enable the recorder, write snapshot here.
+    pub metrics_out: Option<PathBuf>,
+}
+
+/// Parse `args` (without the program name). Unknown flags, missing flag
+/// values, unknown artifacts, and multiple artifacts are all errors; the
+/// caller prints the message plus [`USAGE`] and exits nonzero.
+pub fn parse(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli::default();
+    let mut faults_flag = false;
+    let mut positionals: Vec<&str> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--fast" => cli.fast = true,
+            "--time" => cli.timed = true,
+            "--faults" => faults_flag = true,
+            "--out" | "--replicates" | "--metrics-out" => {
+                let value = args
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .ok_or_else(|| format!("flag `{arg}` requires a value"))?;
+                match arg {
+                    "--out" => cli.out_dir = Some(PathBuf::from(value)),
+                    "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value)),
+                    _ => {
+                        cli.replicates = Some(value.parse().map_err(|_| {
+                            format!("flag `--replicates` expects a count, got `{value}`")
+                        })?);
+                    }
+                }
+                i += 1;
+            }
+            _ if arg.starts_with('-') => return Err(format!("unknown flag `{arg}`")),
+            _ => positionals.push(arg),
+        }
+        i += 1;
+    }
+    cli.artifact = match positionals.as_slice() {
+        [] if faults_flag => "faults".to_string(),
+        [] => "all".to_string(),
+        [one] if ARTIFACTS.contains(one) => (*one).to_string(),
+        [one] => return Err(format!("unknown artifact `{one}`")),
+        many => return Err(format!("expected one artifact, got: {}", many.join(" "))),
+    };
+    Ok(cli)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_all() {
+        let cli = parse(&[]).unwrap();
+        assert_eq!(cli.artifact, "all");
+        assert!(!cli.fast && !cli.timed);
+        assert_eq!(cli.out_dir, None);
+    }
+
+    #[test]
+    fn parses_every_flag() {
+        let cli = parse(&args(&[
+            "sweep",
+            "--fast",
+            "--time",
+            "--replicates",
+            "20",
+            "--out",
+            "results",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.artifact, "sweep");
+        assert!(cli.fast && cli.timed);
+        assert_eq!(cli.replicates, Some(20));
+        assert_eq!(cli.out_dir, Some(PathBuf::from("results")));
+        assert_eq!(cli.metrics_out, Some(PathBuf::from("m.json")));
+    }
+
+    #[test]
+    fn faults_flag_selects_faults_artifact() {
+        assert_eq!(parse(&args(&["--faults"])).unwrap().artifact, "faults");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse(&args(&["grid", "--bogus"])).unwrap_err();
+        assert!(err.contains("unknown flag `--bogus`"), "{err}");
+        // The historical silent-ignore bug: a typo'd flag must not parse.
+        assert!(parse(&args(&["--replicate", "20"])).is_err());
+    }
+
+    #[test]
+    fn value_flags_require_values() {
+        assert!(parse(&args(&["--out"])).unwrap_err().contains("--out"));
+        assert!(parse(&args(&["--replicates", "--fast"])).is_err());
+        assert!(parse(&args(&["--replicates", "many"])).is_err());
+        assert!(parse(&args(&["--metrics-out"])).is_err());
+    }
+
+    #[test]
+    fn artifact_must_be_known_and_singular() {
+        assert!(parse(&args(&["fig9"])).unwrap_err().contains("fig9"));
+        assert!(parse(&args(&["grid", "sweep"])).is_err());
+    }
+}

@@ -400,7 +400,7 @@ mod tests {
         let counts: Vec<usize> = out
             .lines()
             .filter(|l| l.contains("ranks"))
-            .map(|l| l.trim().split_whitespace().next().unwrap().parse().unwrap())
+            .map(|l| l.split_whitespace().next().unwrap().parse().unwrap())
             .collect();
         assert_eq!(counts.iter().sum::<usize>(), 34);
     }

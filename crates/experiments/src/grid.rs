@@ -229,6 +229,7 @@ pub fn run_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> Vec<Grid
 /// Build a mix's shared inputs: placement, per-job characterization, and
 /// the Table III budget ladder.
 fn prep_mix(testbed: &Testbed, kind: MixKind, params: GridParams) -> MixPrep {
+    let _span = pmstack_obs::span!("grid.prep_mix.secs");
     let mix = mixes::build_scaled(kind, params.nodes_per_job);
     let setups = testbed.place(&mix);
     let chars: Vec<JobChar> = setups
@@ -253,6 +254,7 @@ fn eval_cell(
     policy: PolicyKind,
     params: GridParams,
 ) -> MixEvaluation {
+    let _span = pmstack_obs::span!("grid.eval_cell.secs");
     let spec = testbed.model().spec();
     let ctx = PolicyCtx {
         system_budget: prep.budgets.get(level),

@@ -20,6 +20,7 @@
 //!   across the whole stack (`repro faults`).
 //! * [`figures`] — generators for Figs. 1–8.
 //! * [`tables`] — generators for Tables I–III.
+//! * [`cli`] — strict argument parsing for `repro` (unknown flags error).
 //!
 //! The `repro` binary drives all of it:
 //!
@@ -33,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod budgets;
+pub mod cli;
 pub mod export;
 pub mod facility;
 pub mod figures;

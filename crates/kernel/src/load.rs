@@ -158,9 +158,18 @@ impl KernelLoad {
     /// The cached form of [`Self::new`]: one [`Arc`]'d load per distinct
     /// (config, machine) pair, with operating-point tables pre-built.
     pub fn shared(config: KernelConfig, spec: &MachineSpec) -> Arc<KernelLoad> {
+        static MEMO_HIT: pmstack_obs::StaticCounter =
+            pmstack_obs::StaticCounter::new("kernel.load.memo_hit");
+        static MEMO_MISS: pmstack_obs::StaticCounter =
+            pmstack_obs::StaticCounter::new("kernel.load.memo_miss");
         let key = LoadKey::new(&config, spec);
         let cache = LOAD_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
         let mut map = cache.lock().expect("load cache poisoned");
+        if map.contains_key(&key) {
+            MEMO_HIT.inc();
+        } else {
+            MEMO_MISS.inc();
+        }
         map.entry(key)
             .or_insert_with(|| {
                 let load = Self::build(config, spec);

@@ -1,0 +1,333 @@
+//! Snapshot type and its exporters: hand-rolled JSON (the in-tree serde
+//! shim is a no-op marker) and Prometheus text exposition format.
+
+use crate::journal::{Event, FieldValue};
+use crate::metrics::HistogramSnapshot;
+use std::fmt::Write as _;
+
+/// A consistent point-in-time view of every registered metric plus the
+/// retained journal, captured by [`crate::snapshot`]. All collections are
+/// sorted by metric name so exports are deterministic.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// `(name, value)` for every registered counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every registered float counter.
+    pub float_counters: Vec<(String, f64)>,
+    /// `(name, value)` for every registered gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, snapshot)` for every registered histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Retained journal events, oldest first.
+    pub events: Vec<Event>,
+    /// Events shed by the journal ring before this snapshot.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Value of the counter `name` (zero when never registered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Value of the float counter `name` (zero when never registered).
+    pub fn float_counter(&self, name: &str) -> f64 {
+        self.float_counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map_or(0.0, |(_, v)| *v)
+    }
+
+    /// Value of the gauge `name` (`None` when never registered).
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(k, _)| k == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram snapshot `name` (`None` when never registered).
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+    }
+
+    /// Serialize the snapshot as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n  \"counters\": {");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {v}", escape(name));
+        }
+        out.push_str("\n  },\n  \"float_counters\": {");
+        for (i, (name, v)) in self.float_counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", escape(name), json_f64(*v));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(out, "{sep}\n    \"{}\": {}", escape(name), json_f64(*v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    \"{}\": {{\"total\": {}, \"sum\": {}, \"mean\": {}, \"bounds\": [",
+                escape(name),
+                h.total,
+                json_f64(h.sum),
+                json_f64(h.mean())
+            );
+            for (j, b) in h.bounds.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}{}", json_f64(*b));
+            }
+            out.push_str("], \"counts\": [");
+            for (j, c) in h.counts.iter().enumerate() {
+                let sep = if j == 0 { "" } else { ", " };
+                let _ = write!(out, "{sep}{c}");
+            }
+            out.push_str("]}");
+        }
+        let _ = write!(
+            out,
+            "\n  }},\n  \"dropped_events\": {},\n  \"events\": [",
+            self.dropped_events
+        );
+        for (i, event) in self.events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let _ = write!(
+                out,
+                "{sep}\n    {{\"seq\": {}, \"wall_us\": {}, \"sim_s\": {}, \"event\": \"{}\"",
+                event.seq,
+                event.wall_us,
+                json_f64(event.sim_s),
+                event.kind.name()
+            );
+            for (field, value) in event.kind.fields() {
+                let _ = write!(out, ", \"{field}\": {}", field_json(value));
+            }
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Render a one-screen plain-text summary: every counter, float
+    /// counter, and gauge with its value, every histogram with its count
+    /// and mean, and the journal depth. Printed by `repro` after
+    /// metrics-enabled runs.
+    pub fn summary(&self) -> String {
+        let mut out = String::with_capacity(2048);
+        out.push_str("METRICS SUMMARY\n");
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.float_counters.iter().map(|(n, _)| n.len()))
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, _)| n.len()))
+            .max()
+            .unwrap_or(0)
+            .max("journal events".len());
+        for (name, v) in &self.counters {
+            let _ = writeln!(out, "  {name:<width$}  {v}");
+        }
+        for (name, v) in &self.float_counters {
+            let _ = writeln!(out, "  {name:<width$}  {v:.1}");
+        }
+        for (name, v) in &self.gauges {
+            let _ = writeln!(out, "  {name:<width$}  {v:.1}");
+        }
+        for (name, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "  {name:<width$}  n={} mean={:.3e}s",
+                h.total,
+                h.mean()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:<width$}  {} retained, {} dropped",
+            "journal events",
+            self.events.len(),
+            self.dropped_events
+        );
+        out
+    }
+
+    /// Serialize the metrics (journal excluded — Prometheus carries series,
+    /// not logs) in the Prometheus text exposition format. Metric names are
+    /// prefixed `pmstack_` with dots mapped to underscores.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        for (name, v) in &self.counters {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom}_total counter");
+            let _ = writeln!(out, "{prom}_total {v}");
+        }
+        for (name, v) in &self.float_counters {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom}_total counter");
+            let _ = writeln!(out, "{prom}_total {}", prom_f64(*v));
+        }
+        for (name, v) in &self.gauges {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} gauge");
+            let _ = writeln!(out, "{prom} {}", prom_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let prom = prom_name(name);
+            let _ = writeln!(out, "# TYPE {prom} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                let _ = writeln!(
+                    out,
+                    "{prom}_bucket{{le=\"{}\"}} {cumulative}",
+                    prom_f64(*bound)
+                );
+            }
+            let _ = writeln!(out, "{prom}_bucket{{le=\"+Inf\"}} {}", h.total);
+            let _ = writeln!(out, "{prom}_sum {}", prom_f64(h.sum));
+            let _ = writeln!(out, "{prom}_count {}", h.total);
+        }
+        out
+    }
+}
+
+/// JSON-safe f64: finite values print shortest-roundtrip, non-finite
+/// (`NaN` sim-times, `inf` bounds) become `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+fn field_json(value: FieldValue) -> String {
+    match value {
+        FieldValue::U64(v) => v.to_string(),
+        FieldValue::F64(v) => json_f64(v),
+        FieldValue::Str(s) => format!("\"{}\"", escape(s)),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 8);
+    out.push_str("pmstack_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::EventKind;
+
+    fn sample() -> Snapshot {
+        let hist = {
+            let h = crate::metrics::Histogram::new(&[0.1, 1.0]);
+            h.observe(0.05);
+            h.observe(0.5);
+            h.observe(5.0);
+            h.snapshot()
+        };
+        Snapshot {
+            counters: vec![("exec.tasks.stolen".into(), 12)],
+            float_counters: vec![("rm.watts.reclaimed".into(), 340.5)],
+            gauges: vec![("exec.pool.workers".into(), 2.0)],
+            histograms: vec![("grid.eval_cell.secs".into(), hist)],
+            events: vec![Event {
+                seq: 0,
+                wall_us: 42,
+                sim_s: f64::NAN,
+                kind: EventKind::Marker {
+                    name: "phase",
+                    value: 1.0,
+                },
+            }],
+            dropped_events: 0,
+        }
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let json = sample().to_json();
+        assert!(json.contains("\"exec.tasks.stolen\": 12"));
+        assert!(json.contains("\"rm.watts.reclaimed\": 340.5"));
+        // NaN sim-time exported as null, not NaN (invalid JSON).
+        assert!(json.contains("\"sim_s\": null"));
+        assert!(!json.contains("NaN"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces in: {json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_export_has_cumulative_buckets() {
+        let prom = sample().to_prometheus();
+        assert!(prom.contains("pmstack_exec_tasks_stolen_total 12"));
+        assert!(prom.contains("pmstack_exec_pool_workers 2.0"));
+        let lines: Vec<&str> = prom
+            .lines()
+            .filter(|l| l.starts_with("pmstack_grid_eval_cell_secs_bucket"))
+            .collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].ends_with(" 1"));
+        assert!(lines[1].ends_with(" 2"));
+        assert!(lines[2] == "pmstack_grid_eval_cell_secs_bucket{le=\"+Inf\"} 3");
+        assert!(prom.contains("pmstack_grid_eval_cell_secs_count 3"));
+    }
+
+    #[test]
+    fn summary_lists_every_metric_kind() {
+        let text = sample().summary();
+        assert!(text.contains("exec.tasks.stolen"));
+        assert!(text.contains("rm.watts.reclaimed"));
+        assert!(text.contains("exec.pool.workers"));
+        assert!(text.contains("grid.eval_cell.secs"));
+        assert!(text.contains("n=3"));
+        assert!(text.contains("1 retained, 0 dropped"));
+    }
+
+    #[test]
+    fn snapshot_accessors_default_for_missing() {
+        let s = sample();
+        assert_eq!(s.counter("nope"), 0);
+        assert_eq!(s.float_counter("nope"), 0.0);
+        assert!(s.histogram("nope").is_none());
+        assert_eq!(s.gauge("exec.pool.workers"), Some(2.0));
+    }
+}

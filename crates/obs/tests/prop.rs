@@ -1,0 +1,84 @@
+//! Property-based tests of the observability primitives: histogram merge
+//! algebra, count conservation across snapshot/merge, and lossless counter
+//! increments under the work-stealing pool.
+
+use pmstack_obs::{Counter, Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+
+/// Shared bucket bounds for the merge properties (strictly increasing).
+const BOUNDS: &[f64] = &[0.01, 0.1, 1.0, 10.0];
+
+fn observe_all(values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new(BOUNDS);
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Merge is commutative and associative: counts agree exactly, sums to
+    /// floating-point tolerance.
+    #[test]
+    fn histogram_merge_is_commutative_and_associative(
+        a in prop::collection::vec(0.0f64..100.0, 0..50),
+        b in prop::collection::vec(0.0f64..100.0, 0..50),
+        c in prop::collection::vec(0.0f64..100.0, 0..50),
+    ) {
+        let (sa, sb, sc) = (observe_all(&a), observe_all(&b), observe_all(&c));
+
+        let ab = sa.merge(&sb).unwrap();
+        let ba = sb.merge(&sa).unwrap();
+        prop_assert_eq!(&ab.counts, &ba.counts);
+        prop_assert_eq!(ab.total, ba.total);
+        prop_assert!((ab.sum - ba.sum).abs() <= 1e-9 * ab.sum.abs().max(1.0));
+
+        let ab_c = ab.merge(&sc).unwrap();
+        let a_bc = sa.merge(&sb.merge(&sc).unwrap()).unwrap();
+        prop_assert_eq!(&ab_c.counts, &a_bc.counts);
+        prop_assert_eq!(ab_c.total, a_bc.total);
+        prop_assert!((ab_c.sum - a_bc.sum).abs() <= 1e-9 * ab_c.sum.abs().max(1.0));
+    }
+
+    /// Merging conserves observations: the merged snapshot holds exactly
+    /// the union of what the parts observed, bucket by bucket, and the
+    /// empty snapshot is the identity.
+    #[test]
+    fn merge_conserves_counts(
+        parts in prop::collection::vec(
+            prop::collection::vec(0.0f64..100.0, 0..40),
+            1..5,
+        ),
+    ) {
+        let snapshots: Vec<HistogramSnapshot> = parts.iter().map(|p| observe_all(p)).collect();
+        let mut merged = HistogramSnapshot::empty(BOUNDS);
+        for s in &snapshots {
+            merged = merged.merge(s).unwrap();
+        }
+        let all: Vec<f64> = parts.iter().flatten().copied().collect();
+        let direct = observe_all(&all);
+        prop_assert_eq!(&merged.counts, &direct.counts);
+        prop_assert_eq!(merged.total, direct.total);
+        prop_assert_eq!(merged.total as usize, all.len());
+        prop_assert!((merged.sum - direct.sum).abs() <= 1e-9 * direct.sum.abs().max(1.0));
+    }
+
+    /// A counter hammered from every pool worker loses no update: the
+    /// final value is exactly tasks x increments-per-task.
+    #[test]
+    fn concurrent_counter_increments_are_lossless(
+        tasks in 1usize..64,
+        per_task in 1u64..200,
+    ) {
+        let counter = Counter::default();
+        let items: Vec<usize> = (0..tasks).collect();
+        // min_workers = 2 forces a real pool (and its steal path) even on
+        // a single-hardware-thread host.
+        pmstack_exec::par_map_indexed_min_workers(&items, 2, |_, _| {
+            for _ in 0..per_task {
+                counter.add(1);
+            }
+        });
+        prop_assert_eq!(counter.get(), tasks as u64 * per_task);
+    }
+}

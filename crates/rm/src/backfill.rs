@@ -11,9 +11,14 @@
 use crate::budget::PowerLedger;
 use crate::job::{Job, JobId, JobSpec, JobState};
 use crate::pool::NodePool;
-use crate::scheduler::SchedulerEvent;
+use crate::scheduler::{SchedulerEvent, JOBS_COMPLETED, JOBS_STARTED, JOBS_SUBMITTED};
+use pmstack_obs::EventKind;
 use pmstack_simhw::Watts;
 use std::collections::{HashMap, VecDeque};
+
+/// Observability: jobs started out of queue order by backfill.
+static JOBS_BACKFILLED: pmstack_obs::StaticCounter =
+    pmstack_obs::StaticCounter::new("rm.jobs.backfilled");
 
 /// FIFO-with-backfill over a node pool and power ledger.
 #[derive(Debug)]
@@ -45,6 +50,7 @@ impl BackfillScheduler {
 
     /// Submit a job; returns its id.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        JOBS_SUBMITTED.inc();
         let id = JobId(self.next_id);
         self.next_id += 1;
         self.jobs.insert(id, Job::pending(id, spec));
@@ -104,9 +110,20 @@ impl BackfillScheduler {
                 job.start(nodes.clone());
                 job.power_budget = Some(power);
                 self.queue.retain(|q| q != id);
+                JOBS_STARTED.inc();
                 if pos > 0 {
                     self.backfilled += 1;
+                    JOBS_BACKFILLED.inc();
+                    pmstack_obs::event(f64::NAN, EventKind::JobBackfilled { job: id.0 });
                 }
+                pmstack_obs::event(
+                    f64::NAN,
+                    EventKind::JobStarted {
+                        job: id.0,
+                        nodes: nodes.len() as u64,
+                        power_w: power.value(),
+                    },
+                );
                 events.push(SchedulerEvent::Started {
                     job: *id,
                     nodes,
@@ -128,6 +145,8 @@ impl BackfillScheduler {
         let nodes = job.complete();
         self.pool.release(nodes);
         self.ledger.release(id);
+        JOBS_COMPLETED.inc();
+        pmstack_obs::event(f64::NAN, EventKind::JobCompleted { job: id.0 });
         SchedulerEvent::Completed { job: id }
     }
 }

@@ -6,9 +6,16 @@
 //! every watt it grants to jobs against it.
 
 use crate::job::JobId;
+use pmstack_obs::StaticFloatCounter;
 use pmstack_simhw::Watts;
 use std::collections::HashMap;
 use std::fmt;
+
+/// Observability: total watts granted through successful reservations
+/// (gross — re-reservations count their full new amount).
+static WATTS_RESERVED: StaticFloatCounter = StaticFloatCounter::new("rm.watts.reserved");
+/// Observability: total watts reclaimed from degraded jobs.
+static WATTS_RECLAIMED: StaticFloatCounter = StaticFloatCounter::new("rm.watts.reclaimed");
 
 /// Error returned when a reservation would overcommit the system budget.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,6 +88,7 @@ impl PowerLedger {
             });
         }
         self.reservations.insert(job, watts);
+        WATTS_RESERVED.add(watts.value());
         Ok(())
     }
 
@@ -98,6 +106,7 @@ impl PowerLedger {
             return Watts::ZERO;
         };
         let reclaimed = Watts(watts.value().clamp(0.0, held.value()));
+        WATTS_RECLAIMED.add(reclaimed.value());
         *held -= reclaimed;
         if held.value() <= 0.0 {
             self.reservations.remove(&job);

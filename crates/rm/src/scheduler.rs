@@ -10,8 +10,18 @@
 use crate::budget::PowerLedger;
 use crate::job::{Job, JobId, JobSpec, JobState};
 use crate::pool::NodePool;
+use pmstack_obs::{EventKind, StaticCounter};
 use pmstack_simhw::{NodeId, Watts};
 use std::collections::{HashMap, VecDeque};
+
+/// Observability: jobs submitted to either scheduler flavour.
+pub(crate) static JOBS_SUBMITTED: StaticCounter = StaticCounter::new("rm.jobs.submitted");
+/// Observability: jobs admitted (FIFO order or backfill).
+pub(crate) static JOBS_STARTED: StaticCounter = StaticCounter::new("rm.jobs.started");
+/// Observability: jobs that ran to completion (or failed out).
+pub(crate) static JOBS_COMPLETED: StaticCounter = StaticCounter::new("rm.jobs.completed");
+/// Observability: dead nodes drained from a scheduler's pool.
+pub(crate) static NODES_DRAINED: StaticCounter = StaticCounter::new("rm.nodes.drained");
 
 /// A scheduling decision notification.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +89,7 @@ impl FifoScheduler {
 
     /// Submit a job; returns its id.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        JOBS_SUBMITTED.inc();
         let id = JobId(self.next_id);
         self.next_id += 1;
         self.jobs.insert(id, Job::pending(id, spec));
@@ -148,6 +159,15 @@ impl FifoScheduler {
             job.start(nodes.clone());
             job.power_budget = Some(power);
             self.queue.pop_front();
+            JOBS_STARTED.inc();
+            pmstack_obs::event(
+                f64::NAN,
+                EventKind::JobStarted {
+                    job: head.0,
+                    nodes: nodes.len() as u64,
+                    power_w: power.value(),
+                },
+            );
             events.push(SchedulerEvent::Started {
                 job: head,
                 nodes,
@@ -163,6 +183,8 @@ impl FifoScheduler {
         let nodes = job.complete();
         self.pool.release(nodes);
         self.ledger.release(id);
+        JOBS_COMPLETED.inc();
+        pmstack_obs::event(f64::NAN, EventKind::JobCompleted { job: id.0 });
         SchedulerEvent::Completed { job: id }
     }
 
@@ -178,6 +200,7 @@ impl FifoScheduler {
             return Vec::new();
         }
         self.pool.remove(node);
+        NODES_DRAINED.inc();
 
         let owner = self
             .jobs
@@ -205,6 +228,21 @@ impl FifoScheduler {
                 let reclaimed = self.ledger.reclaim(id, share);
                 let job = self.jobs.get_mut(&id).expect("owner exists");
                 job.power_budget = self.ledger.reservation(id);
+                pmstack_obs::event(
+                    f64::NAN,
+                    EventKind::NodeDrained {
+                        node: node.0 as u64,
+                        reclaimed_w: reclaimed.value(),
+                    },
+                );
+                pmstack_obs::event(
+                    f64::NAN,
+                    EventKind::JobDegraded {
+                        job: id.0,
+                        lost_node: node.0 as u64,
+                        remaining: job.nodes.len() as u64,
+                    },
+                );
                 events.push(SchedulerEvent::JobDegraded {
                     job: id,
                     lost: node,

@@ -25,7 +25,19 @@
 
 use crate::agent::Agent;
 use crate::platform::{IterationOutcome, JobPlatform};
+use pmstack_obs::{StaticCounter, StaticFloatCounter};
 use pmstack_simhw::{Seconds, Watts};
+
+/// Observability: probe cuts taken by the harvest pass.
+static BALANCER_CUTS: StaticCounter = StaticCounter::new("runtime.balancer.cuts");
+/// Observability: grants paid out to power-bound critical-path hosts.
+static BALANCER_GRANTS: StaticCounter = StaticCounter::new("runtime.balancer.grants");
+/// Observability: total watts harvested from slack hosts.
+static BALANCER_HARVESTED_W: StaticFloatCounter =
+    StaticFloatCounter::new("runtime.balancer.harvested_w");
+/// Observability: total watts granted to power-bound hosts.
+static BALANCER_GRANTED_W: StaticFloatCounter =
+    StaticFloatCounter::new("runtime.balancer.granted_w");
 
 /// Tunable parameters of the balancer (exposed for the ablation benches).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -211,6 +223,8 @@ impl Agent for PowerBalancerAgent {
                 let cut = state.step_for(-1, initial).min(state.target - floor);
                 state.target -= cut;
                 self.pool += cut;
+                BALANCER_CUTS.inc();
+                BALANCER_HARVESTED_W.add(cut.value());
             }
         }
 
@@ -245,6 +259,10 @@ impl Agent for PowerBalancerAgent {
                     .min(self.pool);
                 state.target += grant;
                 self.pool -= grant;
+                if grant > Watts::ZERO {
+                    BALANCER_GRANTS.inc();
+                    BALANCER_GRANTED_W.add(grant.value());
+                }
             }
         }
 

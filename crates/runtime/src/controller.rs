@@ -49,6 +49,7 @@ impl<A: Agent> Controller<A> {
     /// Run `iterations` bulk-synchronous iterations and report.
     pub fn run(&mut self, iterations: usize) -> JobReport {
         assert!(iterations > 0, "a run needs at least one iteration");
+        let _span = pmstack_obs::span!("runtime.job.secs");
         self.agent.init(&mut self.platform);
 
         let n = self.platform.num_hosts();

@@ -25,6 +25,7 @@
 //! a control write, fault event, or workload change invalidates the cache.
 
 use pmstack_kernel::{KernelConfig, KernelLoad};
+use pmstack_obs::{EventKind, StaticCounter};
 use pmstack_simhw::power::OperatingPoint;
 use pmstack_simhw::{
     FaultPlan, Hertz, HostStep, Joules, Node, NodeBank, NodeHealth, PowerModel, Seconds,
@@ -34,6 +35,20 @@ use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::sync::OnceLock;
+
+/// Observability: iterations served by steady-state replay instead of
+/// stepping — the fast-forward path actually engaging.
+static FFWD_ENGAGED: StaticCounter = StaticCounter::new("runtime.ffwd.engaged");
+/// Observability: steady-state captures armed (jitter off, settled, clean).
+static FFWD_CAPTURED: StaticCounter = StaticCounter::new("runtime.ffwd.captured");
+/// Observability: invalidations that dropped an armed cache (control write,
+/// fault, or config change while steady/settled state was live).
+static FFWD_INVALIDATED: StaticCounter = StaticCounter::new("runtime.ffwd.invalidated");
+/// Observability: iterations that reused settled operating points (skipping
+/// the PCU resolve — the cache that works under jitter).
+static SETTLED_HIT: StaticCounter = StaticCounter::new("runtime.settled.hit");
+/// Observability: iterations that ran the full operating-point resolve.
+static SETTLED_MISS: StaticCounter = StaticCounter::new("runtime.settled.miss");
 
 /// Jobs with at least this many hosts fan node stepping out across the
 /// work-stealing pool; below it, the spawn overhead dwarfs the per-node
@@ -268,6 +283,9 @@ impl JobPlatform {
     /// changes. (Suspect/healthy marks are deliberately exempt: health
     /// marks never enter the operating point or the outcome.)
     fn invalidate_caches(&mut self) {
+        if self.steady.is_some() || self.ops_settled {
+            FFWD_INVALIDATED.inc();
+        }
         self.steady = None;
         self.ops_settled = false;
     }
@@ -507,6 +525,7 @@ impl JobPlatform {
         // perturb this iteration — replay the captured outcome and energy.
         if self.fast_forward {
             if let Some(steady) = &self.steady {
+                FFWD_ENGAGED.inc();
                 self.bank.replay_energy(&steady.deltas);
                 bufs.back.assign_from(&steady.outcome);
                 bufs.swap();
@@ -519,6 +538,7 @@ impl JobPlatform {
         let back = &mut bufs.back;
         back.clear();
         if self.ops_settled {
+            SETTLED_HIT.inc();
             // The enforcement filters sat at a bitwise fixed point last
             // iteration and nothing invalidated the caches since: every
             // input of the (pure) PCU resolve is bitwise unchanged, so the
@@ -536,6 +556,7 @@ impl JobPlatform {
                     .push(Seconds(self.op_times[host] * jitter));
             }
         } else {
+            SETTLED_MISS.inc();
             self.ops.clear();
             self.op_times.clear();
             for host in 0..n {
@@ -642,6 +663,13 @@ impl JobPlatform {
                     outcome: bufs.front.clone(),
                     deltas,
                 });
+                FFWD_CAPTURED.inc();
+                pmstack_obs::event(
+                    self.elapsed.value(),
+                    EventKind::FfwdCaptured {
+                        hosts: self.bank.len() as u64,
+                    },
+                );
             }
         } else {
             self.steady = None;

@@ -37,6 +37,12 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Build a trace directly from records (tests and offline tooling;
+    /// callers are responsible for iteration-major ordering).
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Self { records }
+    }
+
     /// All records, iteration-major then host order.
     pub fn records(&self) -> &[TraceRecord] {
         &self.records

@@ -110,8 +110,8 @@ impl Reference {
         let mut lead = Vec::with_capacity(n);
         let mut alive = Vec::with_capacity(n);
         let mut fresh = Vec::with_capacity(n);
-        for host in 0..n {
-            let Some(op) = ops[host] else {
+        for (host, &op) in ops.iter().enumerate().take(n) {
+            let Some(op) = op else {
                 power.push(Watts::ZERO);
                 lead.push(Hertz(0.0));
                 alive.push(false);
@@ -373,9 +373,9 @@ fn platform_operating_point_matches_node_resolve() {
         .collect();
     p.set_host_freq_cap(0, Some(Hertz(1.9e9))).unwrap();
     nodes[0].set_freq_cap(Some(Hertz(1.9e9))).unwrap();
-    for h in 0..eps.len() {
+    for (h, node) in nodes.iter().enumerate() {
         let got = p.host_operating_point(h).unwrap();
-        let want = nodes[h].operating_point(&model, &load);
+        let want = node.operating_point(&model, &load);
         assert_eq!(got.lead.value().to_bits(), want.lead.value().to_bits());
         assert_eq!(got.trail.value().to_bits(), want.trail.value().to_bits());
         assert_eq!(got.power.value().to_bits(), want.power.value().to_bits());

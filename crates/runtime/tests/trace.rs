@@ -1,0 +1,117 @@
+//! Integration coverage for `runtime::trace`: exact CSV column layout and
+//! round-trip at printed precision, the convergence-point accessor on
+//! hand-built traces, and empty-trace edge cases.
+
+use pmstack_runtime::{Trace, TraceRecord};
+use pmstack_simhw::{Hertz, Seconds, Watts};
+
+/// A hand-built record with every signal derived from `(iteration, host)`
+/// so round-trip checks know the expected value in each cell.
+fn record(iteration: usize, host: usize, limit_w: f64) -> TraceRecord {
+    TraceRecord {
+        time: Seconds(0.25 * (iteration + 1) as f64),
+        iteration,
+        host,
+        power: Watts(150.0 + host as f64),
+        freq: Hertz::from_ghz(2.0 + 0.001 * iteration as f64),
+        limit: Watts(limit_w),
+        epoch: Seconds(0.125),
+    }
+}
+
+/// Iteration-major trace over `hosts` hosts whose limits follow `limit_of`.
+fn build(iterations: usize, hosts: usize, limit_of: impl Fn(usize, usize) -> f64) -> Trace {
+    let mut records = Vec::new();
+    for it in 0..iterations {
+        for h in 0..hosts {
+            records.push(record(it, h, limit_of(it, h)));
+        }
+    }
+    Trace::from_records(records)
+}
+
+#[test]
+fn csv_header_matches_geopm_column_layout() {
+    let trace = build(1, 1, |_, _| 185.0);
+    let csv = trace.to_csv();
+    assert_eq!(
+        csv.lines().next().unwrap(),
+        "time_s,iteration,host,power_w,freq_ghz,limit_w,epoch_s"
+    );
+}
+
+#[test]
+fn csv_round_trips_every_field_at_printed_precision() {
+    let trace = build(3, 2, |it, h| 200.0 - 10.0 * it as f64 + h as f64);
+    let csv = trace.to_csv();
+    let rows: Vec<&str> = csv.lines().skip(1).collect();
+    assert_eq!(rows.len(), trace.records().len());
+    for (row, rec) in rows.iter().zip(trace.records()) {
+        let cols: Vec<&str> = row.split(',').collect();
+        assert_eq!(cols.len(), 7, "row `{row}` not 7 columns");
+        // Columns print at fixed precision: .4, int, int, .2, .3, .2, .5.
+        assert_eq!(cols[0], format!("{:.4}", rec.time.value()));
+        assert_eq!(cols[1].parse::<usize>().unwrap(), rec.iteration);
+        assert_eq!(cols[2].parse::<usize>().unwrap(), rec.host);
+        assert_eq!(cols[3], format!("{:.2}", rec.power.value()));
+        assert_eq!(cols[4], format!("{:.3}", rec.freq.ghz()));
+        assert_eq!(cols[5], format!("{:.2}", rec.limit.value()));
+        assert_eq!(cols[6], format!("{:.5}", rec.epoch.value()));
+        // And parsing the printed value recovers the original to the
+        // printed precision.
+        assert!((cols[3].parse::<f64>().unwrap() - rec.power.value()).abs() < 5e-3);
+        assert!((cols[5].parse::<f64>().unwrap() - rec.limit.value()).abs() < 5e-3);
+    }
+}
+
+#[test]
+fn convergence_finds_the_settling_point() {
+    // Host 0: limit walks 230 → 220 → 210 → 200, then holds 200 for the
+    // rest. With a 5 W tolerance the first in-band iteration is 3.
+    let trace = build(8, 2, |it, h| {
+        if h == 0 {
+            (230.0 - 10.0 * it as f64).max(200.0)
+        } else {
+            185.0 // host 1 never moves: converged from iteration 0
+        }
+    });
+    assert_eq!(trace.convergence_iteration(0, Watts(5.0)), Some(3));
+    assert_eq!(trace.convergence_iteration(1, Watts(5.0)), Some(0));
+    // A tolerance wide enough to cover the whole walk converges at 0.
+    assert_eq!(trace.convergence_iteration(0, Watts(50.0)), Some(0));
+    // A zero tolerance still finds the exact settling iteration.
+    assert_eq!(trace.convergence_iteration(0, Watts(0.0)), Some(3));
+}
+
+#[test]
+fn convergence_never_settling_returns_none_equivalent_last() {
+    // The limit changes on every iteration; only the final sample is
+    // within tolerance of itself, so convergence lands on the last index.
+    let trace = build(5, 1, |it, _| 200.0 + 10.0 * it as f64);
+    assert_eq!(trace.convergence_iteration(0, Watts(1.0)), Some(4));
+}
+
+#[test]
+fn unknown_host_has_no_convergence_point() {
+    let trace = build(4, 1, |_, _| 185.0);
+    assert_eq!(trace.convergence_iteration(7, Watts(5.0)), None);
+}
+
+#[test]
+fn empty_trace_edge_cases() {
+    let trace = Trace::from_records(Vec::new());
+    assert_eq!(trace.iterations(), 0);
+    assert!(trace.records().is_empty());
+    assert!(trace.host(0).is_empty());
+    assert_eq!(trace.convergence_iteration(0, Watts(1.0)), None);
+    let csv = trace.to_csv();
+    assert_eq!(csv.lines().count(), 1, "header only");
+    assert!(csv.ends_with('\n'));
+}
+
+#[test]
+fn single_record_trace_is_converged_at_its_only_iteration() {
+    let trace = Trace::from_records(vec![record(0, 0, 185.0)]);
+    assert_eq!(trace.iterations(), 1);
+    assert_eq!(trace.convergence_iteration(0, Watts(1.0)), Some(0));
+}

@@ -28,6 +28,13 @@ use crate::faults::{FaultKind, NodeHealth};
 use crate::node::Node;
 use crate::power::{LoadModel, OperatingPoint, PowerModel};
 use crate::units::{Hertz, Joules, Seconds, Watts};
+use pmstack_obs::StaticCounter;
+
+/// Observability: batched stepping calls.
+static STEP_ALL_CALLS: StaticCounter = StaticCounter::new("simhw.step_all.calls");
+/// Observability: batched steps whose enforcement filters were all at their
+/// bitwise fixed point (the steady-state signal).
+static STEP_ALL_SETTLED: StaticCounter = StaticCounter::new("simhw.step_all.settled");
 
 /// Outcome of one host's step inside [`NodeBank::step_all`], mirroring the
 /// three ways [`Node::try_step`] can go.
@@ -255,6 +262,8 @@ impl NodeBank {
         results: &mut [HostStep],
         parallel: bool,
     ) -> bool {
+        let _span = pmstack_obs::span!("simhw.step_all.secs");
+        STEP_ALL_CALLS.inc();
         let n = self.nodes.len();
         assert_eq!(ops.len(), n, "one operating point slot per host");
         assert_eq!(results.len(), n, "one result slot per host");
@@ -273,6 +282,9 @@ impl NodeBank {
                 settled: true,
             };
             step_chunk(&mut chunk, s, dt, ops, &self.target, &self.tau);
+            if chunk.settled {
+                STEP_ALL_SETTLED.inc();
+            }
             return chunk.settled;
         }
 
@@ -316,7 +328,11 @@ impl NodeBank {
         pmstack_exec::par_for_each_mut(&mut chunks, |_, chunk| {
             step_chunk(chunk, s, dt, ops, target, tau);
         });
-        chunks.iter().all(|c| c.settled)
+        let settled = chunks.iter().all(|c| c.settled);
+        if settled {
+            STEP_ALL_SETTLED.inc();
+        }
+        settled
     }
 
     /// Fast-forward energy accumulation: add `deltas[h]` to every package of
@@ -550,9 +566,8 @@ mod tests {
         let (model, mut reference) = fleet(5);
         let load = FlatLoad { kappa: 2.7 };
         let mut bank = NodeBank::from_nodes(reference.clone());
-        for h in 0..reference.len() {
-            reference[h]
-                .set_power_limit(Watts(170.0 + 10.0 * h as f64))
+        for (h, node) in reference.iter_mut().enumerate() {
+            node.set_power_limit(Watts(170.0 + 10.0 * h as f64))
                 .unwrap();
             bank.set_power_limit(h, Watts(170.0 + 10.0 * h as f64))
                 .unwrap();
@@ -603,8 +618,8 @@ mod tests {
         let mut results_b = vec![HostStep::Skipped; par.len()];
         let mut ops = vec![None; seq.len()];
         for _ in 0..10 {
-            for h in 0..seq.len() {
-                ops[h] = Some(seq.operating_point(h, &model, &load));
+            for (h, op) in ops.iter_mut().enumerate() {
+                *op = Some(seq.operating_point(h, &model, &load));
             }
             let sa = seq.step_all(Seconds(0.2), &ops, &mut results_a, false);
             let sb = par.step_all(Seconds(0.2), &ops, &mut results_b, true);
@@ -632,8 +647,8 @@ mod tests {
         let mut ops = vec![None; bank.len()];
         let mut settled = false;
         for _ in 0..2000 {
-            for h in 0..bank.len() {
-                ops[h] = Some(bank.operating_point(h, &model, &load));
+            for (h, op) in ops.iter_mut().enumerate() {
+                *op = Some(bank.operating_point(h, &model, &load));
             }
             settled = bank.step_all(dt, &ops, &mut results, false);
             if settled {
@@ -651,8 +666,8 @@ mod tests {
             })
             .collect();
         for _ in 0..7 {
-            for h in 0..stepped.len() {
-                ops[h] = Some(stepped.operating_point(h, &model, &load));
+            for (h, op) in ops.iter_mut().enumerate() {
+                *op = Some(stepped.operating_point(h, &model, &load));
             }
             stepped.step_all(dt, &ops, &mut results, false);
             bank.replay_energy(&deltas);

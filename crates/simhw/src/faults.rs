@@ -76,6 +76,19 @@ pub enum FaultKind {
     TransientMsrFault,
 }
 
+impl FaultKind {
+    /// Stable static name of the fault kind, used as the `fault` field of
+    /// journal events (the [`std::fmt::Display`] form carries parameters).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::NodeDeath => "node_death",
+            Self::StuckRapl { .. } => "stuck_rapl",
+            Self::TelemetryDropout { .. } => "telemetry_dropout",
+            Self::TransientMsrFault => "transient_msr_fault",
+        }
+    }
+}
+
 impl std::fmt::Display for FaultKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {

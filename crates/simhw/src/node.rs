@@ -6,7 +6,14 @@ use crate::faults::{FaultKind, NodeHealth};
 use crate::power::{LoadModel, PowerModel};
 use crate::rapl::{PowerLimit, RaplPackage};
 use crate::units::{Hertz, Joules, Seconds, Watts};
+use pmstack_obs::{EventKind, StaticCounter};
 use serde::{Deserialize, Serialize};
+
+/// Observability: limit writes where the applied per-socket value differed
+/// from the request (range clamp or stuck-RAPL latch).
+static RAPL_CLAMPED: StaticCounter = StaticCounter::new("simhw.rapl.clamped");
+/// Observability: faults fired against nodes (any kind).
+static FAULTS_INJECTED: StaticCounter = StaticCounter::new("simhw.faults.injected");
 
 /// Identifier of a node within a cluster.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -141,9 +148,21 @@ impl Node {
                 write: true,
             });
         }
+        let requested = node_limit;
         let node_limit = self.stuck_limit.unwrap_or(node_limit);
-        let per_socket = (node_limit / self.packages.len() as f64)
-            .clamp(self.packages[0].min_limit(), self.packages[0].max_limit());
+        let raw = node_limit / self.packages.len() as f64;
+        let per_socket = raw.clamp(self.packages[0].min_limit(), self.packages[0].max_limit());
+        if pmstack_obs::enabled() && (self.stuck_limit.is_some() || per_socket != raw) {
+            RAPL_CLAMPED.inc();
+            pmstack_obs::event(
+                f64::NAN,
+                EventKind::RaplClamp {
+                    node: self.id.0 as u64,
+                    requested_w: requested.0,
+                    applied_w: (per_socket * self.packages.len() as f64).0,
+                },
+            );
+        }
         for pkg in &mut self.packages {
             pkg.set_limit(PowerLimit {
                 limit: per_socket,
@@ -320,6 +339,14 @@ impl Node {
 
     /// Apply an injected fault to this node.
     pub fn inject(&mut self, kind: FaultKind) {
+        FAULTS_INJECTED.inc();
+        pmstack_obs::event(
+            f64::NAN,
+            EventKind::FaultInjected {
+                host: self.id.0 as u64,
+                fault: kind.name(),
+            },
+        );
         match kind {
             FaultKind::NodeDeath => self.health = NodeHealth::Dead,
             FaultKind::StuckRapl { pinned_w } => {

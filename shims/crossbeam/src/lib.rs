@@ -50,7 +50,7 @@ pub mod thread {
 mod tests {
     #[test]
     fn scoped_threads_fill_slots() {
-        let mut slots = vec![None; 8];
+        let mut slots = [None; 8];
         super::thread::scope(|scope| {
             for (i, slot) in slots.iter_mut().enumerate() {
                 scope.spawn(move |_| {
