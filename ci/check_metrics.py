@@ -9,7 +9,9 @@ code still produces correct numbers.
 
 Usage: check_metrics.py <snapshot.json> <counter>[,<counter>...]
 
-Every comma-separated counter must be present and nonzero.
+Every comma-separated counter must be present and nonzero. Both integer
+counters ("counters") and float counters ("float_counters", e.g.
+facility.wasted_node_hours) are searched.
 """
 
 import json
@@ -24,7 +26,8 @@ def main() -> int:
 
     with open(path) as f:
         snap = json.load(f)
-    counters = snap.get("counters", {})
+    counters = dict(snap.get("counters", {}))
+    counters.update(snap.get("float_counters", {}))
 
     failed = False
     for name in names:

@@ -9,7 +9,7 @@
 
 use pmstack_experiments::cli::{self, Cli};
 use pmstack_experiments::grid::{EvaluationGrid, GridParams};
-use pmstack_experiments::{export, figures, replicates, resilience, tables, Testbed};
+use pmstack_experiments::{campaign, export, figures, replicates, resilience, tables, Testbed};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -165,6 +165,22 @@ fn run(cli: &Cli) {
             rp.nodes_per_job, rp.iterations
         );
         emit("faults", resilience::render(&resilience::run_study(rp)));
+    }
+    if artifact == "all" || artifact == "facility" {
+        let chaos = cli.chaos.unwrap_or(2);
+        let mut cp = if cli.fast {
+            campaign::CampaignParams::fast(chaos)
+        } else {
+            campaign::CampaignParams::default_scale(chaos)
+        };
+        if let Some(days) = cli.days {
+            cp.days = days;
+        }
+        eprintln!(
+            "[repro] facility campaign: 5 policies x clean+chaos ({} nodes, {} days, chaos {})…",
+            cp.nodes, cp.days, cp.chaos
+        );
+        emit("facility", campaign::render(&campaign::run_campaign(&cp)));
     }
     if let Some(g) = &grid {
         emit("fig7", figures::fig7(g));

@@ -9,17 +9,22 @@ use std::path::PathBuf;
 /// Every artifact `repro` can produce, in usage order.
 pub const ARTIFACTS: &[&str] = &[
     "all", "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "grid", "sweep", "faults",
+    "fig8", "grid", "sweep", "faults", "facility",
 ];
 
 /// Usage text printed alongside parse errors.
 pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [--replicates N] \
-     [--out DIR] [--metrics-out PATH]\n\
-     artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep faults\n\
+     [--chaos LEVEL] [--days N] [--out DIR] [--metrics-out PATH]\n\
+     artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep \
+     faults facility\n\
      (--faults is shorthand for the `faults` artifact: the five policies\n\
       under one fixed fault plan, online mode;\n\
       --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
       replicate sweep: N jittered + 1 clean full-stack run per policy;\n\
+      --chaos LEVEL (0-3, default 2) sets the `facility` campaign's failure\n\
+      intensity and --days N (>= 1) its length: the fault-tolerant job\n\
+      lifecycle — checkpoint/restart, retry backoff, lease timeouts, budget\n\
+      shocks — under every policy;\n\
       --time prints the grid's per-phase wall-clock breakdown and, with\n\
       --out, writes BENCH_grid.json / BENCH_sweep.json;\n\
       --metrics-out PATH enables the observability recorder and writes the\n\
@@ -40,6 +45,10 @@ pub struct Cli {
     pub replicates: Option<usize>,
     /// `--metrics-out PATH`: enable the recorder, write snapshot here.
     pub metrics_out: Option<PathBuf>,
+    /// `--chaos LEVEL`: failure intensity for the `facility` campaign.
+    pub chaos: Option<u32>,
+    /// `--days N`: length of the `facility` campaign.
+    pub days: Option<u64>,
 }
 
 /// Parse `args` (without the program name). Unknown flags, missing flag
@@ -56,7 +65,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--fast" => cli.fast = true,
             "--time" => cli.timed = true,
             "--faults" => faults_flag = true,
-            "--out" | "--replicates" | "--metrics-out" => {
+            "--out" | "--replicates" | "--metrics-out" | "--chaos" | "--days" => {
                 let value = args
                     .get(i + 1)
                     .filter(|v| !v.starts_with("--"))
@@ -64,6 +73,28 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                 match arg {
                     "--out" => cli.out_dir = Some(PathBuf::from(value)),
                     "--metrics-out" => cli.metrics_out = Some(PathBuf::from(value)),
+                    "--chaos" => {
+                        let level: u32 = value.parse().map_err(|_| {
+                            format!("flag `--chaos` expects a level 0-3, got `{value}`")
+                        })?;
+                        if level > 3 {
+                            return Err(format!(
+                                "flag `--chaos` expects a level 0-3, got `{value}`"
+                            ));
+                        }
+                        cli.chaos = Some(level);
+                    }
+                    "--days" => {
+                        let days: u64 = value.parse().map_err(|_| {
+                            format!("flag `--days` expects a day count >= 1, got `{value}`")
+                        })?;
+                        if days == 0 {
+                            return Err(format!(
+                                "flag `--days` expects a day count >= 1, got `{value}`"
+                            ));
+                        }
+                        cli.days = Some(days);
+                    }
                     _ => {
                         cli.replicates = Some(value.parse().map_err(|_| {
                             format!("flag `--replicates` expects a count, got `{value}`")
@@ -149,5 +180,26 @@ mod tests {
     fn artifact_must_be_known_and_singular() {
         assert!(parse(&args(&["fig9"])).unwrap_err().contains("fig9"));
         assert!(parse(&args(&["grid", "sweep"])).is_err());
+    }
+
+    #[test]
+    fn facility_takes_chaos_and_days() {
+        let cli = parse(&args(&["facility", "--chaos", "2", "--days", "3"])).unwrap();
+        assert_eq!(cli.artifact, "facility");
+        assert_eq!(cli.chaos, Some(2));
+        assert_eq!(cli.days, Some(3));
+    }
+
+    #[test]
+    fn chaos_and_days_are_validated() {
+        assert!(parse(&args(&["facility", "--chaos", "4"]))
+            .unwrap_err()
+            .contains("0-3"));
+        assert!(parse(&args(&["facility", "--chaos", "soft"])).is_err());
+        assert!(parse(&args(&["facility", "--chaos"])).is_err());
+        assert!(parse(&args(&["facility", "--days", "0"]))
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(parse(&args(&["facility", "--days", "-2"])).is_err());
     }
 }

@@ -185,7 +185,8 @@ pub fn arrival_rate(day: usize, base_per_hour: f64) -> f64 {
 }
 
 /// The workload population jobs draw from: the full heat-map space.
-fn workload_population() -> Vec<KernelConfig> {
+/// Shared with the fault-tolerant campaign in [`crate::campaign`].
+pub(crate) fn workload_population() -> Vec<KernelConfig> {
     let mut space = Vec::new();
     for &i in &KernelConfig::heatmap_intensities() {
         for v in [VectorWidth::Xmm, VectorWidth::Ymm] {
@@ -208,7 +209,7 @@ fn workload_population() -> Vec<KernelConfig> {
 
 /// Job node-count distribution: mostly small, occasionally large — the
 /// shape of real HPC queues.
-fn job_size<R: Rng>(rng: &mut R) -> usize {
+pub(crate) fn job_size<R: Rng>(rng: &mut R) -> usize {
     match rng.gen_range(0..100) {
         0..=49 => rng.gen_range(1..=16),
         50..=79 => rng.gen_range(17..=64),
@@ -218,7 +219,7 @@ fn job_size<R: Rng>(rng: &mut R) -> usize {
 }
 
 /// Knuth Poisson sampling (rates here are small).
-fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+pub(crate) fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> usize {
     let l = (-lambda).exp();
     let mut k = 0usize;
     let mut p = 1.0;

@@ -10,6 +10,9 @@
 //! * [`grid`] — the policy × mix × budget evaluation grid behind Fig. 7
 //!   and Fig. 8.
 //! * [`facility`] — the facility-scale year simulation behind Fig. 1.
+//! * [`campaign`] — the fault-tolerant facility campaign: job lifecycle
+//!   with checkpoint/restart, retry/backoff, lease timeouts, and budget
+//!   shocks under every policy (`repro facility [--chaos N]`).
 //! * [`export`] — CSV export of the evaluation grid.
 //! * [`sweep`] — continuous budget sweeps locating policy crossovers.
 //! * [`replicates`] — Fig. 8-style jitter-seed replicate sweeps through the
@@ -34,6 +37,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod budgets;
+pub mod campaign;
 pub mod cli;
 pub mod export;
 pub mod facility;

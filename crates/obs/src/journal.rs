@@ -103,6 +103,41 @@ pub enum EventKind {
         /// Nodes the job still holds.
         remaining: u64,
     },
+    /// A running job was killed (node death under it) and returned to the
+    /// pending pool for a retried launch.
+    JobRequeued {
+        /// Job id.
+        job: u64,
+        /// Surviving nodes released back to the pool.
+        released: u64,
+        /// Watts released back to the ledger.
+        power_w: f64,
+    },
+    /// A running job was checkpointed and evicted by a budget shock.
+    JobPreempted {
+        /// Job id.
+        job: u64,
+        /// Watts released back to the ledger.
+        power_w: f64,
+    },
+    /// A node's heartbeat lease outlived its timeout and the node was
+    /// declared dead.
+    LeaseExpired {
+        /// Node index whose lease expired.
+        node: u64,
+    },
+    /// A job finished writing a checkpoint; a later restart resumes here.
+    CheckpointSaved {
+        /// Job id.
+        job: u64,
+        /// Checkpointed progress, node-independent work hours.
+        progress_h: f64,
+    },
+    /// The facility power budget moved abruptly (grid-price shock).
+    BudgetShock {
+        /// The new system budget, watts.
+        budget_w: f64,
+    },
     /// Ad-hoc annotation with one numeric value.
     Marker {
         /// Marker name.
@@ -124,6 +159,11 @@ impl EventKind {
             EventKind::JobBackfilled { .. } => "job.backfilled",
             EventKind::NodeDrained { .. } => "node.drained",
             EventKind::JobDegraded { .. } => "job.degraded",
+            EventKind::JobRequeued { .. } => "job.requeued",
+            EventKind::JobPreempted { .. } => "job.preempted",
+            EventKind::LeaseExpired { .. } => "lease.expired",
+            EventKind::CheckpointSaved { .. } => "checkpoint.saved",
+            EventKind::BudgetShock { .. } => "budget.shock",
             EventKind::Marker { .. } => "marker",
         }
     }
@@ -170,6 +210,25 @@ impl EventKind {
                 ("lost_node", FieldValue::U64(lost_node)),
                 ("remaining", FieldValue::U64(remaining)),
             ],
+            EventKind::JobRequeued {
+                job,
+                released,
+                power_w,
+            } => vec![
+                ("job", FieldValue::U64(job)),
+                ("released", FieldValue::U64(released)),
+                ("power_w", FieldValue::F64(power_w)),
+            ],
+            EventKind::JobPreempted { job, power_w } => vec![
+                ("job", FieldValue::U64(job)),
+                ("power_w", FieldValue::F64(power_w)),
+            ],
+            EventKind::LeaseExpired { node } => vec![("node", FieldValue::U64(node))],
+            EventKind::CheckpointSaved { job, progress_h } => vec![
+                ("job", FieldValue::U64(job)),
+                ("progress_h", FieldValue::F64(progress_h)),
+            ],
+            EventKind::BudgetShock { budget_w } => vec![("budget_w", FieldValue::F64(budget_w))],
             EventKind::Marker { name, value } => vec![
                 ("name", FieldValue::Str(name)),
                 ("value", FieldValue::F64(value)),

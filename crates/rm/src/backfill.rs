@@ -7,14 +7,18 @@
 //! fits the power ledger, so the power guarantee of the FIFO scheduler is
 //! preserved. This is the scheduler the facility simulation can swap in to
 //! study utilization-vs-fairness at the site level.
+//!
+//! Only the start decision differs from FIFO. Submission, completion and —
+//! critically — the node-failure/requeue/preemption paths are the shared
+//! [`SchedulerCore`](crate::scheduler), so a node dying under a backfilled
+//! schedule reclaims its watts exactly like one dying under FIFO.
 
-use crate::budget::PowerLedger;
-use crate::job::{Job, JobId, JobSpec, JobState};
+use crate::budget::{OverCommit, PowerLedger};
+use crate::job::{Job, JobId, JobSpec};
 use crate::pool::NodePool;
-use crate::scheduler::{SchedulerEvent, JOBS_COMPLETED, JOBS_STARTED, JOBS_SUBMITTED};
+use crate::scheduler::{Scheduler, SchedulerCore, SchedulerEvent};
 use pmstack_obs::EventKind;
-use pmstack_simhw::Watts;
-use std::collections::{HashMap, VecDeque};
+use pmstack_simhw::{NodeId, Watts};
 
 /// Observability: jobs started out of queue order by backfill.
 static JOBS_BACKFILLED: pmstack_obs::StaticCounter =
@@ -23,12 +27,7 @@ static JOBS_BACKFILLED: pmstack_obs::StaticCounter =
 /// FIFO-with-backfill over a node pool and power ledger.
 #[derive(Debug)]
 pub struct BackfillScheduler {
-    pool: NodePool,
-    ledger: PowerLedger,
-    queue: VecDeque<JobId>,
-    jobs: HashMap<JobId, Job>,
-    next_id: u64,
-    default_per_node: Watts,
+    core: SchedulerCore,
     /// Jobs started out of order (observability for fairness studies).
     backfilled: usize,
 }
@@ -38,39 +37,29 @@ impl BackfillScheduler {
     /// reservation for jobs without a hint.
     pub fn new(pool: NodePool, ledger: PowerLedger, default_per_node: Watts) -> Self {
         Self {
-            pool,
-            ledger,
-            queue: VecDeque::new(),
-            jobs: HashMap::new(),
-            next_id: 1,
-            default_per_node,
+            core: SchedulerCore::new(pool, ledger, default_per_node),
             backfilled: 0,
         }
     }
 
     /// Submit a job; returns its id.
     pub fn submit(&mut self, spec: JobSpec) -> JobId {
-        JOBS_SUBMITTED.inc();
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        self.jobs.insert(id, Job::pending(id, spec));
-        self.queue.push_back(id);
-        id
+        self.core.submit(spec)
     }
 
     /// Look up a job.
     pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+        self.core.jobs.get(&id)
     }
 
     /// Nodes still free.
     pub fn free_nodes(&self) -> usize {
-        self.pool.available()
+        self.core.pool.available()
     }
 
     /// The power ledger.
     pub fn ledger(&self) -> &PowerLedger {
-        &self.ledger
+        &self.core.ledger
     }
 
     /// How many jobs have started out of queue order.
@@ -84,51 +73,20 @@ impl BackfillScheduler {
         let mut events = Vec::new();
         loop {
             let mut started_any = false;
-            let ids: Vec<JobId> = self.queue.iter().copied().collect();
+            let ids: Vec<JobId> = self.core.queue.iter().copied().collect();
             for (pos, id) in ids.iter().enumerate() {
-                let (nodes_needed, per_node) = {
-                    let job = &self.jobs[id];
-                    (
-                        job.spec.nodes,
-                        job.spec
-                            .power_hint_per_node
-                            .unwrap_or(self.default_per_node),
-                    )
-                };
-                let power = per_node * nodes_needed as f64;
-                if self.pool.available() < nodes_needed || self.ledger.reserve(*id, power).is_err()
-                {
+                let Some(ev) = self.core.try_start(*id) else {
                     // Head-of-queue blocked: later jobs may still backfill,
                     // so keep scanning.
                     continue;
-                }
-                let nodes = self
-                    .pool
-                    .allocate(nodes_needed)
-                    .expect("availability checked above");
-                let job = self.jobs.get_mut(id).expect("queued job exists");
-                job.start(nodes.clone());
-                job.power_budget = Some(power);
-                self.queue.retain(|q| q != id);
-                JOBS_STARTED.inc();
+                };
+                self.core.queue.retain(|q| q != id);
                 if pos > 0 {
                     self.backfilled += 1;
                     JOBS_BACKFILLED.inc();
                     pmstack_obs::event(f64::NAN, EventKind::JobBackfilled { job: id.0 });
                 }
-                pmstack_obs::event(
-                    f64::NAN,
-                    EventKind::JobStarted {
-                        job: id.0,
-                        nodes: nodes.len() as u64,
-                        power_w: power.value(),
-                    },
-                );
-                events.push(SchedulerEvent::Started {
-                    job: *id,
-                    nodes,
-                    power,
-                });
+                events.push(ev);
                 started_any = true;
                 break; // restart the scan: positions shifted
             }
@@ -140,20 +98,88 @@ impl BackfillScheduler {
 
     /// Mark a running job finished, returning its resources.
     pub fn complete(&mut self, id: JobId) -> SchedulerEvent {
-        let job = self.jobs.get_mut(&id).expect("completing unknown job");
-        assert_eq!(job.state, JobState::Running);
-        let nodes = job.complete();
-        self.pool.release(nodes);
-        self.ledger.release(id);
-        JOBS_COMPLETED.inc();
-        pmstack_obs::event(f64::NAN, EventKind::JobCompleted { job: id.0 });
-        SchedulerEvent::Completed { job: id }
+        self.core.complete(id)
+    }
+
+    /// Handle fail-stop death of a node under a backfilled schedule: drain
+    /// it, shrink the owning job's grant and reservation, reclaim the dead
+    /// node's watts. Identical to [`crate::FifoScheduler::fail_node`] by
+    /// construction — both delegate to the shared core.
+    pub fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node(node)
+    }
+
+    /// Node death with checkpoint/restart semantics: drain the node, kill
+    /// and withdraw the whole owning job (see
+    /// [`crate::FifoScheduler::fail_node_requeue`]).
+    pub fn fail_node_requeue(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node_requeue(node)
+    }
+
+    /// Queue a withdrawn pending job again.
+    pub fn enqueue(&mut self, id: JobId) {
+        self.core.enqueue(id)
+    }
+}
+
+impl Scheduler for BackfillScheduler {
+    fn submit(&mut self, spec: JobSpec) -> JobId {
+        self.core.submit(spec)
+    }
+    fn tick(&mut self) -> Vec<SchedulerEvent> {
+        BackfillScheduler::tick(self)
+    }
+    fn complete(&mut self, id: JobId) -> SchedulerEvent {
+        self.core.complete(id)
+    }
+    fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node(node)
+    }
+    fn fail_node_requeue(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node_requeue(node)
+    }
+    fn withdraw(&mut self, id: JobId) -> SchedulerEvent {
+        self.core.withdraw(id)
+    }
+    fn enqueue(&mut self, id: JobId) {
+        self.core.enqueue(id)
+    }
+    fn preempt(&mut self, id: JobId) -> SchedulerEvent {
+        self.core.preempt(id)
+    }
+    fn rebudget(&mut self, id: JobId, power: Watts) -> Result<(), OverCommit> {
+        self.core.rebudget(id, power)
+    }
+    fn restore_node(&mut self, id: NodeId) -> bool {
+        self.core.pool.restore(id)
+    }
+    fn job(&self, id: JobId) -> Option<&Job> {
+        self.core.jobs.get(&id)
+    }
+    fn running(&self) -> Vec<JobId> {
+        self.core.running()
+    }
+    fn ledger(&self) -> &PowerLedger {
+        &self.core.ledger
+    }
+    fn ledger_mut(&mut self) -> &mut PowerLedger {
+        &mut self.core.ledger
+    }
+    fn free_nodes(&self) -> usize {
+        self.core.pool.available()
+    }
+    fn total_nodes(&self) -> usize {
+        self.core.pool.total()
+    }
+    fn queue_len(&self) -> usize {
+        self.core.queue.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::job::JobState;
 
     fn scheduler(nodes: usize) -> BackfillScheduler {
         BackfillScheduler::new(
@@ -244,5 +270,51 @@ mod tests {
         s.complete(small);
         let events = s.tick();
         assert!(matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == head));
+    }
+
+    #[test]
+    fn node_failure_parity_with_fifo() {
+        // The satellite fix: a node dying under a backfilled schedule takes
+        // the same degrade path (drain, shrink, reclaim) FIFO does.
+        let mut s = scheduler(8);
+        let wide = s.submit(JobSpec::new("wide", 6).with_power_hint(Watts(120.0)));
+        s.tick();
+        s.submit(JobSpec::new("blocked", 7));
+        let small = s.submit(JobSpec::new("small", 2).with_power_hint(Watts(120.0)));
+        s.tick();
+        assert_eq!(s.backfilled_count(), 1);
+
+        let held = s.job(small).unwrap().nodes.clone();
+        let events = s.fail_node(held[0]);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            SchedulerEvent::NodeFailed { node, job: Some(j) } if node == held[0] && j == small
+        ));
+        assert!(matches!(
+            events[1],
+            SchedulerEvent::JobDegraded { job, remaining: 1, reclaimed, .. }
+                if job == small && reclaimed == Watts(120.0)
+        ));
+        assert_eq!(s.ledger().reservation(small), Some(Watts(120.0)));
+        let _ = wide;
+    }
+
+    #[test]
+    fn requeue_path_restarts_via_backfill() {
+        let mut s = scheduler(8);
+        let a = s.submit(JobSpec::new("a", 2).with_power_hint(Watts(100.0)));
+        s.tick();
+        let held = s.job(a).unwrap().nodes.clone();
+        let events = s.fail_node_requeue(held[1]);
+        assert!(matches!(
+            events[1],
+            SchedulerEvent::Requeued { job, released: 2, .. } if job == a
+        ));
+        assert_eq!(s.job(a).unwrap().state, JobState::Pending);
+        assert_eq!(s.ledger().reserved(), Watts::ZERO);
+        s.enqueue(a);
+        let events = s.tick();
+        assert!(matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == a));
     }
 }

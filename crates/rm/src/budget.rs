@@ -59,6 +59,17 @@ impl PowerLedger {
         self.system_budget
     }
 
+    /// Move the system budget (a diurnal tariff change or a grid-price
+    /// shock). Existing reservations are *not* clamped — admission control
+    /// is the ledger's job, eviction is the caller's — so the return value
+    /// is the oversubscription the caller must now resolve: watts by which
+    /// current reservations exceed the new budget (zero when they fit).
+    pub fn set_system_budget(&mut self, budget: Watts) -> Watts {
+        assert!(budget.value() >= 0.0, "budgets are non-negative");
+        self.system_budget = budget;
+        Watts((self.reserved().value() - budget.value()).max(0.0))
+    }
+
     /// Watts currently reserved across all jobs.
     pub fn reserved(&self) -> Watts {
         self.reservations.values().copied().sum()
@@ -178,6 +189,21 @@ mod tests {
         assert_eq!(ledger.available(), Watts(1000.0));
         // Unknown job reclaims nothing.
         assert_eq!(ledger.reclaim(JobId(42), Watts(10.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn budget_moves_report_oversubscription() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(600.0)).unwrap();
+        // Raising the budget is always clean.
+        assert_eq!(ledger.set_system_budget(Watts(1500.0)), Watts::ZERO);
+        assert_eq!(ledger.system_budget(), Watts(1500.0));
+        // A shock below current reservations reports the deficit …
+        assert_eq!(ledger.set_system_budget(Watts(400.0)), Watts(200.0));
+        // … and reservations are untouched until the caller evicts.
+        assert_eq!(ledger.reservation(JobId(1)), Some(Watts(600.0)));
+        ledger.release(JobId(1));
+        assert_eq!(ledger.set_system_budget(Watts(400.0)), Watts::ZERO);
     }
 
     #[test]

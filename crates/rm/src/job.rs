@@ -100,6 +100,16 @@ impl Job {
         std::mem::take(&mut self.nodes)
     }
 
+    /// Transition a running job back to pending, releasing its nodes to the
+    /// caller — the kill half of checkpoint/restart (node death under the
+    /// job) or a budget-shock preemption. The job keeps its identity and
+    /// spec and can [`Job::start`] again on a fresh grant.
+    pub fn requeue(&mut self) -> Vec<NodeId> {
+        assert_eq!(self.state, JobState::Running, "only running jobs requeue");
+        self.state = JobState::Pending;
+        std::mem::take(&mut self.nodes)
+    }
+
     /// Drop a failed node from a running job's grant, returning `true` if
     /// the job held it. The job keeps running degraded on the survivors;
     /// the scheduler decides what happens when none remain.
@@ -152,6 +162,26 @@ mod tests {
         assert!(!job.lose_node(NodeId(0)), "already lost");
         assert_eq!(job.nodes, vec![NodeId(1)]);
         assert_eq!(job.state, JobState::Running);
+    }
+
+    #[test]
+    fn requeue_returns_to_pending_and_releases_nodes() {
+        let mut job = Job::pending(JobId(1), JobSpec::new("w1", 2));
+        job.start(vec![NodeId(0), NodeId(1)]);
+        let released = job.requeue();
+        assert_eq!(released, vec![NodeId(0), NodeId(1)]);
+        assert_eq!(job.state, JobState::Pending);
+        assert!(job.nodes.is_empty());
+        // It can start again on a fresh grant.
+        job.start(vec![NodeId(2), NodeId(3)]);
+        assert_eq!(job.state, JobState::Running);
+    }
+
+    #[test]
+    #[should_panic(expected = "only running jobs requeue")]
+    fn requeue_requires_running() {
+        let mut job = Job::pending(JobId(1), JobSpec::new("w1", 1));
+        job.requeue();
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! Per-node heartbeat leases: the failure *detector*.
+//!
+//! The fault plane kills nodes; nobody tells the resource manager. What the
+//! RM actually observes is telemetry going quiet — so each managed node
+//! holds a lease that its heartbeats renew, and a lease that outlives
+//! [`LeaseTable::timeout`] ticks without a beat declares the node dead.
+//! That declaration is the trigger for the whole failure path: drain the
+//! node, reclaim its watts, kill and requeue the job on it.
+//!
+//! The detector is deliberately fallible in the same way real ones are: a
+//! long telemetry blackout on a *live* node still expires the lease, and
+//! the node gets drained anyway (a false positive the campaign later
+//! repairs by restoring the node when its telemetry resumes). Tightening
+//! the timeout trades detection latency against exactly those false kills.
+
+use pmstack_obs::StaticCounter;
+use pmstack_simhw::NodeId;
+use std::collections::BTreeMap;
+
+/// Observability: leases that expired and declared their node dead.
+pub(crate) static LEASES_EXPIRED: StaticCounter = StaticCounter::new("rm.leases.expired");
+
+/// Heartbeat lease table over abstract monotonic ticks (the campaign uses
+/// simulated minutes). Deterministic: expiry scans are in `NodeId` order.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    timeout: u64,
+    last_beat: BTreeMap<NodeId, u64>,
+}
+
+impl LeaseTable {
+    /// A table declaring nodes dead after `timeout` ticks of silence.
+    pub fn new(timeout: u64) -> Self {
+        assert!(timeout > 0, "a zero timeout kills every node instantly");
+        Self {
+            timeout,
+            last_beat: BTreeMap::new(),
+        }
+    }
+
+    /// The configured timeout, ticks.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Number of nodes currently under lease.
+    pub fn tracked(&self) -> usize {
+        self.last_beat.len()
+    }
+
+    /// Begin (or re-begin) tracking `node`, treating `now` as its first
+    /// heartbeat.
+    pub fn track(&mut self, node: NodeId, now: u64) {
+        self.last_beat.insert(node, now);
+    }
+
+    /// Record a heartbeat from `node`. Beats from untracked nodes are
+    /// ignored — a drained node's stale telemetry must not resurrect its
+    /// lease.
+    pub fn beat(&mut self, node: NodeId, now: u64) {
+        if let Some(t) = self.last_beat.get_mut(&node) {
+            *t = (*t).max(now);
+        }
+    }
+
+    /// Stop tracking `node` (it completed drain or was handed back).
+    pub fn forget(&mut self, node: NodeId) {
+        self.last_beat.remove(&node);
+    }
+
+    /// Ticks since `node`'s last beat, if tracked.
+    pub fn staleness(&self, node: NodeId, now: u64) -> Option<u64> {
+        self.last_beat.get(&node).map(|t| now.saturating_sub(*t))
+    }
+
+    /// Collect every node whose lease has outlived the timeout at `now`,
+    /// in ascending `NodeId` order, removing each from the table — a node
+    /// is declared dead exactly once.
+    pub fn expire(&mut self, now: u64) -> Vec<NodeId> {
+        let dead: Vec<NodeId> = self
+            .last_beat
+            .iter()
+            .filter(|(_, &t)| now.saturating_sub(t) > self.timeout)
+            .map(|(&n, _)| n)
+            .collect();
+        for node in &dead {
+            self.last_beat.remove(node);
+            LEASES_EXPIRED.inc();
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_keep_leases_alive() {
+        let mut t = LeaseTable::new(15);
+        t.track(NodeId(0), 0);
+        t.track(NodeId(1), 0);
+        for now in (5..=30).step_by(5) {
+            t.beat(NodeId(0), now);
+        }
+        let dead = t.expire(30);
+        assert_eq!(dead, vec![NodeId(1)], "only the silent node expires");
+        assert_eq!(t.tracked(), 1);
+    }
+
+    #[test]
+    fn expiry_is_exactly_once_and_ordered() {
+        let mut t = LeaseTable::new(10);
+        t.track(NodeId(3), 0);
+        t.track(NodeId(1), 0);
+        t.track(NodeId(2), 5);
+        assert_eq!(t.expire(11), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(t.expire(11), Vec::<NodeId>::new(), "already declared");
+        assert_eq!(t.expire(16), vec![NodeId(2)]);
+    }
+
+    #[test]
+    fn boundary_is_strictly_greater_than_timeout() {
+        let mut t = LeaseTable::new(10);
+        t.track(NodeId(0), 0);
+        assert!(t.expire(10).is_empty(), "exactly timeout: still alive");
+        assert_eq!(t.expire(11), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn untracked_beats_do_not_resurrect() {
+        let mut t = LeaseTable::new(5);
+        t.track(NodeId(0), 0);
+        t.forget(NodeId(0));
+        t.beat(NodeId(0), 100);
+        assert_eq!(t.tracked(), 0);
+        assert!(t.expire(200).is_empty());
+    }
+
+    #[test]
+    fn staleness_reports_silence() {
+        let mut t = LeaseTable::new(5);
+        t.track(NodeId(0), 10);
+        assert_eq!(t.staleness(NodeId(0), 14), Some(4));
+        assert_eq!(t.staleness(NodeId(1), 14), None);
+        // Out-of-order beats never move time backwards.
+        t.beat(NodeId(0), 8);
+        assert_eq!(t.staleness(NodeId(0), 14), Some(4));
+    }
+}

@@ -16,11 +16,17 @@
 pub mod backfill;
 pub mod budget;
 pub mod job;
+pub mod lease;
+pub mod lifecycle;
 pub mod pool;
+pub mod retry;
 pub mod scheduler;
 
 pub use backfill::BackfillScheduler;
-pub use budget::PowerLedger;
+pub use budget::{OverCommit, PowerLedger};
 pub use job::{Job, JobId, JobSpec, JobState};
+pub use lease::LeaseTable;
+pub use lifecycle::{JobLifecycle, LifecycleState};
 pub use pool::NodePool;
-pub use scheduler::{FifoScheduler, SchedulerEvent};
+pub use retry::RetryPolicy;
+pub use scheduler::{FifoScheduler, Scheduler, SchedulerEvent};

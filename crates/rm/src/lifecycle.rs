@@ -1,0 +1,351 @@
+//! The full job failure lifecycle the facility campaign drives.
+//!
+//! The scheduler-level [`crate::job::JobState`] deliberately knows only
+//! three states — pending, running, completed — because that is all the
+//! node/power accounting substrate needs. A *facility* additionally has to
+//! answer "what happens when this job's node dies at hour 31 of a 40-hour
+//! run?", and that is a richer machine:
+//!
+//! ```text
+//!            launch          run            ckpt_begin
+//!  Queued ──────────► Launching ──► Running ──────────► Checkpointing
+//!    ▲                               ▲  │ ▲                │
+//!    │ enqueue (backoff elapsed)     │  │ └── ckpt_end ────┘
+//!    │                               │  │
+//!  Requeued ◄──── requeue ──── Failed◄──┘ fail (node death, lease
+//!                    │                     expiry, preemption kill)
+//!                    ▼ (attempts exhausted)
+//!                 Failed (terminal)        Running ──► Completed
+//! ```
+//!
+//! Work survives restarts only up to the last completed checkpoint: the
+//! uncheckpointed tail is *wasted node-hours*, the quantity the campaign
+//! reports per policy. Invalid transitions panic — they are engine bugs,
+//! never runtime conditions, matching the [`crate::job::Job`] convention.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Lifecycle state of a facility job across failures and restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LifecycleState {
+    /// Waiting in the queue for its first launch.
+    Queued,
+    /// Granted nodes; paying launch latency before work accrues.
+    Launching,
+    /// Executing and accruing progress.
+    Running,
+    /// Writing a checkpoint; no progress accrues during the write.
+    Checkpointing,
+    /// All work done; terminal.
+    Completed,
+    /// Lost its nodes (failure or preemption kill); either requeues or,
+    /// with attempts exhausted, stays here terminally.
+    Failed,
+    /// Back in the queue after a failure, waiting out its backoff.
+    Requeued,
+}
+
+impl fmt::Display for LifecycleState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::Queued => "queued",
+            Self::Launching => "launching",
+            Self::Running => "running",
+            Self::Checkpointing => "checkpointing",
+            Self::Completed => "completed",
+            Self::Failed => "failed",
+            Self::Requeued => "requeued",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One job's progress ledger across attempts: how much work is required,
+/// how much has been durably checkpointed, and how much the current
+/// attempt has accrued beyond that.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobLifecycle {
+    state: LifecycleState,
+    /// Total work required, in hours at full speed.
+    work_h: f64,
+    /// Progress durably saved by the last completed checkpoint, hours.
+    checkpointed_h: f64,
+    /// Progress of the current attempt, hours (≥ `checkpointed_h`).
+    progress_h: f64,
+    /// Launches so far (first launch counts as attempt 1).
+    attempts: u32,
+}
+
+impl JobLifecycle {
+    /// A queued job requiring `work_h` hours of full-speed work.
+    pub fn new(work_h: f64) -> Self {
+        assert!(work_h > 0.0, "jobs require positive work");
+        Self {
+            state: LifecycleState::Queued,
+            work_h,
+            checkpointed_h: 0.0,
+            progress_h: 0.0,
+            attempts: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> LifecycleState {
+        self.state
+    }
+
+    /// Total work required, hours.
+    pub fn work_h(&self) -> f64 {
+        self.work_h
+    }
+
+    /// Progress of the current attempt, hours.
+    pub fn progress_h(&self) -> f64 {
+        self.progress_h
+    }
+
+    /// Durably checkpointed progress, hours.
+    pub fn checkpointed_h(&self) -> f64 {
+        self.checkpointed_h
+    }
+
+    /// Work still missing, hours.
+    pub fn remaining_h(&self) -> f64 {
+        (self.work_h - self.progress_h).max(0.0)
+    }
+
+    /// Launches so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// True in a terminal state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self.state,
+            LifecycleState::Completed | LifecycleState::Failed
+        )
+    }
+
+    /// Queued/Requeued → Launching. Counts the attempt. A restart resumes
+    /// from the last checkpoint: the current attempt's progress starts at
+    /// `checkpointed_h`.
+    pub fn launch(&mut self) {
+        assert!(
+            matches!(
+                self.state,
+                LifecycleState::Queued | LifecycleState::Requeued
+            ),
+            "launch from {}, not queued/requeued",
+            self.state
+        );
+        self.state = LifecycleState::Launching;
+        self.attempts += 1;
+        self.progress_h = self.checkpointed_h;
+    }
+
+    /// Launching → Running (launch latency paid).
+    pub fn run(&mut self) {
+        assert_eq!(
+            self.state,
+            LifecycleState::Launching,
+            "run() only from launching"
+        );
+        self.state = LifecycleState::Running;
+    }
+
+    /// Accrue `hours` of full-speed-equivalent progress. Only running jobs
+    /// make progress.
+    pub fn accrue(&mut self, hours: f64) {
+        assert_eq!(self.state, LifecycleState::Running, "accrue while running");
+        assert!(hours >= 0.0);
+        self.progress_h = (self.progress_h + hours).min(self.work_h);
+    }
+
+    /// Running → Checkpointing.
+    pub fn checkpoint_begin(&mut self) {
+        assert_eq!(
+            self.state,
+            LifecycleState::Running,
+            "checkpoint only from running"
+        );
+        self.state = LifecycleState::Checkpointing;
+    }
+
+    /// Checkpointing → Running; the attempt's progress becomes durable.
+    pub fn checkpoint_end(&mut self) {
+        assert_eq!(
+            self.state,
+            LifecycleState::Checkpointing,
+            "checkpoint_end only from checkpointing"
+        );
+        self.checkpointed_h = self.progress_h;
+        self.state = LifecycleState::Running;
+    }
+
+    /// Running → Completed. Requires the work to actually be done.
+    pub fn complete(&mut self) {
+        assert_eq!(
+            self.state,
+            LifecycleState::Running,
+            "complete only from running"
+        );
+        assert!(
+            self.remaining_h() < 1e-9,
+            "complete with {:.3} h remaining",
+            self.remaining_h()
+        );
+        self.state = LifecycleState::Completed;
+    }
+
+    /// Any held state → Failed. Returns the *wasted* hours: progress beyond
+    /// the last checkpoint, which the restart will have to redo. A job
+    /// killed mid-checkpoint loses the in-flight checkpoint too.
+    pub fn fail(&mut self) -> f64 {
+        assert!(
+            matches!(
+                self.state,
+                LifecycleState::Launching | LifecycleState::Running | LifecycleState::Checkpointing
+            ),
+            "fail from {}, not a held state",
+            self.state
+        );
+        let wasted = self.progress_h - self.checkpointed_h;
+        self.progress_h = self.checkpointed_h;
+        self.state = LifecycleState::Failed;
+        wasted
+    }
+
+    /// Graceful preemption (budget shock): the job writes a final
+    /// checkpoint as it is evicted, so nothing is wasted, and goes straight
+    /// back to the queue. Launching/Running/Checkpointing → Requeued — a
+    /// job evicted mid-launch has accrued nothing yet, so its "checkpoint"
+    /// is whatever the previous attempt saved.
+    pub fn preempt(&mut self) {
+        assert!(
+            matches!(
+                self.state,
+                LifecycleState::Launching | LifecycleState::Running | LifecycleState::Checkpointing
+            ),
+            "preempt from {}, not a held state",
+            self.state
+        );
+        self.checkpointed_h = self.progress_h;
+        self.state = LifecycleState::Requeued;
+    }
+
+    /// Failed → Requeued (the retry policy granted another attempt).
+    pub fn requeue(&mut self) {
+        assert_eq!(
+            self.state,
+            LifecycleState::Failed,
+            "requeue only from failed"
+        );
+        self.state = LifecycleState::Requeued;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_lifecycle_completes() {
+        let mut j = JobLifecycle::new(10.0);
+        assert_eq!(j.state(), LifecycleState::Queued);
+        j.launch();
+        assert_eq!(j.attempts(), 1);
+        j.run();
+        j.accrue(4.0);
+        j.checkpoint_begin();
+        j.checkpoint_end();
+        assert_eq!(j.checkpointed_h(), 4.0);
+        j.accrue(6.0);
+        j.complete();
+        assert!(j.is_terminal());
+        assert_eq!(j.remaining_h(), 0.0);
+    }
+
+    #[test]
+    fn failure_rolls_back_to_last_checkpoint() {
+        let mut j = JobLifecycle::new(10.0);
+        j.launch();
+        j.run();
+        j.accrue(4.0);
+        j.checkpoint_begin();
+        j.checkpoint_end();
+        j.accrue(3.0);
+        let wasted = j.fail();
+        assert!((wasted - 3.0).abs() < 1e-12, "loses the unsaved tail");
+        assert_eq!(j.progress_h(), 4.0);
+        j.requeue();
+        j.launch();
+        assert_eq!(j.attempts(), 2);
+        assert_eq!(j.progress_h(), 4.0, "restart resumes from the checkpoint");
+        j.run();
+        j.accrue(6.0);
+        j.complete();
+    }
+
+    #[test]
+    fn failure_mid_checkpoint_loses_the_inflight_save() {
+        let mut j = JobLifecycle::new(8.0);
+        j.launch();
+        j.run();
+        j.accrue(5.0);
+        j.checkpoint_begin();
+        let wasted = j.fail();
+        assert!((wasted - 5.0).abs() < 1e-12);
+        assert_eq!(j.checkpointed_h(), 0.0);
+    }
+
+    #[test]
+    fn preemption_wastes_nothing() {
+        let mut j = JobLifecycle::new(10.0);
+        j.launch();
+        j.run();
+        j.accrue(7.5);
+        j.preempt();
+        assert_eq!(j.state(), LifecycleState::Requeued);
+        assert_eq!(j.checkpointed_h(), 7.5, "graceful eviction checkpoints");
+        j.launch();
+        assert_eq!(j.progress_h(), 7.5);
+    }
+
+    #[test]
+    fn progress_saturates_at_the_work_requirement() {
+        let mut j = JobLifecycle::new(2.0);
+        j.launch();
+        j.run();
+        j.accrue(5.0);
+        assert_eq!(j.progress_h(), 2.0);
+        j.complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "complete with")]
+    fn complete_requires_finished_work() {
+        let mut j = JobLifecycle::new(10.0);
+        j.launch();
+        j.run();
+        j.accrue(1.0);
+        j.complete();
+    }
+
+    #[test]
+    #[should_panic(expected = "launch from")]
+    fn running_jobs_do_not_relaunch() {
+        let mut j = JobLifecycle::new(1.0);
+        j.launch();
+        j.run();
+        j.launch();
+    }
+
+    #[test]
+    #[should_panic(expected = "requeue only from failed")]
+    fn requeue_requires_failed() {
+        let mut j = JobLifecycle::new(1.0);
+        j.requeue();
+    }
+}

@@ -80,6 +80,19 @@ impl NodePool {
         self.free.remove(&id);
         self.managed.remove(&id)
     }
+
+    /// Return a previously drained node to service, free. The repair path
+    /// for lease-expiry false positives: a node declared dead during a
+    /// telemetry blackout comes back once its heartbeats resume. Returns
+    /// `false` (no-op) if the node is already managed.
+    pub fn restore(&mut self, id: NodeId) -> bool {
+        if self.managed.contains(&id) {
+            return false;
+        }
+        self.managed.insert(id);
+        self.free.insert(id);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -151,6 +164,19 @@ mod tests {
         assert_eq!(pool.total(), 2);
         let grant = pool.allocate(2).unwrap();
         assert_eq!(grant, vec![NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn restore_returns_a_drained_node_to_service() {
+        let mut pool = NodePool::new(3);
+        assert!(pool.remove(NodeId(1)));
+        assert_eq!(pool.total(), 2);
+        assert!(pool.restore(NodeId(1)));
+        assert_eq!(pool.total(), 3);
+        assert_eq!(pool.available(), 3);
+        // Restoring a managed node is a no-op.
+        assert!(!pool.restore(NodeId(1)));
+        assert_eq!(pool.available(), 3);
     }
 
     #[test]

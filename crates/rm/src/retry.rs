@@ -1,0 +1,105 @@
+//! Capped exponential-backoff retry policy for failed jobs.
+//!
+//! A failed job does not relaunch immediately: a transient cause (the
+//! lease-expired node was only in a telemetry blackout, the budget shock is
+//! passing) deserves breathing room, and a job that fails deterministically
+//! must not live in the queue forever. Delays grow geometrically from
+//! [`RetryPolicy::base_s`] up to the hard cap [`RetryPolicy::cap_s`], and
+//! after [`RetryPolicy::max_attempts`] launches the policy stops granting
+//! retries at all — the kill switch that turns a crash-looping job into a
+//! terminal failure instead of an infinite resource drain.
+//!
+//! The schedule is a pure function of the attempt number — no jitter — so
+//! campaigns replay bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+/// Retry schedule: capped exponential backoff with a max-attempts kill
+/// switch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Delay before the second attempt, seconds.
+    pub base_s: f64,
+    /// Multiplier applied per additional failed attempt.
+    pub factor: f64,
+    /// Hard ceiling on any single delay, seconds.
+    pub cap_s: f64,
+    /// Total launches allowed (first launch included). Attempt numbers at
+    /// or beyond this get no retry.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 10 min base, doubling, capped at 1 h, at most 5 launches.
+    fn default() -> Self {
+        Self {
+            base_s: 600.0,
+            factor: 2.0,
+            cap_s: 3600.0,
+            max_attempts: 5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Delay in seconds before the *next* launch, given that `attempts`
+    /// launches have already happened and the last one failed. `None` means
+    /// the kill switch fired: no further attempt is granted.
+    ///
+    /// The first retry (after attempt 1) waits `base_s`; each further
+    /// failure multiplies the delay by `factor`, clamped to `cap_s`.
+    pub fn delay_for(&self, attempts: u32) -> Option<f64> {
+        if attempts == 0 {
+            // Never launched: launching is not a retry.
+            return Some(0.0);
+        }
+        if attempts >= self.max_attempts {
+            return None;
+        }
+        let exp = (attempts - 1).min(1024);
+        let raw = self.base_s * self.factor.powi(exp as i32);
+        Some(raw.min(self.cap_s))
+    }
+
+    /// True when a job with `attempts` launches may try again.
+    pub fn allows_retry(&self, attempts: u32) -> bool {
+        self.delay_for(attempts).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_geometrically_to_the_cap() {
+        let p = RetryPolicy {
+            base_s: 100.0,
+            factor: 2.0,
+            cap_s: 500.0,
+            max_attempts: 10,
+        };
+        assert_eq!(p.delay_for(1), Some(100.0));
+        assert_eq!(p.delay_for(2), Some(200.0));
+        assert_eq!(p.delay_for(3), Some(400.0));
+        assert_eq!(p.delay_for(4), Some(500.0), "clamped");
+        assert_eq!(p.delay_for(9), Some(500.0), "stays clamped");
+    }
+
+    #[test]
+    fn kill_switch_fires_at_max_attempts() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.allows_retry(1));
+        assert!(p.allows_retry(2));
+        assert!(!p.allows_retry(3));
+        assert!(!p.allows_retry(99));
+    }
+
+    #[test]
+    fn unlaunched_jobs_launch_immediately() {
+        assert_eq!(RetryPolicy::default().delay_for(0), Some(0.0));
+    }
+}

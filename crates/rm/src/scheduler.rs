@@ -1,13 +1,23 @@
-//! A FIFO scheduler with power-aware admission.
+//! Schedulers with power-aware admission, built on one shared core.
 //!
-//! Jobs start in submission order when enough nodes are free. On start, the
-//! scheduler reserves the job's power from the [`crate::budget::PowerLedger`]
-//! (the policy layer later rebalances the per-job grants). A job that cannot
-//! get its power reservation waits even if nodes are free — power is a
-//! first-class schedulable resource here, which is the RM-side behaviour the
-//! paper's system-level policies presume.
+//! [`FifoScheduler`] starts jobs strictly in submission order;
+//! [`BackfillScheduler`] (in [`crate::backfill`]) lets later jobs jump a
+//! stuck head. Everything else — submission, completion, the node-failure
+//! path, requeue/preemption, the power ledger — is identical by
+//! construction: both wrap a [`SchedulerCore`], so a node dying under a
+//! backfilled schedule reclaims its watts exactly like one dying under
+//! FIFO. The [`Scheduler`] trait is the surface the facility campaign
+//! drives, letting it swap queueing disciplines without touching the
+//! failure lifecycle.
+//!
+//! On start, a scheduler reserves the job's power from the
+//! [`crate::budget::PowerLedger`] (the policy layer later rebalances the
+//! per-job grants). A job that cannot get its power reservation waits even
+//! if nodes are free — power is a first-class schedulable resource here,
+//! which is the RM-side behaviour the paper's system-level policies
+//! presume.
 
-use crate::budget::PowerLedger;
+use crate::budget::{OverCommit, PowerLedger};
 use crate::job::{Job, JobId, JobSpec, JobState};
 use crate::pool::NodePool;
 use pmstack_obs::{EventKind, StaticCounter};
@@ -22,6 +32,10 @@ pub(crate) static JOBS_STARTED: StaticCounter = StaticCounter::new("rm.jobs.star
 pub(crate) static JOBS_COMPLETED: StaticCounter = StaticCounter::new("rm.jobs.completed");
 /// Observability: dead nodes drained from a scheduler's pool.
 pub(crate) static NODES_DRAINED: StaticCounter = StaticCounter::new("rm.nodes.drained");
+/// Observability: jobs killed and withdrawn (lease expiry / chaos kill).
+pub(crate) static JOBS_REQUEUED: StaticCounter = StaticCounter::new("rm.jobs.requeued");
+/// Observability: running jobs checkpointed and evicted by a budget shock.
+pub(crate) static JOBS_PREEMPTED: StaticCounter = StaticCounter::new("rm.jobs.preempted");
 
 /// A scheduling decision notification.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,24 +73,40 @@ pub enum SchedulerEvent {
         /// Watts reclaimed into the system budget.
         reclaimed: Watts,
     },
+    /// A running job was killed (node death under it) and returned to
+    /// pending; its surviving nodes and full power reservation came back.
+    Requeued {
+        /// The requeued job.
+        job: JobId,
+        /// Surviving nodes released back to the pool.
+        released: usize,
+        /// Watts released back to the ledger.
+        power: Watts,
+    },
+    /// A running job was checkpointed and evicted by a budget shock; it
+    /// re-enters the queue at the front.
+    Preempted {
+        /// The preempted job.
+        job: JobId,
+        /// Watts released back to the ledger.
+        power: Watts,
+    },
 }
 
-/// FIFO scheduler over a node pool and power ledger.
+/// What both queueing disciplines share: the pool, the ledger, the job
+/// table, and every lifecycle path that is not a start decision.
 #[derive(Debug)]
-pub struct FifoScheduler {
-    pool: NodePool,
-    ledger: PowerLedger,
-    queue: VecDeque<JobId>,
-    jobs: HashMap<JobId, Job>,
+pub(crate) struct SchedulerCore {
+    pub(crate) pool: NodePool,
+    pub(crate) ledger: PowerLedger,
+    pub(crate) queue: VecDeque<JobId>,
+    pub(crate) jobs: HashMap<JobId, Job>,
     next_id: u64,
-    /// Default power reserved per node when a spec carries no hint.
-    default_per_node: Watts,
+    pub(crate) default_per_node: Watts,
 }
 
-impl FifoScheduler {
-    /// A scheduler over `pool` and `ledger`. `default_per_node` is reserved
-    /// for jobs without a power hint (typically node TDP).
-    pub fn new(pool: NodePool, ledger: PowerLedger, default_per_node: Watts) -> Self {
+impl SchedulerCore {
+    pub(crate) fn new(pool: NodePool, ledger: PowerLedger, default_per_node: Watts) -> Self {
         Self {
             pool,
             ledger,
@@ -87,8 +117,7 @@ impl FifoScheduler {
         }
     }
 
-    /// Submit a job; returns its id.
-    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+    pub(crate) fn submit(&mut self, spec: JobSpec) -> JobId {
         JOBS_SUBMITTED.inc();
         let id = JobId(self.next_id);
         self.next_id += 1;
@@ -97,13 +126,229 @@ impl FifoScheduler {
         id
     }
 
-    /// Look up a job.
-    pub fn job(&self, id: JobId) -> Option<&Job> {
-        self.jobs.get(&id)
+    /// Node count and total power a queued job would need to start.
+    pub(crate) fn demand(&self, id: JobId) -> (usize, Watts) {
+        let job = &self.jobs[&id];
+        let per_node = job
+            .spec
+            .power_hint_per_node
+            .unwrap_or(self.default_per_node);
+        (job.spec.nodes, per_node * job.spec.nodes as f64)
     }
 
-    /// All jobs currently running.
-    pub fn running(&self) -> Vec<JobId> {
+    /// Try to start one queued job right now: nodes and power must both
+    /// fit, or nothing changes. On success the job runs and the event is
+    /// returned; the caller removes it from its queue position.
+    pub(crate) fn try_start(&mut self, id: JobId) -> Option<SchedulerEvent> {
+        let (nodes_needed, power) = self.demand(id);
+        if self.pool.available() < nodes_needed {
+            return None;
+        }
+        if self.ledger.reserve(id, power).is_err() {
+            return None;
+        }
+        let nodes = self
+            .pool
+            .allocate(nodes_needed)
+            .expect("availability checked above");
+        let job = self.jobs.get_mut(&id).expect("queued job exists");
+        job.start(nodes.clone());
+        job.power_budget = Some(power);
+        JOBS_STARTED.inc();
+        pmstack_obs::event(
+            f64::NAN,
+            EventKind::JobStarted {
+                job: id.0,
+                nodes: nodes.len() as u64,
+                power_w: power.value(),
+            },
+        );
+        Some(SchedulerEvent::Started {
+            job: id,
+            nodes,
+            power,
+        })
+    }
+
+    pub(crate) fn complete(&mut self, id: JobId) -> SchedulerEvent {
+        let job = self.jobs.get_mut(&id).expect("completing unknown job");
+        let nodes = job.complete();
+        self.pool.release(nodes);
+        self.ledger.release(id);
+        JOBS_COMPLETED.inc();
+        pmstack_obs::event(f64::NAN, EventKind::JobCompleted { job: id.0 });
+        SchedulerEvent::Completed { job: id }
+    }
+
+    /// Shared degrade-path node failure (see [`FifoScheduler::fail_node`]).
+    pub(crate) fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        let Some(owner) = self.drain(node) else {
+            return Vec::new();
+        };
+        let mut events = vec![SchedulerEvent::NodeFailed { node, job: owner }];
+        let Some(id) = owner else {
+            self.emit_drained(node, Watts::ZERO);
+            return events;
+        };
+        let job = self.jobs.get_mut(&id).expect("owner exists");
+        let held_nodes = job.nodes.len();
+        job.lose_node(node);
+        if job.nodes.is_empty() {
+            // Last node gone: the job fails out entirely.
+            job.complete();
+            let freed = self.ledger.reservation(id).unwrap_or(Watts::ZERO);
+            self.ledger.release(id);
+            self.emit_drained(node, freed);
+            events.push(SchedulerEvent::Completed { job: id });
+        } else {
+            // Reclaim the dead node's per-node share of the reservation.
+            let share = self
+                .ledger
+                .reservation(id)
+                .map(|w| w / held_nodes as f64)
+                .unwrap_or(Watts::ZERO);
+            let reclaimed = self.ledger.reclaim(id, share);
+            let job = self.jobs.get_mut(&id).expect("owner exists");
+            job.power_budget = self.ledger.reservation(id);
+            let remaining = job.nodes.len();
+            self.emit_drained(node, reclaimed);
+            pmstack_obs::event(
+                f64::NAN,
+                EventKind::JobDegraded {
+                    job: id.0,
+                    lost_node: node.0 as u64,
+                    remaining: remaining as u64,
+                },
+            );
+            events.push(SchedulerEvent::JobDegraded {
+                job: id,
+                lost: node,
+                remaining,
+                reclaimed,
+            });
+        }
+        events
+    }
+
+    /// Shared kill-and-requeue node failure (see
+    /// [`FifoScheduler::fail_node_requeue`]).
+    pub(crate) fn fail_node_requeue(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        let Some(owner) = self.drain(node) else {
+            return Vec::new();
+        };
+        let mut events = vec![SchedulerEvent::NodeFailed { node, job: owner }];
+        match owner {
+            Some(id) => {
+                let freed = self.ledger.reservation(id).unwrap_or(Watts::ZERO);
+                self.emit_drained(node, freed);
+                events.push(self.withdraw(id));
+            }
+            None => self.emit_drained(node, Watts::ZERO),
+        }
+        events
+    }
+
+    /// Drain `node` from the pool. Returns `None` if the pool does not
+    /// manage it (failure reports can race; handling one twice must be
+    /// harmless), otherwise `Some(owner)`.
+    fn drain(&mut self, node: NodeId) -> Option<Option<JobId>> {
+        if !self.pool.manages(node) {
+            return None;
+        }
+        self.pool.remove(node);
+        NODES_DRAINED.inc();
+        let owner = self
+            .jobs
+            .values()
+            .find(|j| j.state == JobState::Running && j.nodes.contains(&node))
+            .map(|j| j.id);
+        Some(owner)
+    }
+
+    fn emit_drained(&self, node: NodeId, reclaimed: Watts) {
+        pmstack_obs::event(
+            f64::NAN,
+            EventKind::NodeDrained {
+                node: node.0 as u64,
+                reclaimed_w: reclaimed.value(),
+            },
+        );
+    }
+
+    /// Kill a running job without completing it: release surviving nodes
+    /// and the full power reservation, return the job to `Pending`. It is
+    /// *not* queued — the caller decides when it becomes eligible again
+    /// (backoff), via [`SchedulerCore::enqueue`].
+    pub(crate) fn withdraw(&mut self, id: JobId) -> SchedulerEvent {
+        let job = self.jobs.get_mut(&id).expect("withdrawing unknown job");
+        let power = self.ledger.reservation(id).unwrap_or(Watts::ZERO);
+        let nodes = job.requeue();
+        let released = nodes.len();
+        self.pool.release(nodes);
+        self.ledger.release(id);
+        self.queue.retain(|q| *q != id);
+        JOBS_REQUEUED.inc();
+        pmstack_obs::event(
+            f64::NAN,
+            EventKind::JobRequeued {
+                job: id.0,
+                released: released as u64,
+                power_w: power.value(),
+            },
+        );
+        SchedulerEvent::Requeued {
+            job: id,
+            released,
+            power,
+        }
+    }
+
+    /// Re-queue a pending, withdrawn job (its backoff elapsed). Back of
+    /// the queue: a restarting job does not outrank patient arrivals.
+    pub(crate) fn enqueue(&mut self, id: JobId) {
+        let job = &self.jobs[&id];
+        assert_eq!(job.state, JobState::Pending, "only pending jobs enqueue");
+        assert!(!self.queue.contains(&id), "job already queued");
+        self.queue.push_back(id);
+    }
+
+    /// Checkpoint-and-evict a running job under a budget shock: resources
+    /// come back like [`SchedulerCore::withdraw`], but the job re-enters
+    /// the queue immediately — at the *front*, since it already held a
+    /// grant and should resume as soon as the budget recovers.
+    pub(crate) fn preempt(&mut self, id: JobId) -> SchedulerEvent {
+        let job = self.jobs.get_mut(&id).expect("preempting unknown job");
+        let power = self.ledger.reservation(id).unwrap_or(Watts::ZERO);
+        let nodes = job.requeue();
+        self.pool.release(nodes);
+        self.ledger.release(id);
+        self.queue.push_front(id);
+        JOBS_PREEMPTED.inc();
+        pmstack_obs::event(
+            f64::NAN,
+            EventKind::JobPreempted {
+                job: id.0,
+                power_w: power.value(),
+            },
+        );
+        SchedulerEvent::Preempted { job: id, power }
+    }
+
+    /// Re-reserve a running job's power (a policy tightening or relaxing
+    /// its cap under a moving budget). Fails like any reservation when the
+    /// ledger cannot fit it; on success the job's recorded budget follows.
+    pub(crate) fn rebudget(&mut self, id: JobId, power: Watts) -> Result<(), OverCommit> {
+        assert_eq!(
+            self.jobs[&id].state,
+            JobState::Running,
+            "rebudget targets running jobs"
+        );
+        self.ledger.reserve(id, power)?;
+        self.jobs.get_mut(&id).expect("job exists").power_budget = Some(power);
+        Ok(())
+    }
+
+    pub(crate) fn running(&self) -> Vec<JobId> {
         let mut ids: Vec<JobId> = self
             .jobs
             .values()
@@ -113,20 +358,91 @@ impl FifoScheduler {
         ids.sort();
         ids
     }
+}
+
+/// The scheduler surface the facility campaign drives: everything both
+/// queueing disciplines provide, failure lifecycle included.
+pub trait Scheduler {
+    /// Submit a job; returns its id.
+    fn submit(&mut self, spec: JobSpec) -> JobId;
+    /// Try to start queued jobs; discipline-specific.
+    fn tick(&mut self) -> Vec<SchedulerEvent>;
+    /// Mark a running job finished, returning its resources.
+    fn complete(&mut self, id: JobId) -> SchedulerEvent;
+    /// Degrade-path node failure: shrink the owning job around the loss.
+    fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent>;
+    /// Kill-path node failure: drain the node and withdraw the owning job
+    /// entirely (checkpoint/restart semantics).
+    fn fail_node_requeue(&mut self, node: NodeId) -> Vec<SchedulerEvent>;
+    /// Kill a running job back to pending without queueing it.
+    fn withdraw(&mut self, id: JobId) -> SchedulerEvent;
+    /// Queue a withdrawn pending job (its backoff elapsed).
+    fn enqueue(&mut self, id: JobId);
+    /// Checkpoint-and-evict a running job; it rejoins the queue front.
+    fn preempt(&mut self, id: JobId) -> SchedulerEvent;
+    /// Re-reserve a running job's power under a moving budget.
+    fn rebudget(&mut self, id: JobId, power: Watts) -> Result<(), OverCommit>;
+    /// Return a drained node to service (lease false-positive repair).
+    fn restore_node(&mut self, id: NodeId) -> bool;
+    /// Look up a job.
+    fn job(&self, id: JobId) -> Option<&Job>;
+    /// All jobs currently running, ascending id.
+    fn running(&self) -> Vec<JobId>;
+    /// The power ledger.
+    fn ledger(&self) -> &PowerLedger;
+    /// Mutable ledger access for the policy layer.
+    fn ledger_mut(&mut self) -> &mut PowerLedger;
+    /// Nodes still free.
+    fn free_nodes(&self) -> usize;
+    /// Nodes managed (excludes drained).
+    fn total_nodes(&self) -> usize;
+    /// Jobs waiting in the queue.
+    fn queue_len(&self) -> usize;
+}
+
+/// FIFO scheduler over a node pool and power ledger.
+#[derive(Debug)]
+pub struct FifoScheduler {
+    core: SchedulerCore,
+}
+
+impl FifoScheduler {
+    /// A scheduler over `pool` and `ledger`. `default_per_node` is reserved
+    /// for jobs without a power hint (typically node TDP).
+    pub fn new(pool: NodePool, ledger: PowerLedger, default_per_node: Watts) -> Self {
+        Self {
+            core: SchedulerCore::new(pool, ledger, default_per_node),
+        }
+    }
+
+    /// Submit a job; returns its id.
+    pub fn submit(&mut self, spec: JobSpec) -> JobId {
+        self.core.submit(spec)
+    }
+
+    /// Look up a job.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.core.jobs.get(&id)
+    }
+
+    /// All jobs currently running.
+    pub fn running(&self) -> Vec<JobId> {
+        self.core.running()
+    }
 
     /// The power ledger (for the policy layer to rebalance grants).
     pub fn ledger(&self) -> &PowerLedger {
-        &self.ledger
+        &self.core.ledger
     }
 
     /// Mutable ledger access for the policy layer.
     pub fn ledger_mut(&mut self) -> &mut PowerLedger {
-        &mut self.ledger
+        &mut self.core.ledger
     }
 
     /// Nodes still free.
     pub fn free_nodes(&self) -> usize {
-        self.pool.available()
+        self.core.pool.available()
     }
 
     /// Try to start queued jobs in FIFO order; strict FIFO, so a stuck head
@@ -134,58 +450,21 @@ impl FifoScheduler {
     /// static, all-jobs-start-together mixes).
     pub fn tick(&mut self) -> Vec<SchedulerEvent> {
         let mut events = Vec::new();
-        while let Some(&head) = self.queue.front() {
-            let (nodes_needed, per_node) = {
-                let job = &self.jobs[&head];
-                (
-                    job.spec.nodes,
-                    job.spec
-                        .power_hint_per_node
-                        .unwrap_or(self.default_per_node),
-                )
-            };
-            if self.pool.available() < nodes_needed {
-                break;
+        while let Some(&head) = self.core.queue.front() {
+            match self.core.try_start(head) {
+                Some(ev) => {
+                    self.core.queue.pop_front();
+                    events.push(ev);
+                }
+                None => break,
             }
-            let power = per_node * nodes_needed as f64;
-            if self.ledger.reserve(head, power).is_err() {
-                break;
-            }
-            let nodes = self
-                .pool
-                .allocate(nodes_needed)
-                .expect("availability checked above");
-            let job = self.jobs.get_mut(&head).expect("queued job exists");
-            job.start(nodes.clone());
-            job.power_budget = Some(power);
-            self.queue.pop_front();
-            JOBS_STARTED.inc();
-            pmstack_obs::event(
-                f64::NAN,
-                EventKind::JobStarted {
-                    job: head.0,
-                    nodes: nodes.len() as u64,
-                    power_w: power.value(),
-                },
-            );
-            events.push(SchedulerEvent::Started {
-                job: head,
-                nodes,
-                power,
-            });
         }
         events
     }
 
     /// Mark a running job finished, returning its nodes and power.
     pub fn complete(&mut self, id: JobId) -> SchedulerEvent {
-        let job = self.jobs.get_mut(&id).expect("completing unknown job");
-        let nodes = job.complete();
-        self.pool.release(nodes);
-        self.ledger.release(id);
-        JOBS_COMPLETED.inc();
-        pmstack_obs::event(f64::NAN, EventKind::JobCompleted { job: id.0 });
-        SchedulerEvent::Completed { job: id }
+        self.core.complete(id)
     }
 
     /// Handle fail-stop death of a node: drain it from the pool, shrink the
@@ -196,62 +475,77 @@ impl FifoScheduler {
     /// Unknown or already-drained nodes produce no events — failure reports
     /// can race, and handling one twice must be harmless.
     pub fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
-        if !self.pool.manages(node) {
-            return Vec::new();
-        }
-        self.pool.remove(node);
-        NODES_DRAINED.inc();
+        self.core.fail_node(node)
+    }
 
-        let owner = self
-            .jobs
-            .values()
-            .find(|j| j.state == JobState::Running && j.nodes.contains(&node))
-            .map(|j| j.id);
-        let mut events = vec![SchedulerEvent::NodeFailed { node, job: owner }];
+    /// Handle node death with checkpoint/restart semantics: drain the node
+    /// and *withdraw* the owning job entirely — all surviving nodes and the
+    /// full power reservation return, and the job goes back to pending
+    /// (unqueued, so the caller can apply a retry backoff before
+    /// [`FifoScheduler::enqueue`]). This is the facility campaign's path;
+    /// the coordinator's degrade-in-place path is
+    /// [`FifoScheduler::fail_node`].
+    pub fn fail_node_requeue(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node_requeue(node)
+    }
 
-        if let Some(id) = owner {
-            let job = self.jobs.get_mut(&id).expect("owner exists");
-            let held_nodes = job.nodes.len();
-            job.lose_node(node);
-            if job.nodes.is_empty() {
-                // Last node gone: the job fails out entirely.
-                job.complete();
-                self.ledger.release(id);
-                events.push(SchedulerEvent::Completed { job: id });
-            } else {
-                // Reclaim the dead node's per-node share of the reservation.
-                let share = self
-                    .ledger
-                    .reservation(id)
-                    .map(|w| w / held_nodes as f64)
-                    .unwrap_or(Watts::ZERO);
-                let reclaimed = self.ledger.reclaim(id, share);
-                let job = self.jobs.get_mut(&id).expect("owner exists");
-                job.power_budget = self.ledger.reservation(id);
-                pmstack_obs::event(
-                    f64::NAN,
-                    EventKind::NodeDrained {
-                        node: node.0 as u64,
-                        reclaimed_w: reclaimed.value(),
-                    },
-                );
-                pmstack_obs::event(
-                    f64::NAN,
-                    EventKind::JobDegraded {
-                        job: id.0,
-                        lost_node: node.0 as u64,
-                        remaining: job.nodes.len() as u64,
-                    },
-                );
-                events.push(SchedulerEvent::JobDegraded {
-                    job: id,
-                    lost: node,
-                    remaining: job.nodes.len(),
-                    reclaimed,
-                });
-            }
-        }
-        events
+    /// Queue a withdrawn pending job again.
+    pub fn enqueue(&mut self, id: JobId) {
+        self.core.enqueue(id)
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn submit(&mut self, spec: JobSpec) -> JobId {
+        self.core.submit(spec)
+    }
+    fn tick(&mut self) -> Vec<SchedulerEvent> {
+        FifoScheduler::tick(self)
+    }
+    fn complete(&mut self, id: JobId) -> SchedulerEvent {
+        self.core.complete(id)
+    }
+    fn fail_node(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node(node)
+    }
+    fn fail_node_requeue(&mut self, node: NodeId) -> Vec<SchedulerEvent> {
+        self.core.fail_node_requeue(node)
+    }
+    fn withdraw(&mut self, id: JobId) -> SchedulerEvent {
+        self.core.withdraw(id)
+    }
+    fn enqueue(&mut self, id: JobId) {
+        self.core.enqueue(id)
+    }
+    fn preempt(&mut self, id: JobId) -> SchedulerEvent {
+        self.core.preempt(id)
+    }
+    fn rebudget(&mut self, id: JobId, power: Watts) -> Result<(), OverCommit> {
+        self.core.rebudget(id, power)
+    }
+    fn restore_node(&mut self, id: NodeId) -> bool {
+        self.core.pool.restore(id)
+    }
+    fn job(&self, id: JobId) -> Option<&Job> {
+        self.core.jobs.get(&id)
+    }
+    fn running(&self) -> Vec<JobId> {
+        self.core.running()
+    }
+    fn ledger(&self) -> &PowerLedger {
+        &self.core.ledger
+    }
+    fn ledger_mut(&mut self) -> &mut PowerLedger {
+        &mut self.core.ledger
+    }
+    fn free_nodes(&self) -> usize {
+        self.core.pool.available()
+    }
+    fn total_nodes(&self) -> usize {
+        self.core.pool.total()
+    }
+    fn queue_len(&self) -> usize {
+        self.core.queue.len()
     }
 }
 
@@ -398,5 +692,67 @@ mod tests {
         assert_eq!(s.running(), vec![a, b]);
         s.complete(a);
         assert_eq!(s.running(), vec![b]);
+    }
+
+    #[test]
+    fn fail_node_requeue_withdraws_the_whole_job() {
+        let mut s = scheduler(4, 1e6);
+        let a = s.submit(JobSpec::new("a", 3).with_power_hint(Watts(150.0)));
+        s.tick();
+        let held = s.job(a).unwrap().nodes.clone();
+        let events = s.fail_node_requeue(held[1]);
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            SchedulerEvent::NodeFailed { node, job: Some(j) } if node == held[1] && j == a
+        ));
+        assert!(matches!(
+            events[1],
+            SchedulerEvent::Requeued { job, released: 3, power } if job == a && power == Watts(450.0)
+        ));
+        // Full reservation returned, survivors free, job pending unqueued.
+        assert_eq!(s.ledger().reserved(), Watts::ZERO);
+        assert_eq!(s.free_nodes(), 3, "two survivors + one untouched node");
+        assert_eq!(s.job(a).unwrap().state, JobState::Pending);
+        assert!(s.tick().is_empty(), "withdrawn job is not queued yet");
+        // After the backoff the caller enqueues it; it restarts on the
+        // survivors.
+        s.enqueue(a);
+        let events = s.tick();
+        assert!(matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == a));
+        assert_eq!(s.job(a).unwrap().nodes.len(), 3);
+    }
+
+    #[test]
+    fn preempt_releases_resources_and_requeues_at_the_front() {
+        let mut s = scheduler(4, 1e6);
+        let a = s.submit(JobSpec::new("a", 2).with_power_hint(Watts(100.0)));
+        let b = s.submit(JobSpec::new("b", 2).with_power_hint(Watts(100.0)));
+        s.tick();
+        let waiting = s.submit(JobSpec::new("w", 2).with_power_hint(Watts(100.0)));
+        let ev = Scheduler::preempt(&mut s, a);
+        assert!(
+            matches!(ev, SchedulerEvent::Preempted { job, power } if job == a && power == Watts(200.0))
+        );
+        assert_eq!(s.free_nodes(), 2);
+        // The preempted job outranks the patient arrival.
+        let events = s.tick();
+        assert!(matches!(&events[0], SchedulerEvent::Started { job, .. } if *job == a));
+        assert_eq!(s.job(waiting).unwrap().state, JobState::Pending);
+        let _ = b;
+    }
+
+    #[test]
+    fn rebudget_moves_a_running_jobs_reservation() {
+        let mut s = scheduler(2, 500.0);
+        let a = s.submit(JobSpec::new("a", 2).with_power_hint(Watts(200.0)));
+        s.tick();
+        assert_eq!(s.ledger().reservation(a), Some(Watts(400.0)));
+        Scheduler::rebudget(&mut s, a, Watts(300.0)).unwrap();
+        assert_eq!(s.ledger().reservation(a), Some(Watts(300.0)));
+        assert_eq!(s.job(a).unwrap().power_budget, Some(Watts(300.0)));
+        // Growing beyond the budget fails cleanly.
+        assert!(Scheduler::rebudget(&mut s, a, Watts(600.0)).is_err());
+        assert_eq!(s.ledger().reservation(a), Some(Watts(300.0)));
     }
 }

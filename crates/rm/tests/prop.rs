@@ -1,9 +1,37 @@
 //! Property-based tests of resource-manager conservation invariants.
 
-use pmstack_rm::{FifoScheduler, JobSpec, NodePool, PowerLedger, SchedulerEvent};
+use pmstack_rm::{
+    FifoScheduler, JobSpec, NodePool, PowerLedger, RetryPolicy, Scheduler, SchedulerEvent,
+};
 use pmstack_simhw::Watts;
 use proptest::prelude::*;
 use std::collections::HashSet;
+
+/// No node is held by two jobs, the ledger matches the sum of per-job
+/// reservations exactly, and nothing exceeds the budget.
+fn assert_conserved(s: &dyn Scheduler, budget: Watts) -> Result<(), TestCaseError> {
+    let mut held: HashSet<usize> = HashSet::new();
+    let mut reserved_sum = 0.0;
+    for id in s.running() {
+        let job = s.job(id).expect("running job exists");
+        for n in &job.nodes {
+            prop_assert!(held.insert(n.0), "node {n} held by two jobs");
+        }
+        reserved_sum += s
+            .ledger()
+            .reservation(id)
+            .expect("running job holds a reservation")
+            .value();
+    }
+    prop_assert!(
+        (s.ledger().reserved().value() - reserved_sum).abs() < 1e-6,
+        "ledger reserved {} != sum of running reservations {}",
+        s.ledger().reserved(),
+        reserved_sum
+    );
+    prop_assert!(s.ledger().reserved() <= budget + Watts(1e-6));
+    Ok(())
+}
 
 proptest! {
     /// Under any submission/completion schedule, nodes are never double-
@@ -127,6 +155,86 @@ proptest! {
             pool.release(grant.clone());
             prop_assert_eq!(pool.available(), pool_size);
             prop_assert_eq!(pool.total(), pool_size);
+        }
+    }
+
+    /// The campaign's kill path: under any schedule of lease-style kills
+    /// (`fail_node_requeue`) followed by re-admission (`enqueue` + tick),
+    /// no node is ever double-allocated and no watt is ever double-
+    /// reserved — the fail → requeue → restart cycle conserves resources
+    /// at every step.
+    #[test]
+    fn requeue_restart_never_double_reserves(
+        sizes in prop::collection::vec(1usize..6, 2..10),
+        kills in prop::collection::vec(0usize..64, 1..16),
+        pool_size in 8usize..20,
+    ) {
+        let budget = Watts(200.0 * pool_size as f64);
+        let mut s = FifoScheduler::new(
+            NodePool::new(pool_size),
+            PowerLedger::new(budget),
+            Watts(200.0),
+        );
+        for (i, &n) in sizes.iter().enumerate() {
+            s.submit(JobSpec::new(format!("j{i}"), n));
+        }
+        Scheduler::tick(&mut s);
+        assert_conserved(&s, budget)?;
+        for &pick in &kills {
+            // Kill an arbitrary (possibly repeated, possibly already
+            // drained, possibly free) node.
+            let victim = pmstack_simhw::NodeId(pick % (pool_size + 2));
+            let mut withdrawn = None;
+            for ev in Scheduler::fail_node_requeue(&mut s, victim) {
+                if let SchedulerEvent::Requeued { job, .. } = ev {
+                    withdrawn = Some(job);
+                }
+            }
+            assert_conserved(&s, budget)?;
+            if let Some(job) = withdrawn {
+                // The backoff elapsed: the job re-enters the queue and may
+                // restart on surviving nodes.
+                Scheduler::enqueue(&mut s, job);
+            }
+            Scheduler::tick(&mut s);
+            assert_conserved(&s, budget)?;
+        }
+        // Whatever survived still balances when it all completes.
+        for id in s.running() {
+            s.complete(id);
+        }
+        prop_assert_eq!(s.ledger().reserved(), Watts::ZERO);
+    }
+
+    /// Backoff schedule: every granted delay is within `[0, cap_s]`, delays
+    /// never shrink as attempts accumulate, and the kill switch fires at
+    /// exactly `max_attempts` — for any policy shape.
+    #[test]
+    fn backoff_is_capped_monotone_and_kills_at_max(
+        base_s in 1.0f64..2000.0,
+        factor in 1.0f64..4.0,
+        cap_s in 60.0f64..7200.0,
+        max_attempts in 1u32..12,
+    ) {
+        let p = RetryPolicy { base_s, factor, cap_s, max_attempts };
+        let mut prev = 0.0f64;
+        for attempts in 0..max_attempts + 3 {
+            match p.delay_for(attempts) {
+                Some(d) => {
+                    prop_assert!(attempts < max_attempts || attempts == 0,
+                        "retry granted at attempt {attempts} past the kill switch");
+                    prop_assert!(d >= 0.0);
+                    prop_assert!(d <= cap_s + 1e-9, "delay {d} exceeds cap {cap_s}");
+                    prop_assert!(d + 1e-9 >= prev, "delay shrank: {prev} -> {d}");
+                    prev = d;
+                    prop_assert!(p.allows_retry(attempts));
+                }
+                None => {
+                    prop_assert!(attempts >= max_attempts,
+                        "kill switch fired early at attempt {attempts}");
+                    prop_assert!(!p.allows_retry(attempts));
+                }
+            }
         }
     }
 

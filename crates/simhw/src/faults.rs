@@ -164,6 +164,49 @@ impl FaultPlan {
         Self::scripted(events)
     }
 
+    /// A facility-timescale chaos plan for multi-day campaigns, where the
+    /// "iteration" axis is simulated **minutes** rather than bulk-
+    /// synchronous steps. [`FaultPlan::randomized`]'s dropouts (a handful
+    /// of iterations) are invisible to minute-granularity lease timeouts,
+    /// so this generator draws from a campaign-shaped mix instead: mostly
+    /// fail-stop node deaths, plus telemetry blackouts of 20–180 minutes —
+    /// long enough to expire a heartbeat lease and exercise the detector's
+    /// false-positive path on nodes that never actually died.
+    ///
+    /// `level` scales intensity: 0 is a clean run (empty plan); each step
+    /// up multiplies the expected event count. The same
+    /// `(seed, hosts, minutes, level)` quadruple always yields the same
+    /// plan.
+    pub fn chaos(seed: u64, hosts: usize, minutes: u64, level: u32) -> Self {
+        if hosts == 0 || minutes == 0 || level == 0 {
+            return Self::none();
+        }
+        // Calibrated so a 512-node, 4-day campaign at level 1 sees a few
+        // dozen events — noticeable, not apocalyptic.
+        let expected = ((hosts as u64 * minutes * level as u64) / 125_000).max(level as u64 * 4);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc4a0_5000_u64);
+        let mut events = Vec::with_capacity(expected as usize);
+        for _ in 0..expected {
+            let at_iteration = rng.gen_range(0..minutes);
+            let host = rng.gen_range(0..hosts);
+            // 3:1 deaths to blackouts: deaths drive the requeue machinery,
+            // blackouts the lease false positives.
+            let kind = if rng.gen_range(0u32..4) < 3 {
+                FaultKind::NodeDeath
+            } else {
+                FaultKind::TelemetryDropout {
+                    iterations: rng.gen_range(20u32..=180),
+                }
+            };
+            events.push(FaultEvent {
+                at_iteration,
+                host,
+                kind,
+            });
+        }
+        Self::scripted(events)
+    }
+
     /// All scheduled events, ordered by iteration.
     pub fn events(&self) -> &[FaultEvent] {
         &self.events
@@ -267,6 +310,29 @@ mod tests {
             .events()
             .iter()
             .all(|e| e.host < 16 && e.at_iteration < 40));
+    }
+
+    #[test]
+    fn chaos_plans_scale_with_level_and_stay_deterministic() {
+        let clean = FaultPlan::chaos(3, 512, 4 * 1440, 0);
+        assert!(clean.is_empty(), "level 0 is a clean run");
+        let a = FaultPlan::chaos(3, 512, 4 * 1440, 1);
+        let b = FaultPlan::chaos(3, 512, 4 * 1440, 1);
+        assert_eq!(a, b);
+        let heavy = FaultPlan::chaos(3, 512, 4 * 1440, 3);
+        assert!(heavy.len() > a.len(), "higher level injects more");
+        // Only campaign-relevant kinds, with lease-visible dropout lengths.
+        for e in heavy.events() {
+            match e.kind {
+                FaultKind::NodeDeath => {}
+                FaultKind::TelemetryDropout { iterations } => {
+                    assert!((20..=180).contains(&iterations))
+                }
+                other => panic!("unexpected chaos fault {other:?}"),
+            }
+        }
+        // Tiny fleets still see at least a few events per level.
+        assert!(FaultPlan::chaos(3, 8, 60, 2).len() >= 8);
     }
 
     #[test]
