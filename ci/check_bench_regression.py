@@ -1,11 +1,24 @@
 #!/usr/bin/env python3
-"""Bench regression guard for the CI bench-smoke job.
+"""Bench regression guard for the CI bench-smoke and megafleet-smoke jobs.
 
-Compares the fresh fast-grid timing (bench-out/BENCH_grid.json, written by
-`repro grid --fast --time`) against the committed baseline (BENCH_grid.json,
-key optimized.grid_fast_secs) and fails when the fresh run is more than 2x
-slower. Shared CI runners are noisy and the fast grid is only a few
-milliseconds, so the threshold never drops below an absolute floor.
+Two modes, dispatched on the fresh file's "benchmark" field:
+
+- fast grid (default): compares the fresh fast-grid timing
+  (bench-out/BENCH_grid.json, written by `repro grid --fast --time`)
+  against the committed baseline (BENCH_grid.json, key
+  optimized.grid_fast_secs) and fails when the fresh run is more than 2x
+  slower.
+
+- megafleet: compares the fresh per-host phase costs
+  (bench-out/BENCH_megafleet.json, written by
+  `repro megafleet --time --out`) against the committed per_host_ns rows
+  in BENCH_step.json for the same fleet size. The steady row guards the
+  sharded bank's whole-fleet replay; the shard_churn row guards the
+  partial-invalidation path (one dirty segment must not re-resolve the
+  rest — a regression to full re-resolve shows up as ~10x, far past 2x).
+
+Shared CI runners are noisy and the guarded quantities are small, so each
+threshold never drops below an absolute floor.
 
 Usage: check_bench_regression.py [fresh.json] [baseline.json]
 """
@@ -14,35 +27,74 @@ import json
 import sys
 
 # Below this many seconds a 2x ratio is indistinguishable from scheduler
-# noise on a shared runner; the guard only engages above it.
+# noise on a shared runner; the grid guard only engages above it.
 NOISE_FLOOR_SECS = 0.25
+# Same idea for the per-host megafleet rows: the steady replay is ~6
+# ns/host, where 2x is still scheduler jitter. A regression back to the
+# full resolve path costs 56+ ns/host and clears this floor with margin.
+NOISE_FLOOR_NS_PER_HOST = 25.0
 MAX_SLOWDOWN = 2.0
+
+
+def check(label: str, fresh_val: float, base_val: float, floor: float, unit: str) -> bool:
+    limit = max(MAX_SLOWDOWN * base_val, floor)
+    print(f"{label}: fresh {fresh_val:.4f} {unit}, committed {base_val:.4f} {unit}, "
+          f"allowed {limit:.4f} {unit} (max of {MAX_SLOWDOWN}x baseline and "
+          f"{floor} {unit} floor)")
+    if fresh_val > limit:
+        print(f"REGRESSION: {label} at {fresh_val:.4f} {unit}, "
+              f"{fresh_val / base_val:.1f}x the committed baseline")
+        return False
+    return True
+
+
+def check_grid(fresh: dict, base_path: str) -> int:
+    with open(base_path) as f:
+        base = json.load(f)
+    ok = check("fast grid total", float(fresh["total_secs"]),
+               float(base["optimized"]["grid_fast_secs"]),
+               NOISE_FLOOR_SECS, "s")
+    if not ok:
+        return 1
+    print("ok: within the regression budget")
+    return 0
+
+
+def check_megafleet(fresh: dict, base_path: str) -> int:
+    with open(base_path) as f:
+        base = json.load(f)
+    per_host = base["per_host_ns"]
+    hosts = int(fresh["hosts"])
+    ok = True
+    # steady: the settled whole-fleet replay; shard_churn: one dirty
+    # segment per iteration with every other segment on the replay path.
+    for phase, row in [("steady", f"fast_forward_{hosts}_hosts"),
+                       ("shard_churn", f"shard_churn_{hosts}_hosts")]:
+        if phase not in fresh["phases"]:
+            continue
+        if row not in per_host:
+            print(f"note: no committed {row} baseline in {base_path}; "
+                  f"skipping {phase}")
+            continue
+        ok &= check(f"megafleet {phase} ({hosts} hosts)",
+                    float(fresh["phases"][phase]["ns_per_host"]),
+                    float(per_host[row]), NOISE_FLOOR_NS_PER_HOST, "ns/host")
+    if not ok:
+        return 1
+    print("ok: within the regression budget")
+    return 0
 
 
 def main() -> int:
     fresh_path = sys.argv[1] if len(sys.argv) > 1 else "bench-out/BENCH_grid.json"
-    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_grid.json"
-
     with open(fresh_path) as f:
         fresh = json.load(f)
-    with open(base_path) as f:
-        base = json.load(f)
 
-    fresh_secs = float(fresh["total_secs"])
-    base_secs = float(base["optimized"]["grid_fast_secs"])
-    limit = max(MAX_SLOWDOWN * base_secs, NOISE_FLOOR_SECS)
-
-    print(f"fresh fast-grid:    {fresh_secs:.4f} s  ({fresh_path})")
-    print(f"committed baseline: {base_secs:.4f} s  ({base_path})")
-    print(f"allowed:            {limit:.4f} s  (max of {MAX_SLOWDOWN}x baseline and "
-          f"{NOISE_FLOOR_SECS}s noise floor)")
-
-    if fresh_secs > limit:
-        print(f"REGRESSION: fast grid took {fresh_secs:.4f} s, "
-              f"{fresh_secs / base_secs:.1f}x the committed baseline")
-        return 1
-    print("ok: within the regression budget")
-    return 0
+    if fresh.get("benchmark") == "megafleet":
+        base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_step.json"
+        return check_megafleet(fresh, base_path)
+    base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_grid.json"
+    return check_grid(fresh, base_path)
 
 
 if __name__ == "__main__":

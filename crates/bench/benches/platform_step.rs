@@ -1,7 +1,13 @@
-//! The columnar hot loop in isolation: one `run_iteration_into` across a
-//! platform of 64 and 900 hosts, with the steady-state caches armed and
-//! disarmed. The disarmed rows are the cost of a full per-iteration
-//! resolve-and-step pass; the armed rows are what a settled fleet pays.
+//! The columnar hot loop in isolation: one `run_iteration_into` across
+//! platforms from 64 hosts to 100k (and, gated, 1M), with the steady-state
+//! caches armed and disarmed. The disarmed rows are the cost of a full
+//! per-iteration resolve-and-step pass; the armed rows are what a settled
+//! fleet pays; the shard_churn rows are the partial-invalidation case the
+//! segmented bank exists for — one segment re-stepping while every other
+//! segment replays.
+//!
+//! The 1M-host rows take ~20 s of setup and >1 GB of RSS, so they only run
+//! when `PMSTACK_BENCH_MEGA=1` is set.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
@@ -26,9 +32,26 @@ fn platform(hosts: usize, fast_forward: bool) -> JobPlatform {
     p
 }
 
+/// Run until the steady-state replay arms (bounded so a regression that
+/// prevents settling fails loudly instead of hanging the bench).
+fn settle(p: &mut JobPlatform, bufs: &mut IterationBuffers) {
+    for _ in 0..600 {
+        p.run_iteration_into(bufs);
+        if p.steady_state_active() {
+            return;
+        }
+    }
+    panic!("fleet must settle before the fast-forward rows mean anything");
+}
+
 fn bench_platform_step(c: &mut Criterion) {
     let mut g = c.benchmark_group("platform_step");
-    for &hosts in &[64usize, 900] {
+    let mega = std::env::var("PMSTACK_BENCH_MEGA").is_ok_and(|v| v == "1");
+    let mut sizes = vec![64usize, 900, 10_000, 100_000];
+    if mega {
+        sizes.push(1 << 20);
+    }
+    for &hosts in &sizes {
         // Disarmed: every iteration re-resolves every operating point and
         // steps every column — the reference cost of the columnar loop.
         let mut p = platform(hosts, false);
@@ -45,19 +68,33 @@ fn bench_platform_step(c: &mut Criterion) {
         // then measure the steady-state replay.
         let mut p = platform(hosts, true);
         let mut bufs = IterationBuffers::new();
-        for _ in 0..400 {
-            p.run_iteration_into(&mut bufs);
-        }
-        assert!(
-            p.steady_state_active(),
-            "fleet must settle before the fast-forward rows mean anything"
-        );
+        settle(&mut p, &mut bufs);
         g.bench_function(format!("fast_forward/{hosts}_hosts"), |b| {
             b.iter(|| {
                 p.run_iteration_into(&mut bufs);
                 black_box(bufs.outcome().elapsed)
             })
         });
+
+        // Churn: a control write lands on host 0 every iteration, so its
+        // segment re-resolves while every other segment replays. Below
+        // one-segment scale this measures the full re-step; above it, the
+        // partial-invalidation win of the sharded bank.
+        if hosts >= 100_000 {
+            let mut p = platform(hosts, true);
+            let mut bufs = IterationBuffers::new();
+            settle(&mut p, &mut bufs);
+            let mut flip = 0u64;
+            g.bench_function(format!("shard_churn/{hosts}_hosts"), |b| {
+                b.iter(|| {
+                    flip += 1;
+                    p.set_host_limit(0, Watts(185.0 + (flip % 2) as f64))
+                        .unwrap();
+                    p.run_iteration_into(&mut bufs);
+                    black_box(bufs.outcome().elapsed)
+                })
+            });
+        }
     }
     g.finish();
 }

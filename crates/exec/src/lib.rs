@@ -258,6 +258,52 @@ where
     .expect("pool worker panicked");
 }
 
+/// Apply `f` to contiguous chunks of `items` of exactly `chunk_len` elements
+/// (the final chunk may be shorter), fanned across the pool. `f` receives the
+/// chunk's base index into `items` plus the mutable chunk itself.
+///
+/// This is the segment-aligned fan-out the sharded `NodeBank` and the
+/// controller's per-host accumulators use: by fixing the chunk boundary to a
+/// caller-chosen stride (the bank's segment size) instead of deriving it from
+/// the worker count, per-chunk state stays congruent with per-segment state
+/// no matter how many workers the host exposes. Chunks are grouped so at most
+/// one batch per worker is spawned; within a batch chunks run in order on one
+/// thread, so elementwise updates stay deterministic.
+pub fn par_chunks_mut<T, F>(items: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be at least 1");
+    let n = items.len();
+    if n == 0 {
+        return;
+    }
+    let chunks = n.div_ceil(chunk_len);
+    let w = workers().min(chunks);
+    if w <= 1 || INLINE_ONLY.with(|fl| fl.get()) {
+        for (k, block) in items.chunks_mut(chunk_len).enumerate() {
+            f(k * chunk_len, block);
+        }
+        return;
+    }
+    // One batch of whole chunks per worker; a batch boundary is always a
+    // chunk boundary.
+    let batch = chunks.div_ceil(w) * chunk_len;
+    crossbeam::thread::scope(|scope| {
+        for (b, block) in items.chunks_mut(batch).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                INLINE_ONLY.with(|flag| flag.set(true));
+                for (k, chunk) in block.chunks_mut(chunk_len).enumerate() {
+                    f(b * batch + k * chunk_len, chunk);
+                }
+            });
+        }
+    })
+    .expect("pool worker panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +400,30 @@ mod tests {
     #[test]
     fn workers_is_at_least_one() {
         assert!(workers() >= 1);
+    }
+
+    #[test]
+    fn par_chunks_mut_sees_aligned_bases_and_full_coverage() {
+        for (n, chunk_len) in [
+            (0usize, 4usize),
+            (1, 4),
+            (9, 4),
+            (12, 4),
+            (5, 8),
+            (1003, 64),
+        ] {
+            let mut items = vec![0u64; n];
+            par_chunks_mut(&mut items, chunk_len, |base, block| {
+                assert_eq!(base % chunk_len, 0, "chunk base must be stride-aligned");
+                assert!(block.len() <= chunk_len);
+                for (j, x) in block.iter_mut().enumerate() {
+                    *x = (base + j) as u64 + 1;
+                }
+            });
+            for (i, x) in items.iter().enumerate() {
+                assert_eq!(*x, i as u64 + 1, "n={n} chunk_len={chunk_len} index {i}");
+            }
+        }
     }
 
     #[test]

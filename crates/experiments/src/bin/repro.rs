@@ -9,7 +9,9 @@
 
 use pmstack_experiments::cli::{self, Cli};
 use pmstack_experiments::grid::{EvaluationGrid, GridParams};
-use pmstack_experiments::{campaign, export, figures, replicates, resilience, tables, Testbed};
+use pmstack_experiments::{
+    campaign, export, figures, megafleet, replicates, resilience, tables, Testbed,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -29,7 +31,10 @@ fn run(cli: &Cli) {
     // asked for (--metrics-out) or the run prints the metrics summary
     // (grid --time and sweep, per DESIGN.md §13).
     let summarize = matches!(artifact, "sweep") || (artifact == "grid" && cli.timed);
-    let record = cli.metrics_out.is_some() || summarize;
+    // Megafleet's replay-fraction report reads the shard counters, so the
+    // recorder is always on for it.
+    let record_for_megafleet = artifact == "megafleet";
+    let record = cli.metrics_out.is_some() || summarize || record_for_megafleet;
     if record {
         pmstack_obs::enable();
     }
@@ -165,6 +170,41 @@ fn run(cli: &Cli) {
             rp.nodes_per_job, rp.iterations
         );
         emit("faults", resilience::render(&resilience::run_study(rp)));
+    }
+    // Megafleet is deliberately excluded from `all`: at its default 100k
+    // hosts it is a scale benchmark, not a paper artifact.
+    if artifact == "megafleet" {
+        let hosts = cli.hosts.unwrap_or(100_000);
+        let mp = if cli.fast {
+            megafleet::MegafleetParams::fast(hosts)
+        } else {
+            megafleet::MegafleetParams::default_scale(hosts)
+        };
+        eprintln!(
+            "[repro] megafleet: {hosts} hosts, {}+{}+{}+{} iterations (resolve/balance/steady/churn)…",
+            mp.resolve_iters, mp.balance_iters, mp.steady_iters, mp.churn_iters
+        );
+        let report = megafleet::run_megafleet(&mp);
+        emit("megafleet", megafleet::render(&report));
+        if cli.timed {
+            for p in &report.phases {
+                eprintln!(
+                    "[repro] megafleet {}: {:.3}s wall, {:.2} ns/host",
+                    p.name, p.wall_secs, p.ns_per_host
+                );
+            }
+            if let Some(dir) = &cli.out_dir {
+                std::fs::write(
+                    dir.join("BENCH_megafleet.json"),
+                    megafleet::to_bench_json(&report),
+                )
+                .expect("write BENCH_megafleet.json");
+                eprintln!(
+                    "[repro] wrote {}",
+                    dir.join("BENCH_megafleet.json").display()
+                );
+            }
+        }
     }
     if artifact == "all" || artifact == "facility" {
         let chaos = cli.chaos.unwrap_or(2);

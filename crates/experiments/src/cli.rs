@@ -8,15 +8,30 @@ use std::path::PathBuf;
 
 /// Every artifact `repro` can produce, in usage order.
 pub const ARTIFACTS: &[&str] = &[
-    "all", "table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
-    "fig8", "grid", "sweep", "faults", "facility",
+    "all",
+    "table1",
+    "table2",
+    "table3",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "grid",
+    "sweep",
+    "faults",
+    "facility",
+    "megafleet",
 ];
 
 /// Usage text printed alongside parse errors.
 pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [--replicates N] \
-     [--chaos LEVEL] [--days N] [--out DIR] [--metrics-out PATH]\n\
+     [--chaos LEVEL] [--days N] [--hosts N] [--out DIR] [--metrics-out PATH]\n\
      artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep \
-     faults facility\n\
+     faults facility megafleet\n\
      (--faults is shorthand for the `faults` artifact: the five policies\n\
       under one fixed fault plan, online mode;\n\
       --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
@@ -25,6 +40,10 @@ pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [-
       intensity and --days N (>= 1) its length: the fault-tolerant job\n\
       lifecycle — checkpoint/restart, retry backoff, lease timeouts, budget\n\
       shocks — under every policy;\n\
+      --hosts N (1-1048576, default 100000) sets the `megafleet` fleet size:\n\
+      the sharded-bank scale scenario — cold resolve, hierarchical\n\
+      balancing, steady replay, one-segment churn — timed per phase\n\
+      (megafleet runs only when named explicitly, never under `all`);\n\
       --time prints the grid's per-phase wall-clock breakdown and, with\n\
       --out, writes BENCH_grid.json / BENCH_sweep.json;\n\
       --metrics-out PATH enables the observability recorder and writes the\n\
@@ -49,6 +68,8 @@ pub struct Cli {
     pub chaos: Option<u32>,
     /// `--days N`: length of the `facility` campaign.
     pub days: Option<u64>,
+    /// `--hosts N`: fleet size for the `megafleet` scenario.
+    pub hosts: Option<usize>,
 }
 
 /// Parse `args` (without the program name). Unknown flags, missing flag
@@ -65,7 +86,7 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--fast" => cli.fast = true,
             "--time" => cli.timed = true,
             "--faults" => faults_flag = true,
-            "--out" | "--replicates" | "--metrics-out" | "--chaos" | "--days" => {
+            "--out" | "--replicates" | "--metrics-out" | "--chaos" | "--days" | "--hosts" => {
                 let value = args
                     .get(i + 1)
                     .filter(|v| !v.starts_with("--"))
@@ -83,6 +104,17 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                             ));
                         }
                         cli.chaos = Some(level);
+                    }
+                    "--hosts" => {
+                        let hosts: usize = value.parse().map_err(|_| {
+                            format!("flag `--hosts` expects a host count 1-1048576, got `{value}`")
+                        })?;
+                        if !(1..=1_048_576).contains(&hosts) {
+                            return Err(format!(
+                                "flag `--hosts` expects a host count 1-1048576, got `{value}`"
+                            ));
+                        }
+                        cli.hosts = Some(hosts);
                     }
                     "--days" => {
                         let days: u64 = value.parse().map_err(|_| {
@@ -188,6 +220,40 @@ mod tests {
         assert_eq!(cli.artifact, "facility");
         assert_eq!(cli.chaos, Some(2));
         assert_eq!(cli.days, Some(3));
+    }
+
+    #[test]
+    fn megafleet_takes_hosts() {
+        let cli = parse(&args(&["megafleet", "--hosts", "100000"])).unwrap();
+        assert_eq!(cli.artifact, "megafleet");
+        assert_eq!(cli.hosts, Some(100_000));
+        // Unset stays None; the binary applies the 100k default.
+        assert_eq!(parse(&args(&["megafleet"])).unwrap().hosts, None);
+    }
+
+    #[test]
+    fn hosts_is_validated_strictly() {
+        // Both ends of the range are inclusive…
+        assert_eq!(
+            parse(&args(&["megafleet", "--hosts", "1"])).unwrap().hosts,
+            Some(1)
+        );
+        assert_eq!(
+            parse(&args(&["megafleet", "--hosts", "1048576"]))
+                .unwrap()
+                .hosts,
+            Some(1 << 20)
+        );
+        // …and anything outside or unparsable is a loud error.
+        assert!(parse(&args(&["megafleet", "--hosts", "0"]))
+            .unwrap_err()
+            .contains("1-1048576"));
+        assert!(parse(&args(&["megafleet", "--hosts", "1048577"]))
+            .unwrap_err()
+            .contains("1-1048576"));
+        assert!(parse(&args(&["megafleet", "--hosts", "-5"])).is_err());
+        assert!(parse(&args(&["megafleet", "--hosts", "many"])).is_err());
+        assert!(parse(&args(&["megafleet", "--hosts"])).is_err());
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`replicates`] — Fig. 8-style jitter-seed replicate sweeps through the
 //!   full stack (`repro sweep --replicates N`), the volume workload the
 //!   columnar hot loop is benchmarked on.
+//! * [`megafleet`] — the 100k–1M-host scale scenario for the sharded
+//!   bank: cold resolve, hierarchical balancing, steady replay, and
+//!   one-segment churn, each timed (`repro megafleet --hosts N`).
 //! * [`resilience`] — the five policies under one fixed fault plan
 //!   (node deaths, telemetry dropout, stuck RAPL): graceful degradation
 //!   across the whole stack (`repro faults`).
@@ -43,6 +46,7 @@ pub mod export;
 pub mod facility;
 pub mod figures;
 pub mod grid;
+pub mod megafleet;
 pub mod mixes;
 pub mod replicates;
 pub mod resilience;

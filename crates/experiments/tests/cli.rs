@@ -39,6 +39,53 @@ fn unknown_artifact_exits_nonzero() {
 }
 
 #[test]
+fn megafleet_rejects_out_of_range_hosts_with_exit_2() {
+    for bad in ["0", "1048577", "-3", "lots"] {
+        let out = repro()
+            .args(["megafleet", "--hosts", bad])
+            .output()
+            .expect("spawn repro");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--hosts {bad} must exit 2, got {:?}",
+            out.status.code()
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--hosts"), "{stderr}");
+        assert!(stderr.contains("usage: repro"), "{stderr}");
+    }
+}
+
+#[test]
+fn megafleet_smoke_reports_shard_counters() {
+    // A tiny fleet end to end: the artifact renders, and the shard
+    // counters land in the metrics snapshot for ci/check_metrics.py.
+    let dir = std::env::temp_dir().join(format!("repro-mega-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("mega.json");
+    // 4096 hosts = four default segments, so the churn phase has other
+    // segments to keep on the replay path and both counters go live.
+    let out = repro()
+        .args(["megafleet", "--fast", "--hosts", "4096", "--metrics-out"])
+        .arg(&json_path)
+        .output()
+        .expect("spawn repro");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("MEGAFLEET: 4096 HOSTS"), "{stdout}");
+    assert!(stdout.contains("shard_churn"), "{stdout}");
+    let json = std::fs::read_to_string(&json_path).expect("metrics JSON written");
+    assert!(json.contains("simhw.bank.shard.invalidated"), "{json}");
+    assert!(json.contains("simhw.bank.shard.replayed"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn metrics_out_writes_json_and_prometheus() {
     let dir = std::env::temp_dir().join(format!("repro-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

@@ -26,7 +26,7 @@
 use crate::agent::Agent;
 use crate::platform::{IterationOutcome, JobPlatform};
 use pmstack_obs::{StaticCounter, StaticFloatCounter};
-use pmstack_simhw::{Seconds, Watts};
+use pmstack_simhw::{Seconds, Watts, DEFAULT_SEGMENT_HOSTS};
 
 /// Observability: probe cuts taken by the harvest pass.
 static BALANCER_CUTS: StaticCounter = StaticCounter::new("runtime.balancer.cuts");
@@ -38,6 +38,10 @@ static BALANCER_HARVESTED_W: StaticFloatCounter =
 /// Observability: total watts granted to power-bound hosts.
 static BALANCER_GRANTED_W: StaticFloatCounter =
     StaticFloatCounter::new("runtime.balancer.granted_w");
+/// Observability: host-limit writes the hierarchical balancer elided because
+/// the target was bitwise unchanged since the last write.
+static BALANCER_WRITES_SKIPPED: StaticCounter =
+    StaticCounter::new("runtime.balancer.writes_skipped");
 
 /// Tunable parameters of the balancer (exposed for the ablation benches).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -282,6 +286,363 @@ impl Agent for PowerBalancerAgent {
     }
 }
 
+/// Per-shard working set for one hierarchical `adjust` pass. Borrowing
+/// disjoint `HostState` slices into per-shard tasks lets the harvest and
+/// grant phases fan out across the exec pool without any shared mutable
+/// state; the scalar summaries come back in the task itself.
+struct ShardPass<'a> {
+    /// Global index of the first host in this shard.
+    base: usize,
+    hosts: &'a mut [HostState],
+    /// Shard-local critical path (max epoch time), filled by the survey.
+    slowest: Seconds,
+    /// Watts freed by harvest cuts and dead-host release in this shard.
+    freed: Watts,
+    /// Hosts in this shard eligible for grants after the harvest.
+    recipients: usize,
+    /// Grant budget the top level allotted to this shard.
+    quota: Watts,
+    /// Quota left unspent (recipients hit their TDP headroom first).
+    unspent: Watts,
+    cuts: u64,
+    harvested: f64,
+    grants: u64,
+    granted: f64,
+}
+
+/// Whether a host may receive grant watts this interval. Must be a pure
+/// function of state that does not change between the harvest and grant
+/// phases, so the top-level count and the per-shard application agree.
+fn grant_eligible(
+    state: &HostState,
+    outcome: &IterationOutcome,
+    h: usize,
+    f_turbo: pmstack_simhw::Hertz,
+    tdp: Watts,
+    slowest: Seconds,
+    critical_band: f64,
+) -> bool {
+    !state.dead
+        && outcome.host_fresh.get(h).copied().unwrap_or(true)
+        && outcome.host_lead[h] < f_turbo
+        && outcome.host_compute_time[h].value() >= slowest.value() * (1.0 - critical_band)
+        && state.target < tdp
+}
+
+/// The power balancer, restructured for 100k–1M-host fleets.
+///
+/// Policy-wise this is [`PowerBalancerAgent`] — harvest slack from hosts
+/// holding turbo or sitting off the critical path, grant the pool to
+/// power-bound critical-path hosts, halve steps on reversals. Three things
+/// change to make the per-interval pass scale:
+///
+/// 1. **Hierarchical aggregation.** The per-host survey (critical-path max)
+///    and the harvest sweep run shard-by-shard across the exec pool; the
+///    top level then works on O(shards) summaries, not O(hosts) state. The
+///    grant pool is split into per-shard quotas (`per_grant × recipients`,
+///    capped by the remaining pool *in shard order*) and each shard spends
+///    its quota independently, so the redistribution needs no global pass.
+/// 2. **Deterministic folds.** Cross-shard reductions happen in shard
+///    order with the same arithmetic every run — `f64::max` for the
+///    critical path and a fixed-order sum for the pool — so a parallel run
+///    is bit-identical to a sequential one.
+/// 3. **Write elision.** `set_host_limit` is only issued when a host's
+///    target changed bitwise since the last write. The flat agent rewrites
+///    every target every interval, which dirties every bank segment and
+///    forbids steady-state replay even at a fixed point; eliding the
+///    no-op writes keeps quiesced shards on the replay path. (A skipped
+///    write also leaves any pending one-shot MSR glitch to be consumed by
+///    the next telemetry read instead of the next write — an observable
+///    but benign reordering this agent accepts by design.)
+///
+/// The grant arithmetic differs from the flat agent in one corner: a shard
+/// cannot dip into watts another shard declined (`min(pool)` becomes
+/// `min(shard quota)`), so under extreme TDP-headroom skew the pool drains
+/// one interval later. The policy fixed points are the same.
+#[derive(Debug, Clone)]
+pub struct HierarchicalBalancerAgent {
+    budget: Watts,
+    params: BalancerParams,
+    /// Hosts per shard; aligned with the platform's bank segments so a
+    /// shard's writes land in one segment's cache line of invalidation.
+    shard_hosts: usize,
+    hosts: Vec<HostState>,
+    /// Last limit actually written per host, for write elision. Compared
+    /// bitwise: any real move produces a different f64.
+    programmed: Vec<Watts>,
+    pool: Watts,
+}
+
+impl HierarchicalBalancerAgent {
+    /// Balance `budget` watts across the job, sharded at the bank's
+    /// default segment size.
+    pub fn new(budget: Watts) -> Self {
+        Self::with_params(budget, BalancerParams::default())
+    }
+
+    /// Balance with explicit parameters.
+    pub fn with_params(budget: Watts, params: BalancerParams) -> Self {
+        Self {
+            budget,
+            params,
+            shard_hosts: DEFAULT_SEGMENT_HOSTS,
+            hosts: Vec::new(),
+            programmed: Vec::new(),
+            pool: Watts::ZERO,
+        }
+    }
+
+    /// Override the shard size (pass the platform's `segment_hosts()` so
+    /// agent shards and bank segments coincide).
+    pub fn with_shard_hosts(mut self, hosts: usize) -> Self {
+        assert!(hosts >= 1, "shards must hold at least one host");
+        self.shard_hosts = hosts;
+        self
+    }
+
+    /// The per-host limits the agent currently targets.
+    pub fn targets(&self) -> Vec<Watts> {
+        self.hosts.iter().map(|h| h.target).collect()
+    }
+
+    /// Watts currently freed and unallocated.
+    pub fn pool(&self) -> Watts {
+        self.pool
+    }
+
+    /// Split the host-state vec into per-shard tasks.
+    fn shard_tasks(&mut self) -> Vec<ShardPass<'_>> {
+        let shard = self.shard_hosts;
+        let mut tasks = Vec::with_capacity(self.hosts.len().div_ceil(shard.max(1)));
+        let mut rest: &mut [HostState] = &mut self.hosts;
+        let mut base = 0;
+        while !rest.is_empty() {
+            let take = shard.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            tasks.push(ShardPass {
+                base,
+                hosts: head,
+                slowest: Seconds::ZERO,
+                freed: Watts::ZERO,
+                recipients: 0,
+                quota: Watts::ZERO,
+                unspent: Watts::ZERO,
+                cuts: 0,
+                harvested: 0.0,
+                grants: 0,
+                granted: 0.0,
+            });
+            base += take;
+            rest = tail;
+        }
+        tasks
+    }
+}
+
+impl Agent for HierarchicalBalancerAgent {
+    fn name(&self) -> &'static str {
+        "hier_balancer"
+    }
+
+    fn budget(&self) -> Option<Watts> {
+        Some(self.budget)
+    }
+
+    fn init(&mut self, platform: &mut JobPlatform) {
+        let spec = platform.model().spec();
+        let floor = spec.min_rapl_per_node();
+        let tdp = spec.tdp_per_node();
+        let alive = platform.alive_hosts().max(1);
+        let share = (self.budget / alive as f64).clamp(floor, tdp);
+        self.hosts = (0..platform.num_hosts())
+            .map(|h| {
+                let dead = !platform.is_host_alive(h);
+                HostState {
+                    target: if dead { Watts::ZERO } else { share },
+                    step: self.params.step,
+                    last_dir: 0,
+                    streak: 0,
+                    dead,
+                }
+            })
+            .collect();
+        self.programmed = self.hosts.iter().map(|s| s.target).collect();
+        self.pool = Watts::ZERO;
+        platform
+            .set_uniform_limit(share)
+            .expect("share is clamped into the settable range");
+    }
+
+    fn on_phase_change(&mut self, _platform: &mut JobPlatform) {
+        let initial = self.params.step;
+        for state in &mut self.hosts {
+            state.step = initial;
+            state.last_dir = 0;
+            state.streak = 0;
+        }
+    }
+
+    fn adjust(&mut self, platform: &mut JobPlatform, outcome: &IterationOutcome) {
+        let spec = platform.model().spec();
+        let floor = spec.min_rapl_per_node();
+        let tdp = spec.tdp_per_node();
+        let f_turbo = spec.f_turbo;
+        let initial = self.params.step;
+        let critical_band = self.params.critical_band;
+        let carried_pool = self.pool;
+
+        let mut tasks = self.shard_tasks();
+
+        // Survey: shard-local critical-path maxima in parallel, then an
+        // O(shards) in-order fold. f64 max is exact and associative, so
+        // this equals the flat agent's full-fleet fold bit for bit.
+        pmstack_exec::par_for_each_mut(&mut tasks, |_, t| {
+            t.slowest = outcome.host_compute_time[t.base..t.base + t.hosts.len()]
+                .iter()
+                .copied()
+                .fold(Seconds::ZERO, Seconds::max);
+        });
+        let slowest = tasks
+            .iter()
+            .map(|t| t.slowest)
+            .fold(Seconds::ZERO, Seconds::max);
+
+        // Harvest + dead-host release, one shard per task. Each shard
+        // mutates only its own states and reports freed watts and its
+        // recipient count; nothing global is touched.
+        pmstack_exec::par_for_each_mut(&mut tasks, |_, t| {
+            for (j, state) in t.hosts.iter_mut().enumerate() {
+                let h = t.base + j;
+                if !state.dead && !outcome.host_alive.get(h).copied().unwrap_or(true) {
+                    state.dead = true;
+                    t.freed += state.target;
+                    state.target = Watts::ZERO;
+                }
+                if state.dead || !outcome.host_fresh.get(h).copied().unwrap_or(true) {
+                    continue;
+                }
+                let throttled = outcome.host_lead[h] < f_turbo;
+                let off_critical =
+                    outcome.host_compute_time[h].value() < slowest.value() * (1.0 - critical_band);
+                if (!throttled || off_critical) && state.target > floor {
+                    let cut = state.step_for(-1, initial).min(state.target - floor);
+                    state.target -= cut;
+                    t.freed += cut;
+                    t.cuts += 1;
+                    t.harvested += cut.value();
+                }
+            }
+            for (j, state) in t.hosts.iter().enumerate() {
+                if grant_eligible(
+                    state,
+                    outcome,
+                    t.base + j,
+                    f_turbo,
+                    tdp,
+                    slowest,
+                    critical_band,
+                ) {
+                    t.recipients += 1;
+                }
+            }
+        });
+
+        // Top level: pool the freed watts and split them into per-shard
+        // quotas, both in shard order so the arithmetic is deterministic.
+        let mut pool = carried_pool;
+        let mut recipients = 0usize;
+        for t in &tasks {
+            pool += t.freed;
+            recipients += t.recipients;
+        }
+        let mut remaining = pool;
+        if recipients > 0 && pool > Watts::ZERO {
+            let fair_share = pool / recipients as f64;
+            let per_grant = fair_share.min(initial * 2.0);
+            for t in &mut tasks {
+                let quota = (per_grant * t.recipients as f64).min(remaining);
+                remaining -= quota;
+                t.quota = quota;
+            }
+            // Grants: each shard spends its own quota independently.
+            pmstack_exec::par_for_each_mut(&mut tasks, |_, t| {
+                let mut quota = t.quota;
+                for (j, state) in t.hosts.iter_mut().enumerate() {
+                    if !grant_eligible(
+                        state,
+                        outcome,
+                        t.base + j,
+                        f_turbo,
+                        tdp,
+                        slowest,
+                        critical_band,
+                    ) {
+                        continue;
+                    }
+                    state.step_for(1, initial);
+                    let grant = per_grant.min(tdp - state.target).min(quota);
+                    state.target += grant;
+                    quota -= grant;
+                    if grant > Watts::ZERO {
+                        t.grants += 1;
+                        t.granted += grant.value();
+                    }
+                }
+                t.unspent = quota;
+            });
+            for t in &tasks {
+                remaining += t.unspent;
+            }
+        }
+
+        let mut cuts = 0u64;
+        let mut harvested = 0.0;
+        let mut grants = 0u64;
+        let mut granted = 0.0;
+        for t in &tasks {
+            cuts += t.cuts;
+            harvested += t.harvested;
+            grants += t.grants;
+            granted += t.granted;
+        }
+        drop(tasks);
+        self.pool = remaining;
+        if cuts > 0 {
+            BALANCER_CUTS.add(cuts);
+            BALANCER_HARVESTED_W.add(harvested);
+        }
+        if grants > 0 {
+            BALANCER_GRANTS.add(grants);
+            BALANCER_GRANTED_W.add(granted);
+        }
+
+        // Apply, eliding bitwise no-op writes so a shard whose targets sit
+        // at a fixed point never dirties its bank segment.
+        let mut skipped = 0u64;
+        for (h, state) in self.hosts.iter().enumerate() {
+            if state.dead {
+                continue;
+            }
+            if state.target.value().to_bits() == self.programmed[h].value().to_bits() {
+                skipped += 1;
+                continue;
+            }
+            platform
+                .set_host_limit(h, state.target)
+                .expect("targets stay within the settable range");
+            self.programmed[h] = state.target;
+        }
+        if skipped > 0 {
+            BALANCER_WRITES_SKIPPED.add(skipped);
+        }
+        debug_assert!(
+            self.hosts.iter().map(|h| h.target).sum::<Watts>() + self.pool
+                <= self.budget + Watts(1e-6),
+            "balancer must never exceed its budget"
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -464,5 +825,145 @@ mod tests {
         let (agent, _) = run_balancer(config, &[1.0, 0.95, 1.05], 180.0, 150);
         let total: Watts = agent.targets().iter().copied().sum();
         assert!(total <= budget + Watts(1e-6));
+    }
+
+    fn run_hier(
+        config: KernelConfig,
+        eps: &[f64],
+        budget_per_host: f64,
+        shard_hosts: usize,
+        iterations: usize,
+    ) -> (HierarchicalBalancerAgent, JobPlatform) {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = eps
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, config).with_segment_hosts(shard_hosts);
+        let mut agent = HierarchicalBalancerAgent::new(Watts(budget_per_host * eps.len() as f64))
+            .with_shard_hosts(shard_hosts);
+        agent.init(&mut platform);
+        for _ in 0..iterations {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        (agent, platform)
+    }
+
+    #[test]
+    fn hierarchical_shifts_power_toward_inefficient_node_under_scarcity() {
+        // Same scenario as the flat agent's test, with hosts split across
+        // shards: the inefficient (slower-under-cap) node must still end
+        // up with more power.
+        let config = KernelConfig::balanced_ymm(16.0);
+        let (agent, _) = run_hier(config, &[0.94, 1.07], 170.0, 1, 200);
+        let t = agent.targets();
+        assert!(
+            t[1].value() > t[0].value() + 2.0,
+            "inefficient node got {} vs efficient {}",
+            t[1],
+            t[0]
+        );
+    }
+
+    #[test]
+    fn hierarchical_tracks_flat_policy_fixed_point() {
+        // Both agents on identical fleets under the same scarce budget
+        // must settle in the same neighbourhood: same per-host ordering
+        // and targets within a few probe steps of each other.
+        let config = KernelConfig::balanced_ymm(16.0);
+        let eps = [0.94, 1.0, 1.07, 0.97];
+        let (flat, _) = run_balancer(config, &eps, 170.0, 250);
+        let (hier, _) = run_hier(config, &eps, 170.0, 2, 250);
+        let tf = flat.targets();
+        let th = hier.targets();
+        for (h, (a, b)) in tf.iter().zip(&th).enumerate() {
+            assert!(
+                (a.value() - b.value()).abs() < 12.0,
+                "host {h}: flat {a} vs hierarchical {b} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchical_dead_host_returns_its_power_to_the_survivors() {
+        let config = KernelConfig::balanced_ymm(16.0);
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = [1.0, 1.0, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, config).with_segment_hosts(2);
+        let budget = Watts(3.0 * 160.0);
+        let mut agent = HierarchicalBalancerAgent::new(budget).with_shard_hosts(2);
+        agent.init(&mut platform);
+        for _ in 0..40 {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        platform.inject_fault(2, pmstack_simhw::FaultKind::NodeDeath);
+        for _ in 0..80 {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+        }
+        let t = agent.targets();
+        assert_eq!(t[2], Watts::ZERO, "dead host's target is zeroed");
+        for &survivor in &t[..2] {
+            assert!(
+                survivor.value() > 165.0,
+                "survivor holds {survivor}, should exceed the scarce 160 W share"
+            );
+        }
+        let total: Watts = t.iter().copied().sum::<Watts>() + agent.pool();
+        assert!(total <= budget + Watts(1e-6), "budget is conserved");
+    }
+
+    #[test]
+    fn hierarchical_never_exceeds_budget() {
+        let config = KernelConfig::new(
+            4.0,
+            VectorWidth::Ymm,
+            WaitingFraction::P25,
+            Imbalance::ThreeX,
+        );
+        let budget = Watts(180.0 * 3.0);
+        let (agent, _) = run_hier(config, &[1.0, 0.95, 1.05], 180.0, 2, 150);
+        let total: Watts = agent.targets().iter().copied().sum::<Watts>() + agent.pool();
+        assert!(total <= budget + Watts(1e-6));
+    }
+
+    #[test]
+    fn hierarchical_write_elision_lets_the_platform_settle() {
+        // Uniform fleet, balanced workload, scarce budget: every host is
+        // throttled and on the critical path, so after the pool drains the
+        // targets freeze. The flat agent would keep rewriting the same
+        // limits and dirty every segment each interval; the hierarchical
+        // agent elides those writes, so the platform's steady-state
+        // fast-forward must engage *while the agent is still running*.
+        let config = KernelConfig::balanced_ymm(16.0);
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let nodes = [1.0, 1.0, 1.0, 1.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut platform = JobPlatform::new(model, nodes, config).with_segment_hosts(2);
+        let mut agent = HierarchicalBalancerAgent::new(Watts(4.0 * 150.0)).with_shard_hosts(2);
+        agent.init(&mut platform);
+        let mut settled = false;
+        for _ in 0..300 {
+            let out = platform.run_iteration();
+            agent.adjust(&mut platform, &out);
+            if platform.steady_state_active() {
+                settled = true;
+                break;
+            }
+        }
+        assert!(
+            settled,
+            "write elision should let steady-state replay engage under a live agent"
+        );
     }
 }

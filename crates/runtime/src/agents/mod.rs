@@ -5,7 +5,7 @@ mod freq_governor;
 mod governor;
 mod monitor;
 
-pub use balancer::{BalancerParams, PowerBalancerAgent};
+pub use balancer::{BalancerParams, HierarchicalBalancerAgent, PowerBalancerAgent};
 pub use freq_governor::FrequencyGovernorAgent;
 pub use governor::PowerGovernorAgent;
 pub use monitor::MonitorAgent;

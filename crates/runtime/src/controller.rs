@@ -9,7 +9,33 @@ use crate::agent::Agent;
 use crate::endpoint::EndpointRuntime;
 use crate::platform::{IterationBuffers, JobPlatform};
 use crate::report::{HostReport, JobReport};
-use pmstack_simhw::{Joules, Seconds, Watts};
+use pmstack_simhw::{Joules, NodeHealth, Seconds, Watts};
+
+/// Fleets at least this large fan the controller's per-host accumulators
+/// (epoch sums, tail-limit sums) across the exec pool in segment-aligned
+/// chunks; below it the spawn overhead dwarfs the adds.
+const PAR_ACCUM_THRESHOLD: usize = 4096;
+
+/// `sums[i] += src[i]` for every `i`. Elementwise, so chunking cannot change
+/// a single bit; mega-fleets run the chunks on the pool, aligned to the
+/// bank's segment size so the memory stride matches the stepping pass.
+fn accumulate_into<T>(sums: &mut [T], src: &[T], segment: usize)
+where
+    T: std::ops::AddAssign + Copy + Send + Sync,
+{
+    debug_assert_eq!(sums.len(), src.len());
+    if sums.len() < PAR_ACCUM_THRESHOLD {
+        for (s, v) in sums.iter_mut().zip(src) {
+            *s += *v;
+        }
+        return;
+    }
+    pmstack_exec::par_chunks_mut(sums, segment.max(1), |base, block| {
+        for (j, s) in block.iter_mut().enumerate() {
+            *s += src[base + j];
+        }
+    });
+}
 
 /// A job controller binding a platform to an agent.
 pub struct Controller<A: Agent> {
@@ -71,16 +97,13 @@ impl<A: Agent> Controller<A> {
             let outcome = bufs.outcome();
             elapsed += outcome.elapsed;
             iteration_times.push(outcome.elapsed);
-            for (h, t) in outcome.host_compute_time.iter().enumerate() {
-                epoch_sums[h] += *t;
-            }
+            let segment = self.platform.segment_hosts();
+            accumulate_into(&mut epoch_sums, &outcome.host_compute_time, segment);
             Self::mark_host_trust(&mut self.platform, outcome);
             self.agent.adjust(&mut self.platform, outcome);
             if iter >= tail_start {
                 self.platform.host_limits_into(&mut limits_buf);
-                for (h, l) in limits_buf.iter().enumerate() {
-                    tail_limit_sums[h] += *l;
-                }
+                accumulate_into(&mut tail_limit_sums, &limits_buf, segment);
                 tail_count += 1;
             }
             if let Some(ep) = &self.endpoint {
@@ -152,15 +175,12 @@ impl<A: Agent> Controller<A> {
                 let outcome = bufs.outcome();
                 elapsed += outcome.elapsed;
                 iteration_times.push(outcome.elapsed);
-                for (h, t) in outcome.host_compute_time.iter().enumerate() {
-                    epoch_sums[h] += *t;
-                }
+                let segment = self.platform.segment_hosts();
+                accumulate_into(&mut epoch_sums, &outcome.host_compute_time, segment);
                 Self::mark_host_trust(&mut self.platform, outcome);
                 self.agent.adjust(&mut self.platform, outcome);
                 self.platform.host_limits_into(&mut limits_buf);
-                for (h, l) in limits_buf.iter().enumerate() {
-                    limit_sums[h] += *l;
-                }
+                accumulate_into(&mut limit_sums, &limits_buf, segment);
                 limit_count += 1;
                 if let Some(ep) = &self.endpoint {
                     ep.report_achieved(outcome.total_power());
@@ -211,9 +231,15 @@ impl<A: Agent> Controller<A> {
             if !outcome.host_alive[h] {
                 continue;
             }
+            // Skip no-op transitions: in steady state every host is already
+            // Healthy and fresh, so this pass is a read-only scan instead of
+            // a fleet of redundant health writes.
+            let health = platform.host_health_of(h);
             if outcome.host_fresh[h] {
-                platform.mark_host_healthy(h);
-            } else {
+                if health != NodeHealth::Healthy {
+                    platform.mark_host_healthy(h);
+                }
+            } else if health != NodeHealth::Suspect {
                 platform.mark_host_suspect(h);
             }
         }

@@ -35,7 +35,10 @@ pub mod report;
 pub mod trace;
 
 pub use agent::Agent;
-pub use agents::{FrequencyGovernorAgent, MonitorAgent, PowerBalancerAgent, PowerGovernorAgent};
+pub use agents::{
+    FrequencyGovernorAgent, HierarchicalBalancerAgent, MonitorAgent, PowerBalancerAgent,
+    PowerGovernorAgent,
+};
 pub use controller::Controller;
 pub use endpoint::{Endpoint, EndpointRm, EndpointRuntime};
 pub use platform::{IterationBuffers, IterationOutcome, JobPlatform};

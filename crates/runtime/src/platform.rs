@@ -29,7 +29,7 @@ use pmstack_obs::{EventKind, StaticCounter};
 use pmstack_simhw::power::OperatingPoint;
 use pmstack_simhw::{
     FaultPlan, Hertz, HostStep, Joules, Node, NodeBank, NodeHealth, PowerModel, Seconds,
-    SimHwError, Watts,
+    SimHwError, StepReport, Watts,
 };
 use rand::Rng;
 use rand::SeedableRng;
@@ -153,6 +153,12 @@ impl IterationOutcome {
 pub struct IterationBuffers {
     front: IterationOutcome,
     back: IterationOutcome,
+    /// Steady-state epoch stamps: a nonzero stamp means the buffer holds
+    /// exactly the captured steady outcome of that epoch, so a replay whose
+    /// epoch matches skips the outcome copy entirely — after two replays
+    /// the per-iteration cost is the energy adds plus one swap.
+    front_stamp: u64,
+    back_stamp: u64,
 }
 
 impl IterationBuffers {
@@ -174,6 +180,7 @@ impl IterationBuffers {
 
     fn swap(&mut self) {
         std::mem::swap(&mut self.front, &mut self.back);
+        std::mem::swap(&mut self.front_stamp, &mut self.back_stamp);
     }
 }
 
@@ -212,18 +219,22 @@ pub struct JobPlatform {
     steps: Vec<HostStep>,
     /// Per-host un-jittered iteration time at `ops[h]` (cached alongside).
     op_times: Vec<f64>,
-    /// True while `ops`/`op_times` from the previous iteration are still
-    /// exact: the enforcement filters sat at a bitwise fixed point and no
-    /// control write, fault, or workload change has occurred since. The
-    /// operating point is a pure function of bitwise-unchanged inputs, so
-    /// reusing it skips the PCU resolve without changing a single bit —
-    /// this is what accelerates *jittered* runs, where full fast-forward
-    /// can never engage.
-    ops_settled: bool,
+    /// Per-segment: true while that segment's `ops`/`op_times` from the
+    /// previous iteration are still exact — its enforcement filters sat at a
+    /// bitwise fixed point and no control write, fault, or workload change
+    /// has touched the segment since. The operating point is a pure function
+    /// of bitwise-unchanged inputs, so reusing it skips the PCU resolve
+    /// without changing a single bit. Segment-local so a control write on
+    /// one host forces a re-resolve of only its segment; also what
+    /// accelerates *jittered* runs, where full fast-forward never engages.
+    seg_ops_valid: Vec<bool>,
     /// Whether the steady-state fast-forward path may engage.
     fast_forward: bool,
     /// The captured steady state, if the fleet is at a bitwise fixed point.
     steady: Option<SteadyState>,
+    /// Bumped on every steady-state capture; pairs with the buffer stamps to
+    /// skip redundant outcome copies across consecutive replays.
+    steady_epoch: u64,
     /// Buffers backing the allocating [`Self::run_iteration`] wrapper.
     scratch: IterationBuffers,
 }
@@ -235,9 +246,11 @@ impl JobPlatform {
         assert!(!nodes.is_empty(), "a job needs at least one host");
         let load = KernelLoad::new(config, model.spec());
         let n = nodes.len();
+        let bank = NodeBank::from_nodes(nodes);
+        let segments = bank.num_segments();
         Self {
             model,
-            bank: NodeBank::from_nodes(nodes),
+            bank,
             load,
             jitter_sigma: 0.0,
             rng: ChaCha8Rng::seed_from_u64(0),
@@ -250,11 +263,34 @@ impl JobPlatform {
             ops: Vec::with_capacity(n),
             steps: Vec::with_capacity(n),
             op_times: Vec::with_capacity(n),
-            ops_settled: false,
+            seg_ops_valid: vec![false; segments],
             fast_forward: true,
             steady: None,
+            steady_epoch: 0,
             scratch: IterationBuffers::new(),
         }
+    }
+
+    /// Re-shard the backing bank into segments of `hosts` hosts — the
+    /// cache-invalidation granularity. Mostly a test hook: small fleets get
+    /// multi-segment behavior without needing 100k hosts. Drops every cache
+    /// (the next iteration re-proves settledness).
+    pub fn with_segment_hosts(mut self, hosts: usize) -> Self {
+        self.bank.set_segment_hosts(hosts);
+        self.seg_ops_valid.clear();
+        self.seg_ops_valid.resize(self.bank.num_segments(), false);
+        self.steady = None;
+        self
+    }
+
+    /// Hosts per bank segment.
+    pub fn segment_hosts(&self) -> usize {
+        self.bank.segment_hosts()
+    }
+
+    /// Number of bank segments.
+    pub fn num_segments(&self) -> usize {
+        self.bank.num_segments()
     }
 
     /// Attach a fault plan. Events fire at the start of the matching
@@ -277,17 +313,31 @@ impl JobPlatform {
         self
     }
 
-    /// Drop every steady-state cache: the captured replay outcome and the
-    /// settled operating points. Called on anything that could change the
-    /// next iteration — control writes, fault activity, workload or jitter
-    /// changes. (Suspect/healthy marks are deliberately exempt: health
-    /// marks never enter the operating point or the outcome.)
+    /// Drop every steady-state cache: the captured replay outcome and all
+    /// segments' settled operating points. Called on anything that could
+    /// change the next iteration fleet-wide — workload or jitter changes,
+    /// fault-plan swaps. (Suspect/healthy marks are deliberately exempt:
+    /// health marks never enter the operating point or the outcome.)
     fn invalidate_caches(&mut self) {
-        if self.steady.is_some() || self.ops_settled {
+        if self.steady.is_some() || self.seg_ops_valid.iter().any(|&v| v) {
             FFWD_INVALIDATED.inc();
         }
         self.steady = None;
-        self.ops_settled = false;
+        self.seg_ops_valid.iter_mut().for_each(|v| *v = false);
+    }
+
+    /// Drop the caches a single-host change actually dirties: the fleet-wide
+    /// replay outcome (it bakes in every host) plus only the touched host's
+    /// segment of settled operating points. The other segments keep their
+    /// caches — the partial-invalidation win that keeps a 100k-host fleet on
+    /// the replay path when one host takes a control write or fault.
+    fn invalidate_host_caches(&mut self, host: usize) {
+        let sidx = self.bank.segment_of(host);
+        if self.steady.is_some() || self.seg_ops_valid[sidx] {
+            FFWD_INVALIDATED.inc();
+        }
+        self.steady = None;
+        self.seg_ops_valid[sidx] = false;
     }
 
     /// Enable or disable the steady-state fast-forward path (on by
@@ -350,7 +400,7 @@ impl JobPlatform {
         if host >= self.bank.len() {
             return Err(SimHwError::UnknownNode(host));
         }
-        self.invalidate_caches();
+        self.invalidate_host_caches(host);
         self.bank.set_power_limit(host, limit)
     }
 
@@ -359,7 +409,7 @@ impl JobPlatform {
         if host >= self.bank.len() {
             return Err(SimHwError::UnknownNode(host));
         }
-        self.invalidate_caches();
+        self.invalidate_host_caches(host);
         self.bank.set_freq_cap(host, cap)
     }
 
@@ -441,9 +491,14 @@ impl JobPlatform {
     /// Inject a fault into one host immediately (outside any plan).
     pub fn inject_fault(&mut self, host: usize, kind: pmstack_simhw::FaultKind) {
         if host < self.bank.len() {
-            self.invalidate_caches();
+            self.invalidate_host_caches(host);
             self.bank.inject(host, kind);
         }
+    }
+
+    /// One host's observed health (allocation-free single-host probe).
+    pub fn host_health_of(&self, host: usize) -> NodeHealth {
+        self.bank.health(host)
     }
 
     /// The currently programmed per-host limits.
@@ -504,30 +559,39 @@ impl JobPlatform {
         // Fire the fault plan's events scheduled for this iteration before
         // anything computes — a node dying "during" an iteration is modeled
         // as dying at its leading barrier.
-        let events = self.fault_plan.events();
-        let mut fault_fired = false;
-        while self.fault_cursor < events.len()
-            && events[self.fault_cursor].at_iteration <= self.iteration
-        {
+        loop {
+            let events = self.fault_plan.events();
+            if self.fault_cursor >= events.len()
+                || events[self.fault_cursor].at_iteration > self.iteration
+            {
+                break;
+            }
             let ev = events[self.fault_cursor];
             self.fault_cursor += 1;
             if ev.at_iteration == self.iteration && ev.host < self.bank.len() {
+                // An applied event dirties only its host's segment.
                 self.bank.inject(ev.host, ev.kind);
+                self.invalidate_host_caches(ev.host);
+            } else {
+                // A skipped (stale / out-of-range) event invalidates
+                // conservatively, matching the historical behavior.
+                self.invalidate_caches();
             }
-            fault_fired = true;
-        }
-        if fault_fired {
-            self.invalidate_caches();
         }
         self.iteration += 1;
 
         // Fast path: the fleet is at a bitwise fixed point and nothing can
         // perturb this iteration — replay the captured outcome and energy.
+        // A buffer already stamped with this steady epoch holds exactly the
+        // captured outcome, so even the copy is skipped.
         if self.fast_forward {
             if let Some(steady) = &self.steady {
                 FFWD_ENGAGED.inc();
                 self.bank.replay_energy(&steady.deltas);
-                bufs.back.assign_from(&steady.outcome);
+                if bufs.back_stamp != self.steady_epoch {
+                    bufs.back.assign_from(&steady.outcome);
+                    bufs.back_stamp = self.steady_epoch;
+                }
                 bufs.swap();
                 self.elapsed += bufs.front.elapsed;
                 return;
@@ -535,46 +599,63 @@ impl JobPlatform {
         }
 
         let n = self.bank.len();
+        let segs = self.bank.num_segments();
+        debug_assert_eq!(self.seg_ops_valid.len(), segs);
+        bufs.back_stamp = 0;
         let back = &mut bufs.back;
         back.clear();
-        if self.ops_settled {
+        if self.ops.len() != n {
+            self.ops.clear();
+            self.ops.resize(n, None);
+            self.op_times.clear();
+            self.op_times.resize(n, 0.0);
+            self.seg_ops_valid.iter_mut().for_each(|v| *v = false);
+        }
+        if self.seg_ops_valid.iter().all(|&v| v) {
             SETTLED_HIT.inc();
-            // The enforcement filters sat at a bitwise fixed point last
-            // iteration and nothing invalidated the caches since: every
-            // input of the (pure) PCU resolve is bitwise unchanged, so the
-            // cached operating points and base iteration times are exact.
-            // Only the jitter draw per live host remains — in the same
-            // order, so the RNG stream matches the resolving path.
-            debug_assert_eq!(self.ops.len(), n);
-            for host in 0..n {
-                if self.ops[host].is_none() {
-                    back.host_compute_time.push(Seconds::ZERO);
-                    continue;
-                }
-                let jitter = self.draw_jitter();
-                back.host_compute_time
-                    .push(Seconds(self.op_times[host] * jitter));
-            }
         } else {
             SETTLED_MISS.inc();
-            self.ops.clear();
-            self.op_times.clear();
-            for host in 0..n {
-                if !self.bank.is_alive(host) {
-                    // Dead hosts drop out of the computation: the surviving
-                    // ranks redistribute (we charge no extra time) and the
-                    // dead host contributes nothing to the barrier.
-                    self.ops.push(None);
-                    self.op_times.push(0.0);
-                    back.host_compute_time.push(Seconds::ZERO);
-                    continue;
+        }
+        // Resolve (or reuse) operating points segment by segment, hosts in
+        // order — the jitter draw per live host happens in the same order
+        // on both paths, so the RNG stream is identical regardless of which
+        // segments hit their cache.
+        for sidx in 0..segs {
+            let range = self.bank.segment_range(sidx);
+            if self.seg_ops_valid[sidx] {
+                // This segment's enforcement filters sat at a bitwise fixed
+                // point last iteration and nothing touched the segment
+                // since: every input of the (pure) PCU resolve is bitwise
+                // unchanged, so the cached operating points and base
+                // iteration times are exact.
+                for host in range {
+                    if self.ops[host].is_none() {
+                        back.host_compute_time.push(Seconds::ZERO);
+                        continue;
+                    }
+                    let jitter = self.draw_jitter();
+                    back.host_compute_time
+                        .push(Seconds(self.op_times[host] * jitter));
                 }
-                let op = self.bank.operating_point(host, &self.model, &self.load);
-                let base = self.load.iteration_time(&op).value();
-                let jitter = self.draw_jitter();
-                self.ops.push(Some(op));
-                self.op_times.push(base);
-                back.host_compute_time.push(Seconds(base * jitter));
+            } else {
+                for host in range {
+                    if !self.bank.is_alive(host) {
+                        // Dead hosts drop out of the computation: the
+                        // surviving ranks redistribute (we charge no extra
+                        // time) and the dead host contributes nothing to
+                        // the barrier.
+                        self.ops[host] = None;
+                        self.op_times[host] = 0.0;
+                        back.host_compute_time.push(Seconds::ZERO);
+                        continue;
+                    }
+                    let op = self.bank.operating_point(host, &self.model, &self.load);
+                    let base = self.load.iteration_time(&op).value();
+                    let jitter = self.draw_jitter();
+                    self.ops[host] = Some(op);
+                    self.op_times[host] = base;
+                    back.host_compute_time.push(Seconds(base * jitter));
+                }
             }
         }
         let elapsed = back
@@ -591,15 +672,26 @@ impl JobPlatform {
         // Advance RAPL state (energy counters + enforcement filters) on
         // every live host through the iteration at its operating-point
         // power in one batched columnar pass; large jobs fan the column
-        // chunks out across the pool.
+        // chunks out across the pool. With fast-forward enabled the partial
+        // path lets segments whose caches prove settledness replay instead
+        // of re-running the filter arithmetic.
         self.steps.clear();
         self.steps.resize(n, HostStep::Skipped);
-        let settled = self.bank.step_all(
-            elapsed,
-            &self.ops,
-            &mut self.steps,
-            n >= par_step_threshold(),
-        );
+        let parallel = n >= par_step_threshold();
+        let report = if self.fast_forward {
+            self.bank
+                .step_all_partial(elapsed, &self.ops, &mut self.steps, parallel)
+        } else {
+            let all_settled = self
+                .bank
+                .step_all(elapsed, &self.ops, &mut self.steps, parallel);
+            StepReport {
+                all_settled,
+                segments_replayed: 0,
+                segments_stepped: segs,
+            }
+        };
+        let settled = report.all_settled;
 
         let mut all_fresh = true;
         for host in 0..n {
@@ -634,10 +726,12 @@ impl JobPlatform {
         self.elapsed += elapsed;
         bufs.swap();
 
-        // With the filters settled, next iteration's operating points are
-        // bit-identical — arm the op cache (jitter-compatible). The full
-        // replay below additionally needs jitter off.
-        self.ops_settled = self.fast_forward && settled;
+        // A segment whose filters are settled yields bit-identical operating
+        // points next iteration — arm its op cache (jitter-compatible). The
+        // full replay below additionally needs jitter off fleet-wide.
+        for (sidx, valid) in self.seg_ops_valid.iter_mut().enumerate() {
+            *valid = self.fast_forward && self.bank.segment_settled(sidx);
+        }
 
         // Capture steady state: with jitter off, every filter at a bitwise
         // fixed point, no pending one-shot fault state, and clean telemetry,
@@ -663,6 +757,11 @@ impl JobPlatform {
                     outcome: bufs.front.clone(),
                     deltas,
                 });
+                self.steady_epoch += 1;
+                // The front buffer holds exactly the captured outcome, so
+                // stamp it: when it cycles back as the back buffer, the
+                // replay path skips the copy.
+                bufs.front_stamp = self.steady_epoch;
                 FFWD_CAPTURED.inc();
                 pmstack_obs::event(
                     self.elapsed.value(),

@@ -276,25 +276,34 @@ proptest! {
 
         let mut reference = Reference::new(config, &eps, plan.clone(), sigma, seed);
         let mut fast = build_platform(config, &eps, plan.clone(), sigma, seed, true);
-        let mut slow = build_platform(config, &eps, plan, sigma, seed, false);
+        let mut slow = build_platform(config, &eps, plan.clone(), sigma, seed, false);
+        // Pathologically small segments: every host write and fault now
+        // straddles a segment boundary somewhere in the schedule.
+        let mut sharded =
+            build_platform(config, &eps, plan, sigma, seed, true).with_segment_hosts(2);
         let mut fast_bufs = IterationBuffers::new();
         let mut slow_bufs = IterationBuffers::new();
+        let mut shard_bufs = IterationBuffers::new();
 
         for iter in 0..50u64 {
             fast.run_iteration_into(&mut fast_bufs);
             slow.run_iteration_into(&mut slow_bufs);
+            sharded.run_iteration_into(&mut shard_bufs);
             let expected = reference.run_iteration();
             prop_assert_eq!(&observe(&fast_bufs), &expected, "fast-forward path, iteration {}", iter);
             prop_assert_eq!(&observe(&slow_bufs), &expected, "reference path, iteration {}", iter);
+            prop_assert_eq!(&observe(&shard_bufs), &expected, "sharded path, iteration {}", iter);
 
             for w in writes.iter().filter(|w| w.at == iter) {
                 let _ = fast.set_host_limit(w.host, Watts(w.limit));
                 let _ = slow.set_host_limit(w.host, Watts(w.limit));
+                let _ = sharded.set_host_limit(w.host, Watts(w.limit));
                 let _ = reference.nodes[w.host].set_power_limit(Watts(w.limit));
                 if let Some(ghz) = w.cap_ghz {
                     let cap = Some(Hertz(ghz * 1e9));
                     let _ = fast.set_host_freq_cap(w.host, cap);
                     let _ = slow.set_host_freq_cap(w.host, cap);
+                    let _ = sharded.set_host_freq_cap(w.host, cap);
                     let _ = reference.nodes[w.host].set_freq_cap(cap);
                 }
             }
@@ -303,8 +312,10 @@ proptest! {
         let expected_energy = reference.energies();
         let fast_energy: Vec<u64> = fast.host_energy().iter().map(|e| e.value().to_bits()).collect();
         let slow_energy: Vec<u64> = slow.host_energy().iter().map(|e| e.value().to_bits()).collect();
+        let shard_energy: Vec<u64> = sharded.host_energy().iter().map(|e| e.value().to_bits()).collect();
         prop_assert_eq!(&fast_energy, &expected_energy);
         prop_assert_eq!(&slow_energy, &expected_energy);
+        prop_assert_eq!(&shard_energy, &expected_energy);
     }
 }
 
@@ -349,6 +360,73 @@ fn fast_forward_replay_is_bit_identical_over_long_run() {
         p.steady_state_active(),
         "replay should re-arm after the new limit settles"
     );
+    let energies: Vec<u64> = p
+        .host_energy()
+        .iter()
+        .map(|e| e.value().to_bits())
+        .collect();
+    assert_eq!(energies, reference.energies());
+}
+
+/// Single-host disturbances on segment-edge hosts of a sharded platform:
+/// the run stays bit-identical to the seed loop throughout, and steady-state
+/// replay re-arms after each localized invalidation (proving a one-host
+/// write does not wedge the other segments out of their caches).
+#[test]
+fn sharded_single_host_writes_stay_bit_identical_and_rearm() {
+    let config = KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P50, Imbalance::TwoX);
+    // 13 hosts at 3 per segment: 5 segments, ragged final segment of one.
+    let eps: Vec<f64> = (0..13).map(|i| 0.94 + 0.01 * (i % 9) as f64).collect();
+    let mut reference = Reference::new(config, &eps, FaultPlan::none(), 0.0, 23);
+    let mut p =
+        build_platform(config, &eps, FaultPlan::none(), 0.0, 23, true).with_segment_hosts(3);
+    assert_eq!(p.num_segments(), 5);
+    let mut bufs = IterationBuffers::new();
+
+    for h in 0..eps.len() {
+        p.set_host_limit(h, Watts(180.0)).unwrap();
+        reference.nodes[h].set_power_limit(Watts(180.0)).unwrap();
+    }
+
+    let mut rearms = 0;
+    for iter in 0..700 {
+        match iter {
+            // Last host of segment 0, first host of segment 1, the lone
+            // host of the ragged final segment, and a mid-segment fault.
+            200 => {
+                assert!(p.steady_state_active(), "replay should be armed by 200");
+                p.set_host_limit(2, Watts(200.0)).unwrap();
+                reference.nodes[2].set_power_limit(Watts(200.0)).unwrap();
+            }
+            320 => {
+                p.set_host_limit(3, Watts(170.0)).unwrap();
+                reference.nodes[3].set_power_limit(Watts(170.0)).unwrap();
+            }
+            440 => {
+                p.set_host_limit(12, Watts(195.0)).unwrap();
+                reference.nodes[12].set_power_limit(Watts(195.0)).unwrap();
+            }
+            560 => {
+                p.inject_fault(7, FaultKind::TelemetryDropout { iterations: 3 });
+                reference.nodes[7].inject(FaultKind::TelemetryDropout { iterations: 3 });
+            }
+            _ => {}
+        }
+        if matches!(iter, 200 | 320 | 440 | 560) {
+            assert!(!p.steady_state_active(), "disturbance must disarm replay");
+        }
+        if matches!(iter, 319 | 439 | 559 | 699) {
+            assert!(
+                p.steady_state_active(),
+                "replay should re-arm after the localized disturbance settles (iter {iter})"
+            );
+            rearms += 1;
+        }
+        p.run_iteration_into(&mut bufs);
+        let expected = reference.run_iteration();
+        assert_eq!(observe(&bufs), expected, "iteration {iter}");
+    }
+    assert_eq!(rearms, 4);
     let energies: Vec<u64> = p
         .host_energy()
         .iter()

@@ -22,6 +22,26 @@
 //! `pmstack-runtime/tests/columnar.rs`). It additionally reports whether the
 //! enforcement filters reached a bitwise fixed point, which is what arms the
 //! runtime's steady-state fast-forward.
+//!
+//! ## Segments
+//!
+//! The bank is sharded into fixed-size **segments** of
+//! [`DEFAULT_SEGMENT_HOSTS`] hosts (tunable via
+//! [`NodeBank::set_segment_hosts`]). Each segment carries its own cache slot
+//! recording whether its enforcement filters sat at a bitwise fixed point
+//! after the last step — and at which `dt` — so a control write or fault on
+//! one host dirties only that host's segment.
+//! [`NodeBank::step_all_partial`] exploits this: segments whose slot proves
+//! "settled, quiescent, same `dt` bits" skip the filter updates entirely and
+//! *replay* (energy accumulates `op.power / sockets * dt` per package —
+//! exactly the product a real step would add — and `last_freq` latches
+//! `op.lead`), while dirty segments take the full stepping arithmetic. The
+//! replay is bit-identical to stepping a settled segment because a settled
+//! filter's update is a bitwise no-op and the skip is only taken when the
+//! `dt` bits match the settle-time `dt` (α depends on `dt`, so a different
+//! window would re-excite the filters). Per-(host,socket) columns are
+//! contiguous per segment, so both paths run over dense slabs the
+//! autovectorizer can chew on.
 
 use crate::error::Result;
 use crate::faults::{FaultKind, NodeHealth};
@@ -35,6 +55,42 @@ static STEP_ALL_CALLS: StaticCounter = StaticCounter::new("simhw.step_all.calls"
 /// Observability: batched steps whose enforcement filters were all at their
 /// bitwise fixed point (the steady-state signal).
 static STEP_ALL_SETTLED: StaticCounter = StaticCounter::new("simhw.step_all.settled");
+/// Observability: settled segment caches dirtied by a control op or fault.
+static SHARD_INVALIDATED: StaticCounter = StaticCounter::new("simhw.bank.shard.invalidated");
+/// Observability: segments advanced on the replay path (filter updates
+/// skipped) by [`NodeBank::step_all_partial`].
+static SHARD_REPLAYED: StaticCounter = StaticCounter::new("simhw.bank.shard.replayed");
+
+/// Default hosts per segment: big enough that per-segment bookkeeping is
+/// noise (one cache probe per 1024 hosts), small enough that a 100k-host
+/// fleet has ~98 independently invalidatable shards.
+pub const DEFAULT_SEGMENT_HOSTS: usize = 1024;
+
+/// One segment's settled-state cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SegCache {
+    /// Must be stepped: a control op / fault touched the segment, or its
+    /// filters were still moving after the last step.
+    Invalid,
+    /// Every enforcement filter in the segment was at its bitwise fixed
+    /// point after a step with these `dt` bits. `quiescent` records that no
+    /// host held one-shot telemetry state afterwards, which the replay path
+    /// additionally requires.
+    Settled { dt_bits: u64, quiescent: bool },
+}
+
+/// What [`NodeBank::step_all_partial`] did, per segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepReport {
+    /// Every *stepped* enforcement filter was already at its bitwise fixed
+    /// point (replayed segments are settled by construction) — the
+    /// steady-state signal the fast-forward path keys on.
+    pub all_settled: bool,
+    /// Segments advanced on the replay path (filter updates skipped).
+    pub segments_replayed: usize,
+    /// Segments that took the full stepping arithmetic.
+    pub segments_stepped: usize,
+}
 
 /// Outcome of one host's step inside [`NodeBank::step_all`], mirroring the
 /// three ways [`Node::try_step`] can go.
@@ -58,6 +114,10 @@ pub struct NodeBank {
     sockets: usize,
     /// True while the backing `Node`s agree with the hot columns.
     hot_synced: bool,
+    /// Hosts per segment (last segment may be shorter).
+    segment_hosts: usize,
+    /// Per-segment settled-state cache, `len == len().div_ceil(segment_hosts)`.
+    seg: Vec<SegCache>,
 
     // Hot columns, per (host, socket): authoritative between control ops.
     energy: Vec<Joules>,
@@ -95,6 +155,8 @@ impl NodeBank {
             nodes,
             sockets,
             hot_synced: true,
+            segment_hosts: DEFAULT_SEGMENT_HOSTS,
+            seg: vec![SegCache::Invalid; n.div_ceil(DEFAULT_SEGMENT_HOSTS)],
             energy: vec![Joules::ZERO; n * sockets],
             enforced: vec![Watts(0.0); n * sockets],
             target: vec![Watts(0.0); n * sockets],
@@ -128,6 +190,44 @@ impl NodeBank {
     /// Sockets per host.
     pub fn sockets(&self) -> usize {
         self.sockets
+    }
+
+    /// Hosts per segment.
+    pub fn segment_hosts(&self) -> usize {
+        self.segment_hosts
+    }
+
+    /// Number of segments (`len().div_ceil(segment_hosts())`).
+    pub fn num_segments(&self) -> usize {
+        self.seg.len()
+    }
+
+    /// The segment index covering host `h`.
+    pub fn segment_of(&self, h: usize) -> usize {
+        h / self.segment_hosts
+    }
+
+    /// The host range of segment `sidx` (the last segment may be shorter
+    /// than `segment_hosts()`).
+    pub fn segment_range(&self, sidx: usize) -> std::ops::Range<usize> {
+        let lo = sidx * self.segment_hosts;
+        lo..(lo + self.segment_hosts).min(self.nodes.len())
+    }
+
+    /// True when segment `sidx`'s enforcement filters were all at their
+    /// bitwise fixed point after the last step, with no control op or fault
+    /// on the segment since.
+    pub fn segment_settled(&self, sidx: usize) -> bool {
+        matches!(self.seg[sidx], SegCache::Settled { .. })
+    }
+
+    /// Re-shard the bank into segments of `hosts` hosts. Drops every
+    /// segment cache (the next step re-proves settledness); the hot columns
+    /// themselves are untouched, so this is callable at any point.
+    pub fn set_segment_hosts(&mut self, hosts: usize) {
+        assert!(hosts >= 1, "segment size must be at least 1 host");
+        self.segment_hosts = hosts;
+        self.seg = vec![SegCache::Invalid; self.nodes.len().div_ceil(hosts)];
     }
 
     /// The host's efficiency factor ε.
@@ -255,6 +355,10 @@ impl NodeBank {
     /// Returns `true` when every stepped enforcement filter was already at
     /// its bitwise fixed point — the steady-state signal the fast-forward
     /// path keys on. `parallel` chunks the columns across the worker pool.
+    ///
+    /// Every host takes the full stepping arithmetic; segment caches are
+    /// still maintained so a later [`NodeBank::step_all_partial`] can pick
+    /// up where this left off.
     pub fn step_all(
         &mut self,
         dt: Seconds,
@@ -262,77 +366,161 @@ impl NodeBank {
         results: &mut [HostStep],
         parallel: bool,
     ) -> bool {
+        self.step_segments(dt, ops, results, parallel, false)
+            .all_settled
+    }
+
+    /// Like [`NodeBank::step_all`], but segments whose cache proves
+    /// "settled, quiescent, same `dt` bits" skip the filter updates and
+    /// replay instead, leaving results bit-identical to a full step. A
+    /// fault or control write on one host therefore costs re-stepping only
+    /// that host's segment; the rest of the fleet stays on the replay path.
+    ///
+    /// `ops[h]` for a host in a replayable segment must be the operating
+    /// point the host settled on — guaranteed when ops are resolved from
+    /// the bank itself ([`NodeBank::operating_point`] is a pure function of
+    /// columns that any invalidating change dirties) or cached from the
+    /// settling iteration, which is how `JobPlatform` drives this.
+    pub fn step_all_partial(
+        &mut self,
+        dt: Seconds,
+        ops: &[Option<OperatingPoint>],
+        results: &mut [HostStep],
+        parallel: bool,
+    ) -> StepReport {
+        self.step_segments(dt, ops, results, parallel, true)
+    }
+
+    fn step_segments(
+        &mut self,
+        dt: Seconds,
+        ops: &[Option<OperatingPoint>],
+        results: &mut [HostStep],
+        parallel: bool,
+        allow_replay: bool,
+    ) -> StepReport {
         let _span = pmstack_obs::span!("simhw.step_all.secs");
         STEP_ALL_CALLS.inc();
         let n = self.nodes.len();
         assert_eq!(ops.len(), n, "one operating point slot per host");
         assert_eq!(results.len(), n, "one result slot per host");
+        let mut report = StepReport {
+            all_settled: true,
+            segments_replayed: 0,
+            segments_stepped: 0,
+        };
+        if n == 0 {
+            STEP_ALL_SETTLED.inc();
+            return report;
+        }
         self.hot_synced = false;
         let s = self.sockets;
+        let sh = self.segment_hosts;
+        let segs = self.seg.len();
+        let dt_bits = dt.value().to_bits();
         let workers = pmstack_exec::workers();
-        if !parallel || workers <= 1 || n < 2 {
-            let mut chunk = StepChunk {
-                base: 0,
-                energy: &mut self.energy,
-                enforced: &mut self.enforced,
-                last_freq: &mut self.last_freq,
-                telemetry_down: &mut self.telemetry_down,
-                msr_glitch: &mut self.msr_glitch,
-                results,
-                settled: true,
-            };
-            step_chunk(&mut chunk, s, dt, ops, &self.target, &self.tau);
-            if chunk.settled {
-                STEP_ALL_SETTLED.inc();
-            }
-            return chunk.settled;
-        }
-
-        let chunk_hosts = n.div_ceil(workers);
-        let mut chunks: Vec<StepChunk<'_>> = Vec::with_capacity(workers);
-        let (mut energy, mut enforced) = (&mut self.energy[..], &mut self.enforced[..]);
-        let (mut last_freq, mut telemetry_down, mut msr_glitch, mut results) = (
-            &mut self.last_freq[..],
-            &mut self.telemetry_down[..],
-            &mut self.msr_glitch[..],
+        let mut cols = SpanCols {
+            energy: &mut self.energy,
+            enforced: &mut self.enforced,
+            last_freq: &mut self.last_freq,
+            telemetry_down: &mut self.telemetry_down,
+            msr_glitch: &mut self.msr_glitch,
             results,
-        );
-        let mut base = 0;
-        while base < n {
-            let take = chunk_hosts.min(n - base);
-            let (ea, et) = energy.split_at_mut(take * s);
-            let (fa, ft) = enforced.split_at_mut(take * s);
-            let (la, lt) = last_freq.split_at_mut(take);
-            let (ta, tt) = telemetry_down.split_at_mut(take);
-            let (ma, mt) = msr_glitch.split_at_mut(take);
-            let (ra, rt) = results.split_at_mut(take);
-            energy = et;
-            enforced = ft;
-            last_freq = lt;
-            telemetry_down = tt;
-            msr_glitch = mt;
-            results = rt;
-            chunks.push(StepChunk {
-                base,
-                energy: ea,
-                enforced: fa,
-                last_freq: la,
-                telemetry_down: ta,
-                msr_glitch: ma,
-                results: ra,
-                settled: true,
-            });
-            base += take;
-        }
+        };
         let (target, tau) = (&self.target, &self.tau);
-        pmstack_exec::par_for_each_mut(&mut chunks, |_, chunk| {
-            step_chunk(chunk, s, dt, ops, target, tau);
-        });
-        let settled = chunks.iter().all(|c| c.settled);
-        if settled {
+
+        if segs <= 1 {
+            // Sub-segment fleet: one cache slot, but keep the host-chunked
+            // fan-out so jobs smaller than a segment retain full step
+            // parallelism. The replay/step decision is made once, up front.
+            let replay = allow_replay && replayable(self.seg[0], dt_bits);
+            if !parallel || workers <= 1 || n < 2 {
+                if replay {
+                    replay_span(&mut cols, 0, s, dt, ops);
+                } else {
+                    let (settled, quiescent) = step_span(&mut cols, 0, s, dt, ops, target, tau);
+                    self.seg[0] = cache_after_step(settled, quiescent, dt_bits);
+                    report.all_settled = settled;
+                }
+            } else {
+                let chunk_hosts = n.div_ceil(workers);
+                let mut chunks: Vec<HostChunk<'_>> = Vec::with_capacity(workers);
+                let mut base = 0;
+                while base < n {
+                    let take = chunk_hosts.min(n - base);
+                    chunks.push(HostChunk {
+                        base,
+                        cols: cols.split_off_front(take, s),
+                        settled: true,
+                        quiescent: true,
+                    });
+                    base += take;
+                }
+                pmstack_exec::par_for_each_mut(&mut chunks, |_, chunk| {
+                    if replay {
+                        replay_span(&mut chunk.cols, chunk.base, s, dt, ops);
+                    } else {
+                        let (settled, quiescent) =
+                            step_span(&mut chunk.cols, chunk.base, s, dt, ops, target, tau);
+                        chunk.settled = settled;
+                        chunk.quiescent = quiescent;
+                    }
+                });
+                if !replay {
+                    let settled = chunks.iter().all(|c| c.settled);
+                    let quiescent = chunks.iter().all(|c| c.quiescent);
+                    self.seg[0] = cache_after_step(settled, quiescent, dt_bits);
+                    report.all_settled = settled;
+                }
+            }
+            if replay {
+                report.segments_replayed = 1;
+            } else {
+                report.segments_stepped = 1;
+            }
+        } else {
+            // Multi-segment fleet: chunk boundaries are segment boundaries,
+            // so each worker owns its segments' cache slots outright and the
+            // replay/step decision is local to the chunk.
+            let chunk_segs = if !parallel || workers <= 1 {
+                segs
+            } else {
+                segs.div_ceil(workers)
+            };
+            let mut chunks: Vec<SegChunk<'_>> = Vec::with_capacity(segs.div_ceil(chunk_segs));
+            let mut seg_rem = &mut self.seg[..];
+            let mut base = 0;
+            while !seg_rem.is_empty() {
+                let take_segs = chunk_segs.min(seg_rem.len());
+                let take_hosts = (take_segs * sh).min(n - base);
+                let (sa, st) = seg_rem.split_at_mut(take_segs);
+                seg_rem = st;
+                chunks.push(SegChunk {
+                    base,
+                    cols: cols.split_off_front(take_hosts, s),
+                    seg: sa,
+                    replayed: 0,
+                    stepped: 0,
+                    all_settled: true,
+                });
+                base += take_hosts;
+            }
+            pmstack_exec::par_for_each_mut(&mut chunks, |_, chunk| {
+                run_seg_chunk(chunk, s, sh, dt, dt_bits, ops, target, tau, allow_replay);
+            });
+            for chunk in &chunks {
+                report.all_settled &= chunk.all_settled;
+                report.segments_replayed += chunk.replayed;
+                report.segments_stepped += chunk.stepped;
+            }
+        }
+        if report.segments_replayed > 0 {
+            SHARD_REPLAYED.add(report.segments_replayed as u64);
+        }
+        if report.all_settled {
             STEP_ALL_SETTLED.inc();
         }
-        settled
+        report
     }
 
     /// Fast-forward energy accumulation: add `deltas[h]` to every package of
@@ -375,12 +563,26 @@ impl NodeBank {
     }
 
     /// Route a control operation through the backing `Node`: flush the hot
-    /// columns into it, run the operation, then refresh every mirror.
+    /// columns into it, run the operation, then refresh every mirror. The
+    /// host's segment cache is dirtied — this is the invalidation point for
+    /// every control write and injected fault, and only for those: health
+    /// markings ([`NodeBank::mark_suspect`] / [`NodeBank::mark_healthy`])
+    /// bypass this path because health never feeds the stepping arithmetic.
     fn with_node_mut<T>(&mut self, h: usize, f: impl FnOnce(&mut Node) -> T) -> T {
         self.flush_node(h);
         let out = f(&mut self.nodes[h]);
         self.refresh_node(h);
+        self.dirty_segment(h);
         out
+    }
+
+    /// Drop host `h`'s segment cache, counting settled→invalid transitions.
+    fn dirty_segment(&mut self, h: usize) {
+        let sidx = self.segment_of(h);
+        if matches!(self.seg[sidx], SegCache::Settled { .. }) {
+            SHARD_INVALIDATED.inc();
+        }
+        self.seg[sidx] = SegCache::Invalid;
     }
 
     fn flush_all(&mut self) {
@@ -433,63 +635,215 @@ impl NodeBank {
     }
 }
 
-/// One worker's disjoint view of the hot columns.
-struct StepChunk<'a> {
-    base: usize,
+/// True when a segment's cache proves the replay path is bit-identical to
+/// stepping: filters settled under the *same* `dt` bits (α depends on `dt`)
+/// and no one-shot telemetry state was pending.
+fn replayable(cache: SegCache, dt_bits: u64) -> bool {
+    matches!(
+        cache,
+        SegCache::Settled { dt_bits: b, quiescent: true } if b == dt_bits
+    )
+}
+
+/// The cache slot a segment earns by being stepped.
+fn cache_after_step(settled: bool, quiescent: bool, dt_bits: u64) -> SegCache {
+    if settled {
+        SegCache::Settled { dt_bits, quiescent }
+    } else {
+        SegCache::Invalid
+    }
+}
+
+/// A disjoint span of the hot columns (per-(host,socket) columns hold
+/// `hosts * sockets` elements, per-host columns `hosts`).
+struct SpanCols<'a> {
     energy: &'a mut [Joules],
     enforced: &'a mut [Watts],
     last_freq: &'a mut [Hertz],
     telemetry_down: &'a mut [u32],
     msr_glitch: &'a mut [bool],
     results: &'a mut [HostStep],
-    settled: bool,
 }
 
-/// Step every host of one chunk. `alpha` is memoized on τ: every package
-/// sharing a time window (the common case — all of them) reuses one `exp()`
-/// per chunk instead of paying one per package per host.
-fn step_chunk(
-    chunk: &mut StepChunk<'_>,
+impl<'a> SpanCols<'a> {
+    /// Detach the first `hosts` hosts as an independent span, leaving the
+    /// remainder in `self` — the splitter the chunk builders iterate.
+    fn split_off_front(&mut self, hosts: usize, sockets: usize) -> SpanCols<'a> {
+        fn take<'b, T>(slot: &mut &'b mut [T], n: usize) -> &'b mut [T] {
+            let (head, tail) = std::mem::take(slot).split_at_mut(n);
+            *slot = tail;
+            head
+        }
+        SpanCols {
+            energy: take(&mut self.energy, hosts * sockets),
+            enforced: take(&mut self.enforced, hosts * sockets),
+            last_freq: take(&mut self.last_freq, hosts),
+            telemetry_down: take(&mut self.telemetry_down, hosts),
+            msr_glitch: take(&mut self.msr_glitch, hosts),
+            results: take(&mut self.results, hosts),
+        }
+    }
+
+    /// Reborrow hosts `lo..lo + len` of this span.
+    fn sub(&mut self, lo: usize, len: usize, sockets: usize) -> SpanCols<'_> {
+        SpanCols {
+            energy: &mut self.energy[lo * sockets..(lo + len) * sockets],
+            enforced: &mut self.enforced[lo * sockets..(lo + len) * sockets],
+            last_freq: &mut self.last_freq[lo..lo + len],
+            telemetry_down: &mut self.telemetry_down[lo..lo + len],
+            msr_glitch: &mut self.msr_glitch[lo..lo + len],
+            results: &mut self.results[lo..lo + len],
+        }
+    }
+}
+
+/// One worker's sub-segment chunk (single-segment fleets only).
+struct HostChunk<'a> {
+    base: usize,
+    cols: SpanCols<'a>,
+    settled: bool,
+    quiescent: bool,
+}
+
+/// One worker's segment-aligned chunk: whole segments plus their cache
+/// slots.
+struct SegChunk<'a> {
+    base: usize,
+    cols: SpanCols<'a>,
+    seg: &'a mut [SegCache],
+    replayed: usize,
+    stepped: usize,
+    all_settled: bool,
+}
+
+/// Replay or step each segment a chunk owns, refreshing its cache slot.
+#[allow(clippy::too_many_arguments)]
+fn run_seg_chunk(
+    chunk: &mut SegChunk<'_>,
+    sockets: usize,
+    segment_hosts: usize,
+    dt: Seconds,
+    dt_bits: u64,
+    ops: &[Option<OperatingPoint>],
+    target: &[Watts],
+    tau: &[f64],
+    allow_replay: bool,
+) {
+    let total = chunk.cols.results.len();
+    let mut lo = 0;
+    for si in 0..chunk.seg.len() {
+        let len = segment_hosts.min(total - lo);
+        let mut cols = chunk.cols.sub(lo, len, sockets);
+        if allow_replay && replayable(chunk.seg[si], dt_bits) {
+            replay_span(&mut cols, chunk.base + lo, sockets, dt, ops);
+            chunk.replayed += 1;
+        } else {
+            let (settled, quiescent) =
+                step_span(&mut cols, chunk.base + lo, sockets, dt, ops, target, tau);
+            chunk.seg[si] = cache_after_step(settled, quiescent, dt_bits);
+            chunk.all_settled &= settled;
+            chunk.stepped += 1;
+        }
+        lo += len;
+    }
+}
+
+/// Step every host of one span, replicating [`RaplPackage::advance`]
+/// bit-for-bit. `alpha` is memoized on τ: every package sharing a time
+/// window (the common case — all of them) reuses one `exp()` per span
+/// instead of paying one per package per host. Returns `(settled,
+/// quiescent)`: whether every filter update was a bitwise no-op, and
+/// whether the span holds no one-shot telemetry state afterwards.
+///
+/// [`RaplPackage::advance`]: crate::rapl::RaplPackage::advance
+fn step_span(
+    cols: &mut SpanCols<'_>,
+    base: usize,
     sockets: usize,
     dt: Seconds,
     ops: &[Option<OperatingPoint>],
     target: &[Watts],
     tau: &[f64],
-) {
+) -> (bool, bool) {
     let mut memo_tau = f64::NAN;
     let mut memo_alpha = 0.0;
-    for i in 0..chunk.results.len() {
-        let h = chunk.base + i;
+    let mut settled = true;
+    let mut quiescent = true;
+    for i in 0..cols.results.len() {
+        let h = base + i;
         let Some(op) = ops[h] else {
-            chunk.results[i] = HostStep::Skipped;
+            cols.results[i] = HostStep::Skipped;
+            quiescent &= cols.telemetry_down[i] == 0 && !cols.msr_glitch[i];
             continue;
         };
-        chunk.last_freq[i] = op.lead;
+        cols.last_freq[i] = op.lead;
         let per_socket = op.power / sockets as f64;
         for k in 0..sockets {
             let gi = h * sockets + k;
             let li = i * sockets + k;
-            chunk.energy[li] += per_socket * dt;
+            cols.energy[li] += per_socket * dt;
             let t = tau[gi];
             if t != memo_tau {
                 memo_alpha = 1.0 - (-dt.value() / t).exp();
                 memo_tau = t;
             }
-            let held = chunk.enforced[li];
+            let held = cols.enforced[li];
             let next = held + (target[gi] - held) * memo_alpha;
             if next.value().to_bits() != held.value().to_bits() {
-                chunk.settled = false;
+                settled = false;
             }
-            chunk.enforced[li] = next;
+            cols.enforced[li] = next;
         }
-        chunk.results[i] = if chunk.telemetry_down[i] > 0 {
-            chunk.telemetry_down[i] -= 1;
+        cols.results[i] = if cols.telemetry_down[i] > 0 {
+            cols.telemetry_down[i] -= 1;
+            // A glitch pending behind the blackout is not consumed this
+            // iteration, so it still blocks quiescence.
+            quiescent &= cols.telemetry_down[i] == 0 && !cols.msr_glitch[i];
             HostStep::Stale
-        } else if std::mem::take(&mut chunk.msr_glitch[i]) {
+        } else if std::mem::take(&mut cols.msr_glitch[i]) {
             HostStep::Stale
         } else {
             HostStep::Fresh
         };
+    }
+    (settled, quiescent)
+}
+
+/// Advance a settled, quiescent span without touching the filters: energy
+/// accumulates the same `op.power / sockets * dt` product a real step would
+/// add, `last_freq` latches `op.lead`, and every live host reads back
+/// [`HostStep::Fresh`] (quiescence proved no blackout/glitch was pending).
+/// The per-host delta is hoisted out of the package loop and the two-socket
+/// case unrolled so the energy column updates run as straight-line adds
+/// over a contiguous slab.
+fn replay_span(
+    cols: &mut SpanCols<'_>,
+    base: usize,
+    sockets: usize,
+    dt: Seconds,
+    ops: &[Option<OperatingPoint>],
+) {
+    for i in 0..cols.results.len() {
+        let h = base + i;
+        let Some(op) = ops[h] else {
+            cols.results[i] = HostStep::Skipped;
+            continue;
+        };
+        debug_assert!(
+            cols.telemetry_down[i] == 0 && !cols.msr_glitch[i],
+            "replayed a span holding one-shot telemetry state"
+        );
+        cols.last_freq[i] = op.lead;
+        let add = op.power / sockets as f64 * dt;
+        if sockets == 2 {
+            cols.energy[i * 2] += add;
+            cols.energy[i * 2 + 1] += add;
+        } else {
+            for e in &mut cols.energy[i * sockets..(i + 1) * sockets] {
+                *e += add;
+            }
+        }
+        cols.results[i] = HostStep::Fresh;
     }
 }
 

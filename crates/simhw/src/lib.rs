@@ -44,7 +44,7 @@ pub mod rapl;
 pub mod units;
 pub mod variation;
 
-pub use bank::{HostStep, NodeBank};
+pub use bank::{HostStep, NodeBank, StepReport, DEFAULT_SEGMENT_HOSTS};
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::SimHwError;

@@ -1,0 +1,363 @@
+//! Segment-sharding invariants of the columnar [`NodeBank`].
+//!
+//! The contract under test: `step_all_partial` on a bank sharded into
+//! arbitrary (including pathological) segment sizes is **bit-identical** to
+//! flat `step_all` stepping and to the per-[`Node`] reference, under any
+//! interleaving of control writes and fault injections — including ones
+//! that straddle segment boundaries — while invalidating *only* the
+//! segments the writes actually touch.
+
+use pmstack_simhw::power::CoreClass;
+use pmstack_simhw::{
+    quartz_spec, FaultKind, Hertz, HostStep, LoadModel, Node, NodeBank, NodeId, PowerModel,
+    Seconds, Watts,
+};
+use proptest::prelude::*;
+
+struct FlatLoad {
+    kappa: f64,
+}
+
+impl LoadModel for FlatLoad {
+    fn node_power_at(&self, model: &PowerModel, eps: f64, lead: Hertz) -> Watts {
+        model.node_power(
+            eps,
+            &[CoreClass {
+                count: model.spec().cores_used_per_node,
+                kappa: self.kappa,
+                freq: lead,
+            }],
+        )
+    }
+}
+
+fn fleet(n: usize) -> (PowerModel, Vec<Node>) {
+    let model = PowerModel::new(quartz_spec()).unwrap();
+    let nodes = (0..n)
+        .map(|i| Node::new(NodeId(i), &model, 0.9 + 0.02 * (i % 12) as f64).unwrap())
+        .collect();
+    (model, nodes)
+}
+
+/// One scheduled disturbance in the lockstep property below.
+#[derive(Debug, Clone, Copy)]
+enum Disturb {
+    Limit(f64),
+    Cap(f64),
+    ClearCap,
+    Dropout(u32),
+    Glitch,
+    Stuck(f64),
+    Death,
+}
+
+fn disturb_strategy() -> impl Strategy<Value = Disturb> {
+    prop_oneof![
+        (120.0f64..230.0).prop_map(Disturb::Limit),
+        (1.3f64..2.5).prop_map(Disturb::Cap),
+        Just(Disturb::ClearCap),
+        (1u32..4).prop_map(Disturb::Dropout),
+        Just(Disturb::Glitch),
+        (100.0f64..200.0).prop_map(Disturb::Stuck),
+        Just(Disturb::Death),
+    ]
+}
+
+fn apply(bank: &mut NodeBank, node: &mut Node, host: usize, d: Disturb) {
+    match d {
+        Disturb::Limit(w) => {
+            let _ = bank.set_power_limit(host, Watts(w));
+            let _ = node.set_power_limit(Watts(w));
+        }
+        Disturb::Cap(ghz) => {
+            let _ = bank.set_freq_cap(host, Some(Hertz::from_ghz(ghz)));
+            let _ = node.set_freq_cap(Some(Hertz::from_ghz(ghz)));
+        }
+        Disturb::ClearCap => {
+            let _ = bank.set_freq_cap(host, None);
+            let _ = node.set_freq_cap(None);
+        }
+        Disturb::Dropout(iterations) => {
+            bank.inject(host, FaultKind::TelemetryDropout { iterations });
+            node.inject(FaultKind::TelemetryDropout { iterations });
+        }
+        Disturb::Glitch => {
+            bank.inject(host, FaultKind::TransientMsrFault);
+            node.inject(FaultKind::TransientMsrFault);
+        }
+        Disturb::Stuck(pinned_w) => {
+            bank.inject(host, FaultKind::StuckRapl { pinned_w });
+            node.inject(FaultKind::StuckRapl { pinned_w });
+        }
+        Disturb::Death => {
+            bank.inject(host, FaultKind::NodeDeath);
+            node.inject(FaultKind::NodeDeath);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharded stepping with replay enabled is bit-identical to flat
+    /// stepping and to the per-node reference under random control/fault
+    /// schedules, for any fleet/segment geometry (segments of 1 host,
+    /// ragged final segments, fleets smaller than one segment).
+    #[test]
+    fn sharded_replay_is_bit_identical_to_flat_and_reference(
+        n in 1usize..34,
+        seg in 1usize..10,
+        parallel in (0u8..2).prop_map(|b| b == 1),
+        schedule in prop::collection::vec(
+            (0usize..16, 0usize..34, disturb_strategy()),
+            0..12,
+        ),
+    ) {
+        let (model, mut reference) = fleet(n);
+        let load = FlatLoad { kappa: 2.6 };
+        let mut flat = NodeBank::from_nodes(reference.clone());
+        let mut sharded = NodeBank::from_nodes(reference.clone());
+        sharded.set_segment_hosts(seg);
+
+        let dt = Seconds(0.2);
+        let mut ops = vec![None; n];
+        let mut res_flat = vec![HostStep::Skipped; n];
+        let mut res_shard = vec![HostStep::Skipped; n];
+        for iter in 0..16 {
+            for (at, host, d) in &schedule {
+                if *at == iter {
+                    let host = *host % n;
+                    apply(&mut flat, &mut reference[host], host, *d);
+                    // Same disturbance to the sharded bank; the reference
+                    // node was already updated above.
+                    match *d {
+                        Disturb::Limit(w) => {
+                            let _ = sharded.set_power_limit(host, Watts(w));
+                        }
+                        Disturb::Cap(ghz) => {
+                            let _ = sharded.set_freq_cap(host, Some(Hertz::from_ghz(ghz)));
+                        }
+                        Disturb::ClearCap => {
+                            let _ = sharded.set_freq_cap(host, None);
+                        }
+                        d @ (Disturb::Dropout(_)
+                        | Disturb::Glitch
+                        | Disturb::Stuck(_)
+                        | Disturb::Death) => {
+                            let kind = match d {
+                                Disturb::Dropout(iterations) => {
+                                    FaultKind::TelemetryDropout { iterations }
+                                }
+                                Disturb::Glitch => FaultKind::TransientMsrFault,
+                                Disturb::Stuck(pinned_w) => FaultKind::StuckRapl { pinned_w },
+                                _ => FaultKind::NodeDeath,
+                            };
+                            sharded.inject(host, kind);
+                        }
+                    }
+                }
+            }
+            for (h, op) in ops.iter_mut().enumerate() {
+                *op = sharded
+                    .is_alive(h)
+                    .then(|| sharded.operating_point(h, &model, &load));
+            }
+            let settled_flat = flat.step_all(dt, &ops, &mut res_flat, parallel);
+            let report = sharded.step_all_partial(dt, &ops, &mut res_shard, parallel);
+            for node in reference.iter_mut() {
+                let _ = node.try_step(&model, &load, dt);
+            }
+
+            prop_assert_eq!(settled_flat, report.all_settled, "settled flags diverged");
+            prop_assert_eq!(&res_flat, &res_shard, "step outcomes diverged");
+            for h in 0..n {
+                prop_assert_eq!(
+                    sharded.energy(h).value().to_bits(),
+                    flat.energy(h).value().to_bits(),
+                    "energy diverged from flat on host {}", h
+                );
+                prop_assert_eq!(
+                    sharded.energy(h).value().to_bits(),
+                    reference[h].energy().value().to_bits(),
+                    "energy diverged from reference on host {}", h
+                );
+                prop_assert_eq!(
+                    sharded.enforced_limit(h).value().to_bits(),
+                    reference[h].enforced_limit().value().to_bits(),
+                    "enforced limit diverged on host {}", h
+                );
+                prop_assert_eq!(
+                    sharded.last_freq(h).value().to_bits(),
+                    flat.last_freq(h).value().to_bits(),
+                    "last_freq diverged on host {}", h
+                );
+            }
+        }
+    }
+}
+
+/// Step a bank with freshly resolved operating points until the partial
+/// stepper reports everything settled (bounded, so a bug fails fast).
+fn settle(bank: &mut NodeBank, model: &PowerModel, load: &FlatLoad, dt: Seconds) {
+    let n = bank.len();
+    let mut ops = vec![None; n];
+    let mut results = vec![HostStep::Skipped; n];
+    for _ in 0..200 {
+        for (h, op) in ops.iter_mut().enumerate() {
+            *op = bank
+                .is_alive(h)
+                .then(|| bank.operating_point(h, model, load));
+        }
+        if bank
+            .step_all_partial(dt, &ops, &mut results, false)
+            .all_settled
+        {
+            return;
+        }
+    }
+    panic!("bank failed to settle in 200 iterations");
+}
+
+fn step_once(
+    bank: &mut NodeBank,
+    model: &PowerModel,
+    load: &FlatLoad,
+    dt: Seconds,
+) -> pmstack_simhw::StepReport {
+    let n = bank.len();
+    let mut ops = vec![None; n];
+    let mut results = vec![HostStep::Skipped; n];
+    for (h, op) in ops.iter_mut().enumerate() {
+        *op = bank
+            .is_alive(h)
+            .then(|| bank.operating_point(h, model, load));
+    }
+    bank.step_all_partial(dt, &ops, &mut results, false)
+}
+
+#[test]
+fn segment_geometry_covers_ragged_fleets() {
+    let (_, nodes) = fleet(13);
+    let mut bank = NodeBank::from_nodes(nodes);
+    bank.set_segment_hosts(4);
+    assert_eq!(bank.num_segments(), 4);
+    assert_eq!(bank.segment_range(0), 0..4);
+    assert_eq!(bank.segment_range(2), 8..12);
+    // Ragged final segment holds the single leftover host.
+    assert_eq!(bank.segment_range(3), 12..13);
+    assert_eq!(bank.segment_of(11), 2);
+    assert_eq!(bank.segment_of(12), 3);
+
+    // A fleet smaller than one segment is one segment.
+    let (_, one) = fleet(3);
+    let mut small = NodeBank::from_nodes(one);
+    small.set_segment_hosts(1024);
+    assert_eq!(small.num_segments(), 1);
+    assert_eq!(small.segment_range(0), 0..3);
+}
+
+#[test]
+fn control_write_invalidates_only_its_segment() {
+    let (model, nodes) = fleet(12);
+    let load = FlatLoad { kappa: 2.5 };
+    let mut bank = NodeBank::from_nodes(nodes);
+    bank.set_segment_hosts(4);
+    settle(&mut bank, &model, &load, Seconds(0.2));
+    assert!((0..3).all(|s| bank.segment_settled(s)));
+
+    bank.set_power_limit(5, Watts(150.0)).unwrap();
+    assert!(bank.segment_settled(0));
+    assert!(!bank.segment_settled(1), "written segment must re-resolve");
+    assert!(bank.segment_settled(2));
+
+    let report = step_once(&mut bank, &model, &load, Seconds(0.2));
+    assert_eq!(report.segments_replayed, 2);
+    assert_eq!(report.segments_stepped, 1);
+}
+
+#[test]
+fn fault_and_restore_on_segment_edge_hosts() {
+    let (model, nodes) = fleet(8);
+    let load = FlatLoad { kappa: 2.5 };
+    let mut bank = NodeBank::from_nodes(nodes);
+    bank.set_segment_hosts(4);
+    settle(&mut bank, &model, &load, Seconds(0.2));
+
+    // First host of the second segment: only segment 1 re-steps.
+    bank.inject(4, FaultKind::TelemetryDropout { iterations: 2 });
+    assert!(bank.segment_settled(0));
+    assert!(!bank.segment_settled(1));
+    settle(&mut bank, &model, &load, Seconds(0.2));
+
+    // Last host of the first segment: only segment 0 re-steps.
+    bank.set_freq_cap(3, Some(Hertz::from_ghz(1.8))).unwrap();
+    assert!(!bank.segment_settled(0));
+    assert!(bank.segment_settled(1));
+    settle(&mut bank, &model, &load, Seconds(0.2));
+
+    // Restore (clear the cap) dirties the same single segment again.
+    bank.set_freq_cap(3, None).unwrap();
+    assert!(!bank.segment_settled(0));
+    assert!(bank.segment_settled(1));
+    settle(&mut bank, &model, &load, Seconds(0.2));
+    assert!((0..2).all(|s| bank.segment_settled(s)));
+}
+
+#[test]
+fn health_marks_do_not_invalidate_segments() {
+    let (model, nodes) = fleet(6);
+    let load = FlatLoad { kappa: 2.5 };
+    let mut bank = NodeBank::from_nodes(nodes);
+    bank.set_segment_hosts(2);
+    settle(&mut bank, &model, &load, Seconds(0.2));
+
+    // Health is bookkeeping for the trust layer; it never feeds the
+    // stepping arithmetic, so flipping it must not cost a re-resolve.
+    bank.mark_suspect(0);
+    bank.mark_healthy(0);
+    assert!((0..3).all(|s| bank.segment_settled(s)));
+    let report = step_once(&mut bank, &model, &load, Seconds(0.2));
+    assert_eq!(report.segments_replayed, 3);
+    assert_eq!(report.segments_stepped, 0);
+}
+
+#[test]
+fn replay_requires_matching_dt() {
+    let (model, nodes) = fleet(4);
+    let load = FlatLoad { kappa: 2.5 };
+    let mut bank = NodeBank::from_nodes(nodes);
+    bank.set_segment_hosts(2);
+    settle(&mut bank, &model, &load, Seconds(0.2));
+
+    // A different dt changes the filter coefficient, so the settled
+    // fixed point no longer proves the update is a no-op: full re-step.
+    let n = bank.len();
+    let mut ops = vec![None; n];
+    let mut results = vec![HostStep::Skipped; n];
+    for (h, op) in ops.iter_mut().enumerate() {
+        *op = Some(bank.operating_point(h, &model, &load));
+    }
+    let report = bank.step_all_partial(Seconds(0.5), &ops, &mut results, false);
+    assert_eq!(report.segments_replayed, 0);
+    assert_eq!(report.segments_stepped, 2);
+}
+
+#[test]
+fn step_report_counts_partial_invalidation() {
+    let (model, nodes) = fleet(9);
+    let load = FlatLoad { kappa: 2.5 };
+    let mut bank = NodeBank::from_nodes(nodes);
+    bank.set_segment_hosts(3);
+    settle(&mut bank, &model, &load, Seconds(0.2));
+
+    let report = step_once(&mut bank, &model, &load, Seconds(0.2));
+    assert_eq!(report.segments_replayed, 3);
+    assert_eq!(report.segments_stepped, 0);
+    assert!(report.all_settled);
+
+    bank.set_power_limit(8, Watts(140.0)).unwrap();
+    let report = step_once(&mut bank, &model, &load, Seconds(0.2));
+    assert_eq!(report.segments_replayed, 2);
+    assert_eq!(report.segments_stepped, 1);
+    assert!(!report.all_settled, "re-enforcement is in flight");
+}
