@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Bench regression guard for the CI bench-smoke and megafleet-smoke jobs.
+"""Bench regression guard for the CI bench-smoke, megafleet-smoke, and
+serve-smoke jobs.
 
-Two modes, dispatched on the fresh file's "benchmark" field:
+Three modes, dispatched on the fresh file's "benchmark" field:
 
 - fast grid (default): compares the fresh fast-grid timing
   (bench-out/BENCH_grid.json, written by `repro grid --fast --time`)
@@ -16,6 +17,13 @@ Two modes, dispatched on the fresh file's "benchmark" field:
   sharded bank's whole-fleet replay; the shard_churn row guards the
   partial-invalidation path (one dirty segment must not re-resolve the
   rest — a regression to full re-resolve shows up as ~10x, far past 2x).
+
+- serve: compares the fresh loadgen run (bench-out/BENCH_serve.json,
+  written by `repro loadgen --out`) against the committed
+  BENCH_serve.json. p99 latency is relative-guarded like the others;
+  throughput and correctness are absolute gates — the daemon must sustain
+  at least MIN_SERVE_RPS completed requests/s and report zero transport
+  errors, whatever the baseline says.
 
 Shared CI runners are noisy and the guarded quantities are small, so each
 threshold never drops below an absolute floor.
@@ -33,6 +41,12 @@ NOISE_FLOOR_SECS = 0.25
 # ns/host, where 2x is still scheduler jitter. A regression back to the
 # full resolve path costs 56+ ns/host and clears this floor with margin.
 NOISE_FLOOR_NS_PER_HOST = 25.0
+# Sub-25ms p99s on a loaded shared runner are mostly scheduler jitter;
+# the serve guard only engages above this.
+NOISE_FLOOR_P99_MS = 25.0
+# Absolute throughput gate for the serving plane (completed = answered:
+# 200s, 429s, and 503s all count; hangs and resets do not).
+MIN_SERVE_RPS = 1000.0
 MAX_SLOWDOWN = 2.0
 
 
@@ -85,6 +99,32 @@ def check_megafleet(fresh: dict, base_path: str) -> int:
     return 0
 
 
+def check_serve(fresh: dict, base_path: str) -> int:
+    with open(base_path) as f:
+        base = json.load(f)
+    ok = check("serve submit p99", float(fresh["p99_ms"]),
+               float(base["p99_ms"]), NOISE_FLOOR_P99_MS, "ms")
+
+    rps = float(fresh["rps"])
+    print(f"serve throughput: fresh {rps:.0f} req/s, required {MIN_SERVE_RPS:.0f} req/s")
+    if rps < MIN_SERVE_RPS:
+        print(f"REGRESSION: serve throughput {rps:.0f} req/s below the "
+              f"{MIN_SERVE_RPS:.0f} req/s floor")
+        ok = False
+
+    errors = int(fresh["errors"])
+    print(f"serve errors: {errors} (must be 0)")
+    if errors != 0:
+        print(f"REGRESSION: {errors} transport error(s) — requests went "
+              "unanswered instead of being admitted or shed")
+        ok = False
+
+    if not ok:
+        return 1
+    print("ok: within the regression budget")
+    return 0
+
+
 def main() -> int:
     fresh_path = sys.argv[1] if len(sys.argv) > 1 else "bench-out/BENCH_grid.json"
     with open(fresh_path) as f:
@@ -93,6 +133,9 @@ def main() -> int:
     if fresh.get("benchmark") == "megafleet":
         base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_step.json"
         return check_megafleet(fresh, base_path)
+    if fresh.get("benchmark") == "serve":
+        base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_serve.json"
+        return check_serve(fresh, base_path)
     base_path = sys.argv[2] if len(sys.argv) > 2 else "BENCH_grid.json"
     return check_grid(fresh, base_path)
 

@@ -12,6 +12,12 @@ Usage: check_metrics.py <snapshot.json> <counter>[,<counter>...]
 Every comma-separated counter must be present and nonzero. Both integer
 counters ("counters") and float counters ("float_counters", e.g.
 facility.wasted_node_hours) are searched.
+
+Absent and zero are distinct failures (mirroring the registry API, where
+`Snapshot::counter` returns an Option): MISSING means the counter was
+never registered — the instrumented code path no longer runs at all or
+the counter was renamed — while ZERO means the path ran but the guarded
+branch inside it never engaged.
 """
 
 import json
@@ -31,11 +37,15 @@ def main() -> int:
 
     failed = False
     for name in names:
-        value = counters.get(name, 0)
-        status = "ok" if value > 0 else "ZERO/MISSING"
-        print(f"{name:32s} {value:>12}  {status}")
-        if value <= 0:
+        value = counters.get(name)
+        if value is None:
+            print(f"{name:32s} {'—':>12}  MISSING (never registered)")
             failed = True
+        elif value <= 0:
+            print(f"{name:32s} {value:>12}  ZERO (path ran, never engaged)")
+            failed = True
+        else:
+            print(f"{name:32s} {value:>12}  ok")
 
     if failed:
         print(f"FAIL: dead counter(s) in {path} — an optimization path "

@@ -304,6 +304,161 @@ where
     .expect("pool worker panicked");
 }
 
+/// Observability: jobs executed by service-pool workers.
+static SERVICE_EXECUTED: StaticCounter = StaticCounter::new("exec.service.executed");
+/// Observability: jobs rejected because the service queue was full.
+static SERVICE_REJECTED: StaticCounter = StaticCounter::new("exec.service.rejected");
+/// Observability: service jobs that panicked (caught; the worker survives).
+static SERVICE_PANICS: StaticCounter = StaticCounter::new("exec.service.panics");
+
+/// A boxed unit of service work.
+pub type ServiceJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// Error of [`ServicePool::try_execute`]: the bounded queue is full (or the
+/// pool is shutting down) — the caller sheds load instead of blocking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceFull;
+
+impl std::fmt::Display for ServiceFull {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("service queue full")
+    }
+}
+
+impl std::error::Error for ServiceFull {}
+
+struct ServiceState {
+    queue: VecDeque<ServiceJob>,
+    open: bool,
+}
+
+struct ServiceShared {
+    state: Mutex<ServiceState>,
+    ready: std::sync::Condvar,
+    capacity: usize,
+}
+
+/// A long-lived worker pool with a *bounded* submission queue — the serving
+/// counterpart of [`par_map`]. Where `par_map` fans a known batch out and
+/// joins, a `ServicePool` accepts work that arrives over time (the daemon's
+/// connections) and pushes back when it cannot keep up: [`Self::try_execute`]
+/// fails immediately once `capacity` jobs are queued, which the HTTP server
+/// turns into a `503` instead of an unbounded backlog.
+///
+/// Workers run with the inline flag set, so a [`par_map`] reached from a
+/// service job runs sequentially (same no-nested-oversubscription rule as
+/// the batch pool). A panicking job is caught and counted; the worker
+/// survives, because one bad request must not shrink the pool.
+pub struct ServicePool {
+    shared: std::sync::Arc<ServiceShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServicePool {
+    /// A pool of `workers` threads behind a queue of at most `capacity`
+    /// pending jobs (both at least 1).
+    pub fn new(workers: usize, capacity: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = std::sync::Arc::new(ServiceShared {
+            state: Mutex::new(ServiceState {
+                queue: VecDeque::new(),
+                open: true,
+            }),
+            ready: std::sync::Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        let handles = (0..workers)
+            .map(|k| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pmstack-svc-{k}"))
+                    .spawn(move || {
+                        INLINE_ONLY.with(|flag| flag.set(true));
+                        loop {
+                            let job = {
+                                let mut st = shared.state.lock().expect("service state poisoned");
+                                loop {
+                                    if let Some(job) = st.queue.pop_front() {
+                                        break Some(job);
+                                    }
+                                    if !st.open {
+                                        break None;
+                                    }
+                                    st = shared.ready.wait(st).expect("service state poisoned");
+                                }
+                            };
+                            let Some(job) = job else { return };
+                            SERVICE_EXECUTED.inc();
+                            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).is_err()
+                            {
+                                SERVICE_PANICS.inc();
+                            }
+                        }
+                    })
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs currently queued (racy; diagnostics only).
+    pub fn queue_len(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("service state poisoned")
+            .queue
+            .len()
+    }
+
+    /// Enqueue `job` if the queue has room. Never blocks: a full (or
+    /// closing) queue returns [`ServiceFull`] so the caller can shed load.
+    pub fn try_execute(&self, job: ServiceJob) -> Result<(), ServiceFull> {
+        let mut st = self.shared.state.lock().expect("service state poisoned");
+        if !st.open || st.queue.len() >= self.shared.capacity {
+            drop(st);
+            SERVICE_REJECTED.inc();
+            return Err(ServiceFull);
+        }
+        st.queue.push_back(job);
+        drop(st);
+        self.shared.ready.notify_one();
+        Ok(())
+    }
+
+    /// Stop accepting work, run everything already queued, and join the
+    /// workers. Called by `Drop` as well, so letting the pool fall out of
+    /// scope is a clean shutdown.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("service state poisoned");
+            st.open = false;
+        }
+        self.shared.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServicePool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,8 +593,8 @@ mod tests {
             items.iter().map(|&x| x * 3).collect::<Vec<_>>(),
             "min-workers pool must preserve input order and indices"
         );
-        assert!(snap.counter("exec.par_map.calls") >= 1);
-        assert!(snap.counter("exec.tasks.executed") >= 64);
+        assert!(snap.counter("exec.par_map.calls").unwrap_or(0) >= 1);
+        assert!(snap.counter("exec.tasks.executed").unwrap_or(0) >= 64);
         // Other tests may race their own pools while the recorder is on, so
         // only assert the gauge saw a real pool (≥ the minimum we forced).
         assert!(snap.gauge("exec.pool.workers").unwrap_or(0.0) >= 2.0);
@@ -453,5 +608,91 @@ mod tests {
             par_map_indexed_min_workers(&items, 4, |_, &x| x + 1)
         });
         assert_eq!(out, (1..=16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn service_pool_runs_every_accepted_job() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let pool = ServicePool::new(2, 64);
+        assert_eq!(pool.workers(), 2);
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..40 {
+            let hits = Arc::clone(&hits);
+            pool.try_execute(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }))
+            .expect("queue has room");
+        }
+        pool.shutdown(); // drains the queue before joining
+        assert_eq!(hits.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn service_pool_sheds_load_when_the_queue_is_full() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let pool = ServicePool::new(1, 1);
+        let release = Arc::new(AtomicBool::new(false));
+        // Occupy the single worker…
+        let r = Arc::clone(&release);
+        pool.try_execute(Box::new(move || {
+            while !r.load(Ordering::Relaxed) {
+                std::thread::yield_now();
+            }
+        }))
+        .unwrap();
+        // …fill the one queue slot (the worker may or may not have picked
+        // the blocker up yet, so allow one extra accepted job)…
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for _ in 0..8 {
+            match pool.try_execute(Box::new(|| {})) {
+                Ok(()) => accepted += 1,
+                Err(ServiceFull) => rejected += 1,
+            }
+        }
+        assert!(rejected >= 6, "bounded queue must reject overload");
+        assert!(accepted <= 2);
+        release.store(true, Ordering::Relaxed);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn service_pool_survives_a_panicking_job() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let pool = ServicePool::new(1, 8);
+        pool.try_execute(Box::new(|| panic!("bad request")))
+            .unwrap();
+        let ran = Arc::new(AtomicBool::new(false));
+        let r = Arc::clone(&ran);
+        pool.try_execute(Box::new(move || r.store(true, Ordering::Relaxed)))
+            .unwrap();
+        pool.shutdown();
+        assert!(ran.load(Ordering::Relaxed), "worker died with the panic");
+    }
+
+    #[test]
+    fn service_pool_rejects_after_shutdown_begins() {
+        let mut pool = ServicePool::new(1, 4);
+        pool.shutdown_inner();
+        assert_eq!(pool.try_execute(Box::new(|| {})), Err(ServiceFull));
+    }
+
+    #[test]
+    fn service_jobs_run_with_par_map_inline() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let pool = ServicePool::new(1, 4);
+        let inline = Arc::new(AtomicBool::new(false));
+        let i = Arc::clone(&inline);
+        pool.try_execute(Box::new(move || i.store(is_inline(), Ordering::Relaxed)))
+            .unwrap();
+        pool.shutdown();
+        assert!(
+            inline.load(Ordering::Relaxed),
+            "nested par_map on a service worker must run inline"
+        );
     }
 }

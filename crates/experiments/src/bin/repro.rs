@@ -42,6 +42,72 @@ fn run(cli: &Cli) {
         std::fs::create_dir_all(dir).expect("create --out directory");
     }
 
+    // The serving-plane artifacts are processes, not documents: `serve`
+    // blocks until killed, `loadgen` talks to a daemon that is already
+    // running. Both bail out before any batch machinery is built.
+    if artifact == "serve" {
+        let config = pmstackd::DaemonConfig {
+            port: cli.port.unwrap_or(7070),
+            hosts: cli.hosts.unwrap_or(100_000),
+            ..pmstackd::DaemonConfig::default()
+        };
+        eprintln!(
+            "[repro] serve: {} simulated hosts, {} workers, tick {} ms…",
+            config.hosts, config.workers, config.tick_ms
+        );
+        let daemon = match pmstackd::Daemon::spawn(config) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("repro: serve failed to bind: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!("pmstackd listening on http://{}", daemon.addr());
+        println!(
+            "  GET /metrics[?format=prometheus|json|summary]  GET /stream?frames=N&interval_ms=M"
+        );
+        println!("  POST /submit {{\"app\",\"nodes\",\"policy\"}}  GET /healthz");
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    if artifact == "loadgen" {
+        let lp = pmstackd::LoadgenParams {
+            addr: cli
+                .addr
+                .clone()
+                .unwrap_or_else(|| "127.0.0.1:7070".to_string()),
+            requests: cli.requests.unwrap_or(5000),
+            concurrency: cli.concurrency.unwrap_or(4),
+            body: pmstackd::LoadgenParams::default_body(),
+        };
+        eprintln!(
+            "[repro] loadgen: {} requests x {} connections against {}…",
+            lp.requests, lp.concurrency, lp.addr
+        );
+        match pmstackd::run_loadgen(&lp) {
+            Ok(report) => {
+                print!("{}", pmstackd::loadgen::render(&report));
+                if let Some(dir) = &cli.out_dir {
+                    std::fs::write(
+                        dir.join("BENCH_serve.json"),
+                        pmstackd::loadgen::to_bench_json(&report),
+                    )
+                    .expect("write BENCH_serve.json");
+                    eprintln!("[repro] wrote {}", dir.join("BENCH_serve.json").display());
+                }
+            }
+            Err(e) => {
+                eprintln!(
+                    "repro: loadgen failed (is the daemon up at {}?): {e}",
+                    lp.addr
+                );
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let (screen_nodes, params) = if cli.fast {
         (400, GridParams::fast())
     } else {

@@ -25,13 +25,16 @@ pub const ARTIFACTS: &[&str] = &[
     "faults",
     "facility",
     "megafleet",
+    "serve",
+    "loadgen",
 ];
 
 /// Usage text printed alongside parse errors.
 pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [--replicates N] \
      [--chaos LEVEL] [--days N] [--hosts N] [--out DIR] [--metrics-out PATH]\n\
+     [--port P] [--addr HOST:PORT] [--requests N] [--concurrency C]\n\
      artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep \
-     faults facility megafleet\n\
+     faults facility megafleet serve loadgen\n\
      (--faults is shorthand for the `faults` artifact: the five policies\n\
       under one fixed fault plan, online mode;\n\
       --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
@@ -44,6 +47,11 @@ pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [-
       the sharded-bank scale scenario — cold resolve, hierarchical\n\
       balancing, steady replay, one-segment churn — timed per phase\n\
       (megafleet runs only when named explicitly, never under `all`);\n\
+      `serve` starts the pmstackd daemon on --port (default 7070) with\n\
+      --hosts simulated hosts (default 100000) and runs until killed;\n\
+      `loadgen` drives POST /submit at a daemon: --addr (default\n\
+      127.0.0.1:7070), --requests N (default 5000), --concurrency C\n\
+      (default 4), and with --out writes BENCH_serve.json;\n\
       --time prints the grid's per-phase wall-clock breakdown and, with\n\
       --out, writes BENCH_grid.json / BENCH_sweep.json;\n\
       --metrics-out PATH enables the observability recorder and writes the\n\
@@ -68,8 +76,17 @@ pub struct Cli {
     pub chaos: Option<u32>,
     /// `--days N`: length of the `facility` campaign.
     pub days: Option<u64>,
-    /// `--hosts N`: fleet size for the `megafleet` scenario.
+    /// `--hosts N`: fleet size for the `megafleet` scenario or the served
+    /// fleet of `serve`.
     pub hosts: Option<usize>,
+    /// `--port P`: TCP port for `serve`.
+    pub port: Option<u16>,
+    /// `--addr HOST:PORT`: daemon address for `loadgen`.
+    pub addr: Option<String>,
+    /// `--requests N`: total requests for `loadgen`.
+    pub requests: Option<usize>,
+    /// `--concurrency C`: concurrent connections for `loadgen`.
+    pub concurrency: Option<usize>,
 }
 
 /// Parse `args` (without the program name). Unknown flags, missing flag
@@ -86,7 +103,8 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
             "--fast" => cli.fast = true,
             "--time" => cli.timed = true,
             "--faults" => faults_flag = true,
-            "--out" | "--replicates" | "--metrics-out" | "--chaos" | "--days" | "--hosts" => {
+            "--out" | "--replicates" | "--metrics-out" | "--chaos" | "--days" | "--hosts"
+            | "--port" | "--addr" | "--requests" | "--concurrency" => {
                 let value = args
                     .get(i + 1)
                     .filter(|v| !v.starts_with("--"))
@@ -115,6 +133,39 @@ pub fn parse(args: &[String]) -> Result<Cli, String> {
                             ));
                         }
                         cli.hosts = Some(hosts);
+                    }
+                    "--port" => {
+                        cli.port = Some(value.parse().map_err(|_| {
+                            format!("flag `--port` expects a port 0-65535, got `{value}`")
+                        })?);
+                    }
+                    "--addr" => {
+                        if !value.contains(':') {
+                            return Err(format!("flag `--addr` expects HOST:PORT, got `{value}`"));
+                        }
+                        cli.addr = Some(value.clone());
+                    }
+                    "--requests" => {
+                        let requests: usize = value.parse().map_err(|_| {
+                            format!("flag `--requests` expects a count >= 1, got `{value}`")
+                        })?;
+                        if requests == 0 {
+                            return Err(format!(
+                                "flag `--requests` expects a count >= 1, got `{value}`"
+                            ));
+                        }
+                        cli.requests = Some(requests);
+                    }
+                    "--concurrency" => {
+                        let concurrency: usize = value.parse().map_err(|_| {
+                            format!("flag `--concurrency` expects a count 1-1024, got `{value}`")
+                        })?;
+                        if !(1..=1024).contains(&concurrency) {
+                            return Err(format!(
+                                "flag `--concurrency` expects a count 1-1024, got `{value}`"
+                            ));
+                        }
+                        cli.concurrency = Some(concurrency);
                     }
                     "--days" => {
                         let days: u64 = value.parse().map_err(|_| {
@@ -254,6 +305,57 @@ mod tests {
         assert!(parse(&args(&["megafleet", "--hosts", "-5"])).is_err());
         assert!(parse(&args(&["megafleet", "--hosts", "many"])).is_err());
         assert!(parse(&args(&["megafleet", "--hosts"])).is_err());
+    }
+
+    #[test]
+    fn serve_takes_port_and_hosts() {
+        let cli = parse(&args(&["serve", "--port", "7171", "--hosts", "100000"])).unwrap();
+        assert_eq!(cli.artifact, "serve");
+        assert_eq!(cli.port, Some(7171));
+        assert_eq!(cli.hosts, Some(100_000));
+        // Unset stays None; the binary applies the defaults.
+        let cli = parse(&args(&["serve"])).unwrap();
+        assert_eq!(cli.port, None);
+        assert_eq!(cli.hosts, None);
+    }
+
+    #[test]
+    fn loadgen_takes_addr_requests_and_concurrency() {
+        let cli = parse(&args(&[
+            "loadgen",
+            "--addr",
+            "127.0.0.1:7171",
+            "--requests",
+            "5000",
+            "--concurrency",
+            "6",
+        ]))
+        .unwrap();
+        assert_eq!(cli.artifact, "loadgen");
+        assert_eq!(cli.addr.as_deref(), Some("127.0.0.1:7171"));
+        assert_eq!(cli.requests, Some(5000));
+        assert_eq!(cli.concurrency, Some(6));
+    }
+
+    #[test]
+    fn serve_and_loadgen_flags_are_validated() {
+        assert!(parse(&args(&["serve", "--port", "65536"]))
+            .unwrap_err()
+            .contains("0-65535"));
+        assert!(parse(&args(&["serve", "--port", "http"])).is_err());
+        assert!(parse(&args(&["serve", "--port"])).is_err());
+        assert!(parse(&args(&["loadgen", "--addr", "no-port-here"]))
+            .unwrap_err()
+            .contains("HOST:PORT"));
+        assert!(parse(&args(&["loadgen", "--requests", "0"]))
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(parse(&args(&["loadgen", "--concurrency", "0"]))
+            .unwrap_err()
+            .contains("1-1024"));
+        assert!(parse(&args(&["loadgen", "--concurrency", "1025"]))
+            .unwrap_err()
+            .contains("1-1024"));
     }
 
     #[test]

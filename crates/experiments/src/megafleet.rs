@@ -226,10 +226,11 @@ pub fn run_megafleet(params: &MegafleetParams) -> MegafleetReport {
         },
     ));
     let after = pmstack_obs::snapshot();
-    let churn_invalidated = after.counter("simhw.bank.shard.invalidated")
-        - before.counter("simhw.bank.shard.invalidated");
-    let churn_replayed =
-        after.counter("simhw.bank.shard.replayed") - before.counter("simhw.bank.shard.replayed");
+    let shard_count = |snap: &pmstack_obs::Snapshot, name: &str| snap.counter(name).unwrap_or(0);
+    let churn_invalidated = shard_count(&after, "simhw.bank.shard.invalidated")
+        - shard_count(&before, "simhw.bank.shard.invalidated");
+    let churn_replayed = shard_count(&after, "simhw.bank.shard.replayed")
+        - shard_count(&before, "simhw.bank.shard.replayed");
     let slots = (params.churn_iters * segments) as f64;
     let churn_replay_fraction = if slots > 0.0 {
         churn_replayed as f64 / slots

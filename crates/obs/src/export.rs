@@ -25,12 +25,15 @@ pub struct Snapshot {
 }
 
 impl Snapshot {
-    /// Value of the counter `name` (zero when never registered).
-    pub fn counter(&self, name: &str) -> u64 {
+    /// Value of the counter `name` (`None` when never registered). A
+    /// missing counter is *not* the same as a zero one: missing means the
+    /// instrumented call site never ran, zero means it ran and recorded
+    /// nothing — the dead-counter CI gate treats them differently.
+    pub fn counter(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
             .find(|(k, _)| k == name)
-            .map_or(0, |(_, v)| *v)
+            .map(|(_, v)| *v)
     }
 
     /// Value of the float counter `name` (zero when never registered).
@@ -202,6 +205,152 @@ impl Snapshot {
     }
 }
 
+/// One snapshot serialization format behind a common interface — the
+/// scaphandre-style exporter family. The daemon's `/metrics` endpoint, the
+/// `repro --metrics-out` writer, and the stdout summary all speak through
+/// this trait, so adding a format is one impl, not three call sites.
+pub trait Exporter: Send + Sync {
+    /// The format's registry name (`prometheus`, `json`, `summary`).
+    fn name(&self) -> &'static str;
+    /// The HTTP `Content-Type` the rendered document should be served as.
+    fn content_type(&self) -> &'static str;
+    /// Render the snapshot in this format.
+    fn render(&self, snap: &Snapshot) -> String;
+}
+
+/// Prometheus text exposition format ([`Snapshot::to_prometheus`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct PrometheusExporter;
+
+impl Exporter for PrometheusExporter {
+    fn name(&self) -> &'static str {
+        "prometheus"
+    }
+
+    fn content_type(&self) -> &'static str {
+        "text/plain; version=0.0.4"
+    }
+
+    fn render(&self, snap: &Snapshot) -> String {
+        snap.to_prometheus()
+    }
+}
+
+/// Self-contained JSON document ([`Snapshot::to_json`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct JsonExporter;
+
+impl Exporter for JsonExporter {
+    fn name(&self) -> &'static str {
+        "json"
+    }
+
+    fn content_type(&self) -> &'static str {
+        "application/json"
+    }
+
+    fn render(&self, snap: &Snapshot) -> String {
+        snap.to_json()
+    }
+}
+
+/// Human-readable one-screen summary ([`Snapshot::summary`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SummaryExporter;
+
+impl Exporter for SummaryExporter {
+    fn name(&self) -> &'static str {
+        "summary"
+    }
+
+    fn content_type(&self) -> &'static str {
+        "text/plain; charset=utf-8"
+    }
+
+    fn render(&self, snap: &Snapshot) -> String {
+        snap.summary()
+    }
+}
+
+/// Every registered exporter name, usage order.
+pub const EXPORTER_NAMES: &[&str] = &["prometheus", "json", "summary"];
+
+/// Look an exporter up by name (`None` for unknown formats).
+pub fn exporter(name: &str) -> Option<Box<dyn Exporter>> {
+    match name {
+        "prometheus" => Some(Box::new(PrometheusExporter)),
+        "json" => Some(Box::new(JsonExporter)),
+        "summary" => Some(Box::new(SummaryExporter)),
+        _ => None,
+    }
+}
+
+/// Check that `text` is well-formed Prometheus text exposition format:
+/// every non-empty line is either a `# TYPE <name> <kind>` comment or a
+/// `<name>[{labels}] <value>` sample whose metric name is legal, whose
+/// value parses, and whose family was announced by a preceding `# TYPE`
+/// line. Returns the first violation. Shared by the obs format tests and
+/// the daemon's `/metrics` conformance suite — a torn or truncated scrape
+/// fails here.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    fn legal_name(name: &str) -> bool {
+        !name.is_empty()
+            && name.chars().enumerate().all(|(i, c)| {
+                c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit())
+            })
+    }
+    let mut families: Vec<String> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let at = |msg: String| format!("line {}: {msg} in `{line}`", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("TYPE") {
+                continue; // HELP or free comment: legal, unchecked.
+            }
+            let name = parts
+                .next()
+                .ok_or_else(|| at("TYPE comment without a metric name".into()))?;
+            if !legal_name(name) {
+                return Err(at(format!("illegal metric name `{name}`")));
+            }
+            match parts.next() {
+                Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                other => return Err(at(format!("illegal metric kind {other:?}"))),
+            }
+            families.push(name.to_string());
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| at("sample line without a value".into()))?;
+        let name = series.split('{').next().unwrap_or(series);
+        if !legal_name(name) {
+            return Err(at(format!("illegal metric name `{name}`")));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return Err(at("unterminated label set".into()));
+        }
+        if value.parse::<f64>().is_err() && !matches!(value, "+Inf" | "-Inf" | "NaN") {
+            return Err(at(format!("unparseable sample value `{value}`")));
+        }
+        // The family is the name minus a histogram/counter suffix.
+        let announced = families.iter().any(|f| {
+            name == f
+                || ["_bucket", "_sum", "_count", "_total"]
+                    .iter()
+                    .any(|s| name.strip_suffix(s).is_some_and(|base| base == f))
+        });
+        if !announced {
+            return Err(at(format!("sample `{name}` without a preceding # TYPE")));
+        }
+    }
+    Ok(())
+}
+
 /// JSON-safe f64: finite values print shortest-roundtrip, non-finite
 /// (`NaN` sim-times, `inf` bounds) become `null`.
 fn json_f64(v: f64) -> String {
@@ -325,9 +474,61 @@ mod tests {
     #[test]
     fn snapshot_accessors_default_for_missing() {
         let s = sample();
-        assert_eq!(s.counter("nope"), 0);
+        // Absent and zero are distinguishable: the dead-counter gate needs
+        // to tell "never instrumented" from "instrumented but idle".
+        assert_eq!(s.counter("nope"), None);
+        assert_eq!(s.counter("exec.tasks.stolen"), Some(12));
         assert_eq!(s.float_counter("nope"), 0.0);
         assert!(s.histogram("nope").is_none());
         assert_eq!(s.gauge("exec.pool.workers"), Some(2.0));
+    }
+
+    #[test]
+    fn exporter_family_unifies_the_three_formats() {
+        let s = sample();
+        for name in EXPORTER_NAMES {
+            let e = exporter(name).expect("registered exporter");
+            assert_eq!(e.name(), *name);
+            assert!(!e.content_type().is_empty());
+            assert!(!e.render(&s).is_empty());
+        }
+        assert!(exporter("xml").is_none());
+        assert_eq!(
+            exporter("prometheus").unwrap().render(&s),
+            s.to_prometheus()
+        );
+        assert_eq!(exporter("json").unwrap().render(&s), s.to_json());
+        assert_eq!(exporter("summary").unwrap().render(&s), s.summary());
+        assert!(exporter("json").unwrap().content_type().contains("json"));
+    }
+
+    #[test]
+    fn prometheus_export_validates() {
+        validate_prometheus(&sample().to_prometheus()).expect("well-formed export");
+        // An empty export is trivially well-formed.
+        validate_prometheus("").unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_torn_output() {
+        // Sample without an announcing TYPE line.
+        assert!(validate_prometheus("pmstack_x_total 3\n").is_err());
+        // Truncated mid-line: the value is missing.
+        assert!(validate_prometheus("# TYPE pmstack_x_total counter\npmstack_x_total\n").is_err());
+        // Garbage value.
+        assert!(validate_prometheus("# TYPE pmstack_x gauge\npmstack_x 1.2.3\n").is_err());
+        // Unterminated label set (a torn bucket line).
+        assert!(
+            validate_prometheus("# TYPE pmstack_h histogram\npmstack_h_bucket{le=\"0.1 7\n")
+                .is_err()
+        );
+        // Illegal metric name.
+        assert!(validate_prometheus("# TYPE 9bad counter\n").is_err());
+        // Histogram family announces its _bucket/_sum/_count samples.
+        validate_prometheus(
+            "# TYPE pmstack_h histogram\npmstack_h_bucket{le=\"+Inf\"} 2\n\
+             pmstack_h_sum 0.5\npmstack_h_count 2\n",
+        )
+        .unwrap();
     }
 }

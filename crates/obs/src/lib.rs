@@ -39,7 +39,10 @@ mod export;
 mod journal;
 mod metrics;
 
-pub use export::Snapshot;
+pub use export::{
+    exporter, validate_prometheus, Exporter, JsonExporter, PrometheusExporter, Snapshot,
+    SummaryExporter, EXPORTER_NAMES,
+};
 pub use journal::{Event, EventKind, FieldValue};
 pub use metrics::{Counter, FloatCounter, Gauge, Histogram, HistogramSnapshot};
 
@@ -430,7 +433,7 @@ mod tests {
             },
         );
         let snap = snapshot();
-        assert_eq!(snap.counter("test.disabled.counter"), 0);
+        assert_eq!(snap.counter("test.disabled.counter").unwrap_or(0), 0);
         assert_eq!(snap.float_counter("test.disabled.float"), 0.0);
         assert!(snap
             .histogram("test.disabled.hist")
@@ -462,7 +465,7 @@ mod tests {
         );
         let snap = snapshot();
         disable();
-        assert_eq!(snap.counter("test.enabled.counter"), 4);
+        assert_eq!(snap.counter("test.enabled.counter"), Some(4));
         let h = snap.histogram("test.enabled.span").expect("span recorded");
         assert_eq!(h.total, 1);
         assert!(h.sum >= 0.0);
@@ -478,12 +481,14 @@ mod tests {
         reset();
         static C: StaticCounter = StaticCounter::new("test.reset.counter");
         C.inc();
-        assert_eq!(snapshot().counter("test.reset.counter"), 1);
+        assert_eq!(snapshot().counter("test.reset.counter"), Some(1));
         reset();
-        assert_eq!(snapshot().counter("test.reset.counter"), 0);
+        // Reset zeroes the counter but keeps it registered: Some(0), the
+        // state the Option-returning accessor exists to distinguish.
+        assert_eq!(snapshot().counter("test.reset.counter"), Some(0));
         // The cached handle still reaches the registered metric.
         C.inc();
-        assert_eq!(snapshot().counter("test.reset.counter"), 1);
+        assert_eq!(snapshot().counter("test.reset.counter"), Some(1));
         disable();
         reset();
     }

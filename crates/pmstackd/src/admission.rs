@@ -1,0 +1,500 @@
+//! The admission plane: `/submit`'s decision engine.
+//!
+//! One mutex-guarded [`Admission`] owns the [`PowerLedger`], the
+//! [`NodePool`], and the active-job TTL queue. Request threads only ever
+//! touch this struct — never the simulated platform — so admission latency
+//! is a characterization lookup plus ledger arithmetic. Cap programming is
+//! decoupled: `submit` queues per-host cap operations, and the step loop
+//! drains them via [`Admission::tick`] before each iteration.
+//!
+//! Backpressure here is the middle rung of the daemon's ladder: the ledger
+//! refusing even the floor reservation, or the pool running out of nodes,
+//! is a 503 — distinct from the connection-queue 503 (accept loop) and the
+//! in-flight 429 (server gate) above it.
+
+use pmstack_core::{policies, JobChar, PolicyCtx, PolicyKind};
+use pmstack_kernel::{Imbalance, KernelConfig, VectorWidth, WaitingFraction};
+use pmstack_obs::{StaticCounter, StaticGauge};
+use pmstack_rm::{JobId, NodePool, PowerLedger};
+use pmstack_simhw::{NodeId, PowerModel, Watts};
+use std::collections::VecDeque;
+
+static ADMITTED: StaticCounter = StaticCounter::new("pmstackd.submit.admitted");
+static DEGRADED: StaticCounter = StaticCounter::new("pmstackd.submit.degraded");
+static REJECTED_POWER: StaticCounter = StaticCounter::new("pmstackd.submit.rejected_power");
+static REJECTED_NODES: StaticCounter = StaticCounter::new("pmstackd.submit.rejected_nodes");
+static EXPIRED: StaticCounter = StaticCounter::new("pmstackd.submit.expired");
+static UTILIZATION: StaticGauge = StaticGauge::new("pmstackd.admission.utilization");
+static ACTIVE_JOBS: StaticGauge = StaticGauge::new("pmstackd.admission.active_jobs");
+static FREE_NODES: StaticGauge = StaticGauge::new("pmstackd.admission.free_nodes");
+
+/// The application classes a job spec may name, each mapping to one
+/// synthetic-kernel shape from the paper's workload taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppClass {
+    /// Mid-intensity, no waiting, balanced — the common case.
+    Balanced,
+    /// Compute-bound: high intensity vector work.
+    Compute,
+    /// Memory-streaming: zero FLOPs per byte.
+    Memory,
+    /// Power-wasteful: half the ranks polling at the barrier.
+    Wasteful,
+    /// Load-imbalanced: critical ranks carry 2× the work.
+    Imbalanced,
+}
+
+impl AppClass {
+    /// All classes, for docs and error messages.
+    pub const NAMES: &'static [&'static str] =
+        &["balanced", "compute", "memory", "wasteful", "imbalanced"];
+
+    /// Parse a class name (case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "balanced" => Some(Self::Balanced),
+            "compute" => Some(Self::Compute),
+            "memory" => Some(Self::Memory),
+            "wasteful" => Some(Self::Wasteful),
+            "imbalanced" => Some(Self::Imbalanced),
+            _ => None,
+        }
+    }
+
+    /// The class name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Balanced => "balanced",
+            Self::Compute => "compute",
+            Self::Memory => "memory",
+            Self::Wasteful => "wasteful",
+            Self::Imbalanced => "imbalanced",
+        }
+    }
+
+    /// The kernel configuration characterized for this class.
+    pub fn kernel_config(self) -> KernelConfig {
+        match self {
+            Self::Balanced => KernelConfig::balanced_ymm(8.0),
+            Self::Compute => KernelConfig::new(
+                16.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P0,
+                Imbalance::Balanced,
+            ),
+            Self::Memory => KernelConfig::new(
+                0.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P0,
+                Imbalance::Balanced,
+            ),
+            Self::Wasteful => KernelConfig::new(
+                8.0,
+                VectorWidth::Ymm,
+                WaitingFraction::P50,
+                Imbalance::Balanced,
+            ),
+            Self::Imbalanced => {
+                KernelConfig::new(8.0, VectorWidth::Ymm, WaitingFraction::P0, Imbalance::TwoX)
+            }
+        }
+    }
+}
+
+/// Parse a policy name: the canonical Display names, case-insensitively,
+/// plus the short aliases the CLI and curl examples use.
+pub fn parse_policy(name: &str) -> Option<PolicyKind> {
+    match name.to_ascii_lowercase().as_str() {
+        "precharacterized" | "prechar" => Some(PolicyKind::Precharacterized),
+        "staticcaps" | "static" => Some(PolicyKind::StaticCaps),
+        "minimizewaste" | "minwaste" => Some(PolicyKind::MinimizeWaste),
+        "jobadaptive" | "job" => Some(PolicyKind::JobAdaptive),
+        "mixedadaptive" | "mixed" => Some(PolicyKind::MixedAdaptive),
+        _ => None,
+    }
+}
+
+/// A validated submit request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubmitRequest {
+    /// Application class to characterize.
+    pub app: AppClass,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Power policy deciding the caps.
+    pub policy: PolicyKind,
+}
+
+/// A successful admission decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grant {
+    /// Assigned job id.
+    pub job: JobId,
+    /// Leased hosts.
+    pub nodes: Vec<NodeId>,
+    /// Per-host caps, aligned with `nodes`, already programmed (queued).
+    pub caps: Vec<Watts>,
+    /// Watts actually reserved on the ledger.
+    pub granted: Watts,
+    /// Watts the policy asked for before any degradation.
+    pub want: Watts,
+    /// True when the grant was scaled down to fit the remaining budget.
+    pub degraded: bool,
+    /// Ticks until the reservation auto-expires.
+    pub ttl_ticks: u64,
+}
+
+/// Why a request was refused (both are 503s at the HTTP layer: the system
+/// is saturated, try again later).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Reject {
+    /// Not enough free nodes.
+    NoNodes {
+        /// Nodes currently free.
+        free: usize,
+    },
+    /// The ledger cannot cover even the floor reservation.
+    NoPower {
+        /// Watts still unreserved.
+        available: Watts,
+        /// The floor that did not fit (min settable × nodes).
+        floor: Watts,
+    },
+}
+
+struct ActiveJob {
+    id: JobId,
+    nodes: Vec<NodeId>,
+    expires_tick: u64,
+}
+
+/// Admission state: ledger + pool + TTL queue + pending cap programs.
+pub struct Admission {
+    ledger: PowerLedger,
+    pool: NodePool,
+    active: VecDeque<ActiveJob>,
+    cap_ops: Vec<(usize, Watts)>,
+    host_eps: Vec<f64>,
+    model: PowerModel,
+    ctx: PolicyCtx,
+    next_id: u64,
+    tick: u64,
+    ttl_ticks: u64,
+    max_nodes_per_job: usize,
+}
+
+impl Admission {
+    /// An admission plane over `hosts` nodes with the given per-host
+    /// efficiency factors and total system budget. Jobs auto-expire
+    /// `ttl_ticks` step-loop ticks after admission.
+    pub fn new(
+        model: PowerModel,
+        host_eps: Vec<f64>,
+        system_budget: Watts,
+        ttl_ticks: u64,
+        max_nodes_per_job: usize,
+    ) -> Self {
+        let spec = model.spec();
+        let ctx = PolicyCtx {
+            system_budget,
+            min_node: spec.min_rapl_per_node(),
+            tdp_node: spec.tdp_per_node(),
+        };
+        let hosts = host_eps.len();
+        Self {
+            ledger: PowerLedger::new(system_budget),
+            pool: NodePool::new(hosts),
+            active: VecDeque::new(),
+            cap_ops: Vec::new(),
+            host_eps,
+            model,
+            ctx,
+            next_id: 1,
+            tick: 0,
+            ttl_ticks: ttl_ticks.max(1),
+            max_nodes_per_job,
+        }
+    }
+
+    /// The ledger (observability and tests).
+    pub fn ledger(&self) -> &PowerLedger {
+        &self.ledger
+    }
+
+    /// Admitted jobs currently holding reservations.
+    pub fn active_jobs(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Nodes currently free.
+    pub fn free_nodes(&self) -> usize {
+        self.pool.available()
+    }
+
+    /// Largest per-job node count accepted.
+    pub fn max_nodes_per_job(&self) -> usize {
+        self.max_nodes_per_job
+    }
+
+    /// Decide one request. On success the per-host caps are queued for the
+    /// step loop; the reservation is held until its TTL expires.
+    pub fn submit(&mut self, req: &SubmitRequest) -> Result<Grant, Reject> {
+        debug_assert!(req.nodes >= 1 && req.nodes <= self.max_nodes_per_job);
+        let Some(nodes) = self.pool.allocate(req.nodes) else {
+            REJECTED_NODES.inc();
+            self.publish_gauges();
+            return Err(Reject::NoNodes {
+                free: self.pool.available(),
+            });
+        };
+
+        // Characterize the job on exactly the hosts it got (memoized by
+        // kernel config + eps vector, and lowest-ids-first allocation makes
+        // the same vectors recur under steady load).
+        let eps: Vec<f64> = nodes.iter().map(|n| self.host_eps[n.0]).collect();
+        let chars = JobChar::analytic(req.app.kernel_config(), &self.model, &eps);
+
+        // The policy allocates within what is still unreserved.
+        let ctx = PolicyCtx {
+            system_budget: self.ledger.available(),
+            ..self.ctx
+        };
+        let alloc = policies::by_kind(req.policy).allocate(&ctx, &[chars]);
+        let targets: Vec<Watts> = alloc.jobs[0].iter().map(|&c| ctx.clamp(c)).collect();
+        let want: Watts = targets.iter().copied().sum();
+        let floor = ctx.min_node * req.nodes as f64;
+
+        let id = JobId(self.next_id);
+        let granted = match self.ledger.reserve_upto(id, want, floor) {
+            Ok(granted) => granted,
+            Err(err) => {
+                self.pool.release(nodes);
+                REJECTED_POWER.inc();
+                self.publish_gauges();
+                return Err(Reject::NoPower {
+                    available: err.available,
+                    floor,
+                });
+            }
+        };
+        self.next_id += 1;
+
+        // A partial grant is not an unnoticed clamp: scale the caps to the
+        // granted total before programming anything.
+        let degraded = granted < want - Watts(1e-9);
+        let caps = if degraded {
+            pmstack_core::allocation::proportional_fit(
+                &targets,
+                granted,
+                ctx.min_node,
+                ctx.tdp_node,
+            )
+        } else {
+            targets
+        };
+        for (node, &cap) in nodes.iter().zip(&caps) {
+            self.cap_ops.push((node.0, cap));
+        }
+        self.active.push_back(ActiveJob {
+            id,
+            nodes: nodes.clone(),
+            expires_tick: self.tick + self.ttl_ticks,
+        });
+
+        // The invariant the load tests hammer: admission can never push the
+        // ledger past the system budget.
+        assert!(
+            self.ledger.reserved() <= self.ledger.system_budget() + Watts(1e-6),
+            "ledger oversubscribed: {} reserved of {}",
+            self.ledger.reserved(),
+            self.ledger.system_budget()
+        );
+
+        ADMITTED.inc();
+        if degraded {
+            DEGRADED.inc();
+        }
+        self.publish_gauges();
+        Ok(Grant {
+            job: id,
+            nodes,
+            caps,
+            granted,
+            want,
+            degraded,
+            ttl_ticks: self.ttl_ticks,
+        })
+    }
+
+    /// Advance one step-loop tick: expire TTL'd jobs (their hosts return to
+    /// the pool at TDP) and drain the queued cap programs for the platform.
+    pub fn tick(&mut self) -> Vec<(usize, Watts)> {
+        self.tick += 1;
+        while let Some(front) = self.active.front() {
+            if front.expires_tick > self.tick {
+                break;
+            }
+            let job = self.active.pop_front().expect("front exists");
+            self.ledger.release(job.id);
+            for node in &job.nodes {
+                self.cap_ops.push((node.0, self.ctx.tdp_node));
+            }
+            self.pool.release(job.nodes);
+            EXPIRED.inc();
+        }
+        self.publish_gauges();
+        std::mem::take(&mut self.cap_ops)
+    }
+
+    fn publish_gauges(&self) {
+        UTILIZATION.set(self.ledger.utilization());
+        ACTIVE_JOBS.set(self.active.len() as f64);
+        FREE_NODES.set(self.pool.available() as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmstack_simhw::quartz_spec;
+
+    fn admission(hosts: usize, budget_per_host: f64) -> Admission {
+        let model = PowerModel::new(quartz_spec()).unwrap();
+        let eps: Vec<f64> = (0..hosts)
+            .map(|i| 0.92 + 0.012 * ((i * 31) % 16) as f64)
+            .collect();
+        Admission::new(model, eps, Watts(budget_per_host * hosts as f64), 5, hosts)
+    }
+
+    fn submit(app: AppClass, nodes: usize, policy: PolicyKind) -> SubmitRequest {
+        SubmitRequest { app, nodes, policy }
+    }
+
+    #[test]
+    fn admits_within_budget_and_caps_align_with_nodes() {
+        let mut adm = admission(16, 240.0);
+        let grant = adm
+            .submit(&submit(AppClass::Balanced, 4, PolicyKind::MixedAdaptive))
+            .unwrap();
+        assert_eq!(grant.nodes.len(), 4);
+        assert_eq!(grant.caps.len(), 4);
+        assert!(!grant.degraded);
+        assert!(grant.granted > Watts::ZERO);
+        let spec_min = adm.ctx.min_node;
+        let spec_tdp = adm.ctx.tdp_node;
+        for &c in &grant.caps {
+            assert!(c >= spec_min - Watts(1e-6) && c <= spec_tdp + Watts(1e-6));
+        }
+        assert_eq!(adm.active_jobs(), 1);
+        assert_eq!(adm.free_nodes(), 12);
+    }
+
+    #[test]
+    fn node_exhaustion_is_a_distinct_rejection() {
+        let mut adm = admission(4, 240.0);
+        adm.submit(&submit(AppClass::Balanced, 3, PolicyKind::StaticCaps))
+            .unwrap();
+        let err = adm
+            .submit(&submit(AppClass::Balanced, 2, PolicyKind::StaticCaps))
+            .unwrap_err();
+        assert_eq!(err, Reject::NoNodes { free: 1 });
+        // The failed attempt must not leak nodes or watts.
+        assert_eq!(adm.free_nodes(), 1);
+        let reserved = adm.ledger().reserved();
+        assert!(reserved > Watts::ZERO);
+    }
+
+    #[test]
+    fn power_exhaustion_degrades_then_rejects() {
+        // Two hosts, 70 W/host: the 140 W total sits above the ~136 W
+        // floor but far below a compute job's want, so the first 1-node
+        // job gets a degraded partial grant that drains the ledger and the
+        // second cannot even reach the floor.
+        let mut adm = admission(2, 70.0);
+        let budget = adm.ledger().system_budget();
+        let floor = adm.ctx.min_node;
+        assert!(budget > floor && budget < adm.ctx.tdp_node);
+
+        let grant = adm
+            .submit(&submit(AppClass::Compute, 1, PolicyKind::Precharacterized))
+            .unwrap();
+        assert!(grant.degraded, "scarce budget must degrade the grant");
+        assert!(grant.granted < grant.want);
+        assert_eq!(grant.granted, budget);
+        assert_eq!(grant.caps.len(), 1);
+        assert!(adm.ledger().reserved() <= budget + Watts(1e-6));
+
+        let err = adm
+            .submit(&submit(AppClass::Compute, 1, PolicyKind::Precharacterized))
+            .unwrap_err();
+        match err {
+            Reject::NoPower {
+                available,
+                floor: f,
+            } => {
+                assert_eq!(f, floor);
+                assert!(available < f);
+            }
+            other => panic!("expected NoPower, got {other:?}"),
+        }
+        // The failed attempt leaks neither watts nor nodes.
+        assert_eq!(adm.free_nodes(), 1);
+        assert_eq!(adm.ledger().reserved(), budget);
+    }
+
+    #[test]
+    fn ttl_expiry_returns_nodes_watts_and_programs_tdp() {
+        let mut adm = admission(8, 240.0);
+        let grant = adm
+            .submit(&submit(AppClass::Wasteful, 8, PolicyKind::JobAdaptive))
+            .unwrap();
+        assert_eq!(adm.free_nodes(), 0);
+        // First tick drains the admission cap ops.
+        let ops = adm.tick();
+        assert_eq!(ops.len(), 8);
+        for (host, cap) in &ops {
+            assert_eq!(*cap, grant.caps[*host]);
+        }
+        // Ticks 2..4 expire nothing; tick 5 (the 5-tick TTL) releases.
+        for _ in 0..3 {
+            assert!(adm.tick().is_empty());
+        }
+        let ops = adm.tick();
+        assert_eq!(ops.len(), 8, "expiry restores TDP on every host");
+        assert!(ops.iter().all(|(_, cap)| *cap == adm.ctx.tdp_node));
+        assert_eq!(adm.free_nodes(), 8);
+        assert_eq!(adm.ledger().reserved(), Watts::ZERO);
+        assert_eq!(adm.active_jobs(), 0);
+    }
+
+    #[test]
+    fn class_and_policy_parsing() {
+        assert_eq!(AppClass::parse("Compute"), Some(AppClass::Compute));
+        assert_eq!(AppClass::parse("nope"), None);
+        for name in AppClass::NAMES {
+            let class = AppClass::parse(name).unwrap();
+            assert_eq!(class.name(), *name);
+            class.kernel_config().validate().unwrap();
+        }
+        assert_eq!(
+            parse_policy("mixedadaptive"),
+            Some(PolicyKind::MixedAdaptive)
+        );
+        assert_eq!(parse_policy("mixed"), Some(PolicyKind::MixedAdaptive));
+        assert_eq!(parse_policy("StaticCaps"), Some(PolicyKind::StaticCaps));
+        assert_eq!(parse_policy("slurmish"), None);
+    }
+
+    #[test]
+    fn every_policy_produces_a_programmable_grant() {
+        for kind in PolicyKind::all() {
+            let mut adm = admission(8, 200.0);
+            let grant = adm.submit(&submit(AppClass::Balanced, 4, kind)).unwrap();
+            assert_eq!(grant.caps.len(), 4, "{kind}");
+            assert!(
+                grant.granted <= adm.ledger().system_budget() + Watts(1e-6),
+                "{kind}"
+            );
+        }
+    }
+}

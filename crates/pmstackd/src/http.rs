@@ -1,0 +1,426 @@
+//! Minimal HTTP/1.1 framing over blocking streams.
+//!
+//! Just enough of RFC 9112 for the daemon's three surfaces: request-line +
+//! headers + `Content-Length` bodies inbound; fixed-length or chunked
+//! responses outbound. Every limit violation maps to a distinct status so
+//! the conformance suite can pin the protocol down: unparseable framing is
+//! 400, an oversized body is 413, an oversized header block is 431.
+
+use std::io::{self, BufRead, Write};
+
+/// Largest request body the daemon will buffer.
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+/// Largest single line (request line or one header).
+pub const MAX_LINE_BYTES: usize = 8 * 1024;
+/// Most headers accepted on one request.
+pub const MAX_HEADERS: usize = 64;
+
+/// Why a request could not be read.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed the connection cleanly before a request line.
+    Eof,
+    /// The bytes do not form an HTTP/1.1 request (respond 400).
+    Bad(String),
+    /// Declared body exceeds [`MAX_BODY_BYTES`] (respond 413).
+    BodyTooLarge(usize),
+    /// Request line or a header exceeds [`MAX_LINE_BYTES`], or more than
+    /// [`MAX_HEADERS`] headers (respond 431).
+    HeadersTooLarge,
+    /// The underlying transport failed mid-request.
+    Io(io::ErrorKind),
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Method verb, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string, e.g. `/metrics`.
+    pub path: String,
+    /// Decoded `key=value` pairs from the query string, in order.
+    pub query: Vec<(String, String)>,
+    /// Header pairs with lower-cased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name lower-case).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open. HTTP/1.1
+    /// defaults to keep-alive unless `Connection: close` is sent.
+    pub fn keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Read one CRLF- (or bare-LF-) terminated line, bounded by
+/// [`MAX_LINE_BYTES`]. `Ok(None)` is clean EOF before any byte.
+fn read_line(reader: &mut impl BufRead) -> Result<Option<String>, ParseError> {
+    let mut line = Vec::with_capacity(128);
+    loop {
+        let mut byte = [0u8; 1];
+        match io::Read::read(reader, &mut byte) {
+            Ok(0) => {
+                if line.is_empty() {
+                    return Ok(None);
+                }
+                return Err(ParseError::Bad("unterminated line".into()));
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if line.last() == Some(&b'\r') {
+                        line.pop();
+                    }
+                    return String::from_utf8(line)
+                        .map(Some)
+                        .map_err(|_| ParseError::Bad("line is not UTF-8".into()));
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_LINE_BYTES {
+                    return Err(ParseError::HeadersTooLarge);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ParseError::Io(e.kind())),
+        }
+    }
+}
+
+fn parse_query(raw: &str) -> Vec<(String, String)> {
+    raw.split('&')
+        .filter(|p| !p.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (k.to_string(), v.to_string()),
+            None => (pair.to_string(), String::new()),
+        })
+        .collect()
+}
+
+/// Read one request off the stream.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Request, ParseError> {
+    let Some(request_line) = read_line(reader)? else {
+        return Err(ParseError::Eof);
+    };
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => {
+            return Err(ParseError::Bad(format!(
+                "malformed request line: {request_line:?}"
+            )))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(ParseError::Bad(format!("unsupported version {version:?}")));
+    }
+    if !method.chars().all(|c| c.is_ascii_uppercase()) {
+        return Err(ParseError::Bad(format!("malformed method {method:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(ParseError::Bad(format!("target {target:?} is not a path")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), parse_query(q)),
+        None => (target.to_string(), Vec::new()),
+    };
+
+    let mut headers = Vec::new();
+    loop {
+        let Some(line) = read_line(reader)? else {
+            return Err(ParseError::Bad("EOF inside header block".into()));
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header: {line:?}")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        if headers.len() > MAX_HEADERS {
+            return Err(ParseError::HeadersTooLarge);
+        }
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError::Bad(format!("bad content-length {v:?}")))
+        })
+        .transpose()?;
+    if let Some(len) = content_length {
+        if len > MAX_BODY_BYTES {
+            return Err(ParseError::BodyTooLarge(len));
+        }
+        body.resize(len, 0);
+        io::Read::read_exact(reader, &mut body).map_err(|e| ParseError::Io(e.kind()))?;
+    }
+
+    Ok(Request {
+        method: method.to_string(),
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Canonical reason phrase for the statuses the daemon emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A fixed-length response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Body bytes (framed with `Content-Length`).
+    pub body: String,
+    /// Extra headers, verbatim.
+    pub extra_headers: Vec<(String, String)>,
+}
+
+impl Response {
+    /// A response with the given status and a plain-text body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// A 200 response with a JSON body.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+            extra_headers: Vec::new(),
+        }
+    }
+
+    /// Override the content type.
+    pub fn with_content_type(mut self, ct: &'static str) -> Self {
+        self.content_type = ct;
+        self
+    }
+
+    /// Serialize with `Content-Length` framing. `close` adds
+    /// `Connection: close` so the peer knows not to reuse the socket.
+    pub fn write_to(&self, out: &mut impl Write, close: bool) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (k, v) in &self.extra_headers {
+            write!(out, "{k}: {v}\r\n")?;
+        }
+        if close {
+            out.write_all(b"Connection: close\r\n")?;
+        }
+        out.write_all(b"\r\n")?;
+        out.write_all(self.body.as_bytes())?;
+        out.flush()
+    }
+}
+
+/// Start a chunked response: status line + headers, no body yet. Follow
+/// with [`write_chunk`] per frame and [`finish_chunked`] to terminate.
+pub fn start_chunked(
+    out: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    close: bool,
+) -> io::Result<()> {
+    write!(
+        out,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nTransfer-Encoding: chunked\r\n",
+        status,
+        reason(status),
+        content_type
+    )?;
+    if close {
+        out.write_all(b"Connection: close\r\n")?;
+    }
+    out.write_all(b"\r\n")?;
+    out.flush()
+}
+
+/// Write one chunk (size line in hex, payload, CRLF).
+pub fn write_chunk(out: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.is_empty() {
+        return Ok(()); // an empty chunk would terminate the stream
+    }
+    write!(out, "{:x}\r\n", payload.len())?;
+    out.write_all(payload)?;
+    out.write_all(b"\r\n")?;
+    out.flush()
+}
+
+/// Terminate a chunked response.
+pub fn finish_chunked(out: &mut impl Write) -> io::Result<()> {
+    out.write_all(b"0\r\n\r\n")?;
+    out.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(&mut BufReader::new(raw.as_bytes()))
+    }
+
+    #[test]
+    fn parses_get_with_query_and_headers() {
+        let req =
+            parse("GET /stream?frames=2&interval_ms=5 HTTP/1.1\r\nHost: x\r\nAccept: */*\r\n\r\n")
+                .unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stream");
+        assert_eq!(req.query_param("frames"), Some("2"));
+        assert_eq!(req.query_param("interval_ms"), Some("5"));
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let req = parse("POST /submit HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd").unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn connection_close_is_honored() {
+        let req = parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn malformed_request_lines_are_bad_requests() {
+        for raw in [
+            "BOGUS\r\n\r\n",
+            "GET\r\n\r\n",
+            "GET /x HTTP/1.1 extra\r\n\r\n",
+            "GET /x HTTP/9.9\r\n\r\n",
+            "get /x HTTP/1.1\r\n\r\n",
+            "GET relative HTTP/1.1\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "POST /x HTTP/1.1\r\nContent-Length: soon\r\n\r\n",
+        ] {
+            assert!(
+                matches!(parse(raw), Err(ParseError::Bad(_))),
+                "{raw:?} should be a 400"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_distinguished_from_garbage() {
+        assert_eq!(parse("").unwrap_err(), ParseError::Eof);
+    }
+
+    #[test]
+    fn oversized_bodies_and_headers_are_rejected() {
+        let big = MAX_BODY_BYTES + 1;
+        let raw = format!("POST /submit HTTP/1.1\r\nContent-Length: {big}\r\n\r\n");
+        assert_eq!(parse(&raw).unwrap_err(), ParseError::BodyTooLarge(big));
+
+        let long_line = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_LINE_BYTES + 8));
+        assert_eq!(parse(&long_line).unwrap_err(), ParseError::HeadersTooLarge);
+
+        let many: String = (0..MAX_HEADERS + 1)
+            .map(|i| format!("h{i}: v\r\n"))
+            .collect();
+        let raw = format!("GET / HTTP/1.1\r\n{many}\r\n");
+        assert_eq!(parse(&raw).unwrap_err(), ParseError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn response_framing_is_exact() {
+        let mut out = Vec::new();
+        Response::json(200, "{\"ok\":true}")
+            .write_to(&mut out, false)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("Content-Length: 11\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        assert!(!text.contains("Connection: close"));
+
+        let mut out = Vec::new();
+        Response::text(404, "nope")
+            .write_to(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+    }
+
+    #[test]
+    fn chunked_framing_terminates() {
+        let mut out = Vec::new();
+        start_chunked(&mut out, 200, "application/json", true).unwrap();
+        write_chunk(&mut out, b"{\"a\":1}\n").unwrap();
+        write_chunk(&mut out, b"").unwrap(); // ignored, must not terminate
+        write_chunk(&mut out, b"{\"b\":2}\n").unwrap();
+        finish_chunked(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("8\r\n{\"a\":1}\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn keep_alive_parses_back_to_back_requests() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let a = read_request(&mut reader).unwrap();
+        let b = read_request(&mut reader).unwrap();
+        assert_eq!(a.path, "/a");
+        assert_eq!(b.path, "/b");
+        assert_eq!(b.body, b"hi");
+        assert_eq!(read_request(&mut reader).unwrap_err(), ParseError::Eof);
+    }
+}

@@ -1,0 +1,38 @@
+//! `pmstackd` — the serving plane of the power-management stack.
+//!
+//! The batch stack (`repro`'s tables, grids, campaigns) answers "what did
+//! the policies do"; this crate answers it *live*. One daemon hosts a
+//! simulated fleet and exposes three surfaces over plain HTTP/1.1 on
+//! `std::net` (no external dependencies, like everything else here):
+//!
+//! * `GET /metrics` — the process-wide observability registry, rendered by
+//!   the exporter family (Prometheus text by default, `?format=json` /
+//!   `?format=summary` for the others).
+//! * `GET /stream?frames=N&interval_ms=M` — chunked JSON fleet snapshots
+//!   at a configurable cadence.
+//! * `POST /submit` — the admission API: an app class, a node count, and a
+//!   policy name in; a policy decision with per-host cap assignments out.
+//!
+//! Load is shed down a three-rung ladder, each rung observable in
+//! `/metrics`: a full connection queue answers 503 inline from the accept
+//! loop, the `/submit` in-flight gate answers 429, and admission itself
+//! answers 503 when power or nodes run out. The [`loadgen`] module is the
+//! closed-loop generator the CI gate drives against all of this.
+//!
+//! Threading: request workers (a bounded [`pmstack_exec::ServicePool`])
+//! touch only the admission struct and published snapshots; one dedicated
+//! step-loop thread owns the [`pmstack_runtime::JobPlatform`], drains
+//! queued cap programs, and publishes [`pmstack_runtime::FleetSnapshot`]s.
+//! Request latency is therefore independent of fleet size.
+
+pub mod admission;
+pub mod fleet;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod server;
+
+pub use admission::{Admission, AppClass, Grant, Reject, SubmitRequest};
+pub use fleet::{Fleet, FleetConfig};
+pub use loadgen::{run_loadgen, LoadgenParams, LoadgenReport};
+pub use server::{Daemon, DaemonConfig};

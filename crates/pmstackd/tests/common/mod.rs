@@ -1,0 +1,161 @@
+//! Raw-socket HTTP client shared by the conformance and load suites.
+//!
+//! Deliberately independent of the daemon's own `http` module: the tests
+//! speak wire bytes, so a framing bug on the server cannot be masked by a
+//! matching bug in a shared parser.
+
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed HTTP response, as read off the wire.
+#[derive(Debug, Clone)]
+pub struct RawResponse {
+    pub status: u16,
+    pub reason: String,
+    /// Header pairs with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+    /// True when the body arrived via `Transfer-Encoding: chunked`.
+    pub chunked: bool,
+}
+
+impl RawResponse {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    pub fn body_str(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("body is UTF-8")
+    }
+}
+
+/// Open a connection with sane test timeouts.
+pub fn connect(addr: SocketAddr) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect to daemon");
+    stream.set_nodelay(true).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    BufReader::new(stream)
+}
+
+/// Write raw request bytes on an open connection.
+pub fn send(conn: &mut BufReader<TcpStream>, raw: &[u8]) {
+    conn.get_mut().write_all(raw).expect("write request");
+    conn.get_mut().flush().expect("flush request");
+}
+
+fn read_line(conn: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    conn.read_line(&mut line).expect("read line");
+    line.trim_end_matches(['\r', '\n']).to_string()
+}
+
+/// Read one full response: status line, headers, then a `Content-Length`
+/// or chunked body. Panics on framing violations — that IS the test.
+pub fn read_response(conn: &mut BufReader<TcpStream>) -> RawResponse {
+    let status_line = read_line(conn);
+    let mut parts = status_line.splitn(3, ' ');
+    assert_eq!(
+        parts.next(),
+        Some("HTTP/1.1"),
+        "bad status line {status_line:?}"
+    );
+    let status: u16 = parts
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line {status_line:?}"));
+    let reason = parts.next().unwrap_or("").to_string();
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(conn);
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .unwrap_or_else(|| panic!("malformed header {line:?}"));
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let header = |name: &str| {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    };
+
+    let chunked = header("transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
+    let mut body = Vec::new();
+    if chunked {
+        assert!(
+            header("content-length").is_none(),
+            "chunked response must not also declare Content-Length"
+        );
+        loop {
+            let size_line = read_line(conn);
+            let size = usize::from_str_radix(&size_line, 16)
+                .unwrap_or_else(|_| panic!("bad chunk size line {size_line:?}"));
+            if size == 0 {
+                let trailer = read_line(conn);
+                assert!(trailer.is_empty(), "unexpected trailer {trailer:?}");
+                break;
+            }
+            let mut chunk = vec![0u8; size];
+            conn.read_exact(&mut chunk).expect("read chunk payload");
+            body.extend_from_slice(&chunk);
+            let mut crlf = [0u8; 2];
+            conn.read_exact(&mut crlf).expect("read chunk terminator");
+            assert_eq!(&crlf, b"\r\n", "chunk not CRLF-terminated");
+        }
+    } else {
+        let len: usize = header("content-length")
+            .expect("non-chunked response must declare Content-Length")
+            .parse()
+            .expect("Content-Length is an integer");
+        body.resize(len, 0);
+        conn.read_exact(&mut body).expect("read declared body");
+    }
+
+    RawResponse {
+        status,
+        reason,
+        headers,
+        body,
+        chunked,
+    }
+}
+
+/// One-shot request from raw bytes on a fresh connection.
+pub fn roundtrip_raw(addr: SocketAddr, raw: &[u8]) -> RawResponse {
+    let mut conn = connect(addr);
+    send(&mut conn, raw);
+    read_response(&mut conn)
+}
+
+/// One-shot `GET path` with `Connection: close`.
+pub fn get(addr: SocketAddr, path: &str) -> RawResponse {
+    roundtrip_raw(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n").as_bytes(),
+    )
+}
+
+/// One-shot `POST path` with a JSON body and `Connection: close`.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> RawResponse {
+    roundtrip_raw(
+        addr,
+        format!(
+            "POST {path} HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    )
+}

@@ -1,0 +1,354 @@
+//! Protocol-conformance suite: every daemon surface against a live
+//! ephemeral-port instance, asserted at the wire level.
+
+mod common;
+
+use common::{connect, get, post, read_response, roundtrip_raw, send};
+use pmstackd::json::{self, Value};
+use pmstackd::{Daemon, DaemonConfig};
+
+/// A small daemon sized for fast conformance checks.
+fn small_daemon() -> Daemon {
+    Daemon::spawn(DaemonConfig {
+        port: 0,
+        hosts: 16,
+        budget_per_host_w: 150.0,
+        workers: 4,
+        conn_capacity: 64,
+        max_inflight: 8,
+        tick_ms: 1,
+        job_ttl_ticks: 200,
+        max_nodes_per_job: 8,
+        segment_hosts: None,
+    })
+    .expect("daemon binds an ephemeral port")
+}
+
+#[test]
+fn index_describes_the_surfaces() {
+    let daemon = small_daemon();
+    let resp = get(daemon.addr(), "/");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.reason, "OK");
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; charset=utf-8")
+    );
+    let body = resp.body_str();
+    for surface in ["/metrics", "/stream", "/submit", "/healthz"] {
+        assert!(body.contains(surface), "index missing {surface}: {body}");
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn healthz_reports_fleet_liveness() {
+    let daemon = small_daemon();
+    let resp = get(daemon.addr(), "/healthz");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let v = json::parse(&resp.body).expect("healthz body is JSON");
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    assert_eq!(v.get("hosts").and_then(Value::as_f64), Some(16.0));
+    daemon.shutdown();
+}
+
+#[test]
+fn metrics_round_trips_through_prometheus_validation() {
+    let daemon = small_daemon();
+    let resp = get(daemon.addr(), "/metrics");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = resp.body_str();
+    pmstack_obs::validate_prometheus(text)
+        .unwrap_or_else(|e| panic!("exposition invalid: {e}\n{text}"));
+    // The scrape itself was counted before rendering, so the daemon's own
+    // series must be present.
+    assert!(
+        text.contains("pmstack_pmstackd_http_requests_total"),
+        "daemon request counter missing from exposition:\n{text}"
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn metrics_formats_select_exporters() {
+    let daemon = small_daemon();
+
+    let resp = get(daemon.addr(), "/metrics?format=json");
+    assert_eq!(resp.status, 200);
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    json::parse(&resp.body).expect("json exporter output parses");
+
+    let resp = get(daemon.addr(), "/metrics?format=summary");
+    assert_eq!(resp.status, 200);
+    assert_eq!(
+        resp.header("content-type"),
+        Some("text/plain; charset=utf-8")
+    );
+
+    let resp = get(daemon.addr(), "/metrics?format=bogus");
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.body_str().contains("prometheus"),
+        "{}",
+        resp.body_str()
+    );
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_grants_nodes_and_caps() {
+    let daemon = small_daemon();
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"compute\",\"nodes\":3,\"policy\":\"mixedadaptive\"}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let v = json::parse(&resp.body).expect("grant is JSON");
+    assert_eq!(v.get("app").and_then(Value::as_str), Some("compute"));
+    assert_eq!(v.get("degraded"), Some(&Value::Bool(false)));
+    let granted = v.get("granted_w").and_then(Value::as_f64).unwrap();
+    let want = v.get("want_w").and_then(Value::as_f64).unwrap();
+    assert!(
+        granted > 0.0 && granted <= want + 0.1,
+        "{granted} vs {want}"
+    );
+    let Some(Value::Arr(nodes)) = v.get("nodes") else {
+        panic!("nodes missing: {}", resp.body_str());
+    };
+    let Some(Value::Arr(caps)) = v.get("caps_w") else {
+        panic!("caps_w missing: {}", resp.body_str());
+    };
+    assert_eq!(nodes.len(), 3);
+    assert_eq!(caps.len(), 3, "one cap per granted node");
+    for cap in caps {
+        let w = cap.as_f64().expect("cap is numeric");
+        assert!(w > 0.0 && w <= 250.0, "cap {w} outside physical range");
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_validation_maps_to_400() {
+    let daemon = small_daemon();
+    let cases = [
+        "not json at all",
+        "[1,2,3]",
+        "{\"nodes\":2,\"policy\":\"static\"}",
+        "{\"app\":\"balanced\",\"policy\":\"static\"}",
+        "{\"app\":\"balanced\",\"nodes\":2}",
+        "{\"app\":\"warp-drive\",\"nodes\":2,\"policy\":\"static\"}",
+        "{\"app\":\"balanced\",\"nodes\":0,\"policy\":\"static\"}",
+        "{\"app\":\"balanced\",\"nodes\":2.5,\"policy\":\"static\"}",
+        "{\"app\":\"balanced\",\"nodes\":9,\"policy\":\"static\"}",
+        "{\"app\":\"balanced\",\"nodes\":2,\"policy\":\"vibes\"}",
+    ];
+    for body in cases {
+        let resp = post(daemon.addr(), "/submit", body);
+        assert_eq!(
+            resp.status,
+            400,
+            "{body} should be 400: {}",
+            resp.body_str()
+        );
+        assert!(
+            json::parse(&resp.body).unwrap().get("error").is_some(),
+            "400 body carries an error field"
+        );
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_node_exhaustion_is_503() {
+    let daemon = Daemon::spawn(DaemonConfig {
+        hosts: 4,
+        max_nodes_per_job: 4,
+        job_ttl_ticks: 100_000,
+        tick_ms: 50,
+        ..DaemonConfig::default()
+    })
+    .unwrap();
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":4,\"policy\":\"static\"}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":1,\"policy\":\"static\"}",
+    );
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    let v = json::parse(&resp.body).unwrap();
+    assert_eq!(v.get("free_nodes").and_then(Value::as_f64), Some(0.0));
+    daemon.shutdown();
+}
+
+#[test]
+fn malformed_requests_are_400_and_close() {
+    let daemon = small_daemon();
+    for raw in [
+        "BOGUS\r\n\r\n",
+        "GET\r\n\r\n",
+        "GET /x HTTP/9.9\r\n\r\n",
+        "get /x HTTP/1.1\r\n\r\n",
+        "GET relative HTTP/1.1\r\n\r\n",
+        "GET /x HTTP/1.1\r\nno-colon\r\n\r\n",
+    ] {
+        let resp = roundtrip_raw(daemon.addr(), raw.as_bytes());
+        assert_eq!(resp.status, 400, "{raw:?} should be 400");
+        assert_eq!(resp.header("connection"), Some("close"), "{raw:?}");
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn unknown_paths_and_methods_map_to_404_and_405() {
+    let daemon = small_daemon();
+    let resp = get(daemon.addr(), "/no/such/endpoint");
+    assert_eq!(resp.status, 404);
+    assert_eq!(resp.reason, "Not Found");
+
+    let resp = post(daemon.addr(), "/metrics", "{}");
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("GET"));
+
+    let resp = get(daemon.addr(), "/submit");
+    assert_eq!(resp.status, 405);
+    assert_eq!(resp.header("allow"), Some("POST"));
+    daemon.shutdown();
+}
+
+#[test]
+fn oversized_body_is_413_without_reading_it() {
+    let daemon = small_daemon();
+    // Declare a body over the limit but never send a byte of it: the
+    // daemon must refuse on the declaration alone.
+    let declared = pmstackd::http::MAX_BODY_BYTES + 1;
+    let raw = format!("POST /submit HTTP/1.1\r\nHost: test\r\nContent-Length: {declared}\r\n\r\n");
+    let resp = roundtrip_raw(daemon.addr(), raw.as_bytes());
+    assert_eq!(resp.status, 413);
+    assert_eq!(resp.reason, "Payload Too Large");
+    daemon.shutdown();
+}
+
+#[test]
+fn oversized_header_block_is_431() {
+    let daemon = small_daemon();
+    let raw = format!(
+        "GET / HTTP/1.1\r\nX-Big: {}\r\n\r\n",
+        "a".repeat(pmstackd::http::MAX_LINE_BYTES + 16)
+    );
+    let resp = roundtrip_raw(daemon.addr(), raw.as_bytes());
+    assert_eq!(resp.status, 431);
+    daemon.shutdown();
+}
+
+#[test]
+fn stream_delivers_chunked_json_frames() {
+    let daemon = small_daemon();
+    let resp = get(daemon.addr(), "/stream?frames=3&interval_ms=1");
+    assert_eq!(resp.status, 200);
+    assert!(resp.chunked, "stream must use chunked framing");
+    assert_eq!(resp.header("content-type"), Some("application/json"));
+    let lines: Vec<&str> = resp.body_str().lines().collect();
+    assert_eq!(lines.len(), 3, "{}", resp.body_str());
+    let mut last_tick = -1.0;
+    for line in lines {
+        let v =
+            json::parse(line.as_bytes()).unwrap_or_else(|e| panic!("frame not JSON ({e}): {line}"));
+        assert_eq!(v.get("hosts").and_then(Value::as_f64), Some(16.0));
+        assert!(v.get("power_w").and_then(Value::as_f64).is_some());
+        let tick = v.get("tick").and_then(Value::as_f64).unwrap();
+        assert!(tick > last_tick, "ticks must be strictly increasing");
+        last_tick = tick;
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn stream_parameter_validation_maps_to_400() {
+    let daemon = small_daemon();
+    for path in [
+        "/stream?frames=0",
+        "/stream?frames=abc",
+        "/stream?frames=10001",
+        "/stream?interval_ms=-5",
+        "/stream?interval_ms=999999",
+    ] {
+        let resp = get(daemon.addr(), path);
+        assert_eq!(
+            resp.status,
+            400,
+            "{path} should be 400: {}",
+            resp.body_str()
+        );
+    }
+    daemon.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_sequential_requests_on_one_socket() {
+    let daemon = small_daemon();
+    let mut conn = connect(daemon.addr());
+
+    send(&mut conn, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    let first = read_response(&mut conn);
+    assert_eq!(first.status, 200);
+    assert_ne!(first.header("connection"), Some("close"));
+
+    let body = "{\"app\":\"balanced\",\"nodes\":1,\"policy\":\"static\"}";
+    send(
+        &mut conn,
+        format!(
+            "POST /submit HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .as_bytes(),
+    );
+    let second = read_response(&mut conn);
+    assert_eq!(second.status, 200, "{}", second.body_str());
+
+    // The third request asks to close; the server must honor it.
+    send(
+        &mut conn,
+        b"GET / HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+    );
+    let third = read_response(&mut conn);
+    assert_eq!(third.status, 200);
+    assert_eq!(third.header("connection"), Some("close"));
+    daemon.shutdown();
+}
+
+#[test]
+fn content_length_matches_body_exactly() {
+    let daemon = small_daemon();
+    // read_response already read_exact()s the declared length; asserting
+    // parseability here proves no trailing garbage followed the body.
+    for path in ["/", "/healthz", "/metrics", "/metrics?format=json"] {
+        let mut conn = connect(daemon.addr());
+        send(
+            &mut conn,
+            format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n").as_bytes(),
+        );
+        let resp = read_response(&mut conn);
+        assert_eq!(resp.status, 200);
+        let mut rest = Vec::new();
+        use std::io::Read;
+        conn.read_to_end(&mut rest).expect("drain to EOF");
+        assert!(
+            rest.is_empty(),
+            "{path}: {} stray bytes after declared body",
+            rest.len()
+        );
+    }
+    daemon.shutdown();
+}

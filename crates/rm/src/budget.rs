@@ -103,6 +103,52 @@ impl PowerLedger {
         Ok(())
     }
 
+    /// Fraction of the system budget currently reserved (0 when the budget
+    /// is zero). The admission plane's saturation signal: the daemon
+    /// exports it as a gauge and sheds load as it approaches 1.
+    pub fn utilization(&self) -> f64 {
+        let budget = self.system_budget.value();
+        if budget <= 0.0 {
+            return if self.reservations.is_empty() {
+                0.0
+            } else {
+                1.0
+            };
+        }
+        self.reserved().value() / budget
+    }
+
+    /// The degraded-admission path: reserve *up to* `want` watts for `job`,
+    /// settling for whatever is available as long as it is at least
+    /// `floor`. Returns the watts actually reserved. Fails — leaving the
+    /// ledger untouched — when even `floor` does not fit; the caller turns
+    /// that into backpressure (the daemon's 503) rather than queueing an
+    /// unsatisfiable request.
+    ///
+    /// Unlike [`Self::reserve`], a partial grant is not an unnoticed clamp:
+    /// the returned watts *are* the granted amount, and the caller scales
+    /// its per-host caps to match before programming anything.
+    pub fn reserve_upto(
+        &mut self,
+        job: JobId,
+        want: Watts,
+        floor: Watts,
+    ) -> Result<Watts, OverCommit> {
+        debug_assert!(floor <= want + Watts(1e-9), "floor must not exceed want");
+        let prior = self.reservation(job).unwrap_or(Watts::ZERO);
+        let available = self.available() + prior;
+        if floor > available + Watts(1e-9) {
+            return Err(OverCommit {
+                requested: floor,
+                available,
+            });
+        }
+        let grant = Watts(want.value().min(available.value()).max(0.0));
+        self.reservations.insert(job, grant);
+        WATTS_RESERVED.add(grant.value());
+        Ok(grant)
+    }
+
     /// Release a job's reservation (idempotent).
     pub fn release(&mut self, job: JobId) {
         self.reservations.remove(&job);
@@ -204,6 +250,55 @@ mod tests {
         assert_eq!(ledger.reservation(JobId(1)), Some(Watts(600.0)));
         ledger.release(JobId(1));
         assert_eq!(ledger.set_system_budget(Watts(400.0)), Watts::ZERO);
+    }
+
+    #[test]
+    fn reserve_upto_grants_partially_down_to_the_floor() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(700.0)).unwrap();
+        // Full want fits nothing, but 300 W are still available ≥ floor.
+        let grant = ledger
+            .reserve_upto(JobId(2), Watts(500.0), Watts(200.0))
+            .unwrap();
+        assert_eq!(grant, Watts(300.0));
+        assert_eq!(ledger.reservation(JobId(2)), Some(Watts(300.0)));
+        assert_eq!(ledger.available(), Watts::ZERO);
+        // Below the floor the ledger is untouched.
+        let err = ledger
+            .reserve_upto(JobId(3), Watts(500.0), Watts(100.0))
+            .unwrap_err();
+        assert_eq!(err.requested, Watts(100.0));
+        assert_eq!(ledger.reserved(), Watts(1000.0));
+        assert!(ledger.reservation(JobId(3)).is_none());
+        // A fitting want is granted in full.
+        ledger.release(JobId(1));
+        let grant = ledger
+            .reserve_upto(JobId(3), Watts(500.0), Watts(100.0))
+            .unwrap();
+        assert_eq!(grant, Watts(500.0));
+    }
+
+    #[test]
+    fn reserve_upto_rereservation_counts_the_prior_grant() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        ledger.reserve(JobId(1), Watts(900.0)).unwrap();
+        // Re-reserving job 1 can use its own 900 W again.
+        let grant = ledger
+            .reserve_upto(JobId(1), Watts(950.0), Watts(900.0))
+            .unwrap();
+        assert_eq!(grant, Watts(950.0));
+        assert_eq!(ledger.reserved(), Watts(950.0));
+    }
+
+    #[test]
+    fn utilization_tracks_reserved_fraction() {
+        let mut ledger = PowerLedger::new(Watts(1000.0));
+        assert_eq!(ledger.utilization(), 0.0);
+        ledger.reserve(JobId(1), Watts(250.0)).unwrap();
+        assert!((ledger.utilization() - 0.25).abs() < 1e-12);
+        // A zero-budget ledger is saturated iff anything is reserved.
+        let empty = PowerLedger::new(Watts::ZERO);
+        assert_eq!(empty.utilization(), 0.0);
     }
 
     #[test]

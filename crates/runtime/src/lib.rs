@@ -41,6 +41,6 @@ pub use agents::{
 };
 pub use controller::Controller;
 pub use endpoint::{Endpoint, EndpointRm, EndpointRuntime};
-pub use platform::{IterationBuffers, IterationOutcome, JobPlatform};
+pub use platform::{FleetSnapshot, IterationBuffers, IterationOutcome, JobPlatform};
 pub use report::{HostReport, JobReport};
 pub use trace::{Trace, TraceRecord, Tracer};

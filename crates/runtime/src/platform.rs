@@ -69,6 +69,30 @@ fn threshold_from(var: Option<&str>) -> usize {
         .unwrap_or(PAR_STEP_THRESHOLD)
 }
 
+/// A cheap, self-contained view of a live fleet for *other threads*: the
+/// serving plane's step loop captures one per tick and publishes it behind
+/// an `Arc`, so `/metrics` scrapes and `/stream` frames read consistent
+/// state without ever locking the platform or stalling the step loop.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FleetSnapshot {
+    /// Fleet size.
+    pub hosts: usize,
+    /// Hosts alive at capture.
+    pub alive: usize,
+    /// Bank segments backing the fleet.
+    pub segments: usize,
+    /// Simulated seconds elapsed.
+    pub elapsed_s: f64,
+    /// Whether the whole fleet was on the steady-state replay path.
+    pub steady: bool,
+    /// Cumulative fleet energy, joules.
+    pub energy_j: f64,
+    /// Observed fleet power over the captured iteration, watts.
+    pub power_w: f64,
+    /// Simulated duration of the captured iteration, seconds.
+    pub iteration_s: f64,
+}
+
 /// The observable outcome of one bulk-synchronous iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IterationOutcome {
@@ -527,6 +551,34 @@ impl JobPlatform {
         out.extend((0..self.bank.len()).map(|h| self.bank.energy(h)));
     }
 
+    /// Total cumulative fleet energy, summed without allocating — the
+    /// per-tick call the serving plane makes at 100k+ hosts.
+    pub fn total_energy(&self) -> Joules {
+        (0..self.bank.len()).map(|h| self.bank.energy(h)).sum()
+    }
+
+    /// Capture a [`FleetSnapshot`] of this platform paired with the most
+    /// recent iteration `outcome` it produced.
+    pub fn fleet_snapshot(&self, outcome: &IterationOutcome) -> FleetSnapshot {
+        // Before the first iteration the outcome is empty; fall back to the
+        // platform's own liveness scan.
+        let alive = if outcome.host_alive.len() == self.bank.len() {
+            outcome.host_alive.iter().filter(|&&a| a).count()
+        } else {
+            self.alive_hosts()
+        };
+        FleetSnapshot {
+            hosts: self.bank.len(),
+            alive,
+            segments: self.num_segments(),
+            elapsed_s: self.elapsed().value(),
+            steady: self.steady_state_active(),
+            energy_j: self.total_energy().value(),
+            power_w: outcome.total_power().value(),
+            iteration_s: outcome.elapsed.value(),
+        }
+    }
+
     /// The operating point a host would settle on under its *enforced*
     /// limit (and any software frequency cap) right now. Out-of-range hosts
     /// are an error, consistent with [`Self::set_host_limit`].
@@ -836,6 +888,26 @@ mod tests {
         p.run_iteration();
         let e2 = p.host_energy();
         assert!(e2[0] > e1[0] && e2[1] > e1[1]);
+    }
+
+    #[test]
+    fn fleet_snapshot_reflects_live_state() {
+        let mut p = platform(3, &[1.0, 1.0, 1.07]);
+        // Pre-iteration: the default outcome is empty, so liveness comes
+        // from the platform's own scan.
+        let snap = p.fleet_snapshot(&IterationOutcome::default());
+        assert_eq!(snap.hosts, 3);
+        assert_eq!(snap.alive, 3);
+        assert_eq!(snap.energy_j, 0.0);
+        let out = p.run_iteration();
+        let snap = p.fleet_snapshot(&out);
+        assert_eq!(snap.hosts, 3);
+        assert_eq!(snap.alive, 3);
+        assert_eq!(snap.segments, p.num_segments());
+        assert!(snap.energy_j > 0.0);
+        assert!(snap.power_w > 0.0);
+        assert!(snap.iteration_s > 0.0);
+        assert!((snap.elapsed_s - p.elapsed().value()).abs() < 1e-12);
     }
 
     #[test]
