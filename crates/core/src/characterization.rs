@@ -14,7 +14,7 @@
 
 use pmstack_kernel::{KernelConfig, KernelLoad};
 use pmstack_runtime::{Controller, JobPlatform, MonitorAgent, PowerBalancerAgent};
-use pmstack_simhw::{Node, NodeId, PowerModel, Watts};
+use pmstack_simhw::{ClassId, ClassModels, Node, NodeId, PowerModel, Watts};
 use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -168,6 +168,61 @@ impl JobChar {
                 source: CharacterizationSource::Analytic,
             }
         })
+    }
+
+    /// Analytic characterization of one job across a *heterogeneous* fleet:
+    /// each host is characterized against its own node class's power model,
+    /// so the same application yields different used/needed numbers on a
+    /// high-TDP class than on an efficiency class — the per-(app, class)
+    /// pairing the paper's application-aware policies consume.
+    ///
+    /// Hosts are grouped by class and each group funnels through
+    /// [`JobChar::analytic`], so every (app, class, eps-set) triple lands in
+    /// the same process-wide memo the homogeneous path uses (the machine
+    /// spec is already part of the key). A one-class fleet therefore
+    /// produces results bit-identical to the homogeneous constructor.
+    ///
+    /// # Panics
+    /// If `membership` and `host_eps` lengths differ, or a class index is
+    /// out of range for `models`.
+    pub fn analytic_classed(
+        config: KernelConfig,
+        models: &ClassModels,
+        membership: &[ClassId],
+        host_eps: &[f64],
+    ) -> Self {
+        assert_eq!(
+            membership.len(),
+            host_eps.len(),
+            "one class per characterized host"
+        );
+        // Group host indices by class, preserving fleet order within each
+        // group so the per-class results scatter back deterministically.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); models.len()];
+        for (h, c) in membership.iter().enumerate() {
+            groups[c.0].push(h);
+        }
+        let mut hosts = vec![
+            HostChar {
+                used: Watts::ZERO,
+                needed: Watts::ZERO,
+            };
+            host_eps.len()
+        ];
+        for (c, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let eps: Vec<f64> = group.iter().map(|&h| host_eps[h]).collect();
+            let class_char = Self::analytic(config, models.model(ClassId(c)), &eps);
+            for (&h, hc) in group.iter().zip(&class_char.hosts) {
+                hosts[h] = *hc;
+            }
+        }
+        Self {
+            hosts,
+            source: CharacterizationSource::Analytic,
+        }
     }
 
     /// Measured characterization: run the monitor agent uncapped for the
@@ -367,6 +422,59 @@ mod tests {
         for ((config, eps), got) in jobs.iter().zip(&batch) {
             assert_eq!(*got, JobChar::measured(*config, &m, eps, 40));
         }
+    }
+
+    #[test]
+    fn one_class_classed_characterization_matches_homogeneous() {
+        use pmstack_simhw::NodeClass;
+        let config = KernelConfig::balanced_ymm(8.0);
+        let models = ClassModels::new(&[NodeClass::pkg_only("quartz", quartz_spec())]).unwrap();
+        let eps = [0.94, 1.0, 1.07];
+        let classed = JobChar::analytic_classed(config, &models, &[ClassId(0); 3], &eps);
+        let plain = JobChar::analytic(config, &model(), &eps);
+        for (a, b) in classed.hosts.iter().zip(&plain.hosts) {
+            assert_eq!(a.used.value().to_bits(), b.used.value().to_bits());
+            assert_eq!(a.needed.value().to_bits(), b.needed.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn classes_characterize_the_same_app_differently() {
+        let config = KernelConfig::balanced_ymm(16.0);
+        let models = ClassModels::new(&pmstack_simhw::standard_classes()).unwrap();
+        // One host of each class at identical eps: the app's power numbers
+        // must track the class, not just the host.
+        let membership = [ClassId(0), ClassId(1), ClassId(2)];
+        let c = JobChar::analytic_classed(config, &models, &membership, &[1.0; 3]);
+        let used: Vec<f64> = c.hosts.iter().map(|h| h.used.value()).collect();
+        // skylake_sp (150 W/socket) runs the app hotter than quartz
+        // (120 W/socket); single-socket stout runs it far cooler.
+        assert!(
+            used[1] > used[0],
+            "skylake {} ≤ quartz {}",
+            used[1],
+            used[0]
+        );
+        assert!(used[2] < used[0], "stout {} ≥ quartz {}", used[2], used[0]);
+        for h in &c.hosts {
+            assert!(h.needed <= h.used + Watts(1e-9));
+        }
+    }
+
+    #[test]
+    fn classed_characterization_scatters_back_in_fleet_order() {
+        let config = KernelConfig::balanced_ymm(8.0);
+        let models = ClassModels::new(&pmstack_simhw::standard_classes()).unwrap();
+        // Interleaved membership: results must land on their own hosts.
+        let membership = [ClassId(2), ClassId(0), ClassId(2), ClassId(0)];
+        let eps = [1.0, 0.96, 1.04, 1.0];
+        let c = JobChar::analytic_classed(config, &models, &membership, &eps);
+        let quartz = JobChar::analytic(config, models.model(ClassId(0)), &[0.96, 1.0]);
+        let stout = JobChar::analytic(config, models.model(ClassId(2)), &[1.0, 1.04]);
+        assert_eq!(c.hosts[1], quartz.hosts[0]);
+        assert_eq!(c.hosts[3], quartz.hosts[1]);
+        assert_eq!(c.hosts[0], stout.hosts[0]);
+        assert_eq!(c.hosts[2], stout.hosts[1]);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use pmstack_experiments::cli::{self, Cli};
 use pmstack_experiments::grid::{EvaluationGrid, GridParams};
 use pmstack_experiments::{
-    campaign, export, figures, megafleet, replicates, resilience, tables, Testbed,
+    campaign, export, figures, hetero, megafleet, replicates, resilience, tables, Testbed,
 };
 
 fn main() {
@@ -271,6 +271,19 @@ fn run(cli: &Cli) {
                 );
             }
         }
+    }
+    if artifact == "all" || artifact == "hetero" {
+        let hp = if cli.fast {
+            hetero::HeteroParams::fast()
+        } else {
+            hetero::HeteroParams::default_scale()
+        };
+        eprintln!(
+            "[repro] hetero: 5 policies x {{homogeneous, 3-class}} fleets \
+             ({} hosts/job, {} ticks)…",
+            hp.hosts_per_job, hp.ticks
+        );
+        emit("hetero", hetero::render(&hetero::run_hetero(&hp)));
     }
     if artifact == "all" || artifact == "facility" {
         let chaos = cli.chaos.unwrap_or(2);

@@ -24,6 +24,7 @@ pub const ARTIFACTS: &[&str] = &[
     "sweep",
     "faults",
     "facility",
+    "hetero",
     "megafleet",
     "serve",
     "loadgen",
@@ -34,7 +35,7 @@ pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [-
      [--chaos LEVEL] [--days N] [--hosts N] [--out DIR] [--metrics-out PATH]\n\
      [--port P] [--addr HOST:PORT] [--requests N] [--concurrency C]\n\
      artifacts: all table1 table2 table3 fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 grid sweep \
-     faults facility megafleet serve loadgen\n\
+     faults facility hetero megafleet serve loadgen\n\
      (--faults is shorthand for the `faults` artifact: the five policies\n\
       under one fixed fault plan, online mode;\n\
       --replicates N turns `sweep` into the Fig. 8-style jitter-seed\n\
@@ -43,6 +44,9 @@ pub const USAGE: &str = "usage: repro <artifact> [--fast] [--faults] [--time] [-
       intensity and --days N (>= 1) its length: the fault-tolerant job\n\
       lifecycle — checkpoint/restart, retry backoff, lease timeouts, budget\n\
       shocks — under every policy;\n\
+      `hetero` compares the five policies on a homogeneous vs. a 3-class\n\
+      fleet with per-(app, class) characterization and PKG/PP0/DRAM\n\
+      domain budgets (per-tick oversubscription check);\n\
       --hosts N (1-1048576, default 100000) sets the `megafleet` fleet size:\n\
       the sharded-bank scale scenario — cold resolve, hierarchical\n\
       balancing, steady replay, one-segment churn — timed per phase\n\
@@ -271,6 +275,13 @@ mod tests {
         assert_eq!(cli.artifact, "facility");
         assert_eq!(cli.chaos, Some(2));
         assert_eq!(cli.days, Some(3));
+    }
+
+    #[test]
+    fn hetero_is_a_known_artifact() {
+        let cli = parse(&args(&["hetero", "--fast"])).unwrap();
+        assert_eq!(cli.artifact, "hetero");
+        assert!(cli.fast);
     }
 
     #[test]

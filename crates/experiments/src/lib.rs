@@ -18,6 +18,10 @@
 //! * [`replicates`] — Fig. 8-style jitter-seed replicate sweeps through the
 //!   full stack (`repro sweep --replicates N`), the volume workload the
 //!   columnar hot loop is benchmarked on.
+//! * [`hetero`] — the heterogeneous-fleet scenario: the five policies on
+//!   a homogeneous vs. a 3-class fleet with per-(app, class)
+//!   characterization, multi-domain (PKG/PP0/DRAM) budget admission, and
+//!   within-host domain balancing (`repro hetero`).
 //! * [`megafleet`] — the 100k–1M-host scale scenario for the sharded
 //!   bank: cold resolve, hierarchical balancing, steady replay, and
 //!   one-segment churn, each timed (`repro megafleet --hosts N`).
@@ -46,6 +50,7 @@ pub mod export;
 pub mod facility;
 pub mod figures;
 pub mod grid;
+pub mod hetero;
 pub mod megafleet;
 pub mod mixes;
 pub mod replicates;

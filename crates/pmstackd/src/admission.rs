@@ -123,6 +123,10 @@ pub struct SubmitRequest {
     pub nodes: usize,
     /// Power policy deciding the caps.
     pub policy: PolicyKind,
+    /// Optional node-class preference: an index into the daemon's class
+    /// table, constraining the lease to that class's id segment. `None`
+    /// draws from the whole fleet (the homogeneous behaviour).
+    pub class: Option<usize>,
 }
 
 /// A successful admission decision.
@@ -181,6 +185,9 @@ pub struct Admission {
     tick: u64,
     ttl_ticks: u64,
     max_nodes_per_job: usize,
+    /// Node-class layout: `(name, id range)` per class, contiguous and in
+    /// id order. Empty for an unclassed (homogeneous) fleet.
+    classes: Vec<(String, std::ops::Range<usize>)>,
 }
 
 impl Admission {
@@ -213,7 +220,39 @@ impl Admission {
             tick: 0,
             ttl_ticks: ttl_ticks.max(1),
             max_nodes_per_job,
+            classes: Vec::new(),
         }
+    }
+
+    /// Declare the fleet's node-class layout: `(name, host count)` pairs
+    /// laid out as contiguous id segments in order. The counts must sum to
+    /// the fleet size exactly.
+    pub fn with_classes(mut self, layout: &[(String, usize)]) -> Self {
+        if layout.is_empty() {
+            self.classes.clear();
+            return self;
+        }
+        let mut next = 0;
+        self.classes = layout
+            .iter()
+            .map(|(name, count)| {
+                let range = next..next + count;
+                next = range.end;
+                (name.clone(), range)
+            })
+            .collect();
+        assert_eq!(
+            next,
+            self.host_eps.len(),
+            "class layout must cover the fleet exactly"
+        );
+        self
+    }
+
+    /// The class table: `(name, id range)` per class, empty when the fleet
+    /// is unclassed.
+    pub fn classes(&self) -> &[(String, std::ops::Range<usize>)] {
+        &self.classes
     }
 
     /// The ledger (observability and tests).
@@ -240,12 +279,29 @@ impl Admission {
     /// step loop; the reservation is held until its TTL expires.
     pub fn submit(&mut self, req: &SubmitRequest) -> Result<Grant, Reject> {
         debug_assert!(req.nodes >= 1 && req.nodes <= self.max_nodes_per_job);
-        let Some(nodes) = self.pool.allocate(req.nodes) else {
-            REJECTED_NODES.inc();
-            self.publish_gauges();
-            return Err(Reject::NoNodes {
-                free: self.pool.available(),
-            });
+        // A class preference pins the lease to that class's id segment;
+        // running that segment dry is the same NoNodes rung even when the
+        // rest of the fleet still has room.
+        let allocated = match req.class {
+            Some(c) => {
+                let range = &self.classes[c].1;
+                let (lo, hi) = (NodeId(range.start), NodeId(range.end));
+                self.pool
+                    .allocate_in(req.nodes, lo, hi)
+                    .ok_or_else(|| self.pool.available_in(lo, hi))
+            }
+            None => self
+                .pool
+                .allocate(req.nodes)
+                .ok_or_else(|| self.pool.available()),
+        };
+        let nodes = match allocated {
+            Ok(nodes) => nodes,
+            Err(free) => {
+                REJECTED_NODES.inc();
+                self.publish_gauges();
+                return Err(Reject::NoNodes { free });
+            }
         };
 
         // Characterize the job on exactly the hosts it got (memoized by
@@ -367,7 +423,12 @@ mod tests {
     }
 
     fn submit(app: AppClass, nodes: usize, policy: PolicyKind) -> SubmitRequest {
-        SubmitRequest { app, nodes, policy }
+        SubmitRequest {
+            app,
+            nodes,
+            policy,
+            class: None,
+        }
     }
 
     #[test]
@@ -483,6 +544,60 @@ mod tests {
         assert_eq!(parse_policy("mixed"), Some(PolicyKind::MixedAdaptive));
         assert_eq!(parse_policy("StaticCaps"), Some(PolicyKind::StaticCaps));
         assert_eq!(parse_policy("slurmish"), None);
+    }
+
+    #[test]
+    fn class_preference_pins_the_lease_to_the_class_segment() {
+        let mut adm = admission(12, 240.0)
+            .with_classes(&[("quartz".to_string(), 8), ("stout".to_string(), 4)]);
+        assert_eq!(adm.classes().len(), 2);
+        assert_eq!(adm.classes()[1].1, 8..12);
+        // Pinned to stout (ids 8..12) even though 0..8 is entirely free.
+        let grant = adm
+            .submit(&SubmitRequest {
+                class: Some(1),
+                ..submit(AppClass::Balanced, 3, PolicyKind::MixedAdaptive)
+            })
+            .unwrap();
+        assert!(
+            grant.nodes.iter().all(|n| (8..12).contains(&n.0)),
+            "{:?}",
+            grant.nodes
+        );
+        // Unconstrained requests still take lowest ids fleet-wide.
+        let grant = adm
+            .submit(&submit(AppClass::Balanced, 2, PolicyKind::StaticCaps))
+            .unwrap();
+        assert_eq!(grant.nodes.iter().map(|n| n.0).collect::<Vec<_>>(), [0, 1]);
+    }
+
+    #[test]
+    fn class_segment_exhaustion_rejects_with_segment_local_free_count() {
+        let mut adm = admission(12, 240.0)
+            .with_classes(&[("quartz".to_string(), 8), ("stout".to_string(), 4)]);
+        adm.submit(&SubmitRequest {
+            class: Some(1),
+            ..submit(AppClass::Balanced, 3, PolicyKind::StaticCaps)
+        })
+        .unwrap();
+        let err = adm
+            .submit(&SubmitRequest {
+                class: Some(1),
+                ..submit(AppClass::Balanced, 2, PolicyKind::StaticCaps)
+            })
+            .unwrap_err();
+        // One stout node left; eight quartz nodes free do not count.
+        assert_eq!(err, Reject::NoNodes { free: 1 });
+        assert_eq!(adm.free_nodes(), 9);
+        // The failed attempt leaks nothing from the segment either.
+        let grant = adm
+            .submit(&SubmitRequest {
+                class: Some(1),
+                ..submit(AppClass::Balanced, 1, PolicyKind::StaticCaps)
+            })
+            .unwrap();
+        assert_eq!(grant.nodes.len(), 1);
+        assert!((8..12).contains(&grant.nodes[0].0));
     }
 
     #[test]

@@ -218,6 +218,7 @@ mod tests {
                 app: AppClass::Balanced,
                 nodes: 2,
                 policy: PolicyKind::StaticCaps,
+                class: None,
             })
             .unwrap();
         assert_eq!(grant.nodes.len(), 2);

@@ -60,6 +60,11 @@ pub struct DaemonConfig {
     pub max_nodes_per_job: usize,
     /// Override the bank's segment size (None = default).
     pub segment_hosts: Option<usize>,
+    /// Node-class layout: `(name, host count)` pairs laid out as
+    /// contiguous id segments in order. Non-empty layouts must sum to
+    /// `hosts` exactly; empty keeps the fleet unclassed and makes any
+    /// `"class"` field in `/submit` a 400.
+    pub class_layout: Vec<(String, usize)>,
 }
 
 impl Default for DaemonConfig {
@@ -75,6 +80,7 @@ impl Default for DaemonConfig {
             job_ttl_ticks: 25,
             max_nodes_per_job: 64,
             segment_hosts: None,
+            class_layout: Vec::new(),
         }
     }
 }
@@ -85,6 +91,7 @@ struct ServerCtx {
     inflight: AtomicUsize,
     max_inflight: usize,
     max_nodes_per_job: usize,
+    class_names: Vec<String>,
     tick_ms: u64,
     frames_served: AtomicU64,
 }
@@ -106,13 +113,16 @@ impl Daemon {
 
         let model = PowerModel::new(quartz_spec()).expect("quartz spec is valid");
         let host_eps: Vec<f64> = (0..config.hosts).map(eps_of).collect();
-        let admission = Arc::new(Mutex::new(Admission::new(
-            model,
-            host_eps,
-            Watts(config.budget_per_host_w * config.hosts as f64),
-            config.job_ttl_ticks,
-            config.max_nodes_per_job,
-        )));
+        let admission = Arc::new(Mutex::new(
+            Admission::new(
+                model,
+                host_eps,
+                Watts(config.budget_per_host_w * config.hosts as f64),
+                config.job_ttl_ticks,
+                config.max_nodes_per_job,
+            )
+            .with_classes(&config.class_layout),
+        ));
         let fleet = Fleet::spawn(
             FleetConfig {
                 hosts: config.hosts,
@@ -128,6 +138,11 @@ impl Daemon {
             inflight: AtomicUsize::new(0),
             max_inflight: config.max_inflight,
             max_nodes_per_job: config.max_nodes_per_job,
+            class_names: config
+                .class_layout
+                .iter()
+                .map(|(name, _)| name.clone())
+                .collect(),
             tick_ms: config.tick_ms,
             frames_served: AtomicU64::new(0),
         });
@@ -303,7 +318,7 @@ fn serve_request(
         ("GET", "/") => Response::text(
             200,
             "pmstackd: GET /metrics | GET /stream?frames=N&interval_ms=M | \
-             POST /submit {\"app\",\"nodes\",\"policy\"} | GET /healthz\n",
+             POST /submit {\"app\",\"nodes\",\"policy\"[,\"class\"]} | GET /healthz\n",
         ),
         (_, "/metrics" | "/healthz" | "/") => method_not_allowed("GET"),
         (_, "/submit") => method_not_allowed("POST"),
@@ -419,7 +434,7 @@ fn serve_submit(req: &Request, ctx: &ServerCtx) -> Response {
     }
     let _guard = InflightGuard(&ctx.inflight);
 
-    let parsed = match parse_submit_body(&req.body, ctx.max_nodes_per_job) {
+    let parsed = match parse_submit_body(&req.body, ctx.max_nodes_per_job, &ctx.class_names) {
         Ok(parsed) => parsed,
         Err(msg) => {
             return Response::json(400, format!("{{\"error\":\"{}\"}}\n", json::escape(&msg)))
@@ -438,14 +453,19 @@ fn serve_submit(req: &Request, ctx: &ServerCtx) -> Response {
                 .iter()
                 .map(|c| format!("{:.1}", c.value()))
                 .collect();
+            let class = match parsed.class {
+                Some(c) => format!("\"class\":\"{}\",", json::escape(&ctx.class_names[c])),
+                None => String::new(),
+            };
             Response::json(
                 200,
                 format!(
-                    "{{\"job\":\"{}\",\"app\":\"{}\",\"policy\":\"{}\",\
+                    "{{\"job\":\"{}\",\"app\":\"{}\",{}\"policy\":\"{}\",\
                      \"granted_w\":{:.1},\"want_w\":{:.1},\"degraded\":{},\
                      \"ttl_ticks\":{},\"nodes\":[{}],\"caps_w\":[{}]}}\n",
                     grant.job,
                     parsed.app.name(),
+                    class,
                     parsed.policy,
                     grant.granted.value(),
                     grant.want.value(),
@@ -472,7 +492,11 @@ fn serve_submit(req: &Request, ctx: &ServerCtx) -> Response {
     }
 }
 
-fn parse_submit_body(body: &[u8], max_nodes: usize) -> Result<SubmitRequest, String> {
+fn parse_submit_body(
+    body: &[u8],
+    max_nodes: usize,
+    classes: &[String],
+) -> Result<SubmitRequest, String> {
     let value = json::parse(body).map_err(|e| format!("invalid JSON body: {e}"))?;
     let Value::Obj(_) = &value else {
         return Err("body must be a JSON object".into());
@@ -503,9 +527,33 @@ fn parse_submit_body(body: &[u8], max_nodes: usize) -> Result<SubmitRequest, Str
         .ok_or("missing string field \"policy\"")?;
     let policy = crate::admission::parse_policy(policy_name)
         .ok_or_else(|| format!("unknown policy {policy_name:?}"))?;
+    // The node-class preference is optional; when present it must name a
+    // configured class (an unclassed fleet accepts none).
+    let class = match value.get("class") {
+        None => None,
+        Some(v) => {
+            let name = v.as_str().ok_or("field \"class\" must be a string")?;
+            let idx = classes
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
+                .ok_or_else(|| {
+                    if classes.is_empty() {
+                        format!("unknown node class {name:?}; this fleet has no node classes")
+                    } else {
+                        format!(
+                            "unknown node class {:?}; expected one of {}",
+                            name,
+                            classes.join(", ")
+                        )
+                    }
+                })?;
+            Some(idx)
+        }
+    };
     Ok(SubmitRequest {
         app,
         nodes: nodes_raw as usize,
         policy,
+        class,
     })
 }

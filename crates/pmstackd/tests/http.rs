@@ -20,6 +20,7 @@ fn small_daemon() -> Daemon {
         job_ttl_ticks: 200,
         max_nodes_per_job: 8,
         segment_hosts: None,
+        class_layout: Vec::new(),
     })
     .expect("daemon binds an ephemeral port")
 }
@@ -189,6 +190,145 @@ fn submit_node_exhaustion_is_503() {
     assert_eq!(resp.status, 503, "{}", resp.body_str());
     let v = json::parse(&resp.body).unwrap();
     assert_eq!(v.get("free_nodes").and_then(Value::as_f64), Some(0.0));
+    daemon.shutdown();
+}
+
+/// A daemon with a two-class layout: quartz on ids 0..12, stout on 12..16.
+fn classed_daemon() -> Daemon {
+    Daemon::spawn(DaemonConfig {
+        hosts: 16,
+        max_nodes_per_job: 8,
+        job_ttl_ticks: 100_000,
+        tick_ms: 50,
+        class_layout: vec![("quartz".to_string(), 12), ("stout".to_string(), 4)],
+        ..DaemonConfig::default()
+    })
+    .unwrap()
+}
+
+fn counter(addr: std::net::SocketAddr, name: &str) -> f64 {
+    let resp = get(addr, "/metrics?format=json");
+    assert_eq!(resp.status, 200);
+    json::parse(&resp.body)
+        .expect("metrics JSON parses")
+        .get("counters")
+        .and_then(|c| c.get(name))
+        .and_then(Value::as_f64)
+        .unwrap_or(0.0)
+}
+
+#[test]
+fn submit_class_preference_pins_nodes_to_the_class_segment() {
+    let daemon = classed_daemon();
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":3,\"policy\":\"static\",\"class\":\"stout\"}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let v = json::parse(&resp.body).expect("grant is JSON");
+    assert_eq!(v.get("class").and_then(Value::as_str), Some("stout"));
+    let Some(Value::Arr(nodes)) = v.get("nodes") else {
+        panic!("nodes missing: {}", resp.body_str());
+    };
+    assert_eq!(nodes.len(), 3);
+    for node in nodes {
+        let id = node.as_f64().expect("node id is numeric") as usize;
+        assert!(
+            (12..16).contains(&id),
+            "node {id} outside the stout segment 12..16"
+        );
+    }
+    // An unconstrained submit on the same fleet omits the class field and
+    // draws from the low (quartz) ids.
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":2,\"policy\":\"static\"}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let v = json::parse(&resp.body).unwrap();
+    assert!(v.get("class").is_none(), "{}", resp.body_str());
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_unknown_class_is_400_with_error_body() {
+    let daemon = classed_daemon();
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":1,\"policy\":\"static\",\"class\":\"warp\"}",
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let err = json::parse(&resp.body)
+        .unwrap()
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("400 body carries an error field")
+        .to_string();
+    assert!(err.contains("warp"), "{err}");
+    assert!(
+        err.contains("quartz") && err.contains("stout"),
+        "error should list the known classes: {err}"
+    );
+    // A non-string class is also a 400.
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":1,\"policy\":\"static\",\"class\":3}",
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    daemon.shutdown();
+
+    // On an unclassed fleet every class name is unknown.
+    let daemon = small_daemon();
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":1,\"policy\":\"static\",\"class\":\"quartz\"}",
+    );
+    assert_eq!(resp.status, 400, "{}", resp.body_str());
+    let v = json::parse(&resp.body).unwrap();
+    let err = v.get("error").and_then(Value::as_str).unwrap();
+    assert!(err.contains("no node classes"), "{err}");
+    daemon.shutdown();
+}
+
+#[test]
+fn submit_class_exhaustion_is_503_and_counts_the_rejection() {
+    let daemon = classed_daemon();
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":4,\"policy\":\"static\",\"class\":\"stout\"}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let before = counter(daemon.addr(), "pmstackd.submit.rejected_nodes");
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":1,\"policy\":\"static\",\"class\":\"stout\"}",
+    );
+    assert_eq!(resp.status, 503, "{}", resp.body_str());
+    let v = json::parse(&resp.body).unwrap();
+    // Segment-local accounting: zero stout nodes free even though the
+    // twelve quartz nodes are all still idle.
+    assert_eq!(v.get("free_nodes").and_then(Value::as_f64), Some(0.0));
+    let after = counter(daemon.addr(), "pmstackd.submit.rejected_nodes");
+    assert!(
+        after >= before + 1.0,
+        "rejected_nodes rung not counted: {before} -> {after}"
+    );
+
+    // The quartz segment still admits.
+    let resp = post(
+        daemon.addr(),
+        "/submit",
+        "{\"app\":\"balanced\",\"nodes\":4,\"policy\":\"static\",\"class\":\"quartz\"}",
+    );
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
     daemon.shutdown();
 }
 

@@ -15,6 +15,7 @@
 
 pub mod backfill;
 pub mod budget;
+pub mod domains;
 pub mod job;
 pub mod lease;
 pub mod lifecycle;
@@ -24,6 +25,7 @@ pub mod scheduler;
 
 pub use backfill::BackfillScheduler;
 pub use budget::{OverCommit, PowerLedger};
+pub use domains::{DomainGrant, DomainLedger};
 pub use job::{Job, JobId, JobSpec, JobState};
 pub use lease::LeaseTable;
 pub use lifecycle::{JobLifecycle, LifecycleState};

@@ -61,6 +61,27 @@ impl NodePool {
         Some(grant)
     }
 
+    /// Lease `n` nodes with ids in `[lo, hi)` (lowest ids first) — the
+    /// class-constrained allocation path: a heterogeneous fleet lays its
+    /// classes out as contiguous id segments, and a job pinned to one
+    /// class draws only from that segment. Returns `None` without side
+    /// effects if the segment does not hold `n` free nodes.
+    pub fn allocate_in(&mut self, n: usize, lo: NodeId, hi: NodeId) -> Option<Vec<NodeId>> {
+        let grant: Vec<NodeId> = self.free.range(lo..hi).take(n).copied().collect();
+        if grant.len() < n {
+            return None;
+        }
+        for id in &grant {
+            self.free.remove(id);
+        }
+        Some(grant)
+    }
+
+    /// Free nodes with ids in `[lo, hi)`.
+    pub fn available_in(&self, lo: NodeId, hi: NodeId) -> usize {
+        self.free.range(lo..hi).count()
+    }
+
     /// Return leased nodes. Idempotent: releasing a node twice is a no-op,
     /// and nodes no longer managed (drained after a failure) silently stay
     /// out of the free set instead of re-entering circulation.
@@ -176,6 +197,24 @@ mod tests {
         assert_eq!(pool.available(), 3);
         // Restoring a managed node is a no-op.
         assert!(!pool.restore(NodeId(1)));
+        assert_eq!(pool.available(), 3);
+    }
+
+    #[test]
+    fn range_allocation_stays_inside_the_segment() {
+        let mut pool = NodePool::new(8);
+        // Fleet-wide allocation takes the low segment first…
+        let low = pool.allocate(2).unwrap();
+        assert_eq!(low, vec![NodeId(0), NodeId(1)]);
+        // …but a class pinned to [4, 8) only sees its own nodes.
+        assert_eq!(pool.available_in(NodeId(4), NodeId(8)), 4);
+        let pinned = pool.allocate_in(3, NodeId(4), NodeId(8)).unwrap();
+        assert_eq!(pinned, vec![NodeId(4), NodeId(5), NodeId(6)]);
+        assert_eq!(pool.available_in(NodeId(4), NodeId(8)), 1);
+        // Segment exhaustion fails without side effects even though the
+        // fleet as a whole still has free nodes.
+        assert!(pool.allocate_in(2, NodeId(4), NodeId(8)).is_none());
+        assert_eq!(pool.available_in(NodeId(4), NodeId(8)), 1);
         assert_eq!(pool.available(), 3);
     }
 

@@ -1,0 +1,221 @@
+//! The within-host domain balancer.
+//!
+//! The power balancer agents move watts *across hosts*; this planner moves
+//! watts *across RAPL domains within a host*. A host whose node-level grant
+//! is fixed can still be mis-provisioned internally: a memory-bound phase
+//! starves DRAM while PP0 holds slack, a compute phase does the opposite.
+//! The planner inspects per-domain grants and demands and proposes
+//! step-bounded shifts from the host's max-slack domain to its max-deficit
+//! domain, leaving the node-level grant untouched — exactly the move the
+//! resource manager's domain ledger can apply without re-admission.
+//!
+//! The planner is deliberately platform-free: it consumes plain
+//! `[Watts; 3]` rows (indexed by [`RaplDomain::index`]) so the experiment
+//! driver can feed it ledger splits and metered draws without the runtime
+//! growing a dependency on the resource manager.
+
+use pmstack_obs::StaticCounter;
+use pmstack_simhw::{RaplDomain, Watts};
+
+/// Observability: domain-to-domain shifts proposed by the planner.
+static BALANCER_DOMAIN_SHIFTS: StaticCounter = StaticCounter::new("runtime.balancer.domain_shifts");
+
+/// One proposed within-host move of watts between two RAPL domains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainShift {
+    /// Fleet-global host index the shift applies to.
+    pub host: usize,
+    /// Domain surrendering the watts.
+    pub from: RaplDomain,
+    /// Domain receiving the watts.
+    pub to: RaplDomain,
+    /// Watts moved; always positive and step-bounded.
+    pub watts: Watts,
+}
+
+/// Tunables for the domain balancer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainBalancerParams {
+    /// Maximum watts moved per host per planning round. Bounding the step
+    /// keeps the search stable under noisy demand estimates, mirroring the
+    /// probe-step discipline of the host-level balancer.
+    pub step: Watts,
+    /// Slack and deficit below this threshold are treated as balanced;
+    /// prevents oscillating micro-shifts around the fixed point.
+    pub deadband: Watts,
+}
+
+impl Default for DomainBalancerParams {
+    fn default() -> Self {
+        Self {
+            step: Watts(4.0),
+            deadband: Watts(0.5),
+        }
+    }
+}
+
+/// Plans within-host domain-to-domain power shifts.
+#[derive(Debug, Clone, Default)]
+pub struct DomainBalancer {
+    params: DomainBalancerParams,
+}
+
+impl DomainBalancer {
+    /// A planner with the default step and deadband.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A planner with explicit tunables.
+    pub fn with_params(params: DomainBalancerParams) -> Self {
+        Self { params }
+    }
+
+    /// The active tunables.
+    pub fn params(&self) -> DomainBalancerParams {
+        self.params
+    }
+
+    /// Propose at most one shift per host: from the domain with the most
+    /// slack (grant above demand) to the domain with the deepest deficit
+    /// (demand above grant), moving `min(step, slack, deficit)` watts.
+    ///
+    /// `grants` and `demands` are parallel per-host rows indexed by
+    /// [`RaplDomain::index`]. Rows beyond the shorter slice are ignored, so
+    /// a partially-metered fleet degrades to fewer plans, not a panic.
+    /// Hosts already balanced (within the deadband) yield no shift.
+    pub fn plan(&self, grants: &[[Watts; 3]], demands: &[[Watts; 3]]) -> Vec<DomainShift> {
+        let mut shifts = Vec::new();
+        for (host, (grant, demand)) in grants.iter().zip(demands).enumerate() {
+            let mut donor: Option<(usize, f64)> = None;
+            let mut needy: Option<(usize, f64)> = None;
+            for d in 0..3 {
+                let slack = grant[d].value() - demand[d].value();
+                if slack > self.params.deadband.value()
+                    && donor.is_none_or(|(_, best)| slack > best)
+                {
+                    donor = Some((d, slack));
+                }
+                if -slack > self.params.deadband.value()
+                    && needy.is_none_or(|(_, best)| -slack > best)
+                {
+                    needy = Some((d, -slack));
+                }
+            }
+            let (Some((from, slack)), Some((to, deficit))) = (donor, needy) else {
+                continue;
+            };
+            let watts = Watts(slack.min(deficit)).min(self.params.step);
+            if watts <= Watts::ZERO {
+                continue;
+            }
+            shifts.push(DomainShift {
+                host,
+                from: RaplDomain::ALL[from],
+                to: RaplDomain::ALL[to],
+                watts,
+            });
+            BALANCER_DOMAIN_SHIFTS.inc();
+        }
+        shifts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w3(a: f64, b: f64, c: f64) -> [Watts; 3] {
+        [Watts(a), Watts(b), Watts(c)]
+    }
+
+    #[test]
+    fn shifts_from_max_slack_to_max_deficit() {
+        let planner = DomainBalancer::new();
+        // Host 0: pkg-rest has 10 W slack, dram needs 6 W, pp0 balanced.
+        let shifts = planner.plan(&[w3(30.0, 60.0, 10.0)], &[w3(20.0, 60.0, 16.0)]);
+        assert_eq!(shifts.len(), 1);
+        let s = shifts[0];
+        assert_eq!(s.host, 0);
+        assert_eq!(s.from, RaplDomain::Pkg);
+        assert_eq!(s.to, RaplDomain::Dram);
+        // Step-bounded: deficit is 6 W but the default step is 4 W.
+        assert_eq!(s.watts, Watts(4.0));
+    }
+
+    #[test]
+    fn shift_is_bounded_by_the_smaller_of_slack_and_deficit() {
+        let planner = DomainBalancer::with_params(DomainBalancerParams {
+            step: Watts(50.0),
+            deadband: Watts(0.5),
+        });
+        // Slack 2 W < deficit 30 W: only the slack can move.
+        let shifts = planner.plan(&[w3(22.0, 40.0, 10.0)], &[w3(20.0, 70.0, 10.0)]);
+        assert_eq!(shifts.len(), 1);
+        assert_eq!(shifts[0].watts, Watts(2.0));
+        assert_eq!(shifts[0].from, RaplDomain::Pkg);
+        assert_eq!(shifts[0].to, RaplDomain::Pp0);
+    }
+
+    #[test]
+    fn balanced_hosts_yield_no_shift() {
+        let planner = DomainBalancer::new();
+        let grants = [w3(30.0, 60.0, 12.0), w3(25.0, 55.0, 14.0)];
+        // Within the deadband everywhere.
+        let demands = [w3(30.2, 59.9, 12.1), w3(25.0, 55.0, 14.0)];
+        assert!(planner.plan(&grants, &demands).is_empty());
+    }
+
+    #[test]
+    fn all_slack_or_all_deficit_yields_no_shift() {
+        let planner = DomainBalancer::new();
+        // Pure surplus: nowhere to send it within the host.
+        assert!(planner
+            .plan(&[w3(40.0, 80.0, 20.0)], &[w3(10.0, 20.0, 5.0)])
+            .is_empty());
+        // Pure deficit: nothing to take from.
+        assert!(planner
+            .plan(&[w3(10.0, 20.0, 5.0)], &[w3(40.0, 80.0, 20.0)])
+            .is_empty());
+    }
+
+    #[test]
+    fn plans_independently_per_host_and_tolerates_short_rows() {
+        let planner = DomainBalancer::new();
+        let grants = [
+            w3(30.0, 60.0, 10.0), // pkg-rest slack, dram deficit
+            w3(10.0, 70.0, 14.0), // pp0 slack, pkg-rest deficit
+            w3(20.0, 50.0, 12.0), // balanced
+        ];
+        let demands = [
+            w3(20.0, 60.0, 16.0),
+            w3(18.0, 50.0, 14.0),
+            // third demand row missing: host 2 is skipped, not a panic
+        ];
+        let shifts = planner.plan(&grants, &demands);
+        assert_eq!(shifts.len(), 2);
+        assert_eq!(
+            (shifts[0].host, shifts[0].from, shifts[0].to),
+            (0, RaplDomain::Pkg, RaplDomain::Dram)
+        );
+        assert_eq!(
+            (shifts[1].host, shifts[1].from, shifts[1].to),
+            (1, RaplDomain::Pp0, RaplDomain::Pkg)
+        );
+    }
+
+    #[test]
+    fn shifts_conserve_the_node_grant_when_applied() {
+        let planner = DomainBalancer::new();
+        let grants = [w3(30.0, 60.0, 10.0)];
+        let demands = [w3(20.0, 60.0, 16.0)];
+        let before: f64 = grants[0].iter().map(|w| w.value()).sum();
+        let mut after = grants[0];
+        for s in planner.plan(&grants, &demands) {
+            after[s.from.index()] -= s.watts;
+            after[s.to.index()] += s.watts;
+        }
+        let sum: f64 = after.iter().map(|w| w.value()).sum();
+        assert!((sum - before).abs() < 1e-12, "node grant must be conserved");
+    }
+}

@@ -1,11 +1,13 @@
 //! The agent implementations the paper's methodology uses.
 
 mod balancer;
+mod domains;
 mod freq_governor;
 mod governor;
 mod monitor;
 
 pub use balancer::{BalancerParams, HierarchicalBalancerAgent, PowerBalancerAgent};
+pub use domains::{DomainBalancer, DomainBalancerParams, DomainShift};
 pub use freq_governor::FrequencyGovernorAgent;
 pub use governor::PowerGovernorAgent;
 pub use monitor::MonitorAgent;

@@ -36,8 +36,8 @@ pub mod trace;
 
 pub use agent::Agent;
 pub use agents::{
-    FrequencyGovernorAgent, HierarchicalBalancerAgent, MonitorAgent, PowerBalancerAgent,
-    PowerGovernorAgent,
+    DomainBalancer, DomainBalancerParams, DomainShift, FrequencyGovernorAgent,
+    HierarchicalBalancerAgent, MonitorAgent, PowerBalancerAgent, PowerGovernorAgent,
 };
 pub use controller::Controller;
 pub use endpoint::{Endpoint, EndpointRm, EndpointRuntime};

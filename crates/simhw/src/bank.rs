@@ -562,6 +562,15 @@ impl NodeBank {
         self.nodes
     }
 
+    /// Route a control operation that is *not* mirrored in the columns
+    /// (sub-domain programming) through the backing `Node`. Shares
+    /// [`NodeBank::with_node_mut`]'s flush → op → refresh → dirty routing,
+    /// so fault semantics and cache invalidation stay identical to the
+    /// mirrored control paths.
+    pub(crate) fn with_node<T>(&mut self, h: usize, f: impl FnOnce(&mut Node) -> T) -> T {
+        self.with_node_mut(h, f)
+    }
+
     /// Route a control operation through the backing `Node`: flush the hot
     /// columns into it, run the operation, then refresh every mirror. The
     /// host's segment cache is dirtied — this is the invalidation point for

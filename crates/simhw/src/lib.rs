@@ -30,6 +30,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod bank;
+pub mod classes;
 pub mod clock;
 pub mod cluster;
 pub mod error;
@@ -45,6 +46,7 @@ pub mod units;
 pub mod variation;
 
 pub use bank::{HostStep, NodeBank, StepReport, DEFAULT_SEGMENT_HOSTS};
+pub use classes::{standard_classes, ClassId, ClassModels, ClassedBank, NodeClass};
 pub use clock::SimClock;
 pub use cluster::{Cluster, ClusterBuilder};
 pub use error::SimHwError;
@@ -53,5 +55,6 @@ pub use node::{Node, NodeId, NodePowerSample};
 pub use power::{CoreClass, LoadModel, MachineSpec, OperatingPoint, PowerModel};
 pub use pstate::PStateLadder;
 pub use quartz::quartz_spec;
+pub use rapl::{DomainConfig, RaplDomain};
 pub use units::{Hertz, Joules, Seconds, Watts};
 pub use variation::{VariationModel, VariationProfile};

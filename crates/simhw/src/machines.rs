@@ -34,9 +34,40 @@ pub fn skylake_sp_spec() -> MachineSpec {
     }
 }
 
+/// A dense single-socket throughput node (Xeon D-2183IT-like): 16 cores,
+/// 105 W, low clocks — the "efficiency" class of a mixed fleet.
+pub fn stout_spec() -> MachineSpec {
+    MachineSpec {
+        name: "Intel Xeon D-2183IT (Stout node)".to_string(),
+        sockets_per_node: 1,
+        cores_per_socket: 16,
+        cores_used_per_node: 15,
+        f_min: Hertz::from_ghz(1.0),
+        f_base: Hertz::from_ghz(2.0),
+        f_turbo: Hertz::from_ghz(2.4),
+        f_step: Hertz(100e6),
+        tdp_per_socket: Watts(105.0),
+        min_rapl_per_socket: Watts(52.0),
+        alpha: 2.2,
+        uncore_per_socket: Watts(12.0),
+        leak_per_core: Watts(0.8),
+        dram_bw_bytes_per_s: 90e9,
+        poll_freq_floor: Hertz::from_ghz(2.2),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stout_spec_is_valid() {
+        stout_spec().validate().unwrap();
+        let s = stout_spec();
+        assert_eq!(s.tdp_per_node(), Watts(105.0));
+        assert_eq!(s.min_rapl_per_node(), Watts(52.0));
+        assert!(s.pstates().len() > 10);
+    }
 
     #[test]
     fn skylake_spec_is_valid() {

@@ -18,6 +18,14 @@ pub mod address {
     pub const PKG_ENERGY_STATUS: u32 = 0x611;
     /// `MSR_PKG_POWER_INFO`: TDP and min/max settable power.
     pub const PKG_POWER_INFO: u32 = 0x614;
+    /// `MSR_PP0_POWER_LIMIT`: power-plane-0 (cores) limit control.
+    pub const PP0_POWER_LIMIT: u32 = 0x638;
+    /// `MSR_PP0_ENERGY_STATUS`: 32-bit core-plane energy counter.
+    pub const PP0_ENERGY_STATUS: u32 = 0x639;
+    /// `MSR_DRAM_POWER_LIMIT`: DRAM-domain limit control.
+    pub const DRAM_POWER_LIMIT: u32 = 0x618;
+    /// `MSR_DRAM_ENERGY_STATUS`: 32-bit DRAM-domain energy counter.
+    pub const DRAM_ENERGY_STATUS: u32 = 0x619;
     /// `IA32_PERF_STATUS`: current p-state readback.
     pub const PERF_STATUS: u32 = 0x198;
     /// `IA32_PERF_CTL`: requested p-state.
@@ -82,6 +90,24 @@ impl MsrDevice {
         );
         dev.allow(address::PKG_ENERGY_STATUS, MsrPermission::READ_ONLY);
         dev.allow(address::PKG_POWER_INFO, MsrPermission::READ_ONLY);
+        // Sub-domain planes carry a single 24-bit limit field each (limit,
+        // enable, clamp, window); the lock bit (31) is not writable.
+        dev.allow(
+            address::PP0_POWER_LIMIT,
+            MsrPermission {
+                read_mask: u64::MAX,
+                write_mask: 0x00FF_FFFF,
+            },
+        );
+        dev.allow(address::PP0_ENERGY_STATUS, MsrPermission::READ_ONLY);
+        dev.allow(
+            address::DRAM_POWER_LIMIT,
+            MsrPermission {
+                read_mask: u64::MAX,
+                write_mask: 0x00FF_FFFF,
+            },
+        );
+        dev.allow(address::DRAM_ENERGY_STATUS, MsrPermission::READ_ONLY);
         dev.allow(address::PERF_STATUS, MsrPermission::READ_ONLY);
         dev.allow(address::PERF_CTL, MsrPermission::READ_WRITE);
         dev

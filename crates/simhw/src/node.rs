@@ -1,10 +1,11 @@
 //! A compute node: two RAPL packages, a variation factor, and the PCU
 //! frequency-resolution logic.
 
+use crate::classes::{ClassId, NodeClass};
 use crate::error::{Result, SimHwError};
 use crate::faults::{FaultKind, NodeHealth};
 use crate::power::{LoadModel, PowerModel};
-use crate::rapl::{PowerLimit, RaplPackage};
+use crate::rapl::{PowerLimit, RaplDomain, RaplPackage};
 use crate::units::{Hertz, Joules, Seconds, Watts};
 use pmstack_obs::{EventKind, StaticCounter};
 use serde::{Deserialize, Serialize};
@@ -56,6 +57,9 @@ pub struct Node {
     telemetry_down_for: u32,
     /// One-shot msr-safe denial consumed by the next MSR access.
     msr_glitch: bool,
+    /// The node class this node was built from (`ClassId(0)` for the
+    /// classic homogeneous constructor).
+    class_id: ClassId,
 }
 
 impl Node {
@@ -88,12 +92,100 @@ impl Node {
             stuck_limit: None,
             telemetry_down_for: 0,
             msr_glitch: false,
+            class_id: ClassId(0),
         })
+    }
+
+    /// Construct a node of a specific [`NodeClass`]: the classic
+    /// construction against the class's machine spec, plus PP0/DRAM
+    /// sub-domains on every package when the class declares a domain split.
+    /// `model` must be the power model built from `class.spec`.
+    pub fn with_class(
+        id: NodeId,
+        class_id: ClassId,
+        class: &NodeClass,
+        model: &PowerModel,
+        eps: f64,
+    ) -> Result<Self> {
+        debug_assert_eq!(
+            model.spec().name,
+            class.spec.name,
+            "model must be built from the class's spec"
+        );
+        let mut node = Self::new(id, model, eps)?;
+        node.class_id = class_id;
+        if let Some(cfg) = class.domains {
+            for pkg in &mut node.packages {
+                pkg.enable_domains(cfg)?;
+            }
+        }
+        Ok(node)
     }
 
     /// The node's identifier.
     pub fn id(&self) -> NodeId {
         self.id
+    }
+
+    /// The class this node belongs to.
+    pub fn class_id(&self) -> ClassId {
+        self.class_id
+    }
+
+    /// Whether the node's packages carry PP0/DRAM sub-domains.
+    pub fn has_domains(&self) -> bool {
+        self.packages.iter().any(|p| p.has_domains())
+    }
+
+    /// Program a node-level sub-plane limit by splitting it evenly across
+    /// sockets; each package clamps into its plane range (and a stuck plane
+    /// silently latches). Returns the node-level watts actually programmed.
+    /// Shares the package path's fault surface: dead nodes fail, a pending
+    /// transient MSR fault is consumed as a one-shot denial.
+    pub fn set_domain_limit(&mut self, d: RaplDomain, node_limit: Watts) -> Result<Watts> {
+        if self.health == NodeHealth::Dead {
+            return Err(SimHwError::NodeFailed(self.id.0));
+        }
+        if std::mem::take(&mut self.msr_glitch) {
+            return Err(SimHwError::MsrNotAllowed {
+                address: crate::msr::address::PP0_POWER_LIMIT,
+                write: true,
+            });
+        }
+        let per_socket = node_limit / self.packages.len() as f64;
+        let mut programmed = Watts::ZERO;
+        for pkg in &mut self.packages {
+            programmed += pkg.set_domain_limit(d, per_socket)?;
+        }
+        Ok(programmed)
+    }
+
+    /// Cumulative node-level energy of one domain (sum over sockets).
+    pub fn domain_energy(&self, d: RaplDomain) -> Result<Joules> {
+        let mut total = Joules::ZERO;
+        for pkg in &self.packages {
+            total += pkg.domain_energy(d)?;
+        }
+        Ok(total)
+    }
+
+    /// Node-level enforced limit of one domain (sum over sockets).
+    pub fn domain_enforced(&self, d: RaplDomain) -> Result<Watts> {
+        let mut total = Watts::ZERO;
+        for pkg in &self.packages {
+            total += pkg.domain_enforced(d)?;
+        }
+        Ok(total)
+    }
+
+    /// Pin one sub-plane's limit on every socket (stuck-RAPL confined to a
+    /// single domain; sibling planes stay live).
+    pub fn inject_domain_stuck(&mut self, d: RaplDomain, node_pinned: Watts) -> Result<()> {
+        let per_socket = node_pinned / self.packages.len() as f64;
+        for pkg in &mut self.packages {
+            pkg.inject_domain_stuck(d, per_socket)?;
+        }
+        Ok(())
     }
 
     /// The node's efficiency factor ε.

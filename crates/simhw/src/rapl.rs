@@ -15,6 +15,19 @@
 use crate::error::{Result, SimHwError};
 use crate::msr::{address, MsrDevice};
 use crate::units::{Joules, Seconds, Watts};
+use pmstack_obs::StaticCounter;
+
+/// Observability: sub-domain energy/enforcement updates (one per advance of
+/// a package with sub-domains enabled; the classed bank's meter columns
+/// count through the same counter).
+pub(crate) static DOMAIN_ADVANCED: StaticCounter = StaticCounter::new("simhw.domain.advanced");
+/// Observability: sub-domain limit programmings.
+static DOMAIN_LIMIT_WRITES: StaticCounter = StaticCounter::new("simhw.domain.limit_writes");
+/// Observability: sub-domain limit requests clamped into the settable range.
+static DOMAIN_CLAMPED: StaticCounter = StaticCounter::new("simhw.domain.clamped");
+/// Observability: sub-domain limit writes silently latched by a stuck-RAPL
+/// fault in that domain.
+static DOMAIN_STUCK_LATCHED: StaticCounter = StaticCounter::new("simhw.domain.stuck_latched");
 
 /// Default `MSR_RAPL_POWER_UNIT` value on the Broadwell-EP parts of the
 /// testbed: power unit = 2^-3 W (0.125 W), energy unit = 2^-14 J (61 µJ),
@@ -110,6 +123,103 @@ fn encode_time_window(units: f64) -> (u32, u32) {
     best
 }
 
+/// The RAPL domains modeled by the simulator: the package plane and the
+/// optional PP0 (core) and DRAM sub-planes, addressed scaphandre-style
+/// through their own limit and energy-status MSRs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RaplDomain {
+    /// The whole package (`0x610`/`0x611`).
+    Pkg,
+    /// Power plane 0, the cores (`0x638`/`0x639`).
+    Pp0,
+    /// The DRAM plane (`0x618`/`0x619`).
+    Dram,
+}
+
+impl RaplDomain {
+    /// All three domains, package first.
+    pub const ALL: [Self; 3] = [Self::Pkg, Self::Pp0, Self::Dram];
+
+    /// Stable lowercase name (metrics labels, wire formats).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Pkg => "pkg",
+            Self::Pp0 => "pp0",
+            Self::Dram => "dram",
+        }
+    }
+
+    /// Index into per-domain arrays (`Pkg` = 0).
+    pub fn index(&self) -> usize {
+        match self {
+            Self::Pkg => 0,
+            Self::Pp0 => 1,
+            Self::Dram => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for RaplDomain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Static split describing how a package's draw maps onto its sub-planes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DomainConfig {
+    /// Fraction of package power drawn by the core plane (PP0), in `(0, 1]`.
+    pub pp0_fraction: f64,
+    /// DRAM-plane power per package while the package draws any power.
+    pub dram_power: Watts,
+}
+
+impl DomainConfig {
+    fn validate(&self) -> Result<()> {
+        if !(self.pp0_fraction > 0.0 && self.pp0_fraction <= 1.0) {
+            return Err(SimHwError::InvalidParameter(format!(
+                "pp0_fraction {} outside (0, 1]",
+                self.pp0_fraction
+            )));
+        }
+        if !self.dram_power.is_valid() || self.dram_power.value() <= 0.0 {
+            return Err(SimHwError::InvalidParameter(
+                "dram_power must be finite and positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// State of one sub-plane (PP0 or DRAM): its own exact energy, enforcement
+/// filter, settable range, and stuck-fault latch. Registers live in the
+/// owning package's MSR device.
+#[derive(Debug, Clone)]
+struct SubDomain {
+    energy_exact: Joules,
+    enforced: Watts,
+    min_limit: Watts,
+    max_limit: Watts,
+    /// A stuck-RAPL fault pinned this plane's limit; writes silently latch.
+    stuck: Option<Watts>,
+    limit_msr: u32,
+    energy_msr: u32,
+}
+
+impl SubDomain {
+    fn new(min_limit: Watts, max_limit: Watts, limit_msr: u32, energy_msr: u32) -> Self {
+        Self {
+            energy_exact: Joules::ZERO,
+            enforced: max_limit,
+            min_limit,
+            max_limit,
+            stuck: None,
+            limit_msr,
+            energy_msr,
+        }
+    }
+}
+
 /// One RAPL package domain (one CPU socket) with its MSR device, energy
 /// accounting, and limit-enforcement filter.
 #[derive(Debug, Clone)]
@@ -125,6 +235,11 @@ pub struct RaplPackage {
     min_limit: Watts,
     max_limit: Watts,
     tdp: Watts,
+    /// Optional sub-plane split; `None` keeps the package PKG-only with the
+    /// exact pre-domain semantics.
+    domains: Option<DomainConfig>,
+    pp0: Option<SubDomain>,
+    dram: Option<SubDomain>,
 }
 
 impl RaplPackage {
@@ -163,6 +278,9 @@ impl RaplPackage {
             min_limit,
             max_limit,
             tdp,
+            domains: None,
+            pp0: None,
+            dram: None,
         };
         pkg.set_limit(PowerLimit {
             limit: tdp,
@@ -237,6 +355,215 @@ impl RaplPackage {
         let (target, tau) = self.enforcement_params();
         let alpha = 1.0 - (-dt.value() / tau).exp();
         self.enforced += (target - self.enforced) * alpha;
+
+        if self.domains.is_some() {
+            self.advance_sub_domains(dt, power);
+        }
+    }
+
+    /// Advance the PP0/DRAM planes alongside the package: independent energy
+    /// counters (same 32-bit wrap semantics), independent enforcement
+    /// filters. Runs only when sub-domains are enabled, so PKG-only packages
+    /// execute exactly the pre-domain arithmetic.
+    fn advance_sub_domains(&mut self, dt: Seconds, power: Watts) {
+        let cfg = self.domains.expect("checked by caller");
+        DOMAIN_ADVANCED.inc();
+        let energy_j = self.units.energy_j;
+        let pkg_target = {
+            let (target, _) = self.enforcement_params();
+            target
+        };
+        let units = self.units;
+
+        if let Some(pp0) = self.pp0.as_mut() {
+            let draw = power * cfg.pp0_fraction;
+            pp0.energy_exact += draw * dt;
+            let counts = (pp0.energy_exact.value() / energy_j) as u64;
+            let msr = pp0.energy_msr;
+            let pl = decode_power_limit(self.msrs.hw_load(pp0.limit_msr), &units);
+            // Clamp ordering: the plane's own limit applies first, then the
+            // package share caps it — equivalently the min of the two.
+            let own = if pl.enabled { pl.limit } else { pp0.max_limit };
+            let target = own.min(pkg_target * cfg.pp0_fraction);
+            let tau = pl.time_window.value().max(1e-3);
+            let alpha = 1.0 - (-dt.value() / tau).exp();
+            pp0.enforced += (target - pp0.enforced) * alpha;
+            self.msrs.hw_store(msr, counts & 0xFFFF_FFFF);
+        }
+        if let Some(dram) = self.dram.as_mut() {
+            // The DRAM plane sits outside the package's power envelope: it
+            // draws its configured power whenever the package is live.
+            let draw = if power.value() > 0.0 {
+                cfg.dram_power
+            } else {
+                Watts::ZERO
+            };
+            dram.energy_exact += draw * dt;
+            let counts = (dram.energy_exact.value() / energy_j) as u64;
+            let msr = dram.energy_msr;
+            let pl = decode_power_limit(self.msrs.hw_load(dram.limit_msr), &units);
+            let target = if pl.enabled { pl.limit } else { dram.max_limit };
+            let tau = pl.time_window.value().max(1e-3);
+            let alpha = 1.0 - (-dt.value() / tau).exp();
+            dram.enforced += (target - dram.enforced) * alpha;
+            self.msrs.hw_store(msr, counts & 0xFFFF_FFFF);
+        }
+    }
+
+    /// Enable the PP0/DRAM sub-planes with the given split. The PP0 settable
+    /// range is the package range scaled by the core-plane fraction; the
+    /// DRAM range is `[0, 2·dram_power]`. Each plane's limit register is
+    /// initialized to its maximum, enabled, with a 1 s window.
+    pub fn enable_domains(&mut self, cfg: DomainConfig) -> Result<()> {
+        cfg.validate()?;
+        let pp0 = SubDomain::new(
+            self.min_limit * cfg.pp0_fraction,
+            self.max_limit * cfg.pp0_fraction,
+            address::PP0_POWER_LIMIT,
+            address::PP0_ENERGY_STATUS,
+        );
+        let dram = SubDomain::new(
+            Watts::ZERO,
+            cfg.dram_power * 2.0,
+            address::DRAM_POWER_LIMIT,
+            address::DRAM_ENERGY_STATUS,
+        );
+        for d in [&pp0, &dram] {
+            let pl = PowerLimit {
+                limit: d.max_limit,
+                enabled: true,
+                clamp: true,
+                time_window: Seconds(1.0),
+            };
+            let raw = encode_power_limit(&pl, &self.units);
+            self.msrs.write(d.limit_msr, raw)?;
+        }
+        self.domains = Some(cfg);
+        self.pp0 = Some(pp0);
+        self.dram = Some(dram);
+        Ok(())
+    }
+
+    /// Whether PP0/DRAM sub-planes are enabled.
+    pub fn has_domains(&self) -> bool {
+        self.domains.is_some()
+    }
+
+    /// The sub-plane split, when enabled.
+    pub fn domain_config(&self) -> Option<DomainConfig> {
+        self.domains
+    }
+
+    fn sub_domain(&self, d: RaplDomain) -> Result<&SubDomain> {
+        let sub = match d {
+            RaplDomain::Pkg => None,
+            RaplDomain::Pp0 => self.pp0.as_ref(),
+            RaplDomain::Dram => self.dram.as_ref(),
+        };
+        sub.ok_or_else(|| {
+            SimHwError::InvalidParameter(format!("domain {} not enabled on this package", d))
+        })
+    }
+
+    /// Program a sub-plane limit. Unlike the package's [`Self::set_limit`],
+    /// requests are *clamped* into the plane's settable range (hardware
+    /// semantics for the secondary planes) — clamp to the range first, then
+    /// a stuck-RAPL fault latch wins. Returns the watts actually programmed.
+    /// `RaplDomain::Pkg` is rejected; the package plane keeps its explicit
+    /// reject-out-of-range contract.
+    pub fn set_domain_limit(&mut self, d: RaplDomain, limit: Watts) -> Result<Watts> {
+        if d == RaplDomain::Pkg {
+            return Err(SimHwError::InvalidParameter(
+                "package limits go through set_limit".into(),
+            ));
+        }
+        let sub = self.sub_domain(d)?;
+        let (min, max, stuck, msr) = (sub.min_limit, sub.max_limit, sub.stuck, sub.limit_msr);
+        let clamped = limit.clamp(min, max);
+        if clamped != limit {
+            DOMAIN_CLAMPED.inc();
+        }
+        let programmed = match stuck {
+            Some(pinned) => {
+                DOMAIN_STUCK_LATCHED.inc();
+                pinned
+            }
+            None => clamped,
+        };
+        let pl = PowerLimit {
+            limit: programmed,
+            enabled: true,
+            clamp: true,
+            time_window: Seconds(1.0),
+        };
+        let raw = encode_power_limit(&pl, &self.units);
+        self.msrs.write(msr, raw)?;
+        DOMAIN_LIMIT_WRITES.inc();
+        Ok(programmed)
+    }
+
+    /// Pin a sub-plane's limit to `pinned_w`: subsequent writes to that
+    /// plane silently latch the pinned value while sibling planes (and the
+    /// package plane) stay live.
+    pub fn inject_domain_stuck(&mut self, d: RaplDomain, pinned_w: Watts) -> Result<()> {
+        if d == RaplDomain::Pkg {
+            return Err(SimHwError::InvalidParameter(
+                "package-plane stuck faults are injected at the node level".into(),
+            ));
+        }
+        let sub = self.sub_domain(d)?;
+        let pinned = pinned_w.clamp(sub.min_limit, sub.max_limit);
+        match d {
+            RaplDomain::Pp0 => self.pp0.as_mut().expect("checked").stuck = Some(pinned),
+            RaplDomain::Dram => self.dram.as_mut().expect("checked").stuck = Some(pinned),
+            RaplDomain::Pkg => unreachable!(),
+        }
+        let pl = PowerLimit {
+            limit: pinned,
+            enabled: true,
+            clamp: true,
+            time_window: Seconds(1.0),
+        };
+        let raw = encode_power_limit(&pl, &self.units);
+        let msr = self.sub_domain(d)?.limit_msr;
+        self.msrs.write(msr, raw)?;
+        Ok(())
+    }
+
+    /// Exact accumulated energy of one domain.
+    pub fn domain_energy(&self, d: RaplDomain) -> Result<Joules> {
+        match d {
+            RaplDomain::Pkg => Ok(self.energy_exact),
+            _ => Ok(self.sub_domain(d)?.energy_exact),
+        }
+    }
+
+    /// A domain's currently-enforced limit.
+    pub fn domain_enforced(&self, d: RaplDomain) -> Result<Watts> {
+        match d {
+            RaplDomain::Pkg => Ok(self.enforced_limit()),
+            _ => Ok(self.sub_domain(d)?.enforced),
+        }
+    }
+
+    /// A domain's decoded limit register.
+    pub fn domain_limit(&self, d: RaplDomain) -> Result<PowerLimit> {
+        match d {
+            RaplDomain::Pkg => Ok(self.limit()),
+            _ => {
+                let msr = self.sub_domain(d)?.limit_msr;
+                Ok(decode_power_limit(self.msrs.hw_load(msr), &self.units))
+            }
+        }
+    }
+
+    /// Read a domain's raw 32-bit energy counter through the allowlist.
+    pub fn read_domain_energy_counter(&self, d: RaplDomain) -> Result<u32> {
+        let msr = match d {
+            RaplDomain::Pkg => address::PKG_ENERGY_STATUS,
+            _ => self.sub_domain(d)?.energy_msr,
+        };
+        Ok(self.msrs.read(msr)? as u32)
     }
 
     /// The per-step enforcement inputs `(target, tau)` exactly as

@@ -1,0 +1,229 @@
+//! MSR sub-domain (PP0/DRAM) semantics, tested at the package and node
+//! level where [`RaplPackage::advance`] runs the full scaphandre-style
+//! arithmetic: independent per-plane energy counters with 32-bit
+//! wraparound, per-plane limit registers behind the msr-safe allowlist,
+//! clamp ordering of plane-vs-package limits, and stuck-RAPL faults
+//! confined to one plane.
+
+use pmstack_simhw::msr::address;
+use pmstack_simhw::rapl::{EnergyCounterReader, RaplPackage};
+use pmstack_simhw::{
+    machines, quartz_spec, ClassId, DomainConfig, Joules, Node, NodeClass, NodeId, PowerModel,
+    RaplDomain, Seconds, Watts,
+};
+
+fn domain_pkg() -> RaplPackage {
+    let mut p = RaplPackage::new(Watts(120.0), Watts(68.0), Watts(135.0)).unwrap();
+    p.enable_domains(DomainConfig {
+        pp0_fraction: 0.72,
+        dram_power: Watts(14.0),
+    })
+    .unwrap();
+    p
+}
+
+#[test]
+fn pp0_energy_never_exceeds_pkg_energy() {
+    let mut p = domain_pkg();
+    for i in 0..200 {
+        // Vary the draw so the invariant is exercised off the steady path.
+        let w = 60.0 + 40.0 * ((i % 7) as f64 / 6.0);
+        p.advance(Seconds(0.1), Watts(w));
+        let pkg = p.domain_energy(RaplDomain::Pkg).unwrap();
+        let pp0 = p.domain_energy(RaplDomain::Pp0).unwrap();
+        assert!(
+            pp0 <= pkg,
+            "PP0 energy {pp0} exceeded PKG energy {pkg} at step {i}"
+        );
+    }
+    // And the split is exactly the configured fraction of package energy.
+    let pkg = p.domain_energy(RaplDomain::Pkg).unwrap();
+    let pp0 = p.domain_energy(RaplDomain::Pp0).unwrap();
+    assert!((pp0.value() / pkg.value() - 0.72).abs() < 1e-9);
+}
+
+#[test]
+fn sub_domain_counters_wrap_independently() {
+    let mut p = domain_pkg();
+    let u = p.units();
+    // Drive enough energy through PP0 to wrap its 32-bit counter; DRAM
+    // accumulates slowly and must not wrap.
+    let wrap_j = u.energy_j * 4294967296.0;
+    p.advance(Seconds(1.0), Watts((wrap_j - 100.0) / 0.72));
+    let c1 = p.read_domain_energy_counter(RaplDomain::Pp0).unwrap();
+    p.advance(Seconds(1.0), Watts(300.0));
+    let c2 = p.read_domain_energy_counter(RaplDomain::Pp0).unwrap();
+    assert!(c2 < c1, "PP0 counter must wrap");
+
+    let mut rd = EnergyCounterReader::new(&u);
+    rd.sample(c1);
+    let delta = rd.sample(c2);
+    assert!(
+        (delta.value() - 300.0 * 0.72).abs() < 1.0,
+        "wraparound-corrected PP0 delta ≈ 216 J, got {delta}"
+    );
+
+    // The DRAM counter tracked its own (much smaller) draw: 14 W for 2 s.
+    let dram = p.domain_energy(RaplDomain::Dram).unwrap();
+    assert!((dram.value() - 28.0).abs() < 1e-9);
+    let dc = p.read_domain_energy_counter(RaplDomain::Dram).unwrap();
+    assert!((f64::from(dc) * u.energy_j - 28.0).abs() < 0.01);
+}
+
+#[test]
+fn plane_limit_clamps_into_plane_range() {
+    let mut p = domain_pkg();
+    // PP0 range is the package range scaled by the fraction:
+    // [68, 135] × 0.72 ≈ [48.96, 97.2].
+    let hi = p.set_domain_limit(RaplDomain::Pp0, Watts(500.0)).unwrap();
+    assert!((hi.value() - 135.0 * 0.72).abs() < 1e-9);
+    let lo = p.set_domain_limit(RaplDomain::Pp0, Watts(1.0)).unwrap();
+    assert!((lo.value() - 68.0 * 0.72).abs() < 1e-9);
+    // DRAM range is [0, 2 × dram_power] = [0, 28].
+    let d = p.set_domain_limit(RaplDomain::Dram, Watts(100.0)).unwrap();
+    assert!((d.value() - 28.0).abs() < 1e-9);
+    // The programmed value reads back through the plane's own register.
+    let pl = p.domain_limit(RaplDomain::Dram).unwrap();
+    assert!((pl.limit.value() - 28.0).abs() < p.units().power_w);
+    // The package plane keeps its explicit reject-out-of-range contract.
+    assert!(p.set_domain_limit(RaplDomain::Pkg, Watts(100.0)).is_err());
+}
+
+#[test]
+fn clamp_ordering_package_share_caps_the_plane_target() {
+    // The plane's own limit applies first, then the package share caps it
+    // (equivalently the min of the two): with the package enforcing 90 W,
+    // the PP0 target can never exceed 90 × 0.72 = 64.8 W even though the
+    // plane's own register still allows 97.2 W.
+    let mut p = domain_pkg();
+    p.set_limit(pmstack_simhw::rapl::PowerLimit {
+        limit: Watts(90.0),
+        enabled: true,
+        clamp: true,
+        time_window: Seconds(1.0),
+    })
+    .unwrap();
+    for _ in 0..400 {
+        p.advance(Seconds(0.2), Watts(85.0));
+    }
+    let pp0 = p.domain_enforced(RaplDomain::Pp0).unwrap();
+    assert!(
+        (pp0.value() - 90.0 * 0.72).abs() < 0.5,
+        "PP0 enforcement settled to the package share, got {pp0}"
+    );
+    // Tightening the plane's own limit below the share takes over.
+    p.set_domain_limit(RaplDomain::Pp0, Watts(55.0)).unwrap();
+    for _ in 0..400 {
+        p.advance(Seconds(0.2), Watts(85.0));
+    }
+    let pp0 = p.domain_enforced(RaplDomain::Pp0).unwrap();
+    assert!(
+        (pp0.value() - 55.0).abs() < 0.5,
+        "PP0 enforcement settled to its own limit, got {pp0}"
+    );
+}
+
+#[test]
+fn stuck_plane_leaves_siblings_live() {
+    let mut p = domain_pkg();
+    p.inject_domain_stuck(RaplDomain::Pp0, Watts(60.0)).unwrap();
+    // Writes to the stuck plane silently latch the pinned value…
+    let got = p.set_domain_limit(RaplDomain::Pp0, Watts(90.0)).unwrap();
+    assert_eq!(got, Watts(60.0));
+    let pl = p.domain_limit(RaplDomain::Pp0).unwrap();
+    assert!((pl.limit.value() - 60.0).abs() < p.units().power_w);
+    // …while the DRAM plane and the package plane keep working.
+    let d = p.set_domain_limit(RaplDomain::Dram, Watts(10.0)).unwrap();
+    assert!((d.value() - 10.0).abs() < 1e-9);
+    p.set_limit(pmstack_simhw::rapl::PowerLimit {
+        limit: Watts(100.0),
+        enabled: true,
+        clamp: true,
+        time_window: Seconds(1.0),
+    })
+    .unwrap();
+    assert!((p.limit().limit.value() - 100.0).abs() < p.units().power_w);
+    // The package-plane stuck fault stays a node-level concept.
+    assert!(p.inject_domain_stuck(RaplDomain::Pkg, Watts(80.0)).is_err());
+}
+
+#[test]
+fn sub_plane_registers_sit_behind_the_allowlist() {
+    let p = domain_pkg();
+    // Energy-status planes are read-only through the device…
+    let mut dev = p.msrs().clone();
+    assert!(dev.write(address::PP0_ENERGY_STATUS, 1).is_err());
+    assert!(dev.write(address::DRAM_ENERGY_STATUS, 1).is_err());
+    // …and the plane lock bits are not writable.
+    let cur = dev.read(address::PP0_POWER_LIMIT).unwrap();
+    assert!(dev
+        .write(address::PP0_POWER_LIMIT, cur | (1 << 31))
+        .is_err());
+    // In-range limit-field rewrites are fine.
+    dev.write(address::PP0_POWER_LIMIT, cur).unwrap();
+}
+
+#[test]
+fn pkg_only_package_rejects_domain_access() {
+    let p = RaplPackage::new(Watts(120.0), Watts(68.0), Watts(135.0)).unwrap();
+    assert!(!p.has_domains());
+    assert!(p.domain_energy(RaplDomain::Pp0).is_err());
+    assert!(p.domain_enforced(RaplDomain::Dram).is_err());
+    // PKG accessors still answer (they alias the classic surface).
+    assert_eq!(p.domain_energy(RaplDomain::Pkg).unwrap(), Joules::ZERO);
+    assert_eq!(
+        p.domain_enforced(RaplDomain::Pkg).unwrap(),
+        p.enforced_limit()
+    );
+}
+
+#[test]
+fn classed_node_wires_domains_through_every_socket() {
+    let class = NodeClass {
+        name: "quartz".to_string(),
+        spec: quartz_spec(),
+        idle_floor: Watts(72.0),
+        domains: Some(DomainConfig {
+            pp0_fraction: 0.72,
+            dram_power: Watts(14.0),
+        }),
+    };
+    let model = PowerModel::new(class.spec.clone()).unwrap();
+    let node = Node::with_class(NodeId(0), ClassId(0), &class, &model, 1.0).unwrap();
+    assert!(node.has_domains());
+    assert_eq!(node.class_id(), ClassId(0));
+    for pkg in node.packages() {
+        assert!(pkg.has_domains());
+    }
+    // The classic constructor stays PKG-only.
+    let plain = Node::new(NodeId(1), &model, 1.0).unwrap();
+    assert!(!plain.has_domains());
+    assert_eq!(plain.class_id(), ClassId(0));
+}
+
+#[test]
+fn node_level_stuck_domain_keeps_sibling_domains_and_pkg_live() {
+    let class = NodeClass {
+        name: "stout".to_string(),
+        spec: machines::stout_spec(),
+        idle_floor: Watts(30.0),
+        domains: Some(DomainConfig {
+            pp0_fraction: 0.78,
+            dram_power: Watts(9.0),
+        }),
+    };
+    let model = PowerModel::new(class.spec.clone()).unwrap();
+    let mut node = Node::with_class(NodeId(0), ClassId(0), &class, &model, 1.0).unwrap();
+    node.inject_domain_stuck(RaplDomain::Pp0, Watts(60.0))
+        .unwrap();
+    let latched = node.set_domain_limit(RaplDomain::Pp0, Watts(80.0)).unwrap();
+    assert_eq!(latched, Watts(60.0));
+    // DRAM and PKG writes still take effect.
+    let dram = node
+        .set_domain_limit(RaplDomain::Dram, Watts(12.0))
+        .unwrap();
+    assert!((dram.value() - 12.0).abs() < 0.3);
+    node.set_power_limit(Watts(80.0)).unwrap();
+    assert!((node.power_limit().value() - 80.0).abs() < 0.2);
+    assert!(node.stuck_limit().is_none(), "PKG plane is not stuck");
+}

@@ -9,8 +9,8 @@
 
 use pmstack_simhw::power::CoreClass;
 use pmstack_simhw::{
-    quartz_spec, FaultKind, Hertz, HostStep, LoadModel, Node, NodeBank, NodeId, PowerModel,
-    Seconds, Watts,
+    quartz_spec, ClassId, ClassedBank, FaultKind, Hertz, HostStep, LoadModel, Node, NodeBank,
+    NodeClass, NodeId, PowerModel, Seconds, Watts,
 };
 use proptest::prelude::*;
 
@@ -191,6 +191,119 @@ proptest! {
                     flat.last_freq(h).value().to_bits(),
                     "last_freq diverged on host {}", h
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lockstep differential suite for the heterogeneity plane: a 1-class
+    /// classed fleet with PKG-only domains must be **bit-identical** to
+    /// today's homogeneous [`NodeBank`] under random fault/control/jitter
+    /// schedules. The classed bank composes one homogeneous bank per class,
+    /// so a single class must delegate to exactly the pre-PR code path.
+    #[test]
+    fn one_class_pkg_only_fleet_matches_homogeneous_bank(
+        n in 1usize..34,
+        parallel in (0u8..2).prop_map(|b| b == 1),
+        dts in prop::collection::vec(0.05f64..0.4, 1..4),
+        schedule in prop::collection::vec(
+            (0usize..16, 0usize..34, disturb_strategy()),
+            0..12,
+        ),
+    ) {
+        let (model, _) = fleet(0);
+        let eps: Vec<f64> = (0..n).map(|i| 0.9 + 0.02 * (i % 12) as f64).collect();
+        let nodes: Vec<Node> = eps
+            .iter()
+            .enumerate()
+            .map(|(i, &e)| Node::new(NodeId(i), &model, e).unwrap())
+            .collect();
+        let mut homo = NodeBank::from_nodes(nodes);
+        let classes = vec![NodeClass::pkg_only("quartz", quartz_spec())];
+        let membership = vec![ClassId(0); n];
+        let mut classed = ClassedBank::new(classes, &membership, &eps).unwrap();
+        let load = FlatLoad { kappa: 2.6 };
+
+        let mut ops = vec![None; n];
+        let mut res_homo = vec![HostStep::Skipped; n];
+        let mut res_classed = vec![HostStep::Skipped; n];
+        for iter in 0..16 {
+            for (at, host, d) in &schedule {
+                if *at == iter {
+                    let host = *host % n;
+                    match *d {
+                        Disturb::Limit(w) => {
+                            let _ = homo.set_power_limit(host, Watts(w));
+                            let _ = classed.set_power_limit(host, Watts(w));
+                        }
+                        Disturb::Cap(ghz) => {
+                            let _ = homo.set_freq_cap(host, Some(Hertz::from_ghz(ghz)));
+                            let _ = classed.set_freq_cap(host, Some(Hertz::from_ghz(ghz)));
+                        }
+                        Disturb::ClearCap => {
+                            let _ = homo.set_freq_cap(host, None);
+                            let _ = classed.set_freq_cap(host, None);
+                        }
+                        Disturb::Dropout(iterations) => {
+                            homo.inject(host, FaultKind::TelemetryDropout { iterations });
+                            classed.inject(host, FaultKind::TelemetryDropout { iterations });
+                        }
+                        Disturb::Glitch => {
+                            homo.inject(host, FaultKind::TransientMsrFault);
+                            classed.inject(host, FaultKind::TransientMsrFault);
+                        }
+                        Disturb::Stuck(pinned_w) => {
+                            homo.inject(host, FaultKind::StuckRapl { pinned_w });
+                            classed.inject(host, FaultKind::StuckRapl { pinned_w });
+                        }
+                        Disturb::Death => {
+                            homo.inject(host, FaultKind::NodeDeath);
+                            classed.inject(host, FaultKind::NodeDeath);
+                        }
+                    }
+                }
+            }
+            // Jitter the step width through the supplied dt ladder.
+            let dt = Seconds(dts[iter % dts.len()]);
+            for (h, op) in ops.iter_mut().enumerate() {
+                *op = classed.is_alive(h).then(|| classed.operating_point(h, &load));
+                // Operating points must agree before stepping at all.
+                let homo_op = homo
+                    .is_alive(h)
+                    .then(|| homo.operating_point(h, &model, &load));
+                prop_assert_eq!(&*op, &homo_op, "operating point diverged on host {}", h);
+            }
+            let settled_homo = homo.step_all_partial(dt, &ops, &mut res_homo, parallel);
+            let settled_classed =
+                classed.step_all_partial(dt, &ops, &mut res_classed, parallel);
+
+            prop_assert_eq!(settled_homo, settled_classed, "step reports diverged");
+            prop_assert_eq!(&res_homo, &res_classed, "step outcomes diverged");
+            for h in 0..n {
+                prop_assert_eq!(
+                    classed.energy(h).value().to_bits(),
+                    homo.energy(h).value().to_bits(),
+                    "energy diverged on host {}", h
+                );
+                prop_assert_eq!(
+                    classed.enforced_limit(h).value().to_bits(),
+                    homo.enforced_limit(h).value().to_bits(),
+                    "enforced limit diverged on host {}", h
+                );
+                prop_assert_eq!(
+                    classed.power_limit(h).value().to_bits(),
+                    homo.power_limit(h).value().to_bits(),
+                    "programmed limit diverged on host {}", h
+                );
+                prop_assert_eq!(
+                    classed.last_freq(h).value().to_bits(),
+                    homo.last_freq(h).value().to_bits(),
+                    "last_freq diverged on host {}", h
+                );
+                prop_assert_eq!(classed.health(h), homo.health(h));
             }
         }
     }
